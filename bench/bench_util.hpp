@@ -1,0 +1,36 @@
+// Shared helpers for the table/figure bench binaries: uniform ASCII table
+// output and a standard header explaining the scaled-reproduction context.
+
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace udb::bench {
+
+inline void header(const char* experiment, const char* paper_ref,
+                   const char* note) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Reproduces: %s\n", paper_ref);
+  if (note && note[0]) std::printf("Note: %s\n", note);
+  std::printf("==========================================================\n");
+}
+
+// printf-style row helper so bench code stays table-shaped.
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stdout, fmt, args);
+  va_end(args);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+inline void rule() {
+  std::printf("----------------------------------------------------------\n");
+}
+
+}  // namespace udb::bench

@@ -1,0 +1,45 @@
+// Future-work extension bench (paper Section VII): intra-node multicore
+// µDBSCAN-SM — µDBSCAN-D's decomposition with a shared-memory cost model.
+// Shows thread-count scaling of the modeled makespan next to the
+// interconnect model at the same rank counts.
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "core/mudbscan.hpp"
+#include "data/named.hpp"
+#include "dist/mudbscan_sm.hpp"
+
+using namespace udb;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 1.0);
+  const auto threads = cli.get_int_list("threads", {1, 2, 4, 8});
+  cli.check_unused();
+
+  bench::header("Extension — µDBSCAN-SM: intra-node multicore scaling",
+                "µDBSCAN paper, Section VII future work (not a paper table)",
+                "same decomposition as µDBSCAN-D; shared-memory transfer "
+                "model (alpha=100ns, ~20GB/s)");
+
+  const std::vector<std::string> names{"MPAGD8M", "FOF56M"};
+  for (const auto& name : names) {
+    NamedDataset nd = make_named_dataset(name, scale);
+    MuDbscanStats seq;
+    (void)mu_dbscan(nd.data, nd.params, &seq);
+    bench::row("");
+    bench::row("dataset %s (n = %zu), sequential µDBSCAN: %.3f s",
+               nd.name.c_str(), nd.data.size(), seq.total());
+    bench::row("%8s | %10s %10s %9s", "threads", "SM(s)", "D(s)", "SM speedup");
+    bench::rule();
+    for (auto t : threads) {
+      MuDbscanDStats sm, d;
+      (void)mudbscan_sm(nd.data, nd.params, static_cast<int>(t), &sm);
+      (void)mudbscan_d(nd.data, nd.params, static_cast<int>(t), &d);
+      bench::row("%8lld | %10.3f %10.3f %8.2fx", static_cast<long long>(t),
+                 sm.total(), d.total(), seq.total() / sm.total());
+    }
+  }
+  bench::rule();
+  return 0;
+}

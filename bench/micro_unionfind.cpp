@@ -1,0 +1,73 @@
+// Micro benchmarks for the union-find structure that backs every clustering
+// algorithm in the library (the disjoint-set choice is load-bearing for the
+// merge phase's claimed cheapness).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "unionfind/union_find.hpp"
+
+namespace {
+
+using namespace udb;
+
+void BM_UnionRandomPairs(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<std::pair<PointId, PointId>> pairs(n);
+  for (auto& pr : pairs)
+    pr = {static_cast<PointId>(rng.uniform_index(n)),
+          static_cast<PointId>(rng.uniform_index(n))};
+  for (auto _ : state) {
+    UnionFind uf(n);
+    for (const auto& [a, b] : pairs) uf.union_sets(a, b);
+    benchmark::DoNotOptimize(uf.find(0));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_UnionRandomPairs)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_UnionChain(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    UnionFind uf(n);
+    for (PointId i = 0; i + 1 < n; ++i) uf.union_sets(i, i + 1);
+    benchmark::DoNotOptimize(uf.find(static_cast<PointId>(n - 1)));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_UnionChain)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_FindAfterHeavyUnions(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  UnionFind uf(n);
+  Rng rng(2);
+  for (std::size_t i = 0; i < 2 * n; ++i)
+    uf.union_sets(static_cast<PointId>(rng.uniform_index(n)),
+                  static_cast<PointId>(rng.uniform_index(n)));
+  PointId q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(uf.find(q));
+    q = static_cast<PointId>((q + 7919) % n);
+  }
+}
+BENCHMARK(BM_FindAfterHeavyUnions)->Arg(100000)->Arg(1000000);
+
+void BM_ComponentExtraction(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  UnionFind uf(n);
+  Rng rng(3);
+  for (std::size_t i = 0; i < n / 2; ++i)
+    uf.union_sets(static_cast<PointId>(rng.uniform_index(n)),
+                  static_cast<PointId>(rng.uniform_index(n)));
+  std::vector<std::uint32_t> ids;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(uf.component_ids(ids));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ComponentExtraction)->Arg(100000)->Arg(1000000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

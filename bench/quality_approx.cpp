@@ -1,0 +1,106 @@
+// Quality-vs-speed of approximate DBSCAN variants — the quantitative side of
+// the paper's Section III argument ("sampling based parallel algorithms ...
+// claim to get good performance ... by compromising the clustering
+// quality"; QIDBSCAN-style expansions "do not produce exact clustering").
+// Not a numbered paper table; DESIGN.md §4 lists it under the engineering
+// ablations.
+//
+// For each dataset: exact µDBSCAN as reference, then QIDBSCAN and sampled
+// DBSCAN at several rho, reporting runtime, ARI against exact, and the
+// core-set precision/recall.
+
+#include "baselines/qi_dbscan.hpp"
+#include "baselines/sampled_dbscan.hpp"
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "core/mudbscan.hpp"
+#include "data/named.hpp"
+#include "metrics/ari.hpp"
+#include "metrics/exactness.hpp"
+
+using namespace udb;
+
+namespace {
+
+struct Quality {
+  double ari = 0.0;
+  double core_precision = 1.0;
+  double core_recall = 1.0;
+  bool exact = false;
+};
+
+Quality score(const ClusteringResult& truth, const ClusteringResult& got) {
+  Quality q;
+  q.ari = adjusted_rand_index(truth.label, got.label);
+  std::size_t tp = 0, fp = 0, fn = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const bool t = truth.is_core[i] != 0;
+    const bool g = got.is_core[i] != 0;
+    tp += t && g;
+    fp += !t && g;
+    fn += t && !g;
+  }
+  q.core_precision = tp + fp == 0 ? 1.0
+                                  : static_cast<double>(tp) /
+                                        static_cast<double>(tp + fp);
+  q.core_recall =
+      tp + fn == 0 ? 1.0
+                   : static_cast<double>(tp) / static_cast<double>(tp + fn);
+  q.exact = compare_exact(truth, got).exact();
+  return q;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 0.5);
+  cli.check_unused();
+
+  bench::header(
+      "Approximate-variant quality vs speed (exact µDBSCAN as reference)",
+      "µDBSCAN paper, Section III quality claims (no numbered table)",
+      "ARI treats noise as its own cluster; precision/recall are over the "
+      "core-point set");
+
+  const std::vector<std::string> names{"MPAGD", "FOF", "3DSRN"};
+  bench::row("%-10s %-16s | %8s %7s %7s %7s %6s", "dataset", "variant",
+             "time(s)", "ARI", "coreP", "coreR", "exact");
+  bench::rule();
+
+  for (const auto& name : names) {
+    NamedDataset nd = make_named_dataset(name, scale);
+    const Dataset& ds = nd.data;
+
+    WallTimer t;
+    const auto truth = mu_dbscan(ds, nd.params);
+    const double t_exact = t.seconds();
+    bench::row("%-10s %-16s | %8.3f %7.3f %7.3f %7.3f %6s", nd.name.c_str(),
+               "uDBSCAN (exact)", t_exact, 1.0, 1.0, 1.0, "yes");
+
+    t.reset();
+    const auto qi = qi_dbscan(ds, nd.params);
+    const double t_qi = t.seconds();
+    const Quality qq = score(truth, qi);
+    bench::row("%-10s %-16s | %8.3f %7.3f %7.3f %7.3f %6s", nd.name.c_str(),
+               "QIDBSCAN", t_qi, qq.ari, qq.core_precision, qq.core_recall,
+               qq.exact ? "yes" : "no");
+
+    for (double rho : {0.5, 0.25, 0.1}) {
+      t.reset();
+      const auto samp = sampled_dbscan(ds, nd.params, rho, 1);
+      const double t_s = t.seconds();
+      const Quality qs = score(truth, samp);
+      char label[32];
+      std::snprintf(label, sizeof label, "sampled rho=%.2f", rho);
+      bench::row("%-10s %-16s | %8.3f %7.3f %7.3f %7.3f %6s", nd.name.c_str(),
+                 label, t_s, qs.ari, qs.core_precision, qs.core_recall,
+                 qs.exact ? "yes" : "no");
+    }
+    bench::rule();
+  }
+  bench::row("paper: approximate variants trade exactness for speed; only "
+             "uDBSCAN keeps both");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Table III: percentage split-up of µDBSCAN's execution time across its four
+// steps (µR-tree construction, finding reachable groups, clustering, post
+// core & noise processing) on the four datasets the paper reports.
+//
+// Expected shape: tree construction is a large share on 3-D galaxy data;
+// post-processing dominates when the query-save fraction is high (3DSRN,
+// KDDB14) because wndq-core points shift work into Algorithm 7.
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "core/mudbscan.hpp"
+#include "data/named.hpp"
+
+using namespace udb;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 1.0);
+  cli.check_unused();
+
+  bench::header("Table III — %% split-up of µDBSCAN step times",
+                "µDBSCAN paper, Table III",
+                "high query-save datasets shift time into post-processing");
+
+  const std::vector<std::string> names{"3DSRN", "DGB", "MPAGB", "KDDB14"};
+
+  bench::row("%-10s | %8s %8s %10s %8s | %9s %7s", "dataset", "tree%",
+             "reach%", "clustering%", "post%", "total(s)", "save%");
+  bench::rule();
+
+  for (const auto& name : names) {
+    NamedDataset nd = make_named_dataset(name, scale);
+    MuDbscanStats st;
+    (void)mu_dbscan(nd.data, nd.params, &st);
+    const double total = st.total();
+    bench::row("%-10s | %7.2f%% %7.2f%% %9.2f%% %7.2f%% | %9.2f %6.1f%%",
+               nd.name.c_str(), 100.0 * st.t_tree / total,
+               100.0 * st.t_reach / total, 100.0 * st.t_cluster / total,
+               100.0 * st.t_post / total, total,
+               100.0 * st.query_save_fraction(nd.data.size()));
+  }
+
+  bench::rule();
+  bench::row("paper Table III: tree 0.7-31%%, reach 0-28%%, clustering "
+             "2.6-15%%, post 36-97%%");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Table IV: peak memory consumption of the four sequential algorithms.
+// Each algorithm runs in a forked child process so one algorithm's
+// high-water mark cannot contaminate another's; the child reports VmHWM
+// through a pipe.
+//
+// Expected shape (paper): GridDBSCAN far above everyone (neighbor-cell
+// lists), exploding with dimensionality; G-DBSCAN the leanest (no index);
+// µDBSCAN slightly above R-DBSCAN (two-level tree vs one tree).
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+#include "baselines/g_dbscan.hpp"
+#include "baselines/grid_dbscan.hpp"
+#include "baselines/r_dbscan.hpp"
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/sysinfo.hpp"
+#include "core/mudbscan.hpp"
+#include "data/named.hpp"
+
+using namespace udb;
+
+namespace {
+
+// Runs fn in a fork; returns the child's peak RSS delta in bytes (peak after
+// the run minus the baseline captured before the dataset-independent work),
+// or 0 on failure.
+template <typename Fn>
+std::size_t measure_forked(const Fn& fn) {
+  int fds[2];
+  if (pipe(fds) != 0) return 0;
+  const pid_t pid = fork();
+  if (pid < 0) return 0;
+  if (pid == 0) {
+    close(fds[0]);
+    fn();
+    const std::size_t peak = peak_rss_bytes();
+    [[maybe_unused]] ssize_t ignored = write(fds[1], &peak, sizeof peak);
+    close(fds[1]);
+    _exit(0);
+  }
+  close(fds[1]);
+  std::size_t peak = 0;
+  if (read(fds[0], &peak, sizeof peak) != sizeof peak) peak = 0;
+  close(fds[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  return peak;
+}
+
+double mb(std::size_t bytes) { return static_cast<double>(bytes) / (1024.0 * 1024.0); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 1.0);
+  cli.check_unused();
+
+  bench::header("Table IV — peak memory consumption (MB, process VmHWM)",
+                "µDBSCAN paper, Table IV",
+                "each algorithm forked into its own process; includes the "
+                "dataset itself");
+
+  const std::vector<std::string> names{"3DSRN", "DGB", "MPAGB", "KDDB14"};
+
+  bench::row("%-10s %7s %3s | %10s %10s %12s %10s", "dataset", "n", "d",
+             "R-DBSCAN", "G-DBSCAN", "GridDBSCAN", "uDBSCAN");
+  bench::rule();
+
+  for (const auto& name : names) {
+    NamedDataset nd = make_named_dataset(name, scale);
+    const Dataset& ds = nd.data;
+    const DbscanParams prm = nd.params;
+
+    const std::size_t m_r =
+        measure_forked([&] { (void)r_dbscan(ds, prm); });
+    const std::size_t m_g =
+        measure_forked([&] { (void)g_dbscan(ds, prm); });
+    const std::size_t m_grid =
+        measure_forked([&] { (void)grid_dbscan(ds, prm); });
+    const std::size_t m_mu =
+        measure_forked([&] { (void)mu_dbscan(ds, prm); });
+
+    bench::row("%-10s %7zu %3zu | %9.1f %10.1f %12.1f %10.1f",
+               nd.name.c_str(), ds.size(), ds.dim(), mb(m_r), mb(m_g),
+               mb(m_grid), mb(m_mu));
+  }
+
+  bench::rule();
+  bench::row("paper Table IV: GridDBSCAN largest (20 GB at 14d); G-DBSCAN "
+             "smallest; uDBSCAN ~ R-DBSCAN + small overhead");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Table VI: µDBSCAN-D run time on the very large dataset analogs as the
+// number of processing cores doubles (paper: 32 -> 64 -> 128; here simulated
+// ranks, default 8 -> 16 -> 32).
+//
+// Expected shape: close-to-halving of runtime per doubling.
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "data/named.hpp"
+#include "dist/mudbscan_d.hpp"
+
+using namespace udb;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 1.0);
+  const auto rank_list = cli.get_int_list("ranks", {8, 16, 32});
+  cli.check_unused();
+
+  bench::header("Table VI — µDBSCAN-D run time with increasing ranks "
+                "(virtual-time makespan, seconds)",
+                "µDBSCAN paper, Table VI (32/64/128 cores)",
+                "");
+
+  std::string head = "dataset      ";
+  for (auto r : rank_list) head += "  ranks=" + std::to_string(r);
+  bench::row("%s", head.c_str());
+  bench::rule();
+
+  for (const auto& name : {std::string("FOF500M"), std::string("MPAGD800M")}) {
+    NamedDataset nd = make_named_dataset(name, scale);
+    std::string line = nd.name;
+    line.resize(13, ' ');
+    for (auto r : rank_list) {
+      MuDbscanDStats st;
+      (void)mudbscan_d(nd.data, nd.params, static_cast<int>(r), &st);
+      char buf[32];
+      std::snprintf(buf, sizeof buf, " %9.2f", st.total());
+      line += buf;
+    }
+    bench::row("%s", line.c_str());
+  }
+
+  bench::rule();
+  bench::row("paper Table VI: FOF500M 4230 -> 2641 -> 1801 s; MPAGD800M "
+             "1881 -> 978 -> 624 s (near-halving per doubling)");
+  return 0;
+}

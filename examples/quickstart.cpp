@@ -1,0 +1,40 @@
+// Quickstart: cluster a 2-D two-moons dataset with µDBSCAN in ~20 lines.
+//
+//   $ ./quickstart [--n 2000] [--eps 0.12] [--minpts 5]
+//
+// Demonstrates the minimal public API: generate (or load) a Dataset, pick
+// DbscanParams, call mu_dbscan(), read the ClusteringResult.
+
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "core/mudbscan.hpp"
+#include "data/generators.hpp"
+
+int main(int argc, char** argv) {
+  udb::Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 2000));
+  const double eps = cli.get_double("eps", 0.12);
+  const auto min_pts = static_cast<std::uint32_t>(cli.get_int("minpts", 5));
+  cli.check_unused();
+
+  // Any row-major point buffer works; see common/io.hpp for CSV loading.
+  const udb::Dataset data = udb::gen_two_moons(n, 0.05, /*seed=*/42);
+
+  udb::MuDbscanStats stats;
+  const udb::ClusteringResult result =
+      udb::mu_dbscan(data, {eps, min_pts}, &stats);
+
+  std::printf("µDBSCAN on two moons (n = %zu, eps = %.3f, MinPts = %u)\n",
+              data.size(), eps, min_pts);
+  std::printf("  clusters: %zu\n", result.num_clusters());
+  std::printf("  core / border / noise: %zu / %zu / %zu\n", result.num_core(),
+              result.num_border(), result.num_noise());
+  std::printf("  micro-clusters: %zu, neighborhood queries saved: %.1f%%\n",
+              stats.num_mcs,
+              100.0 * stats.query_save_fraction(data.size()));
+  std::printf("  label of point 0: %lld (%s)\n",
+              static_cast<long long>(result.label[0]),
+              result.is_core[0] ? "core" : "non-core");
+  return 0;
+}

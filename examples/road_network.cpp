@@ -1,0 +1,50 @@
+// Road-network GPS clustering (the paper's 3DSRN workload): points sampled
+// along a 3-D road graph. Density-based clustering recovers road segments as
+// arbitrary-shaped clusters — the use case where centroid methods fail and
+// DBSCAN shines. Optionally writes a labeled CSV for external plotting.
+//
+//   $ ./road_network [--n 40000] [--eps 0.8] [--minpts 5] [--out labels.csv]
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "core/mudbscan.hpp"
+#include "data/generators.hpp"
+
+int main(int argc, char** argv) {
+  udb::Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 40000));
+  const double eps = cli.get_double("eps", 0.8);
+  const auto min_pts = static_cast<std::uint32_t>(cli.get_int("minpts", 5));
+  const std::string out_path = cli.get_string("out", "");
+  cli.check_unused();
+
+  udb::RoadnetConfig cfg;
+  const udb::Dataset data = udb::gen_roadnet(n, cfg, /*seed=*/11);
+
+  udb::WallTimer timer;
+  udb::MuDbscanStats stats;
+  const auto result = udb::mu_dbscan(data, {eps, min_pts}, &stats);
+
+  std::printf("road network trace: n = %zu points along a 3-D road graph\n",
+              data.size());
+  std::printf("µDBSCAN: %.2f s, %zu road segments found, %zu noise fixes\n",
+              timer.seconds(), result.num_clusters(), result.num_noise());
+  std::printf("queries saved: %.1f%% (quasi-1D manifolds are the paper's "
+              "best case — 81%% on the real 3DSRN)\n",
+              100.0 * stats.query_save_fraction(data.size()));
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << "# x,y,z,label,is_core\n";
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const auto p = data.point(static_cast<udb::PointId>(i));
+      out << p[0] << ',' << p[1] << ',' << p[2] << ',' << result.label[i]
+          << ',' << static_cast<int>(result.is_core[i]) << '\n';
+    }
+    std::printf("labeled points written to %s\n", out_path.c_str());
+  }
+  return 0;
+}

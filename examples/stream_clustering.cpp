@@ -1,0 +1,55 @@
+// Stream clustering (the paper's future-work direction, Section VII):
+// points arrive in waves; the online micro-cluster summary answers "how many
+// guaranteed core points so far?" instantly after every wave, and the exact
+// DBSCAN clustering of everything seen so far is available on demand.
+//
+//   $ ./stream_clustering [--n 40000] [--waves 8] [--eps 1.0] [--minpts 5]
+
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "core/streaming.hpp"
+#include "data/generators.hpp"
+
+int main(int argc, char** argv) {
+  udb::Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 40000));
+  const auto waves = static_cast<std::size_t>(cli.get_int("waves", 8));
+  const double eps = cli.get_double("eps", 1.0);
+  const auto min_pts = static_cast<std::uint32_t>(cli.get_int("minpts", 5));
+  cli.check_unused();
+
+  udb::GalaxyConfig cfg;
+  cfg.point_sigma = 0.7;
+  const udb::Dataset data = udb::gen_galaxy(n, cfg, /*seed=*/33);
+
+  udb::StreamingMuDbscan stream(data.dim(), {eps, min_pts});
+  std::printf("streaming %zu galaxy points in %zu waves\n", n, waves);
+  std::printf("%8s %8s %12s %14s %10s %11s\n", "points", "MCs",
+              "ingest(ms)", "core bound", "clusters", "offline(ms)");
+
+  const std::size_t wave_size = (n + waves - 1) / waves;
+  for (std::size_t start = 0; start < n; start += wave_size) {
+    udb::WallTimer ingest;
+    const std::size_t end = std::min(n, start + wave_size);
+    for (std::size_t i = start; i < end; ++i)
+      stream.insert(data.point(static_cast<udb::PointId>(i)));
+    const double t_ingest = ingest.seconds();
+
+    // The lower bound is free; the exact result triggers the offline phase.
+    const std::size_t bound = stream.guaranteed_core_lower_bound();
+    udb::WallTimer offline;
+    const auto& result = stream.result();
+    std::printf("%8zu %8zu %12.1f %14zu %10zu %11.1f\n", stream.size(),
+                stream.num_mcs(), t_ingest * 1e3, bound,
+                result.num_clusters(), offline.seconds() * 1e3);
+  }
+
+  const auto& final_result = stream.result();
+  std::printf("final: %zu clusters, %zu cores (online bound had %zu), "
+              "%zu noise\n",
+              final_result.num_clusters(), final_result.num_core(),
+              stream.guaranteed_core_lower_bound(), final_result.num_noise());
+  return 0;
+}

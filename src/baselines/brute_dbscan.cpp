@@ -1,0 +1,39 @@
+#include "baselines/brute_dbscan.hpp"
+
+#include "baselines/uf_labels.hpp"
+#include "common/distance.hpp"
+
+namespace udb {
+
+ClusteringResult brute_dbscan(const Dataset& ds, const DbscanParams& params) {
+  const std::size_t n = ds.size();
+  const double eps2 = params.eps * params.eps;
+  UnionFind uf(n);
+  std::vector<std::uint8_t> is_core(n, 0);
+  std::vector<std::uint8_t> assigned(n, 0);
+  std::vector<PointId> nbhd;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const PointId p = static_cast<PointId>(i);
+    nbhd.clear();
+    const double* pp = ds.ptr(p);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (sq_dist(pp, ds.ptr(static_cast<PointId>(j)), ds.dim()) < eps2)
+        nbhd.push_back(static_cast<PointId>(j));
+    }
+    if (nbhd.size() < params.min_pts) continue;
+    is_core[p] = 1;
+    assigned[p] = 1;
+    for (PointId q : nbhd) {
+      if (is_core[q]) {
+        uf.union_sets(p, q);
+      } else if (!assigned[q]) {
+        uf.union_sets(p, q);
+        assigned[q] = 1;
+      }
+    }
+  }
+  return extract_labels(uf, std::move(is_core), assigned);
+}
+
+}  // namespace udb

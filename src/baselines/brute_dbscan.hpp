@@ -1,0 +1,16 @@
+// Brute-force DBSCAN: O(n^2) linear-scan neighborhoods, union-find
+// clustering. This is the ground truth the exactness tests compare every
+// other algorithm against — it has no index, no shortcuts, and no pruning,
+// so its correctness is auditable by eye.
+
+#pragma once
+
+#include "common/dataset.hpp"
+#include "metrics/clustering.hpp"
+
+namespace udb {
+
+[[nodiscard]] ClusteringResult brute_dbscan(const Dataset& ds,
+                                            const DbscanParams& params);
+
+}  // namespace udb

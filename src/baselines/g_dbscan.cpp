@@ -1,0 +1,118 @@
+#include "baselines/g_dbscan.hpp"
+
+#include "baselines/uf_labels.hpp"
+#include "common/distance.hpp"
+#include "common/timer.hpp"
+
+namespace udb {
+
+namespace {
+
+struct Group {
+  PointId master;
+  std::vector<PointId> members;  // includes master
+};
+
+}  // namespace
+
+ClusteringResult g_dbscan(const Dataset& ds, const DbscanParams& params,
+                          GDbscanStats* stats) {
+  const std::size_t n = ds.size();
+  const std::size_t dim = ds.dim();
+  const double eps = params.eps;
+  const double half2 = (eps / 2.0) * (eps / 2.0);
+  const double eps2 = eps * eps;
+  const double filter = 1.5 * eps;
+  const double filter2 = filter * filter;
+  WallTimer timer;
+
+  // Phase 1: group formation. A point joins the first group whose master is
+  // strictly within eps/2 (so group members are pairwise strictly within
+  // eps); otherwise it founds a new group.
+  std::vector<Group> groups;
+  std::vector<std::uint32_t> group_of(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const PointId p = static_cast<PointId>(i);
+    const double* pp = ds.ptr(p);
+    bool placed = false;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (sq_dist(pp, ds.ptr(groups[g].master), dim) < half2) {
+        groups[g].members.push_back(p);
+        group_of[p] = static_cast<std::uint32_t>(g);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      group_of[p] = static_cast<std::uint32_t>(groups.size());
+      groups.push_back(Group{p, {p}});
+    }
+  }
+  const double group_s = timer.seconds();
+
+  timer.reset();
+  UnionFind uf(n);
+  std::vector<std::uint8_t> is_core(n, 0);
+  std::vector<std::uint8_t> assigned(n, 0);
+
+  // Dense groups: every member is core (pairwise < eps covers >= MinPts
+  // points); union them upfront.
+  std::uint64_t dense = 0;
+  for (const Group& g : groups) {
+    if (g.members.size() < params.min_pts) continue;
+    ++dense;
+    for (PointId q : g.members) {
+      is_core[q] = 1;
+      assigned[q] = 1;
+      uf.union_sets(g.master, q);
+    }
+  }
+
+  // Phase 2: per-point neighborhood via group filtering + union-find
+  // clustering (same exact scheme as brute_dbscan).
+  std::vector<PointId> nbhd;
+  for (std::size_t i = 0; i < n; ++i) {
+    const PointId p = static_cast<PointId>(i);
+    const double* pp = ds.ptr(p);
+    nbhd.clear();
+    for (const Group& g : groups) {
+      if (sq_dist(pp, ds.ptr(g.master), dim) > filter2) continue;
+      for (PointId q : g.members) {
+        if (sq_dist(pp, ds.ptr(q), dim) < eps2) nbhd.push_back(q);
+      }
+    }
+    if (nbhd.size() < params.min_pts) {
+      // Non-core: attach to an already-known core neighbor if any (border).
+      if (!assigned[p]) {
+        for (PointId q : nbhd) {
+          if (is_core[q]) {
+            uf.union_sets(q, p);
+            assigned[p] = 1;
+            break;
+          }
+        }
+      }
+      continue;
+    }
+    is_core[p] = 1;
+    assigned[p] = 1;
+    for (PointId q : nbhd) {
+      if (is_core[q]) {
+        uf.union_sets(p, q);
+      } else if (!assigned[q]) {
+        uf.union_sets(p, q);
+        assigned[q] = 1;
+      }
+    }
+  }
+
+  if (stats) {
+    stats->groups = groups.size();
+    stats->dense_groups = dense;
+    stats->group_seconds = group_s;
+    stats->cluster_seconds = timer.seconds();
+  }
+  return extract_labels(uf, std::move(is_core), assigned);
+}
+
+}  // namespace udb

@@ -1,0 +1,33 @@
+// G-DBSCAN (Kumar & Reddy 2016) baseline: accelerates neighbor search with
+// the Groups method instead of a spatial index. Points are bucketed into
+// groups of radius eps/2 around master points (so all members of one group
+// are pairwise within eps of each other); a point's eps-neighborhood can then
+// only contain members of groups whose master lies within 1.5*eps. Groups
+// with >= MinPts members are all-core without counting.
+//
+// Exact clustering, no index: fast when groups are few (dense data), slow
+// when the group count approaches n (sparse data) — the behaviour visible in
+// the paper's Table II, where G-DBSCAN wins on HHP/KDDB but loses badly on
+// DGB.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/dataset.hpp"
+#include "metrics/clustering.hpp"
+
+namespace udb {
+
+struct GDbscanStats {
+  std::uint64_t groups = 0;
+  std::uint64_t dense_groups = 0;
+  double group_seconds = 0.0;
+  double cluster_seconds = 0.0;
+};
+
+[[nodiscard]] ClusteringResult g_dbscan(const Dataset& ds,
+                                        const DbscanParams& params,
+                                        GDbscanStats* stats = nullptr);
+
+}  // namespace udb

@@ -1,0 +1,134 @@
+#include "baselines/grid_dbscan.hpp"
+
+#include <cmath>
+
+#include "baselines/uf_labels.hpp"
+#include "common/distance.hpp"
+#include "common/timer.hpp"
+#include "index/grid.hpp"
+
+namespace udb {
+
+ClusteringResult grid_dbscan(const Dataset& ds, const DbscanParams& params,
+                             GridDbscanStats* stats) {
+  const std::size_t n = ds.size();
+  const std::size_t dim = ds.dim();
+  const double eps = params.eps;
+  const double eps2 = eps * eps;
+  WallTimer timer;
+
+  // Cell side just under eps/sqrt(d): the cell diagonal is then strictly
+  // below eps, so same-cell points are pairwise strictly within eps (the
+  // dense-cell core shortcut is airtight even for adversarial coordinates).
+  const double side = eps / std::sqrt(static_cast<double>(dim)) *
+                      (1.0 - 1e-12);
+  Grid grid(ds, side);
+  const auto k = static_cast<std::int64_t>(eps / side) + 1;
+
+  // Precomputed neighbor-cell lists (GridDBSCAN's memory hog).
+  const std::size_t ncells = grid.num_cells();
+  std::vector<std::vector<Grid::CellId>> nbr_cells(ncells);
+  std::uint64_t nbr_entries = 0;
+  for (Grid::CellId c = 0; c < ncells; ++c) {
+    grid.neighbors_within(c, k, nbr_cells[c]);
+    nbr_entries += nbr_cells[c].size();
+  }
+  const double build_s = timer.seconds();
+
+  timer.reset();
+  UnionFind uf(n);
+  std::vector<std::uint8_t> is_core(n, 0);
+  std::vector<std::uint8_t> assigned(n, 0);
+  std::vector<std::uint8_t> cell_dense(ncells, 0);
+
+  // Dense cells: all points core, no query; union within the cell.
+  std::uint64_t dense_cnt = 0, saved = 0;
+  for (Grid::CellId c = 0; c < ncells; ++c) {
+    const auto& pts = grid.points_in(c);
+    if (pts.size() < params.min_pts) continue;
+    cell_dense[c] = 1;
+    ++dense_cnt;
+    saved += pts.size();
+    for (PointId q : pts) {
+      is_core[q] = 1;
+      assigned[q] = 1;
+      uf.union_sets(pts.front(), q);
+    }
+  }
+
+  // Per-point pass over non-dense-cell points: neighborhood via the
+  // precomputed cell lists, union-find clustering.
+  std::uint64_t queries = 0;
+  std::vector<PointId> nbhd;
+  for (std::size_t i = 0; i < n; ++i) {
+    const PointId p = static_cast<PointId>(i);
+    const Grid::CellId c = grid.cell_of_point(p);
+    if (cell_dense[c]) continue;  // query saved
+    ++queries;
+    const double* pp = ds.ptr(p);
+    nbhd.clear();
+    for (Grid::CellId nc : nbr_cells[c]) {
+      for (PointId q : grid.points_in(nc)) {
+        if (sq_dist(pp, ds.ptr(q), dim) < eps2) nbhd.push_back(q);
+      }
+    }
+    if (nbhd.size() < params.min_pts) {
+      if (!assigned[p]) {
+        for (PointId q : nbhd) {
+          if (is_core[q]) {
+            uf.union_sets(q, p);
+            assigned[p] = 1;
+            break;
+          }
+        }
+      }
+      continue;
+    }
+    is_core[p] = 1;
+    assigned[p] = 1;
+    for (PointId q : nbhd) {
+      if (is_core[q]) {
+        uf.union_sets(p, q);
+      } else if (!assigned[q]) {
+        uf.union_sets(p, q);
+        assigned[q] = 1;
+      }
+    }
+  }
+
+  // Merge adjacent dense cells: their points never queried, so cross-cell
+  // core-core links within eps must be established explicitly.
+  for (Grid::CellId c = 0; c < ncells; ++c) {
+    if (!cell_dense[c]) continue;
+    for (Grid::CellId nc : nbr_cells[c]) {
+      if (nc <= c || !cell_dense[nc]) continue;
+      const auto& a = grid.points_in(c);
+      const auto& b = grid.points_in(nc);
+      if (uf.same(a.front(), b.front())) continue;
+      bool linked = false;
+      for (PointId pa : a) {
+        for (PointId pb : b) {
+          if (sq_dist(ds.ptr(pa), ds.ptr(pb), dim) < eps2) {
+            uf.union_sets(pa, pb);
+            linked = true;
+            break;
+          }
+        }
+        if (linked) break;
+      }
+    }
+  }
+
+  if (stats) {
+    stats->cells = ncells;
+    stats->dense_cells = dense_cnt;
+    stats->queries = queries;
+    stats->queries_saved = saved;
+    stats->neighbor_list_entries = nbr_entries;
+    stats->build_seconds = build_s;
+    stats->cluster_seconds = timer.seconds();
+  }
+  return extract_labels(uf, std::move(is_core), assigned);
+}
+
+}  // namespace udb

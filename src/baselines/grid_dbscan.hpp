@@ -1,0 +1,33 @@
+// GridDBSCAN baseline (Kumari et al., ICDCN'17): exact grid-based DBSCAN.
+// Space is cut into cells of side eps/sqrt(d) so that all points sharing a
+// cell are pairwise strictly within eps; cells holding >= MinPts points are
+// "dense" and their points are core with no neighborhood query (the paper's
+// "up to 15% of queries saved"). Remaining points query only the cells
+// within a Chebyshev radius. Neighbor-cell lists are precomputed per cell —
+// the memory footprint that explodes with dimensionality in the µDBSCAN
+// paper's Table IV.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/dataset.hpp"
+#include "metrics/clustering.hpp"
+
+namespace udb {
+
+struct GridDbscanStats {
+  std::uint64_t cells = 0;
+  std::uint64_t dense_cells = 0;
+  std::uint64_t queries = 0;        // performed neighborhood queries
+  std::uint64_t queries_saved = 0;  // dense-cell points that skipped theirs
+  std::uint64_t neighbor_list_entries = 0;  // total precomputed cell links
+  double build_seconds = 0.0;
+  double cluster_seconds = 0.0;
+};
+
+[[nodiscard]] ClusteringResult grid_dbscan(const Dataset& ds,
+                                           const DbscanParams& params,
+                                           GridDbscanStats* stats = nullptr);
+
+}  // namespace udb

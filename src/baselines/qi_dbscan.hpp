@@ -1,0 +1,28 @@
+// QIDBSCAN (Tsai & Huang 2012) — a *deliberately approximate* baseline from
+// the paper's related work (Section III): cluster expansion queries only a
+// few representative points near the axis directions of a core point's
+// eps-extended spherical boundary instead of every neighbor. This skips
+// expansion paths, so maximality can be violated — the µDBSCAN paper's
+// argument for why QIDBSCAN-style accelerations are not exact. We rebuild it
+// to *reproduce that claim*: tests and the quality bench show where its
+// clustering diverges from exact DBSCAN and by how much (ARI).
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/dataset.hpp"
+#include "metrics/clustering.hpp"
+
+namespace udb {
+
+struct QiDbscanStats {
+  std::uint64_t queries = 0;           // expansion queries actually run
+  std::uint64_t expansion_skipped = 0; // neighbors not used for expansion
+};
+
+[[nodiscard]] ClusteringResult qi_dbscan(const Dataset& ds,
+                                         const DbscanParams& params,
+                                         QiDbscanStats* stats = nullptr);
+
+}  // namespace udb

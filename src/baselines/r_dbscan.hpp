@@ -1,0 +1,25 @@
+// R-DBSCAN: classical DBSCAN with a single R-tree over all n points — the
+// paper's primary sequential baseline (Table II). One eps-neighborhood query
+// per point, union-find cluster formation (Algorithm 1 of the paper).
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/dataset.hpp"
+#include "metrics/clustering.hpp"
+
+namespace udb {
+
+struct RDbscanStats {
+  double build_seconds = 0.0;
+  double cluster_seconds = 0.0;
+  std::uint64_t queries = 0;
+  std::uint64_t distance_evals = 0;
+};
+
+[[nodiscard]] ClusteringResult r_dbscan(const Dataset& ds,
+                                        const DbscanParams& params,
+                                        RDbscanStats* stats = nullptr);
+
+}  // namespace udb

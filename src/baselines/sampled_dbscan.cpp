@@ -1,0 +1,77 @@
+#include "baselines/sampled_dbscan.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "baselines/uf_labels.hpp"
+#include "common/rng.hpp"
+#include "index/rtree.hpp"
+
+namespace udb {
+
+ClusteringResult sampled_dbscan(const Dataset& ds, const DbscanParams& params,
+                                double rho, std::uint64_t seed,
+                                SampledDbscanStats* stats) {
+  if (!(rho > 0.0) || rho > 1.0)
+    throw std::invalid_argument("sampled_dbscan: rho must be in (0, 1]");
+  const std::size_t n = ds.size();
+  SampledDbscanStats local_stats;
+
+  // rho-sample of the points; only sampled points enter the index, so every
+  // neighborhood count is an estimate count/rho.
+  Rng rng(seed);
+  std::vector<PointId> sample;
+  std::vector<std::uint8_t> in_sample(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.next_double() < rho) {
+      sample.push_back(static_cast<PointId>(i));
+      in_sample[i] = 1;
+    }
+  }
+  local_stats.sample_size = sample.size();
+
+  RTree tree(ds.dim());
+  for (PointId s : sample) tree.insert(ds.ptr(s), s);
+
+  UnionFind uf(n);
+  std::vector<std::uint8_t> is_core(n, 0), assigned(n, 0);
+  std::vector<PointId> nbhd;
+  const double scale = 1.0 / rho;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const PointId p = static_cast<PointId>(i);
+    nbhd.clear();
+    tree.query_ball(ds.point(p), params.eps, nbhd);
+    ++local_stats.queries;
+    // Estimated neighborhood size; the point itself always counts once.
+    double est = static_cast<double>(nbhd.size()) * scale;
+    if (!in_sample[p]) est += 1.0;
+    if (est < static_cast<double>(params.min_pts)) {
+      if (!assigned[p]) {
+        for (PointId q : nbhd) {
+          if (is_core[q]) {
+            uf.union_sets(q, p);
+            assigned[p] = 1;
+            break;
+          }
+        }
+      }
+      continue;
+    }
+    is_core[p] = 1;
+    assigned[p] = 1;
+    for (PointId q : nbhd) {
+      if (is_core[q]) {
+        uf.union_sets(p, q);
+      } else if (!assigned[q]) {
+        uf.union_sets(p, q);
+        assigned[q] = 1;
+      }
+    }
+  }
+
+  if (stats) *stats = local_stats;
+  return extract_labels(uf, std::move(is_core), assigned);
+}
+
+}  // namespace udb

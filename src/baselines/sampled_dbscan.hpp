@@ -1,0 +1,32 @@
+// Sampled approximate DBSCAN — a Pardicle/BD-CATS-style baseline (the
+// paper's Section III: "sampling based parallel algorithms ... based on
+// approximate neighborhood query computations ... compromising the
+// clustering quality"). Neighborhood sizes are estimated from a rho-sample
+// of the data, so core decisions (and hence clusters) are approximate.
+//
+// This exists to reproduce the paper's quality argument: the quality bench
+// measures how far sampling drifts from exact DBSCAN (ARI, core-point
+// precision/recall) as rho shrinks, against the speed it buys.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/dataset.hpp"
+#include "metrics/clustering.hpp"
+
+namespace udb {
+
+struct SampledDbscanStats {
+  std::size_t sample_size = 0;
+  std::uint64_t queries = 0;
+};
+
+// rho in (0, 1]: sampling fraction. rho = 1 degenerates to exact DBSCAN.
+[[nodiscard]] ClusteringResult sampled_dbscan(const Dataset& ds,
+                                              const DbscanParams& params,
+                                              double rho,
+                                              std::uint64_t seed = 1,
+                                              SampledDbscanStats* stats = nullptr);
+
+}  // namespace udb

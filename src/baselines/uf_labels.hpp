@@ -1,0 +1,33 @@
+// Shared helper: turn a union-find structure plus core/assigned flags into a
+// ClusteringResult. Every algorithm in this library clusters by UNION
+// operations (the PDSDBSCAN formulation); points that are neither core nor
+// ever united with a core are noise.
+
+#pragma once
+
+#include <unordered_map>
+
+#include "metrics/clustering.hpp"
+#include "unionfind/union_find.hpp"
+
+namespace udb {
+
+inline ClusteringResult extract_labels(UnionFind& uf,
+                                       std::vector<std::uint8_t> is_core,
+                                       const std::vector<std::uint8_t>& assigned) {
+  const std::size_t n = uf.size();
+  ClusteringResult res;
+  res.is_core = std::move(is_core);
+  res.label.assign(n, kNoise);
+  std::unordered_map<PointId, std::int64_t> root_to_label;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!res.is_core[i] && !assigned[i]) continue;  // noise
+    const PointId root = uf.find(static_cast<PointId>(i));
+    auto [it, inserted] = root_to_label.try_emplace(
+        root, static_cast<std::int64_t>(root_to_label.size()));
+    res.label[i] = it->second;
+  }
+  return res;
+}
+
+}  // namespace udb

@@ -1,0 +1,85 @@
+#include "common/cli.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace udb {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0)
+      throw std::invalid_argument("Cli: expected --flag, got " + arg);
+    arg = arg.substr(2);
+    std::string value;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    } else {
+      value = "true";  // bare flag => boolean
+    }
+    values_[arg] = value;
+    used_[arg] = false;
+  }
+}
+
+std::optional<std::string> Cli::lookup(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  used_[name] = true;
+  return it->second;
+}
+
+std::string Cli::get_string(const std::string& name,
+                            std::string fallback) const {
+  if (auto v = lookup(name)) return *v;
+  return fallback;
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  if (auto v = lookup(name)) return std::stod(*v);
+  return fallback;
+}
+
+std::int64_t Cli::get_int(const std::string& name,
+                          std::int64_t fallback) const {
+  if (auto v = lookup(name)) return std::stoll(*v);
+  return fallback;
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  if (auto v = lookup(name)) return *v == "true" || *v == "1" || *v == "yes";
+  return fallback;
+}
+
+std::vector<std::int64_t> Cli::get_int_list(
+    const std::string& name, std::vector<std::int64_t> fallback) const {
+  auto v = lookup(name);
+  if (!v) return fallback;
+  std::vector<std::int64_t> out;
+  std::stringstream ss(*v);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::stoll(item));
+  return out;
+}
+
+std::vector<double> Cli::get_double_list(const std::string& name,
+                                         std::vector<double> fallback) const {
+  auto v = lookup(name);
+  if (!v) return fallback;
+  std::vector<double> out;
+  std::stringstream ss(*v);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::stod(item));
+  return out;
+}
+
+void Cli::check_unused() const {
+  for (const auto& [name, used] : used_) {
+    if (!used) throw std::invalid_argument("Cli: unknown flag --" + name);
+  }
+}
+
+}  // namespace udb

@@ -1,0 +1,45 @@
+// Minimal command-line flag parsing for the bench and example binaries.
+// Flags take the form --name value or --name=value; unrecognized flags throw
+// so typos in experiment scripts fail loudly instead of silently running the
+// default configuration.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace udb {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       std::string fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  // Comma-separated list of integers, e.g. --ranks 1,2,4,8.
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      const std::string& name, std::vector<std::int64_t> fallback) const;
+  [[nodiscard]] std::vector<double> get_double_list(
+      const std::string& name, std::vector<double> fallback) const;
+
+  // Call after all get_* calls: throws if any provided flag was never read.
+  void check_unused() const;
+
+ private:
+  [[nodiscard]] std::optional<std::string> lookup(
+      const std::string& name) const;
+
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> used_;
+};
+
+}  // namespace udb

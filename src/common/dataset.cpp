@@ -1,0 +1,7 @@
+#include "common/dataset.hpp"
+
+// Dataset is header-only today; this translation unit anchors the type in the
+// library so future out-of-line growth (e.g. memory-mapped storage) has a
+// home without touching the build.
+
+namespace udb {}  // namespace udb

@@ -1,0 +1,28 @@
+// Distance kernels. Everything is squared-Euclidean internally: DBSCAN only
+// ever compares distances against eps, so comparing squared values against
+// eps^2 avoids the sqrt on the hot path while preserving the exact same
+// strict/non-strict comparison semantics.
+
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace udb {
+
+[[nodiscard]] inline double sq_dist(const double* a, const double* b,
+                                    std::size_t dim) noexcept {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < dim; ++k) {
+    const double diff = a[k] - b[k];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+[[nodiscard]] inline double dist(const double* a, const double* b,
+                                 std::size_t dim) noexcept {
+  return std::sqrt(sq_dist(a, b, dim));
+}
+
+}  // namespace udb

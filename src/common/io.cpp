@@ -1,0 +1,94 @@
+#include "common/io.hpp"
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace udb {
+
+namespace {
+constexpr std::array<char, 4> kMagic = {'U', 'D', 'B', '1'};
+}
+
+Dataset read_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv: cannot open " + path);
+  std::vector<double> coords;
+  std::size_t dim = 0;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    for (char& c : line)
+      if (c == ',') c = ' ';
+    std::istringstream ss(line);
+    std::size_t count = 0;
+    double v = 0.0;
+    while (ss >> v) {
+      coords.push_back(v);
+      ++count;
+    }
+    if (count == 0) continue;
+    if (dim == 0) {
+      dim = count;
+    } else if (count != dim) {
+      throw std::runtime_error("read_csv: inconsistent dimension at line " +
+                               std::to_string(lineno) + " in " + path);
+    }
+  }
+  if (dim == 0) throw std::runtime_error("read_csv: no data in " + path);
+  return Dataset(dim, std::move(coords));
+}
+
+void write_csv(const Dataset& ds, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_csv: cannot open " + path);
+  out.precision(17);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const double* p = ds.ptr(static_cast<PointId>(i));
+    for (std::size_t k = 0; k < ds.dim(); ++k) {
+      if (k) out << ',';
+      out << p[k];
+    }
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("write_csv: write failed for " + path);
+}
+
+Dataset read_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_binary: cannot open " + path);
+  std::array<char, 4> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic)
+    throw std::runtime_error("read_binary: bad magic in " + path);
+  std::uint64_t dim = 0, count = 0;
+  in.read(reinterpret_cast<char*>(&dim), sizeof dim);
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  if (!in || dim == 0)
+    throw std::runtime_error("read_binary: bad header in " + path);
+  std::vector<double> coords(dim * count);
+  in.read(reinterpret_cast<char*>(coords.data()),
+          static_cast<std::streamsize>(coords.size() * sizeof(double)));
+  if (!in) throw std::runtime_error("read_binary: truncated file " + path);
+  return Dataset(dim, std::move(coords));
+}
+
+void write_binary(const Dataset& ds, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_binary: cannot open " + path);
+  out.write(kMagic.data(), kMagic.size());
+  const std::uint64_t dim = ds.dim();
+  const std::uint64_t count = ds.size();
+  out.write(reinterpret_cast<const char*>(&dim), sizeof dim);
+  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  out.write(reinterpret_cast<const char*>(ds.raw().data()),
+            static_cast<std::streamsize>(ds.raw().size() * sizeof(double)));
+  if (!out) throw std::runtime_error("write_binary: write failed for " + path);
+}
+
+}  // namespace udb

@@ -1,0 +1,23 @@
+// Dataset serialization: a simple whitespace/comma CSV reader-writer for
+// interoperability, and a compact binary format (magic, dim, count, raw
+// doubles) for large benchmark inputs.
+
+#pragma once
+
+#include <string>
+
+#include "common/dataset.hpp"
+
+namespace udb {
+
+// CSV: one point per line, coordinates separated by ',' or whitespace.
+// Lines starting with '#' are skipped. Throws std::runtime_error on parse
+// errors or inconsistent dimensionality.
+[[nodiscard]] Dataset read_csv(const std::string& path);
+void write_csv(const Dataset& ds, const std::string& path);
+
+// Binary: little-endian, header "UDB1" + u64 dim + u64 count + doubles.
+[[nodiscard]] Dataset read_binary(const std::string& path);
+void write_binary(const Dataset& ds, const std::string& path);
+
+}  // namespace udb

@@ -1,0 +1,29 @@
+#include "common/sysinfo.hpp"
+
+#include <fstream>
+#include <string>
+
+namespace udb {
+
+namespace {
+
+std::size_t read_status_kb(const char* key) {
+  std::ifstream in("/proc/self/status");
+  if (!in) return 0;
+  std::string word;
+  while (in >> word) {
+    if (word == key) {
+      std::size_t kb = 0;
+      in >> kb;
+      return kb * 1024;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::size_t peak_rss_bytes() { return read_status_kb("VmHWM:"); }
+std::size_t current_rss_bytes() { return read_status_kb("VmRSS:"); }
+
+}  // namespace udb

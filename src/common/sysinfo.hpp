@@ -1,0 +1,16 @@
+// Process-level measurements used by the memory benches (paper Table IV).
+
+#pragma once
+
+#include <cstddef>
+
+namespace udb {
+
+// Peak resident set size of the calling process, in bytes (Linux VmHWM).
+// Returns 0 if the value cannot be read.
+[[nodiscard]] std::size_t peak_rss_bytes();
+
+// Current resident set size in bytes (Linux VmRSS). Returns 0 on failure.
+[[nodiscard]] std::size_t current_rss_bytes();
+
+}  // namespace udb

@@ -1,0 +1,45 @@
+// Wall-clock and per-thread CPU timers.
+//
+// Wall time drives the sequential benches. Thread CPU time drives the
+// distributed benches: on a 1-core host, p rank threads time-share the core,
+// so a rank's *own* CPU time is the faithful measure of the work it would do
+// on a dedicated node. minimpi's virtual clock is built on ThreadCpuTimer.
+
+#pragma once
+
+#include <chrono>
+#include <ctime>
+
+namespace udb {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(now()) {}
+  void reset() { start_ = now(); }
+  [[nodiscard]] double seconds() const { return now() - start_; }
+
+  // Absolute thread CPU time in seconds since an unspecified epoch.
+  [[nodiscard]] static double now() {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+  }
+
+ private:
+  double start_;
+};
+
+}  // namespace udb

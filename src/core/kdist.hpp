@@ -1,0 +1,27 @@
+// Parameter selection via the sorted k-dist graph — the heuristic from the
+// original DBSCAN paper (Ester et al. 1996, Section 4.2): plot every point's
+// distance to its k-th nearest neighbor in descending order; the "valley"
+// (knee) of that curve is a good eps for MinPts = k+1. Built on the R-tree's
+// kNN query; exposed through the udbscan CLI (--suggest-eps).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/dataset.hpp"
+
+namespace udb {
+
+// Distance of every point to its k-th nearest *other* point (k >= 1),
+// sorted descending — the k-dist graph. O(n log n) via the R-tree.
+[[nodiscard]] std::vector<double> kdist_graph(const Dataset& ds,
+                                              std::size_t k);
+
+// A simple knee estimate of the sorted k-dist curve: the point of maximum
+// distance to the chord between the curve's endpoints (the "kneedle"
+// construction). Returns the k-dist value at the knee — a reasonable eps
+// suggestion for MinPts = k+1.
+[[nodiscard]] double suggest_eps(const Dataset& ds, std::size_t k);
+
+}  // namespace udb

@@ -1,0 +1,6 @@
+#include "core/microcluster.hpp"
+
+// MicroCluster is a plain aggregate; this translation unit anchors it in the
+// library alongside murtree.cpp and mudbscan.cpp.
+
+namespace udb {}  // namespace udb

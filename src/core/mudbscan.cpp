@@ -1,0 +1,235 @@
+#include "core/mudbscan.hpp"
+
+#include <stdexcept>
+
+#include "baselines/uf_labels.hpp"
+#include "common/distance.hpp"
+#include "common/timer.hpp"
+#include "core/mudbscan_engine.hpp"
+
+namespace udb {
+
+MuDbscanEngine::MuDbscanEngine(const Dataset& ds, const DbscanParams& params,
+                               MuDbscanConfig cfg)
+    : ds_(&ds), params_(params), cfg_(cfg), uf_(ds.size()) {
+  if (params_.min_pts == 0)
+    throw std::invalid_argument("MuDbscan: MinPts must be >= 1");
+  const std::size_t n = ds.size();
+  is_core_.assign(n, 0);
+  wndq_.assign(n, 0);
+  assigned_.assign(n, 0);
+}
+
+void MuDbscanEngine::build_tree() {
+  WallTimer timer;
+  MuRTree::Config tcfg;
+  tcfg.two_eps_rule = cfg_.two_eps_rule;
+  tcfg.bulk_aux = cfg_.bulk_aux;
+  tree_ = std::make_unique<MuRTree>(*ds_, params_.eps, tcfg);
+  tree_->compute_inner_circles();
+  stats.num_mcs = tree_->num_mcs();
+  stats.t_tree = timer.seconds();
+}
+
+void MuDbscanEngine::find_reachable() {
+  WallTimer timer;
+  tree_->compute_reachable();
+  stats.t_reach = timer.seconds();
+}
+
+void MuDbscanEngine::cluster() {
+  WallTimer timer;
+  const std::size_t n = ds_->size();
+  const double eps = params_.eps;
+  const double half2 = (eps / 2.0) * (eps / 2.0);
+  const std::uint32_t min_pts = params_.min_pts;
+
+  // --- Algorithm 4: PROCESS-MICRO-CLUSTERS ------------------------------
+  // DMC: every inner-circle point is core (Lemma 1) and so is the centre
+  // (its eps-ball contains IC plus itself); CMC: the centre is core
+  // (Lemma 2). Either way all members are united with the centre — they are
+  // directly density-reachable from it.
+  for (McId z = 0; z < tree_->num_mcs(); ++z) {
+    const MicroCluster& mc = tree_->mc(z);
+    const McKind kind = mc.classify(min_pts);
+    if (kind == McKind::Sparse) {
+      ++stats.smc;
+      continue;
+    }
+    if (kind == McKind::Dense) {
+      ++stats.dmc;
+      const double* c = ds_->ptr(mc.center);
+      for (PointId q : mc.members) {
+        if (q != mc.center &&
+            sq_dist(c, ds_->ptr(q), ds_->dim()) >= half2)
+          continue;  // outside the inner circle: border for the time being
+        if (!wndq_[q]) {
+          wndq_[q] = 1;
+          is_core_[q] = 1;
+          wndq_list_.push_back(q);
+        }
+      }
+    } else {  // Core MC
+      ++stats.cmc;
+      if (!wndq_[mc.center]) {
+        wndq_[mc.center] = 1;
+        is_core_[mc.center] = 1;
+        wndq_list_.push_back(mc.center);
+      }
+    }
+    for (PointId q : mc.members) {
+      uf_.union_sets(mc.center, q);
+      assigned_[q] = 1;
+    }
+  }
+
+  // --- Algorithm 6: PROCESS-REM-POINTS ----------------------------------
+  std::vector<std::pair<PointId, double>> nbhd;
+  for (std::size_t i = 0; i < n; ++i) {
+    const PointId p = static_cast<PointId>(i);
+    if (wndq_[p]) continue;  // query saved
+    ++stats.queries_performed;
+
+    nbhd.clear();
+    if (cfg_.mbr_filtration) {
+      tree_->query_neighborhood(p, eps, nbhd);
+    } else {
+      // Ablation: search every reachable MC's aux tree without the MBR
+      // filter.
+      const McId z = tree_->mc_of_point(p);
+      const auto pt = ds_->point(p);
+      for (McId r : tree_->mc(z).reach) {
+        tree_->aux_tree(r).visit_ball(pt, eps, [&nbhd](PointId id, double d2) {
+          nbhd.emplace_back(id, d2);
+          return true;
+        });
+      }
+    }
+
+    if (nbhd.size() < min_pts) {
+      // Non-core: border if some already-known core is in range, otherwise
+      // provisional noise with the neighborhood remembered for Algorithm 8.
+      bool attached = assigned_[p] != 0;
+      if (!attached) {
+        for (const auto& [q, d2] : nbhd) {
+          if (is_core_[q]) {
+            uf_.union_sets(q, p);
+            assigned_[p] = 1;
+            attached = true;
+            break;
+          }
+        }
+      }
+      if (!attached) {
+        noise_pts_.push_back(p);
+        if (noise_off_.empty()) noise_off_.push_back(0);
+        for (const auto& [q, d2] : nbhd)
+          if (q != p) noise_nbrs_.push_back(q);
+        noise_off_.push_back(static_cast<std::uint32_t>(noise_nbrs_.size()));
+      }
+      continue;
+    }
+
+    // Core point.
+    is_core_[p] = 1;
+    assigned_[p] = 1;
+
+    // Dynamic wndq promotion (Algorithm 6 lines 18-21): if >= MinPts of the
+    // neighbors sit strictly within eps/2 of p, they are pairwise strictly
+    // within eps of each other, so each of them is core — no query needed.
+    if (cfg_.dynamic_promotion) {
+      std::size_t inner = 0;
+      for (const auto& [q, d2] : nbhd)
+        if (d2 < half2) ++inner;
+      if (inner >= min_pts) {
+        for (const auto& [q, d2] : nbhd) {
+          if (d2 < half2 && !is_core_[q]) {
+            is_core_[q] = 1;
+            if (!wndq_[q]) {
+              wndq_[q] = 1;
+              wndq_list_.push_back(q);
+            }
+          }
+        }
+      }
+    }
+
+    for (const auto& [q, d2] : nbhd) {
+      if (is_core_[q]) {
+        uf_.union_sets(p, q);
+        assigned_[q] = 1;
+      } else if (!assigned_[q]) {
+        uf_.union_sets(p, q);
+        assigned_[q] = 1;
+      }
+    }
+  }
+  stats.wndq_core_points = wndq_list_.size();
+  stats.t_cluster = timer.seconds();
+}
+
+void MuDbscanEngine::post_process() {
+  WallTimer timer;
+  const double eps2 = params_.eps * params_.eps;
+
+  // --- Algorithm 7: POST-PROCESSING-CORE --------------------------------
+  // wndq-core points never ran a query, so their unions with core points of
+  // *other* clusters may be missing. For each, scan the filtered reachable
+  // MCs and unite with any core point strictly within eps that is not yet in
+  // the same set. (Distance is only computed for cores in a different set —
+  // far cheaper than a neighborhood query.)
+  for (PointId p : wndq_list_) {
+    const McId z = tree_->mc_of_point(p);
+    const auto pt = ds_->point(p);
+    for (McId r : tree_->mc(z).reach) {
+      if (cfg_.mbr_filtration &&
+          !tree_->aux_tree(r).root_mbr().overlaps_ball(pt, params_.eps))
+        continue;
+      for (PointId q : tree_->mc(r).members) {
+        if (!is_core_[q]) continue;
+        if (uf_.find(q) == uf_.find(p)) continue;
+        ++stats.post_core_distance_evals;
+        if (sq_dist(pt.data(), ds_->ptr(q), ds_->dim()) < eps2)
+          uf_.union_sets(p, q);
+      }
+    }
+  }
+
+  // --- Algorithm 8: POST-PROCESSING-NOISE -------------------------------
+  // A provisional noise point whose stored neighborhood now contains a core
+  // point (one promoted to wndq-core after the noise point was processed)
+  // is in fact a border point.
+  for (std::size_t i = 0; i < noise_pts_.size(); ++i) {
+    const PointId p = noise_pts_[i];
+    if (assigned_[p]) continue;
+    for (std::uint32_t j = noise_off_[i]; j < noise_off_[i + 1]; ++j) {
+      const PointId q = noise_nbrs_[j];
+      if (is_core_[q]) {
+        uf_.union_sets(q, p);
+        assigned_[p] = 1;
+        break;
+      }
+    }
+  }
+  stats.t_post = timer.seconds();
+}
+
+ClusteringResult MuDbscanEngine::extract_result() const {
+  UnionFind& uf = const_cast<UnionFind&>(uf_);
+  return extract_labels(uf, is_core_, assigned_);
+}
+
+void MuDbscanEngine::query_neighborhood(
+    PointId p, std::vector<std::pair<PointId, double>>& out) const {
+  tree_->query_neighborhood(p, params_.eps, out);
+}
+
+ClusteringResult mu_dbscan(const Dataset& ds, const DbscanParams& params,
+                           MuDbscanStats* stats, const MuDbscanConfig& cfg) {
+  MuDbscanEngine engine(ds, params, cfg);
+  engine.run_all();
+  if (stats) *stats = engine.stats;
+  return engine.extract_result();
+}
+
+}  // namespace udb

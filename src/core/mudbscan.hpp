@@ -1,0 +1,54 @@
+// µDBSCAN (Section IV, Algorithms 2-8): exact DBSCAN that identifies a large
+// fraction of core points *without* performing their eps-neighborhood
+// queries, via micro-cluster classification (DMC/CMC) and dynamic wndq-core
+// promotion, then repairs the few missing cluster connections in two cheap
+// post-processing passes. Produces exactly the classical DBSCAN clustering
+// (Theorem 1): same core set, same core partition, same noise set.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/dataset.hpp"
+#include "core/murtree.hpp"
+#include "metrics/clustering.hpp"
+
+namespace udb {
+
+struct MuDbscanConfig {
+  // Ablation switches (all true = the paper's algorithm).
+  bool two_eps_rule = true;        // Algorithm 3's MC-count limiting rule
+  bool dynamic_promotion = true;   // Algorithm 6 lines 18-21
+  bool mbr_filtration = true;      // reachable-MC MBR filter in FIND-NBHD
+  bool bulk_aux = true;            // STR-pack AuxR-trees (engineering knob)
+};
+
+struct MuDbscanStats {
+  std::size_t num_mcs = 0;
+  std::size_t dmc = 0, cmc = 0, smc = 0;
+  std::uint64_t queries_performed = 0;
+  std::uint64_t wndq_core_points = 0;  // cores identified without a query
+  std::uint64_t post_core_distance_evals = 0;
+
+  // Phase wall times, matching the paper's Table III split:
+  double t_tree = 0.0;     // µR-tree construction (incl. MC formation)
+  double t_reach = 0.0;    // finding reachable MCs
+  double t_cluster = 0.0;  // MC processing + PROCESS-REM-POINTS
+  double t_post = 0.0;     // POST-PROCESSING-CORE + -NOISE
+
+  [[nodiscard]] double total() const noexcept {
+    return t_tree + t_reach + t_cluster + t_post;
+  }
+  [[nodiscard]] double query_save_fraction(std::size_t n) const noexcept {
+    return n == 0 ? 0.0
+                  : 1.0 - static_cast<double>(queries_performed) /
+                              static_cast<double>(n);
+  }
+};
+
+[[nodiscard]] ClusteringResult mu_dbscan(const Dataset& ds,
+                                         const DbscanParams& params,
+                                         MuDbscanStats* stats = nullptr,
+                                         const MuDbscanConfig& cfg = {});
+
+}  // namespace udb

@@ -1,0 +1,86 @@
+// The µDBSCAN engine: the four algorithm phases as separately invokable
+// steps, with the union-find structure, flags, and µR-tree exposed. The
+// sequential entry point (mu_dbscan in mudbscan.hpp) is a thin wrapper; the
+// distributed implementation (dist/mudbscan_d) drives the engine on each
+// rank's halo-augmented local dataset and then reads the internals to build
+// its cross-rank merge edges.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/dataset.hpp"
+#include "core/mudbscan.hpp"
+#include "core/murtree.hpp"
+#include "unionfind/union_find.hpp"
+
+namespace udb {
+
+class MuDbscanEngine {
+ public:
+  MuDbscanEngine(const Dataset& ds, const DbscanParams& params,
+                 MuDbscanConfig cfg = {});
+
+  // Phase 1+2 (Algorithm 3): micro-cluster formation, µR-tree construction,
+  // inner-circle counts. Fills stats.t_tree.
+  void build_tree();
+
+  // Algorithm 5: reachable-MC lists. Fills stats.t_reach.
+  void find_reachable();
+
+  // Algorithms 4 + 6: preliminary clusters from DMC/CMC classification, then
+  // PROCESS-REM-POINTS with dynamic wndq promotion. Fills stats.t_cluster.
+  void cluster();
+
+  // Algorithms 7 + 8: POST-PROCESSING-CORE and POST-PROCESSING-NOISE.
+  // Fills stats.t_post.
+  void post_process();
+
+  void run_all() {
+    build_tree();
+    find_reachable();
+    cluster();
+    post_process();
+  }
+
+  [[nodiscard]] ClusteringResult extract_result() const;
+
+  // Exact eps-neighborhood query through the µR-tree (used by the
+  // distributed boundary-edge pass). Valid after cluster().
+  void query_neighborhood(PointId p,
+                          std::vector<std::pair<PointId, double>>& out) const;
+
+  [[nodiscard]] const MuRTree& tree() const { return *tree_; }
+  [[nodiscard]] const Dataset& dataset() const { return *ds_; }
+  [[nodiscard]] const DbscanParams& params() const { return params_; }
+  [[nodiscard]] UnionFind& uf() { return uf_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& core_flags() const {
+    return is_core_;
+  }
+  [[nodiscard]] const std::vector<std::uint8_t>& assigned_flags() const {
+    return assigned_;
+  }
+  // Marks a point as belonging to some cluster (used by the distributed
+  // merge when a remote core adopts a local border point).
+  void mark_assigned(PointId p) { assigned_[p] = 1; }
+
+  MuDbscanStats stats;
+
+ private:
+  const Dataset* ds_;
+  DbscanParams params_;
+  MuDbscanConfig cfg_;
+  std::unique_ptr<MuRTree> tree_;
+  UnionFind uf_;
+  std::vector<std::uint8_t> is_core_;
+  std::vector<std::uint8_t> wndq_;      // tagged wndq-core (skips its query)
+  std::vector<std::uint8_t> assigned_;  // united into some cluster
+  std::vector<PointId> wndq_list_;      // Algorithm 7 worklist
+  // noiseList with stored neighborhoods (Algorithm 8): flattened id buffer.
+  std::vector<PointId> noise_pts_;
+  std::vector<std::uint32_t> noise_off_;  // size noise_pts_.size()+1
+  std::vector<PointId> noise_nbrs_;
+};
+
+}  // namespace udb

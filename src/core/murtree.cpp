@@ -1,0 +1,165 @@
+#include "core/murtree.hpp"
+
+#include <stdexcept>
+
+#include "common/distance.hpp"
+
+namespace udb {
+
+MuRTree::MuRTree(const Dataset& ds, double eps, Config cfg)
+    : ds_(&ds), eps_(eps), cfg_(cfg), level1_(ds.dim(), cfg.level1) {
+  if (!(eps > 0.0)) throw std::invalid_argument("MuRTree: eps must be > 0");
+  const std::size_t n = ds.size();
+  point_mc_.assign(n, kInvalidMc);
+
+  // Pass 1 (Algorithm 3, BUILD-MICRO-CLUSTERS): assign within eps, defer
+  // within 2*eps, otherwise found a new MC.
+  std::vector<PointId> unassigned;
+  for (std::size_t i = 0; i < n; ++i) {
+    const PointId p = static_cast<PointId>(i);
+    const auto pt = ds.point(p);
+    const McId hit = static_cast<McId>(level1_.first_within(pt, eps_));
+    if (hit != kInvalidMc) {
+      mcs_[hit].members.push_back(p);
+      point_mc_[p] = hit;
+      continue;
+    }
+    if (cfg_.two_eps_rule &&
+        level1_.first_within(pt, 2.0 * eps_) != kInvalidPoint) {
+      unassigned.push_back(p);
+      continue;
+    }
+    create_mc(p);
+  }
+  deferred_ = unassigned.size();
+
+  // Pass 2 (PROCESS-UNASSIGNED-POINT): join within eps or found a new MC.
+  for (PointId p : unassigned) {
+    const auto pt = ds.point(p);
+    const McId hit = static_cast<McId>(level1_.first_within(pt, eps_));
+    if (hit != kInvalidMc) {
+      mcs_[hit].members.push_back(p);
+      point_mc_[p] = hit;
+    } else {
+      create_mc(p);
+    }
+  }
+
+  // AuxR-trees: one small R-tree per MC over its members (STR-packed by
+  // default; the members are all known at this point).
+  aux_.reserve(mcs_.size());
+  for (const MicroCluster& mc : mcs_) {
+    if (cfg_.bulk_aux) {
+      std::vector<std::pair<const double*, PointId>> items;
+      items.reserve(mc.members.size());
+      for (PointId q : mc.members) items.emplace_back(ds.ptr(q), q);
+      aux_.push_back(RTree::bulk_load_str(ds.dim(), std::move(items), cfg_.aux));
+    } else {
+      RTree tree(ds.dim(), cfg_.aux);
+      for (PointId q : mc.members) tree.insert(ds.ptr(q), q);
+      aux_.push_back(std::move(tree));
+    }
+  }
+}
+
+McId MuRTree::create_mc(PointId center) {
+  const McId id = static_cast<McId>(mcs_.size());
+  MicroCluster mc;
+  mc.center = center;
+  mc.members.push_back(center);
+  mcs_.push_back(std::move(mc));
+  point_mc_[center] = id;
+  // The level-1 entry's coordinates alias the dataset buffer, which outlives
+  // the tree; the entry id is the MC id.
+  level1_.insert(ds_->ptr(center), id);
+  return id;
+}
+
+void MuRTree::compute_inner_circles() {
+  const double half2 = (eps_ / 2.0) * (eps_ / 2.0);
+  for (MicroCluster& mc : mcs_) {
+    const double* c = ds_->ptr(mc.center);
+    std::uint32_t cnt = 0;
+    for (PointId q : mc.members) {
+      if (q == mc.center) continue;
+      if (sq_dist(c, ds_->ptr(q), ds_->dim()) < half2) ++cnt;
+    }
+    mc.ic_count = cnt;
+  }
+}
+
+void MuRTree::compute_reachable() {
+  // Lemma 3: a query from any member of MC(p) can only reach members of MCs
+  // whose centre is within 3*eps of p (<=, not <: the lemma's bound is
+  // attained when the query point sits on the MC boundary).
+  const double reach_r = 3.0 * eps_;
+  std::vector<PointId> hits;
+  for (McId z = 0; z < mcs_.size(); ++z) {
+    hits.clear();
+    level1_.query_ball(ds_->point(mcs_[z].center), reach_r, hits,
+                       /*strict=*/false);
+    mcs_[z].reach.assign(hits.begin(), hits.end());
+  }
+}
+
+void MuRTree::query_neighborhood(
+    PointId p, double radius,
+    const std::function<void(PointId, double)>& fn) const {
+  const McId z = point_mc_[p];
+  const auto pt = ds_->point(p);
+  for (McId r : mcs_[z].reach) {
+    // Filtration (Section IV-B2): skip reachable MCs whose AuxR-tree MBR
+    // does not intersect the query ball.
+    if (!aux_[r].root_mbr().overlaps_ball(pt, radius)) continue;
+    ++aux_searched_;
+    aux_[r].visit_ball(
+        pt, radius,
+        [&fn](PointId id, double d2) {
+          fn(id, d2);
+          return true;
+        },
+        /*strict=*/true);
+  }
+}
+
+void MuRTree::query_neighborhood(
+    PointId p, double radius,
+    std::vector<std::pair<PointId, double>>& out) const {
+  query_neighborhood(p, radius,
+                     [&out](PointId id, double d2) { out.emplace_back(id, d2); });
+}
+
+void MuRTree::check_invariants() const {
+  const std::size_t n = ds_->size();
+  const double eps2 = eps_ * eps_;
+  std::vector<std::uint8_t> seen(n, 0);
+  for (McId z = 0; z < mcs_.size(); ++z) {
+    const MicroCluster& mc = mcs_[z];
+    if (mc.members.empty() || mc.members.front() == kInvalidPoint)
+      throw std::logic_error("MuRTree: malformed MC");
+    const double* c = ds_->ptr(mc.center);
+    bool center_listed = false;
+    for (PointId q : mc.members) {
+      if (seen[q]) throw std::logic_error("MuRTree: point in two MCs");
+      seen[q] = 1;
+      if (point_mc_[q] != z)
+        throw std::logic_error("MuRTree: point_mc mismatch");
+      if (q == mc.center) {
+        center_listed = true;
+        continue;
+      }
+      if (sq_dist(c, ds_->ptr(q), ds_->dim()) >= eps2)
+        throw std::logic_error("MuRTree: member farther than eps from centre");
+    }
+    if (!center_listed)
+      throw std::logic_error("MuRTree: centre not among members");
+    aux_[z].check_invariants();
+    if (aux_[z].size() != mc.members.size())
+      throw std::logic_error("MuRTree: aux tree size mismatch");
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    if (!seen[i]) throw std::logic_error("MuRTree: unassigned point");
+  level1_.check_invariants();
+}
+
+}  // namespace udb

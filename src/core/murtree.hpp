@@ -1,0 +1,104 @@
+// µR-tree (Section IV-B1, Fig. 1): a two-level R-tree. The first level
+// indexes micro-cluster centres; each micro-cluster owns an auxiliary R-tree
+// (AuxR-tree) over its member points. Breaking one big R-tree into a small
+// tree-of-centres plus many tiny member trees stops MBR overlap from
+// propagating to the leaves, which is where the paper's query-cost reduction
+// comes from.
+//
+// Construction follows Algorithm 3: a point joins an existing MC whose centre
+// is strictly within eps; otherwise, if some centre is within 2*eps, the
+// point is deferred to an unassignedList (the "2-eps rule" that limits the
+// number of MCs by discouraging overlapping centres); otherwise it founds a
+// new MC. Deferred points are resolved in a second pass (join within eps or
+// found an MC).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/dataset.hpp"
+#include "core/microcluster.hpp"
+#include "index/rtree.hpp"
+#include "metrics/clustering.hpp"
+
+namespace udb {
+
+class MuRTree {
+ public:
+  struct Config {
+    // Ablation switch: when false, skip the 2*eps deferral (every point
+    // either joins an MC within eps or immediately founds one). Produces more
+    // MCs; clustering stays exact either way.
+    bool two_eps_rule = true;
+    // AuxR-trees are built after all members are known, so STR bulk loading
+    // applies (faster build, tighter MBRs). false = incremental Guttman
+    // insertion, kept as an ablation.
+    bool bulk_aux = true;
+    RTree::Config level1;
+    RTree::Config aux;
+  };
+
+  MuRTree(const Dataset& ds, double eps) : MuRTree(ds, eps, Config()) {}
+  MuRTree(const Dataset& ds, double eps, Config cfg);
+
+  [[nodiscard]] std::size_t num_mcs() const noexcept { return mcs_.size(); }
+  [[nodiscard]] const MicroCluster& mc(McId id) const noexcept {
+    return mcs_[id];
+  }
+  [[nodiscard]] McId mc_of_point(PointId p) const noexcept {
+    return point_mc_[p];
+  }
+  [[nodiscard]] const RTree& aux_tree(McId id) const noexcept {
+    return aux_[id];
+  }
+  [[nodiscard]] const Dataset& dataset() const noexcept { return *ds_; }
+  [[nodiscard]] double eps() const noexcept { return eps_; }
+  [[nodiscard]] std::size_t deferred_points() const noexcept {
+    return deferred_;
+  }
+
+  // Computes MC.ic_count for every MC (strict < eps/2 from centre).
+  void compute_inner_circles();
+
+  // Populates MC.reach for every MC: all MCs whose centre is within 3*eps
+  // (Lemma 3). Each MC's reach list includes itself.
+  void compute_reachable();
+
+  // Exact eps-neighborhood of point p (Lemma 3 + MBR filtration): searches
+  // only the AuxR-trees of reachable MCs of MC(p) whose root MBR intersects
+  // the eps-ball of p. Visitor receives (point id, squared distance).
+  void query_neighborhood(
+      PointId p, double radius,
+      const std::function<void(PointId, double)>& fn) const;
+
+  // As above but into a vector of (id, squared distance) pairs.
+  void query_neighborhood(PointId p, double radius,
+                          std::vector<std::pair<PointId, double>>& out) const;
+
+  // Number of MCs whose AuxR-tree was actually searched across all
+  // query_neighborhood calls (for the filtration ablation).
+  [[nodiscard]] std::uint64_t aux_trees_searched() const noexcept {
+    return aux_searched_;
+  }
+
+  // Test hook: structural invariants — every point in exactly one MC, member
+  // distances < eps from the centre, level-1 / aux R-tree invariants.
+  void check_invariants() const;
+
+ private:
+  McId create_mc(PointId center);
+
+  const Dataset* ds_;
+  double eps_;
+  Config cfg_;
+  RTree level1_;
+  std::vector<MicroCluster> mcs_;
+  std::vector<RTree> aux_;
+  std::vector<McId> point_mc_;
+  std::size_t deferred_ = 0;
+  mutable std::uint64_t aux_searched_ = 0;
+};
+
+}  // namespace udb

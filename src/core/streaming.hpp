@@ -1,0 +1,84 @@
+// Streaming µDBSCAN — the paper's stated future work ("this approach can
+// also be adopted to fast clustering of data streams", Section VII),
+// realized with the classic online/offline split of the stream-clustering
+// literature the paper's micro-cluster notion descends from (CluStream):
+//
+//   * ONLINE: every arriving point is absorbed into the micro-cluster
+//     structure in O(log m) — join the first MC whose centre is strictly
+//     within eps, else found a new MC. Running DMC/CMC classification gives
+//     instant *guaranteed* core-point counts (Lemmas 1 & 2 hold online: a
+//     point provably core now stays core as more points arrive, because
+//     core status is monotone in the point set).
+//   * OFFLINE: result() produces the exact DBSCAN clustering of everything
+//     ingested so far (identical to batch µDBSCAN over the same points),
+//     recomputed lazily and cached until the next insertion.
+//
+// Coordinates live in chunked storage so pointers handed to the level-1
+// R-tree stay stable across insertions.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/dataset.hpp"
+#include "core/mudbscan.hpp"
+#include "index/rtree.hpp"
+
+namespace udb {
+
+class StreamingMuDbscan {
+ public:
+  StreamingMuDbscan(std::size_t dim, const DbscanParams& params,
+                    MuDbscanConfig cfg = {});
+
+  // Online ingestion: O(log m) micro-cluster assignment.
+  PointId insert(std::span<const double> pt);
+  void insert_batch(const Dataset& ds);
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] std::size_t num_mcs() const noexcept {
+    return mc_sizes_.size();
+  }
+
+  // Lower bound on the number of core points among everything ingested,
+  // maintained online with zero neighborhood queries: inner-circle members
+  // of dense MCs plus centres of core MCs (Lemmas 1 & 2). The exact count
+  // (from result()) is always >= this.
+  [[nodiscard]] std::size_t guaranteed_core_lower_bound() const noexcept;
+
+  // Exact DBSCAN clustering of all points ingested so far — identical to
+  // mu_dbscan() over the same points in insertion order. Cached; recomputed
+  // only after new insertions. Also exposes the batch stats of the last
+  // recomputation.
+  const ClusteringResult& result();
+  [[nodiscard]] const MuDbscanStats& last_stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] const double* stored_ptr(PointId id) const noexcept;
+
+  std::size_t dim_;
+  DbscanParams params_;
+  MuDbscanConfig cfg_;
+
+  // Chunked coordinate storage: pointer-stable across growth.
+  static constexpr std::size_t kChunkPoints = 4096;
+  std::vector<std::unique_ptr<double[]>> chunks_;
+  std::size_t count_ = 0;
+
+  // Online micro-cluster summary.
+  RTree centers_;                        // level-1 tree over MC centres
+  std::vector<std::uint32_t> mc_sizes_;  // members per MC (centre included)
+  std::vector<std::uint32_t> mc_ic_;     // strict inner-circle counts
+  std::vector<PointId> mc_center_;       // centre point id per MC
+
+  // Offline cache.
+  std::optional<ClusteringResult> cached_;
+  std::optional<Dataset> materialized_;
+  MuDbscanStats stats_;
+};
+
+}  // namespace udb

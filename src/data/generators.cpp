@@ -1,0 +1,241 @@
+#include "data/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace udb {
+
+Dataset gen_uniform(std::size_t n, std::size_t dim, double lo, double hi,
+                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> coords;
+  coords.reserve(n * dim);
+  for (std::size_t i = 0; i < n * dim; ++i)
+    coords.push_back(rng.uniform(lo, hi));
+  return Dataset(dim, std::move(coords));
+}
+
+Dataset gen_blobs(std::size_t n, std::size_t dim, std::size_t k, double box,
+                  double stddev, double noise_frac, std::uint64_t seed) {
+  if (k == 0) throw std::invalid_argument("gen_blobs: k must be > 0");
+  Rng rng(seed);
+  std::vector<double> centers(k * dim);
+  for (auto& c : centers) c = rng.uniform(0.0, box);
+
+  std::vector<double> coords;
+  coords.reserve(n * dim);
+  const std::size_t n_noise = static_cast<std::size_t>(noise_frac * static_cast<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < n_noise) {
+      for (std::size_t d = 0; d < dim; ++d)
+        coords.push_back(rng.uniform(0.0, box));
+    } else {
+      const std::size_t b = rng.uniform_index(k);
+      for (std::size_t d = 0; d < dim; ++d)
+        coords.push_back(rng.normal(centers[b * dim + d], stddev));
+    }
+  }
+  return Dataset(dim, std::move(coords));
+}
+
+Dataset gen_galaxy(std::size_t n, const GalaxyConfig& cfg,
+                   std::uint64_t seed) {
+  if (cfg.halos == 0 || cfg.subhalos_per_halo == 0)
+    throw std::invalid_argument("gen_galaxy: halos and subhalos must be > 0");
+  Rng rng(seed);
+  const std::size_t dim = cfg.dim;
+
+  // Level 1: halo centres, uniform in the box.
+  std::vector<double> halo_centers(cfg.halos * dim);
+  for (auto& c : halo_centers) c = rng.uniform(0.0, cfg.box);
+
+  // Level 2: sub-halo centres, Gaussian around their parent halo.
+  const std::size_t nsub = cfg.halos * cfg.subhalos_per_halo;
+  std::vector<double> sub_centers(nsub * dim);
+  for (std::size_t h = 0; h < cfg.halos; ++h) {
+    for (std::size_t s = 0; s < cfg.subhalos_per_halo; ++s) {
+      const std::size_t idx = h * cfg.subhalos_per_halo + s;
+      for (std::size_t d = 0; d < dim; ++d) {
+        sub_centers[idx * dim + d] =
+            rng.normal(halo_centers[h * dim + d], cfg.halo_sigma);
+      }
+    }
+  }
+
+  // Level 3: points. Sub-halos get power-law-ish unequal masses by sampling
+  // the sub-halo index non-uniformly (squared uniform pick biases small
+  // indices, giving a few heavy sub-halos and many light ones, as in N-body
+  // halo mass functions).
+  std::vector<double> coords;
+  coords.reserve(n * dim);
+  const std::size_t n_noise = static_cast<std::size_t>(cfg.noise_frac * static_cast<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < n_noise) {
+      for (std::size_t d = 0; d < dim; ++d)
+        coords.push_back(rng.uniform(0.0, cfg.box));
+    } else {
+      const double u = rng.next_double();
+      const std::size_t s =
+          static_cast<std::size_t>(u * u * static_cast<double>(nsub)) % nsub;
+      for (std::size_t d = 0; d < dim; ++d)
+        coords.push_back(rng.normal(sub_centers[s * dim + d], cfg.point_sigma));
+    }
+  }
+  return Dataset(dim, std::move(coords));
+}
+
+Dataset gen_roadnet(std::size_t n, const RoadnetConfig& cfg,
+                    std::uint64_t seed) {
+  if (cfg.waypoints < 2)
+    throw std::invalid_argument("gen_roadnet: need at least 2 waypoints");
+  Rng rng(seed);
+  constexpr std::size_t dim = 3;
+
+  // Waypoints: x,y uniform, z a smooth function of x,y plus noise (terrain).
+  std::vector<double> wp(cfg.waypoints * dim);
+  for (std::size_t i = 0; i < cfg.waypoints; ++i) {
+    const double x = rng.uniform(0.0, cfg.box);
+    const double y = rng.uniform(0.0, cfg.box);
+    const double z = cfg.z_range *
+                     (0.5 + 0.5 * std::sin(x * 0.13) * std::cos(y * 0.09));
+    wp[i * dim + 0] = x;
+    wp[i * dim + 1] = y;
+    wp[i * dim + 2] = z;
+  }
+
+  // Edges: each waypoint connects to its nearest `edges_per_waypoint`
+  // successors in a random order — a cheap connected-ish road graph.
+  struct Edge {
+    std::size_t a, b;
+    double len;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(cfg.waypoints * cfg.edges_per_waypoint);
+  double total_len = 0.0;
+  for (std::size_t i = 0; i < cfg.waypoints; ++i) {
+    // Find the nearest few other waypoints (O(W^2) — W is small).
+    std::vector<std::pair<double, std::size_t>> cand;
+    cand.reserve(cfg.waypoints - 1);
+    for (std::size_t j = 0; j < cfg.waypoints; ++j) {
+      if (j == i) continue;
+      double d2 = 0.0;
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double diff = wp[i * dim + d] - wp[j * dim + d];
+        d2 += diff * diff;
+      }
+      cand.emplace_back(d2, j);
+    }
+    const std::size_t take = std::min<std::size_t>(cfg.edges_per_waypoint, cand.size());
+    std::partial_sort(cand.begin(), cand.begin() + static_cast<std::ptrdiff_t>(take),
+                      cand.end());
+    for (std::size_t e = 0; e < take; ++e) {
+      const std::size_t j = cand[e].second;
+      if (j < i) continue;  // dedupe (i,j)/(j,i)
+      const double len = std::sqrt(cand[e].first);
+      edges.push_back({i, j, len});
+      total_len += len;
+    }
+  }
+  if (edges.empty()) throw std::logic_error("gen_roadnet: no edges built");
+
+  // Sample points along edges proportionally to edge length, with jitter.
+  std::vector<double> cum(edges.size());
+  double acc = 0.0;
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    acc += edges[e].len;
+    cum[e] = acc;
+  }
+
+  std::vector<double> coords;
+  coords.reserve(n * dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pick = rng.uniform(0.0, total_len);
+    const auto it = std::lower_bound(cum.begin(), cum.end(), pick);
+    const std::size_t e = static_cast<std::size_t>(it - cum.begin());
+    const Edge& edge = edges[std::min(e, edges.size() - 1)];
+    const double t = rng.next_double();
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double v = wp[edge.a * dim + d] +
+                       t * (wp[edge.b * dim + d] - wp[edge.a * dim + d]);
+      coords.push_back(v + rng.normal(0.0, cfg.jitter));
+    }
+  }
+  return Dataset(dim, std::move(coords));
+}
+
+Dataset gen_highdim(std::size_t n, const HighDimConfig& cfg,
+                    std::uint64_t seed) {
+  if (cfg.k == 0) throw std::invalid_argument("gen_highdim: k must be > 0");
+  Rng rng(seed);
+  const std::size_t dim = cfg.dim;
+
+  std::vector<double> centers(cfg.k * dim);
+  for (auto& c : centers) c = rng.uniform(0.0, cfg.box);
+  std::vector<double> sigmas(cfg.k * dim);
+  for (auto& s : sigmas) s = rng.uniform(cfg.sigma_lo, cfg.sigma_hi);
+
+  std::vector<double> coords;
+  coords.reserve(n * dim);
+  const std::size_t n_noise = static_cast<std::size_t>(cfg.noise_frac * static_cast<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < n_noise) {
+      for (std::size_t d = 0; d < dim; ++d)
+        coords.push_back(rng.uniform(0.0, cfg.box));
+    } else {
+      const std::size_t b = rng.uniform_index(cfg.k);
+      for (std::size_t d = 0; d < dim; ++d)
+        coords.push_back(
+            rng.normal(centers[b * dim + d], sigmas[b * dim + d]));
+    }
+  }
+  return Dataset(dim, std::move(coords));
+}
+
+Dataset gen_two_moons(std::size_t n, double jitter, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> coords;
+  coords.reserve(n * 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = rng.next_double() * std::numbers::pi;
+    double x, y;
+    if (i % 2 == 0) {
+      x = std::cos(t);
+      y = std::sin(t);
+    } else {
+      x = 1.0 - std::cos(t);
+      y = 0.5 - std::sin(t);
+    }
+    coords.push_back(x + rng.normal(0.0, jitter));
+    coords.push_back(y + rng.normal(0.0, jitter));
+  }
+  return Dataset(2, std::move(coords));
+}
+
+Dataset gen_rings(std::size_t n, std::size_t rings, double jitter,
+                  std::uint64_t seed) {
+  if (rings == 0) throw std::invalid_argument("gen_rings: rings must be > 0");
+  Rng rng(seed);
+  std::vector<double> coords;
+  coords.reserve(n * 2);
+  const std::size_t n_noise = n / 20;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < n_noise) {
+      coords.push_back(rng.uniform(-2.0 * static_cast<double>(rings),
+                                   2.0 * static_cast<double>(rings)));
+      coords.push_back(rng.uniform(-2.0 * static_cast<double>(rings),
+                                   2.0 * static_cast<double>(rings)));
+    } else {
+      const double radius = static_cast<double>(1 + rng.uniform_index(rings));
+      const double theta = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      coords.push_back(radius * std::cos(theta) + rng.normal(0.0, jitter));
+      coords.push_back(radius * std::sin(theta) + rng.normal(0.0, jitter));
+    }
+  }
+  return Dataset(2, std::move(coords));
+}
+
+}  // namespace udb

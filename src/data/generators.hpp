@@ -1,0 +1,80 @@
+// Synthetic dataset generators standing in for the paper's real datasets
+// (Millennium-run galaxy catalogues, the 3D Road Network GPS trace, the
+// KDD-Cup-2004 bio table). Each generator reproduces the *density structure*
+// that drives DBSCAN's cost on the corresponding real dataset — see DESIGN.md
+// §2 for the substitution rationale. All generators are deterministic given
+// the seed.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/dataset.hpp"
+
+namespace udb {
+
+// Uniform noise in [lo, hi]^dim.
+[[nodiscard]] Dataset gen_uniform(std::size_t n, std::size_t dim, double lo,
+                                  double hi, std::uint64_t seed);
+
+// Isotropic Gaussian mixture: k blob centres uniform in [0, box]^dim, points
+// N(centre, stddev^2 I), plus a uniform-noise fraction.
+[[nodiscard]] Dataset gen_blobs(std::size_t n, std::size_t dim, std::size_t k,
+                                double box, double stddev, double noise_frac,
+                                std::uint64_t seed);
+
+// Hierarchical halo model (galaxy catalogue analog): top-level halos whose
+// centres are uniform in the box; each halo spawns sub-halos Gaussian around
+// it; points are Gaussian around sub-halo centres; plus uniform background.
+// Reproduces the many-small-dense-regions + sparse-background profile of the
+// Millennium-run data.
+struct GalaxyConfig {
+  std::size_t dim = 3;
+  double box = 1000.0;
+  std::size_t halos = 40;
+  std::size_t subhalos_per_halo = 12;
+  double halo_sigma = 18.0;   // spread of sub-halo centres inside a halo
+  double point_sigma = 1.2;   // spread of points inside a sub-halo
+  double noise_frac = 0.08;   // uniform background fraction
+};
+[[nodiscard]] Dataset gen_galaxy(std::size_t n, const GalaxyConfig& cfg,
+                                 std::uint64_t seed);
+
+// 3-D road-network GPS analog: a random waypoint graph; points are sampled
+// along edges with small jitter, giving the quasi-1-D manifold density of the
+// 3DSRN dataset. Coordinates: x,y in [0, box]; z (altitude) small.
+struct RoadnetConfig {
+  double box = 100.0;
+  double z_range = 2.0;
+  std::size_t waypoints = 250;
+  std::size_t edges_per_waypoint = 2;
+  double jitter = 0.05;
+};
+[[nodiscard]] Dataset gen_roadnet(std::size_t n, const RoadnetConfig& cfg,
+                                  std::uint64_t seed);
+
+// High-dimensional anisotropic blobs (KDD-bio analog): k blobs with
+// per-axis sigma drawn uniformly in [sigma_lo, sigma_hi], centres uniform in
+// [0, box]^dim, plus uniform noise. Use Dataset::project() for dimensionality
+// sweeps over the same point set (as the paper sampled dimensions).
+struct HighDimConfig {
+  std::size_t dim = 14;
+  std::size_t k = 8;
+  double box = 500.0;
+  double sigma_lo = 8.0;
+  double sigma_hi = 30.0;
+  double noise_frac = 0.05;
+};
+[[nodiscard]] Dataset gen_highdim(std::size_t n, const HighDimConfig& cfg,
+                                  std::uint64_t seed);
+
+// Classic 2-D two-moons shape (for examples and shape-recovery tests): two
+// interleaving half circles with Gaussian jitter.
+[[nodiscard]] Dataset gen_two_moons(std::size_t n, double jitter,
+                                    std::uint64_t seed);
+
+// Concentric rings with jitter plus sparse noise (arbitrary-shape demo).
+[[nodiscard]] Dataset gen_rings(std::size_t n, std::size_t rings,
+                                double jitter, std::uint64_t seed);
+
+}  // namespace udb

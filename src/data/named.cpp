@@ -1,0 +1,169 @@
+#include "data/named.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "data/generators.hpp"
+
+namespace udb {
+
+namespace {
+
+std::size_t scaled(std::size_t base, double scale) {
+  const double v = static_cast<double>(base) * scale;
+  return v < 16.0 ? 16 : static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+NamedDataset make_named_dataset(const std::string& name, double scale,
+                                std::uint64_t seed) {
+  NamedDataset out;
+  out.name = name + "-S";
+
+  // Road network: quasi-1-D manifold, high query-save regime.
+  if (name == "3DSRN") {
+    out.paper_name = "3DSRN (0.43M, d=3, eps=0.01, MinPts=5)";
+    RoadnetConfig cfg;
+    out.data = gen_roadnet(scaled(40000, scale), cfg, seed);
+    out.params = {0.8, 5};
+    return out;
+  }
+
+  // DGB: sparse galaxy sample — many micro-clusters, low query-save regime
+  // (43.6% in the paper). Larger point spread relative to eps.
+  if (name == "DGB") {
+    out.paper_name = "DGB0.5M3D (0.5M, d=3, eps=1, MinPts=5)";
+    GalaxyConfig cfg;
+    cfg.point_sigma = 0.9;
+    cfg.halo_sigma = 30.0;
+    cfg.noise_frac = 0.15;
+    out.data = gen_galaxy(scaled(50000, scale), cfg, seed);
+    out.params = {1.0, 5};
+    return out;
+  }
+
+  // Household power: 5-dim, very dense (93.5% saves in the paper).
+  if (name == "HHP") {
+    out.paper_name = "HHP0.5M5D (0.5M, d=5, eps=0.6, MinPts=6)";
+    HighDimConfig cfg;
+    cfg.dim = 5;
+    cfg.k = 10;
+    cfg.box = 300.0;
+    cfg.sigma_lo = 4.0;
+    cfg.sigma_hi = 12.0;
+    out.data = gen_highdim(scaled(30000, scale), cfg, seed);
+    out.params = {26.0, 6};
+    return out;
+  }
+
+  // MPAGB: dense galaxy catalogue (69.5% saves).
+  if (name == "MPAGB") {
+    out.paper_name = "MPAGB6M3D (6M, d=3, eps=1, MinPts=5)";
+    GalaxyConfig cfg;
+    cfg.point_sigma = 0.6;
+    out.data = gen_galaxy(scaled(60000, scale), cfg, seed);
+    out.params = {1.0, 5};
+    return out;
+  }
+
+  // FOF: friends-of-friends halos with a generous eps (95.7% saves).
+  if (name == "FOF" || name == "FOF56M") {
+    out.paper_name = "FOF56M3D (56M, d=3, eps=3, MinPts=6)";
+    GalaxyConfig cfg;
+    cfg.point_sigma = 1.0;
+    out.data = gen_galaxy(scaled(60000, scale), cfg, seed + 1);
+    out.params = {3.0, 6};
+    return out;
+  }
+
+  // MPAGD: the largest galaxy family in the paper (8M..1B points).
+  if (name == "MPAGD" || name == "MPAGD8M") {
+    out.paper_name = "MPAGD8M3D (8M, d=3, eps=1, MinPts=5)";
+    GalaxyConfig cfg;
+    cfg.halos = 60;
+    cfg.point_sigma = 0.5;
+    out.data = gen_galaxy(scaled(80000, scale), cfg, seed + 2);
+    out.params = {1.0, 5};
+    return out;
+  }
+  if (name == "MPAGD100M") {
+    out.paper_name = "MPAGD100M3D (100M, d=3, eps=1, MinPts=5)";
+    GalaxyConfig cfg;
+    cfg.halos = 80;
+    cfg.point_sigma = 0.5;
+    out.data = gen_galaxy(scaled(120000, scale), cfg, seed + 3);
+    out.params = {1.0, 5};
+    return out;
+  }
+  if (name == "MPAGD800M") {
+    out.paper_name = "MPAGD800M3D (800M, d=3, eps=0.5, MinPts=5)";
+    GalaxyConfig cfg;
+    cfg.halos = 100;
+    cfg.point_sigma = 0.7;
+    out.data = gen_galaxy(scaled(160000, scale), cfg, seed + 4);
+    out.params = {0.8, 5};
+    return out;
+  }
+  if (name == "MPAGD1B") {
+    out.paper_name = "MPAGD1B3D (1B, d=3, eps=0.4, MinPts=5)";
+    GalaxyConfig cfg;
+    cfg.halos = 120;
+    cfg.point_sigma = 0.6;
+    out.data = gen_galaxy(scaled(200000, scale), cfg, seed + 5);
+    out.params = {0.7, 5};
+    return out;
+  }
+  if (name == "FOF500M") {
+    out.paper_name = "FOF500M3D (500M, d=3, eps=3.5, MinPts=5)";
+    GalaxyConfig cfg;
+    cfg.point_sigma = 1.5;
+    cfg.halos = 80;
+    out.data = gen_galaxy(scaled(160000, scale), cfg, seed + 6);
+    out.params = {2.5, 5};
+    return out;
+  }
+  if (name == "FOF28M14D") {
+    out.paper_name = "FOF28M14D (28M, d=14, eps=7, MinPts=5)";
+    HighDimConfig cfg;
+    cfg.dim = 14;
+    cfg.k = 12;
+    out.data = gen_highdim(scaled(30000, scale), cfg, seed + 7);
+    out.params = {120.0, 5};
+    return out;
+  }
+
+  // KDD-bio family: very dense high-dimensional blobs; the paper's eps grows
+  // with d (200 @14d, 600 @24d, 1500 @74d); ours scales ~ sigma*sqrt(2d).
+  if (name == "KDDB14" || name == "KDDB24" || name == "KDDB44" ||
+      name == "KDDB74") {
+    const std::size_t d = name == "KDDB14"   ? 14
+                          : name == "KDDB24" ? 24
+                          : name == "KDDB44" ? 44
+                                             : 74;
+    out.paper_name = "KDDBIO145K" + std::to_string(d) + "D (145K, d=" +
+                     std::to_string(d) + ")";
+    HighDimConfig cfg;
+    cfg.dim = d;
+    cfg.k = 6;
+    cfg.sigma_lo = 10.0;
+    cfg.sigma_hi = 25.0;
+    out.data = gen_highdim(scaled(10000, scale), cfg, seed + 8);
+    // eps covers a typical intra-blob distance; like the paper's parameters
+    // (200 @14d, 600 @24d, 1500 @74d) it grows superlinearly with d.
+    const double eps = d == 14 ? 140.0 : d == 24 ? 230.0 : d == 44 ? 420.0 : 650.0;
+    out.params = {eps, 5};
+    return out;
+  }
+
+  throw std::invalid_argument("make_named_dataset: unknown dataset " + name);
+}
+
+std::vector<std::string> named_dataset_names() {
+  return {"3DSRN",     "DGB",      "HHP",       "MPAGB",     "FOF",
+          "MPAGD",     "MPAGD8M",  "MPAGD100M", "MPAGD800M", "MPAGD1B",
+          "FOF500M",   "FOF28M14D", "KDDB14",   "KDDB24",    "KDDB44",
+          "KDDB74"};
+}
+
+}  // namespace udb

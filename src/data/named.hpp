@@ -1,0 +1,35 @@
+// Named dataset registry: maps the paper's dataset names to scaled synthetic
+// analogs (generator + size + DBSCAN parameters). Bench binaries request
+// datasets by the paper's name with an "-S" (scaled) suffix convention; the
+// `scale` multiplier grows/shrinks point counts without changing density
+// structure (generator parameters co-scale where needed).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/dataset.hpp"
+#include "metrics/clustering.hpp"
+
+namespace udb {
+
+struct NamedDataset {
+  std::string name;        // e.g. "3DSRN-S"
+  std::string paper_name;  // e.g. "3DSRN (0.43M, d=3, eps=0.01, MinPts=5)"
+  Dataset data;
+  DbscanParams params;
+};
+
+// Throws std::invalid_argument for unknown names. Known names:
+//   3DSRN, DGB, HHP, MPAGB, FOF, MPAGD, KDDB14, KDDB24, KDDB44, KDDB74,
+//   MPAGD8M, MPAGD100M, FOF56M, FOF28M14D, MPAGD1B, FOF500M, MPAGD800M
+// (the last few are *analog names* — all map to laptop-scale sizes).
+[[nodiscard]] NamedDataset make_named_dataset(const std::string& name,
+                                              double scale = 1.0,
+                                              std::uint64_t seed = 42);
+
+[[nodiscard]] std::vector<std::string> named_dataset_names();
+
+}  // namespace udb

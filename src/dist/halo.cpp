@@ -1,0 +1,77 @@
+#include "dist/halo.hpp"
+
+#include <limits>
+
+namespace udb {
+
+HaloResult exchange_halo(mpi::Comm& comm, std::size_t dim,
+                         const std::vector<double>& local_coords,
+                         const std::vector<std::uint64_t>& local_gids,
+                         double eps) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  const std::size_t n = local_gids.size();
+
+  // 1. Gather every rank's bounding box. Empty ranks publish an inverted box
+  // that overlaps nothing.
+  std::vector<double> my_box(2 * dim);
+  for (std::size_t k = 0; k < dim; ++k) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -lo;
+    for (std::size_t i = 0; i < n; ++i) {
+      lo = std::min(lo, local_coords[i * dim + k]);
+      hi = std::max(hi, local_coords[i * dim + k]);
+    }
+    my_box[k] = lo;
+    my_box[dim + k] = hi;
+  }
+  const std::vector<double> all_boxes = comm.allgatherv(my_box);
+
+  HaloResult out;
+  out.rank_boxes.reserve(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    Box b(dim);
+    const double* lo = all_boxes.data() + static_cast<std::size_t>(r) * 2 * dim;
+    const double* hi = lo + dim;
+    // Reconstruct via expand of the two corner points; an empty rank's
+    // inverted min/max yields an invalid box, which we keep as-is (it
+    // overlaps nothing because lo > hi).
+    std::vector<double> corner_lo(lo, lo + dim), corner_hi(hi, hi + dim);
+    if (corner_lo[0] <= corner_hi[0]) {
+      b.expand(std::span<const double>(corner_lo));
+      b.expand(std::span<const double>(corner_hi));
+    }
+    out.rank_boxes.push_back(std::move(b));
+  }
+
+  // 2. For every other rank, ship my points within eps of its box.
+  const double eps2 = eps * eps;
+  std::vector<std::vector<double>> ship_c(static_cast<std::size_t>(p));
+  std::vector<std::vector<std::uint64_t>> ship_g(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    if (r == me) continue;
+    const Box& b = out.rank_boxes[static_cast<std::size_t>(r)];
+    if (!b.valid()) continue;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::span<const double> pt{local_coords.data() + i * dim, dim};
+      if (b.min_sq_dist(pt) <= eps2) {
+        ship_c[static_cast<std::size_t>(r)].insert(
+            ship_c[static_cast<std::size_t>(r)].end(), pt.begin(), pt.end());
+        ship_g[static_cast<std::size_t>(r)].push_back(local_gids[i]);
+      }
+    }
+  }
+
+  const auto in_c = comm.alltoallv(ship_c);
+  const auto in_g = comm.alltoallv(ship_g);
+  for (int r = 0; r < p; ++r) {
+    const auto& cs = in_c[static_cast<std::size_t>(r)];
+    const auto& gs = in_g[static_cast<std::size_t>(r)];
+    out.coords.insert(out.coords.end(), cs.begin(), cs.end());
+    out.gids.insert(out.gids.end(), gs.begin(), gs.end());
+    out.owner.insert(out.owner.end(), gs.size(), r);
+  }
+  return out;
+}
+
+}  // namespace udb

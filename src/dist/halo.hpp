@@ -1,0 +1,30 @@
+// Halo (eps-extended strip) exchange, Section V-B: after partitioning, every
+// rank receives copies of the remote points lying within eps of its local
+// bounding region, so that every local point's eps-neighborhood is complete
+// without further communication. Conservative and sufficient: a remote point
+// within eps of *any* local point lies within eps of the local bounding box.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/box.hpp"
+#include "mpi/minimpi.hpp"
+
+namespace udb {
+
+struct HaloResult {
+  std::vector<double> coords;        // halo point coordinates (row-major)
+  std::vector<std::uint64_t> gids;   // matching global ids
+  std::vector<int> owner;            // owning rank of each halo point
+  std::vector<Box> rank_boxes;       // every rank's local bounding box
+};
+
+// Collective over the full communicator.
+[[nodiscard]] HaloResult exchange_halo(mpi::Comm& comm, std::size_t dim,
+                                       const std::vector<double>& local_coords,
+                                       const std::vector<std::uint64_t>& local_gids,
+                                       double eps);
+
+}  // namespace udb

@@ -1,0 +1,37 @@
+// HPDBSCAN-like distributed baseline (Götz et al., MLHPC'15 — rebuilt, see
+// DESIGN.md §2): grid-indexed distributed DBSCAN. Cells reduce the *search
+// space* of each query but, unlike µDBSCAN and GridDBSCAN, the number of
+// queries is not reduced — every point runs one. Unlike the authors' code
+// (which the paper observed to deviate from classical DBSCAN), this rebuild
+// is exact, so it serves purely as the fast-grid-competitor column of
+// Table V.
+
+#pragma once
+
+#include "common/dataset.hpp"
+#include "metrics/clustering.hpp"
+#include "mpi/minimpi.hpp"
+
+namespace udb {
+
+struct HpdbscanDStats {
+  double t_partition = 0.0;
+  double t_halo = 0.0;
+  double t_build = 0.0;    // grid construction
+  double t_cluster = 0.0;  // query + union pass
+  double t_merge = 0.0;
+  double wall_seconds = 0.0;
+  std::uint64_t queries_performed = 0;
+
+  [[nodiscard]] double total() const noexcept {
+    return t_halo + t_build + t_cluster + t_merge;
+  }
+};
+
+[[nodiscard]] ClusteringResult hpdbscan_d(const Dataset& global,
+                                          const DbscanParams& params,
+                                          int nranks,
+                                          HpdbscanDStats* stats = nullptr,
+                                          mpi::CostModel cost = {});
+
+}  // namespace udb

@@ -1,0 +1,74 @@
+// Merging of local clusterings (Section V-C): query-free except for the
+// boundary-edge pass, which re-queries only the local points lying within eps
+// of a foreign partition (the delta*n/p fraction in the paper's complexity).
+//
+// Protocol (per DESIGN.md):
+//   1. Boundary pass: every local point within eps of a foreign rank's box
+//      queries an R-tree built over the halo copies alone (far cheaper than
+//      re-running its full eps-neighborhood query, which would mostly return
+//      local neighbors); the hits become cross edges (local x, remote y).
+//   2. Each edge is sent to y's owner, which knows y's authoritative core
+//      status: core-core edges become cluster-representative union pairs;
+//      core-to-noncore edges adopt the non-core side as border (the owner
+//      adopts y directly; for x the owner replies to x's rank).
+//   3. Union pairs are allgathered; every rank resolves the same global
+//      union-find over cluster representatives, yielding globally consistent
+//      labels (canonical label = smallest representative gid in the merged
+//      component).
+//
+// The edge generation deliberately includes non-core remote neighbors:
+// wndq-core points never run a neighborhood query, and a remote point that
+// looks non-core locally (its witnesses lie outside our halo) can still be
+// core at its owner — only the owner can decide (see DESIGN.md §7).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/box.hpp"
+#include "metrics/clustering.hpp"
+#include "mpi/minimpi.hpp"
+#include "unionfind/union_find.hpp"
+
+namespace udb {
+
+struct DistClustering {
+  // Final labels and core flags for the rank's *local* points (indices
+  // 0..n_local). Labels are globally consistent cluster ids (min rep gid).
+  std::vector<std::int64_t> label;
+  std::vector<std::uint8_t> is_core;
+};
+
+struct MergeStats {
+  std::uint64_t boundary_points = 0;  // local points run against the halo tree
+  std::uint64_t cross_edges = 0;
+  std::uint64_t union_pairs = 0;
+  std::uint64_t union_rounds = 0;  // DistributedUnionFind only
+};
+
+// How step 3 (global resolution of representative union pairs) runs:
+//   AllGatherPairs      — every rank gathers all pairs and replays the same
+//                         hash union-find (simple; pair list is broadcast).
+//   DistributedUnionFind — the paper's reference [19] (Patwary et al.):
+//                         representatives are hash-owned by ranks
+//                         (owner = gid mod p); union tasks bounce between
+//                         the owners of the two roots, linking the larger
+//                         root gid under the smaller; final roots are
+//                         resolved by batched pointer jumping. No rank ever
+//                         sees the full pair list.
+// Both produce identical labels (root = minimum gid of the component).
+enum class MergeStrategy { AllGatherPairs, DistributedUnionFind };
+
+// Collective. `uf`, `is_core`, `assigned` cover the combined local+halo
+// dataset (local points first). `rank_boxes` from exchange_halo.
+[[nodiscard]] DistClustering merge_local_clusterings(
+    mpi::Comm& comm, std::size_t dim, double eps,
+    const std::vector<double>& combined_coords, std::size_t n_local,
+    const std::vector<std::uint64_t>& gids, const std::vector<int>& halo_owner,
+    const std::vector<Box>& rank_boxes, UnionFind& uf,
+    const std::vector<std::uint8_t>& is_core,
+    const std::vector<std::uint8_t>& assigned, MergeStats* stats = nullptr,
+    MergeStrategy strategy = MergeStrategy::AllGatherPairs);
+
+}  // namespace udb

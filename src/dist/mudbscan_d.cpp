@@ -1,0 +1,103 @@
+#include "dist/mudbscan_d.hpp"
+
+#include <mutex>
+
+#include "common/timer.hpp"
+#include "core/mudbscan_engine.hpp"
+#include "dist/driver_common.hpp"
+#include "dist/merge.hpp"
+
+namespace udb {
+
+ClusteringResult mudbscan_d(const Dataset& global, const DbscanParams& params,
+                            int nranks, MuDbscanDStats* stats,
+                            const MuDbscanConfig& cfg, mpi::CostModel cost,
+                            MergeStrategy merge_strategy) {
+  mpi::Runtime rt(nranks, cost);
+  const std::size_t n = global.size();
+
+  ClusteringResult result;
+  result.label.assign(n, kNoise);
+  result.is_core.assign(n, 0);
+
+  MuDbscanDStats agg;
+  std::mutex agg_mu;
+  WallTimer wall;
+
+  rt.run([&](mpi::Comm& comm) {
+    LocalSetup setup = prepare_local(comm, global, params.eps);
+
+    // Local µDBSCAN on local + halo points. Halo points participate fully:
+    // their classification may undercount (their witnesses can lie outside
+    // our halo) but never overcounts, so every local decision is globally
+    // sound; the merge phase consults each halo point's owner for its
+    // authoritative core status.
+    // Barriers between phases keep each phase's reported makespan free of
+    // the previous phase's imbalance (see driver_common.hpp).
+    MuDbscanEngine engine(setup.combined, params, cfg);
+    double t0 = comm.vtime();
+    engine.build_tree();
+    const double t_tree = comm.vtime() - t0;
+    comm.barrier();
+    t0 = comm.vtime();
+    engine.find_reachable();
+    const double t_reach = comm.vtime() - t0;
+    comm.barrier();
+    t0 = comm.vtime();
+    engine.cluster();
+    const double t_cluster = comm.vtime() - t0;
+    comm.barrier();
+    t0 = comm.vtime();
+    engine.post_process();
+    const double t_post = comm.vtime() - t0;
+    comm.barrier();
+
+    t0 = comm.vtime();
+    MergeStats merge_stats;
+    DistClustering local = merge_local_clusterings(
+        comm, setup.combined.dim(), params.eps, setup.combined.raw(),
+        setup.n_local, setup.gids, setup.halo_owner, setup.rank_boxes,
+        engine.uf(), engine.core_flags(), engine.assigned_flags(),
+        &merge_stats, merge_strategy);
+    const double t_merge = comm.vtime() - t0;
+
+    scatter_result(setup, local.label, local.is_core, result.label,
+                   result.is_core);
+
+    // Phase makespans + summed counters.
+    const double m_partition = comm.allreduce_max(setup.t_partition);
+    const double m_halo = comm.allreduce_max(setup.t_halo);
+    const double m_tree = comm.allreduce_max(t_tree);
+    const double m_reach = comm.allreduce_max(t_reach);
+    const double m_cluster = comm.allreduce_max(t_cluster);
+    const double m_post = comm.allreduce_max(t_post);
+    const double m_merge = comm.allreduce_max(t_merge);
+    const std::int64_t halo_total = comm.allreduce_sum(
+        static_cast<std::int64_t>(setup.gids.size() - setup.n_local));
+    const std::int64_t edges_total =
+        comm.allreduce_sum(static_cast<std::int64_t>(merge_stats.cross_edges));
+    const std::int64_t queries_total = comm.allreduce_sum(
+        static_cast<std::int64_t>(engine.stats.queries_performed));
+
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(agg_mu);
+      agg.t_partition = m_partition;
+      agg.t_halo = m_halo;
+      agg.t_tree = m_tree;
+      agg.t_reach = m_reach;
+      agg.t_cluster = m_cluster;
+      agg.t_post = m_post;
+      agg.t_merge = m_merge;
+      agg.halo_points_total = static_cast<std::uint64_t>(halo_total);
+      agg.cross_edges = static_cast<std::uint64_t>(edges_total);
+      agg.union_pairs = merge_stats.union_pairs;  // identical on every rank
+      agg.queries_performed = static_cast<std::uint64_t>(queries_total);
+    }
+  });
+
+  agg.wall_seconds = wall.seconds();
+  if (stats) *stats = agg;
+  return result;
+}
+
+}  // namespace udb

@@ -1,0 +1,52 @@
+// µDBSCAN-D (Section V, Algorithm 9): distributed µDBSCAN over the minimpi
+// runtime. Phases: sampling-based kd partitioning → eps-halo exchange →
+// local µDBSCAN per rank (on local + halo points) → query-free merge of
+// local clusterings. Produces exactly the sequential µDBSCAN (and hence
+// classical DBSCAN) clustering.
+//
+// Reported times are per-phase virtual-time makespans (max over ranks of the
+// rank's virtual clock advance in that phase) — see mpi/minimpi.hpp for the
+// model. The paper excludes data distribution from its timings; `total`
+// likewise excludes t_partition.
+
+#pragma once
+
+#include "common/dataset.hpp"
+#include "core/mudbscan.hpp"
+#include "dist/merge.hpp"
+#include "metrics/clustering.hpp"
+#include "mpi/minimpi.hpp"
+
+namespace udb {
+
+struct MuDbscanDStats {
+  // Virtual-time makespans per phase (paper Tables VII/VIII).
+  double t_partition = 0.0;
+  double t_halo = 0.0;
+  double t_tree = 0.0;
+  double t_reach = 0.0;
+  double t_cluster = 0.0;
+  double t_post = 0.0;
+  double t_merge = 0.0;
+  double wall_seconds = 0.0;  // real elapsed time of the whole run
+
+  std::uint64_t halo_points_total = 0;
+  std::uint64_t cross_edges = 0;
+  std::uint64_t union_pairs = 0;
+  std::uint64_t queries_performed = 0;  // summed over ranks
+
+  // The paper's comparable "execution time": everything after partitioning.
+  [[nodiscard]] double total() const noexcept {
+    return t_halo + t_tree + t_reach + t_cluster + t_post + t_merge;
+  }
+};
+
+// Runs on `nranks` simulated ranks and returns the global clustering (labels
+// indexed by global point id).
+[[nodiscard]] ClusteringResult mudbscan_d(
+    const Dataset& global, const DbscanParams& params, int nranks,
+    MuDbscanDStats* stats = nullptr, const MuDbscanConfig& cfg = {},
+    mpi::CostModel cost = {},
+    MergeStrategy merge_strategy = MergeStrategy::AllGatherPairs);
+
+}  // namespace udb

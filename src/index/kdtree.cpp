@@ -1,0 +1,151 @@
+#include "index/kdtree.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "common/distance.hpp"
+
+namespace udb {
+
+KdTree::KdTree(const Dataset& ds, Config cfg) : ds_(&ds), cfg_(cfg) {
+  if (cfg_.leaf_size == 0)
+    throw std::invalid_argument("KdTree: leaf_size must be >= 1");
+  ids_.resize(ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i)
+    ids_[i] = static_cast<PointId>(i);
+  if (!ids_.empty()) root_ = build(0, static_cast<std::uint32_t>(ids_.size()));
+}
+
+std::uint32_t KdTree::build(std::uint32_t begin, std::uint32_t end) {
+  const std::uint32_t idx = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  if (end - begin <= cfg_.leaf_size) {
+    nodes_[idx].axis = -1;
+    nodes_[idx].begin = begin;
+    nodes_[idx].end = end;
+    return idx;
+  }
+
+  // Widest axis over this range.
+  const std::size_t dim = ds_->dim();
+  std::size_t axis = 0;
+  double best_spread = -1.0;
+  for (std::size_t k = 0; k < dim; ++k) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -lo;
+    for (std::uint32_t i = begin; i < end; ++i) {
+      const double v = ds_->coord(ids_[i], k);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi - lo > best_spread) {
+      best_spread = hi - lo;
+      axis = k;
+    }
+  }
+
+  // Median split (nth_element keeps it O(n log n) overall).
+  const std::uint32_t mid = begin + (end - begin) / 2;
+  std::nth_element(ids_.begin() + begin, ids_.begin() + mid,
+                   ids_.begin() + end, [this, axis](PointId a, PointId b) {
+                     return ds_->coord(a, axis) < ds_->coord(b, axis);
+                   });
+  const double split = ds_->coord(ids_[mid], axis);
+
+  const std::uint32_t left = build(begin, mid);
+  const std::uint32_t right = build(mid, end);
+  nodes_[idx].axis = static_cast<std::int32_t>(axis);
+  nodes_[idx].split = split;
+  nodes_[idx].left = left;
+  nodes_[idx].right = right;
+  return idx;
+}
+
+void KdTree::query_ball(std::span<const double> center, double radius,
+                        std::vector<PointId>& out, bool strict) const {
+  visit_ball(
+      center, radius,
+      [&out](PointId id, double) {
+        out.push_back(id);
+        return true;
+      },
+      strict);
+}
+
+void KdTree::visit_ball(std::span<const double> center, double radius,
+                        const std::function<bool(PointId, double)>& fn,
+                        bool strict) const {
+  if (ids_.empty()) return;
+  const double r2 = radius * radius;
+
+  // Iterative traversal with per-axis plane pruning: descend a child only if
+  // the ball crosses (or lies on the child's side of) the split plane.
+  std::vector<std::uint32_t> stack{root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (node.axis < 0) {
+      for (std::uint32_t i = node.begin; i < node.end; ++i) {
+        ++dist_evals_;
+        const double d2 = sq_dist(center.data(), ds_->ptr(ids_[i]),
+                                  ds_->dim());
+        const bool in = strict ? (d2 < r2) : (d2 <= r2);
+        if (in && !fn(ids_[i], d2)) return;
+      }
+      continue;
+    }
+    const double delta = center[static_cast<std::size_t>(node.axis)] - node.split;
+    // Left subtree holds coords <= split, right holds >= split (median
+    // duplicates may land on either side of mid, so prune with <=/>=).
+    if (delta <= radius) stack.push_back(node.left);
+    if (-delta <= radius) stack.push_back(node.right);
+  }
+}
+
+void KdTree::check_node(std::uint32_t idx,
+                        std::vector<std::uint8_t>& seen) const {
+  const Node& node = nodes_[idx];
+  if (node.axis < 0) {
+    for (std::uint32_t i = node.begin; i < node.end; ++i) {
+      if (seen[ids_[i]])
+        throw std::logic_error("KdTree: point referenced twice");
+      seen[ids_[i]] = 1;
+    }
+    return;
+  }
+  // Left coords <= split <= right coords along the split axis.
+  const auto axis = static_cast<std::size_t>(node.axis);
+  const std::function<void(std::uint32_t, bool)> check_side =
+      [&](std::uint32_t child, bool is_left) {
+        std::vector<std::uint32_t> stack{child};
+        while (!stack.empty()) {
+          const Node& c = nodes_[stack.back()];
+          stack.pop_back();
+          if (c.axis < 0) {
+            for (std::uint32_t i = c.begin; i < c.end; ++i) {
+              const double v = ds_->coord(ids_[i], axis);
+              if (is_left ? v > node.split : v < node.split)
+                throw std::logic_error("KdTree: split invariant violated");
+            }
+          } else {
+            stack.push_back(c.left);
+            stack.push_back(c.right);
+          }
+        }
+      };
+  check_side(node.left, true);
+  check_side(node.right, false);
+  check_node(node.left, seen);
+  check_node(node.right, seen);
+}
+
+void KdTree::check_invariants() const {
+  if (ids_.empty()) return;
+  std::vector<std::uint8_t> seen(ds_->size(), 0);
+  check_node(root_, seen);
+  for (std::size_t i = 0; i < seen.size(); ++i)
+    if (!seen[i]) throw std::logic_error("KdTree: point missing");
+}
+
+}  // namespace udb

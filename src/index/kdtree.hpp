@@ -1,0 +1,70 @@
+// Static balanced kd-tree — an alternative exact point index alongside the
+// R-tree. The paper's distributed layer already splits space kd-style
+// (dist/kd_partition); this is the same recursion materialized as an index:
+// median split on the widest axis, leaves of a few points, ball queries with
+// per-axis pruning. Used by the index micro-benches as a comparison backend
+// and available to library users who prefer kd-trees for low-dimensional
+// data.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/dataset.hpp"
+
+namespace udb {
+
+class KdTree {
+ public:
+  struct Config {
+    std::uint32_t leaf_size = 16;
+  };
+
+  // Builds over all points of `ds`; the dataset must outlive the tree.
+  explicit KdTree(const Dataset& ds) : KdTree(ds, Config()) {}
+  KdTree(const Dataset& ds, Config cfg);
+
+  // Ids of points within `radius` of `center` (strict <, or <= with
+  // strict=false), appended to `out`.
+  void query_ball(std::span<const double> center, double radius,
+                  std::vector<PointId>& out, bool strict = true) const;
+
+  // Visitor form; visitor returns false to stop early.
+  void visit_ball(std::span<const double> center, double radius,
+                  const std::function<bool(PointId, double)>& fn,
+                  bool strict = true) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
+  [[nodiscard]] std::uint64_t distance_evals() const noexcept {
+    return dist_evals_;
+  }
+
+  // Test hook: checks the split invariants (left subtree coordinates <=
+  // split value <= right subtree coordinates on the split axis).
+  void check_invariants() const;
+
+ private:
+  struct Node {
+    // Internal: axis >= 0, split value, children indices. Leaf: axis == -1,
+    // [begin, end) range into ids_.
+    std::int32_t axis = -1;
+    double split = 0.0;
+    std::uint32_t left = 0, right = 0;   // node indices
+    std::uint32_t begin = 0, end = 0;    // leaf payload range
+  };
+
+  std::uint32_t build(std::uint32_t begin, std::uint32_t end);
+  void check_node(std::uint32_t idx, std::vector<std::uint8_t>& seen) const;
+
+  const Dataset* ds_;
+  Config cfg_;
+  std::vector<PointId> ids_;   // permuted point ids; leaves own ranges
+  std::vector<Node> nodes_;
+  std::uint32_t root_ = 0;
+  mutable std::uint64_t dist_evals_ = 0;
+};
+
+}  // namespace udb

@@ -1,0 +1,493 @@
+#include "index/rtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "common/distance.hpp"
+
+namespace udb {
+
+struct RTree::Node {
+  explicit Node(std::size_t dim, bool leaf) : mbr(dim), is_leaf(leaf) {}
+
+  Box mbr;
+  bool is_leaf;
+  // Leaf payload: parallel arrays of coordinate pointers and ids.
+  std::vector<const double*> pts;
+  std::vector<PointId> ids;
+  // Internal payload.
+  std::vector<std::unique_ptr<Node>> children;
+
+  [[nodiscard]] std::size_t entry_count() const noexcept {
+    return is_leaf ? ids.size() : children.size();
+  }
+};
+
+RTree::RTree(std::size_t dim, Config cfg) : dim_(dim), cfg_(cfg) {
+  if (dim_ == 0) throw std::invalid_argument("RTree: dim must be > 0");
+  if (cfg_.min_entries < 2 || cfg_.max_entries < 2 * cfg_.min_entries)
+    throw std::invalid_argument("RTree: need max_entries >= 2*min_entries");
+  root_ = std::make_unique<Node>(dim_, /*leaf=*/true);
+}
+
+RTree::~RTree() = default;
+RTree::RTree(RTree&&) noexcept = default;
+RTree& RTree::operator=(RTree&&) noexcept = default;
+
+const Box& RTree::root_mbr() const { return root_->mbr; }
+
+void RTree::insert(const double* pt, PointId id) {
+  std::unique_ptr<Node> split;
+  insert_recursive(*root_, pt, id, split);
+  if (split) {
+    // Root split: grow the tree by one level.
+    auto new_root = std::make_unique<Node>(dim_, /*leaf=*/false);
+    new_root->mbr = root_->mbr;
+    new_root->mbr.expand(split->mbr);
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split));
+    root_ = std::move(new_root);
+  }
+  ++count_;
+}
+
+void RTree::insert_recursive(Node& node, const double* pt, PointId id,
+                             std::unique_ptr<Node>& split_out) {
+  const std::span<const double> p{pt, dim_};
+  node.mbr.expand(p);
+  if (node.is_leaf) {
+    node.pts.push_back(pt);
+    node.ids.push_back(id);
+    if (node.entry_count() > cfg_.max_entries) split_leaf(node, split_out);
+    return;
+  }
+
+  // Guttman ChooseSubtree: least enlargement, ties by smaller margin.
+  const Box pbox = Box::from_point(p);
+  std::size_t best = 0;
+  double best_enl = std::numeric_limits<double>::infinity();
+  double best_margin = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    const Box& b = node.children[i]->mbr;
+    const double enl = b.enlargement_margin(pbox);
+    const double mar = b.margin();
+    if (enl < best_enl || (enl == best_enl && mar < best_margin)) {
+      best = i;
+      best_enl = enl;
+      best_margin = mar;
+    }
+  }
+
+  std::unique_ptr<Node> child_split;
+  insert_recursive(*node.children[best], pt, id, child_split);
+  if (child_split) {
+    node.children.push_back(std::move(child_split));
+    if (node.entry_count() > cfg_.max_entries) split_internal(node, split_out);
+  }
+}
+
+namespace {
+
+// Quadratic PickSeeds over a set of boxes: the pair whose combined box wastes
+// the most margin.
+std::pair<std::size_t, std::size_t> pick_seeds(const std::vector<Box>& boxes) {
+  std::size_t s1 = 0, s2 = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    for (std::size_t j = i + 1; j < boxes.size(); ++j) {
+      Box combined = boxes[i];
+      combined.expand(boxes[j]);
+      const double waste =
+          combined.margin() - boxes[i].margin() - boxes[j].margin();
+      if (waste > worst) {
+        worst = waste;
+        s1 = i;
+        s2 = j;
+      }
+    }
+  }
+  return {s1, s2};
+}
+
+}  // namespace
+
+void RTree::split_leaf(Node& node, std::unique_ptr<Node>& out) {
+  const std::size_t n = node.ids.size();
+  std::vector<Box> boxes;
+  boxes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    boxes.push_back(Box::from_point({node.pts[i], dim_}));
+
+  auto [s1, s2] = pick_seeds(boxes);
+
+  auto take_pts = std::move(node.pts);
+  auto take_ids = std::move(node.ids);
+  node.pts.clear();
+  node.ids.clear();
+  node.mbr = Box(dim_);
+  out = std::make_unique<Node>(dim_, /*leaf=*/true);
+
+  Box b1(dim_), b2(dim_);
+  auto add_to = [&](Node& dst, Box& dbox, std::size_t i) {
+    dst.pts.push_back(take_pts[i]);
+    dst.ids.push_back(take_ids[i]);
+    dbox.expand(boxes[i]);
+    dst.mbr = dbox;
+  };
+  add_to(node, b1, s1);
+  add_to(*out, b2, s2);
+
+  std::vector<bool> assigned(n, false);
+  assigned[s1] = assigned[s2] = true;
+  std::size_t remaining = n - 2;
+
+  while (remaining > 0) {
+    // If one group must take all remaining entries to reach min_entries, do
+    // it wholesale.
+    if (node.entry_count() + remaining == cfg_.min_entries) {
+      for (std::size_t i = 0; i < n; ++i)
+        if (!assigned[i]) add_to(node, b1, i);
+      break;
+    }
+    if (out->entry_count() + remaining == cfg_.min_entries) {
+      for (std::size_t i = 0; i < n; ++i)
+        if (!assigned[i]) add_to(*out, b2, i);
+      break;
+    }
+    // PickNext: entry with max preference difference between the groups.
+    std::size_t pick = 0;
+    double best_diff = -1.0;
+    double d1_pick = 0.0, d2_pick = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (assigned[i]) continue;
+      const double d1 = b1.enlargement_margin(boxes[i]);
+      const double d2 = b2.enlargement_margin(boxes[i]);
+      const double diff = std::abs(d1 - d2);
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+        d1_pick = d1;
+        d2_pick = d2;
+      }
+    }
+    assigned[pick] = true;
+    --remaining;
+    if (d1_pick < d2_pick ||
+        (d1_pick == d2_pick && node.entry_count() <= out->entry_count()))
+      add_to(node, b1, pick);
+    else
+      add_to(*out, b2, pick);
+  }
+}
+
+void RTree::split_internal(Node& node, std::unique_ptr<Node>& out) {
+  const std::size_t n = node.children.size();
+  std::vector<Box> boxes;
+  boxes.reserve(n);
+  for (const auto& c : node.children) boxes.push_back(c->mbr);
+
+  auto [s1, s2] = pick_seeds(boxes);
+
+  auto take = std::move(node.children);
+  node.children.clear();
+  node.mbr = Box(dim_);
+  out = std::make_unique<Node>(dim_, /*leaf=*/false);
+
+  Box b1(dim_), b2(dim_);
+  auto add_to = [&](Node& dst, Box& dbox, std::size_t i) {
+    dst.children.push_back(std::move(take[i]));
+    dbox.expand(boxes[i]);
+    dst.mbr = dbox;
+  };
+  add_to(node, b1, s1);
+  add_to(*out, b2, s2);
+
+  std::vector<bool> assigned(n, false);
+  assigned[s1] = assigned[s2] = true;
+  std::size_t remaining = n - 2;
+
+  while (remaining > 0) {
+    if (node.entry_count() + remaining == cfg_.min_entries) {
+      for (std::size_t i = 0; i < n; ++i)
+        if (!assigned[i]) add_to(node, b1, i);
+      break;
+    }
+    if (out->entry_count() + remaining == cfg_.min_entries) {
+      for (std::size_t i = 0; i < n; ++i)
+        if (!assigned[i]) add_to(*out, b2, i);
+      break;
+    }
+    std::size_t pick = 0;
+    double best_diff = -1.0;
+    double d1_pick = 0.0, d2_pick = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (assigned[i]) continue;
+      const double d1 = b1.enlargement_margin(boxes[i]);
+      const double d2 = b2.enlargement_margin(boxes[i]);
+      const double diff = std::abs(d1 - d2);
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+        d1_pick = d1;
+        d2_pick = d2;
+      }
+    }
+    assigned[pick] = true;
+    --remaining;
+    if (d1_pick < d2_pick ||
+        (d1_pick == d2_pick && node.entry_count() <= out->entry_count()))
+      add_to(node, b1, pick);
+    else
+      add_to(*out, b2, pick);
+  }
+}
+
+void RTree::query_ball(std::span<const double> center, double radius,
+                       std::vector<PointId>& out, bool strict) const {
+  visit_ball(
+      center, radius,
+      [&out](PointId id, double) {
+        out.push_back(id);
+        return true;
+      },
+      strict);
+}
+
+PointId RTree::first_within(std::span<const double> center, double radius,
+                            bool strict) const {
+  PointId found = kInvalidPoint;
+  visit_ball(
+      center, radius,
+      [&found](PointId id, double) {
+        found = id;
+        return false;  // stop at first hit
+      },
+      strict);
+  return found;
+}
+
+void RTree::visit_ball(std::span<const double> center, double radius,
+                       const std::function<bool(PointId, double)>& fn,
+                       bool strict) const {
+  if (count_ == 0) return;
+  const double r2 = radius * radius;
+
+  // Explicit stack to avoid recursion overhead on deep trees.
+  std::vector<const Node*> stack;
+  stack.push_back(root_.get());
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (node->mbr.min_sq_dist(center) > r2) continue;
+    if (node->is_leaf) {
+      for (std::size_t i = 0; i < node->ids.size(); ++i) {
+        ++dist_evals_;
+        const double d2 = sq_dist(center.data(), node->pts[i], dim_);
+        const bool in = strict ? (d2 < r2) : (d2 <= r2);
+        if (in && !fn(node->ids[i], d2)) return;
+      }
+    } else {
+      for (const auto& c : node->children) stack.push_back(c.get());
+    }
+  }
+}
+
+namespace {
+
+// STR tiling: recursively sorts `items` by successive axes and cuts them
+// into runs whose final size is `leaf_cap`, yielding spatially clustered
+// consecutive leaves.
+void str_tile(std::vector<std::pair<const double*, PointId>>& items,
+              std::size_t begin, std::size_t end, std::size_t axis,
+              std::size_t dim, std::size_t leaf_cap) {
+  const std::size_t count = end - begin;
+  if (count <= leaf_cap || axis >= dim) return;
+  std::sort(items.begin() + static_cast<std::ptrdiff_t>(begin),
+            items.begin() + static_cast<std::ptrdiff_t>(end),
+            [axis](const auto& a, const auto& b) {
+              return a.first[axis] < b.first[axis];
+            });
+  // Number of slabs along this axis: the remaining dims share the split
+  // factor evenly (classic STR: S = ceil((n/cap)^(1/remaining_dims))).
+  const double leaves = std::ceil(static_cast<double>(count) /
+                                  static_cast<double>(leaf_cap));
+  const double remaining = static_cast<double>(dim - axis);
+  const auto slabs = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(std::pow(leaves, 1.0 / remaining))));
+  const std::size_t slab_size = (count + slabs - 1) / slabs;
+  for (std::size_t s = begin; s < end; s += slab_size) {
+    str_tile(items, s, std::min(end, s + slab_size), axis + 1, dim, leaf_cap);
+  }
+}
+
+}  // namespace
+
+RTree RTree::bulk_load_str(
+    std::size_t dim, std::vector<std::pair<const double*, PointId>> items,
+    Config cfg) {
+  RTree tree(dim, cfg);
+  if (items.empty()) return tree;
+  const std::size_t cap = cfg.max_entries;
+  str_tile(items, 0, items.size(), 0, dim, cap);
+
+  // Pack leaves in tiled order.
+  std::vector<std::unique_ptr<Node>> level;
+  for (std::size_t i = 0; i < items.size(); i += cap) {
+    auto leaf = std::make_unique<Node>(dim, /*leaf=*/true);
+    const std::size_t end = std::min(items.size(), i + cap);
+    for (std::size_t j = i; j < end; ++j) {
+      leaf->pts.push_back(items[j].first);
+      leaf->ids.push_back(items[j].second);
+      leaf->mbr.expand(std::span<const double>{items[j].first, dim});
+    }
+    level.push_back(std::move(leaf));
+  }
+
+  // Pack parent levels until one root remains. Parents inherit the spatial
+  // order of their children (already tiled), so MBRs stay tight.
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> parents;
+    for (std::size_t i = 0; i < level.size(); i += cap) {
+      auto parent = std::make_unique<Node>(dim, /*leaf=*/false);
+      const std::size_t end = std::min(level.size(), i + cap);
+      for (std::size_t j = i; j < end; ++j) {
+        parent->mbr.expand(level[j]->mbr);
+        parent->children.push_back(std::move(level[j]));
+      }
+      parents.push_back(std::move(parent));
+    }
+    level = std::move(parents);
+  }
+  tree.root_ = std::move(level.front());
+  tree.count_ = items.size();
+  tree.enforce_min_fill_ = false;
+  return tree;
+}
+
+void RTree::query_knn(std::span<const double> center, std::size_t k,
+                      std::vector<std::pair<PointId, double>>& out) const {
+  out.clear();
+  if (k == 0 || count_ == 0) return;
+
+  // Best-first search: a min-heap of (distance lower bound, node) frontier
+  // entries plus a max-heap of the current k best points.
+  struct Frontier {
+    double bound;
+    const Node* node;
+    bool operator>(const Frontier& o) const { return bound > o.bound; }
+  };
+  std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>> frontier;
+  frontier.push({root_->mbr.min_sq_dist(center), root_.get()});
+
+  auto worst = [&out]() {
+    return out.empty() ? std::numeric_limits<double>::infinity()
+                       : out.front().second;
+  };
+  auto cmp = [](const std::pair<PointId, double>& a,
+                const std::pair<PointId, double>& b) {
+    return a.second < b.second;  // max-heap on distance
+  };
+
+  while (!frontier.empty()) {
+    const auto [bound, node] = frontier.top();
+    frontier.pop();
+    if (out.size() == k && bound >= worst()) break;  // cannot improve
+    if (node->is_leaf) {
+      for (std::size_t i = 0; i < node->ids.size(); ++i) {
+        ++dist_evals_;
+        const double d2 = sq_dist(center.data(), node->pts[i], dim_);
+        if (out.size() < k) {
+          out.emplace_back(node->ids[i], d2);
+          std::push_heap(out.begin(), out.end(), cmp);
+        } else if (d2 < worst()) {
+          std::pop_heap(out.begin(), out.end(), cmp);
+          out.back() = {node->ids[i], d2};
+          std::push_heap(out.begin(), out.end(), cmp);
+        }
+      }
+    } else {
+      for (const auto& c : node->children) {
+        const double b = c->mbr.min_sq_dist(center);
+        if (out.size() < k || b < worst()) frontier.push({b, c.get()});
+      }
+    }
+  }
+  std::sort_heap(out.begin(), out.end(), cmp);
+}
+
+RTree::Stats RTree::stats() const {
+  Stats s;
+  std::vector<std::pair<const Node*, std::size_t>> stack{{root_.get(), 1}};
+  while (!stack.empty()) {
+    auto [node, depth] = stack.back();
+    stack.pop_back();
+    s.height = std::max(s.height, depth);
+    if (node->is_leaf) {
+      ++s.leaf_nodes;
+      s.entries += node->ids.size();
+    } else {
+      ++s.internal_nodes;
+      for (const auto& c : node->children) stack.push_back({c.get(), depth + 1});
+    }
+  }
+  return s;
+}
+
+void RTree::check_invariants() const {
+  struct Frame {
+    const Node* node;
+    bool is_root;
+    std::size_t depth;
+  };
+  std::size_t leaf_depth = 0;
+  bool leaf_depth_set = false;
+  std::size_t seen = 0;
+
+  std::vector<Frame> stack{{root_.get(), true, 1}};
+  while (!stack.empty()) {
+    auto [node, is_root, depth] = stack.back();
+    stack.pop_back();
+
+    const std::size_t cnt = node->entry_count();
+    // STR packing fills nodes to max_entries but may leave one short tail
+    // node per level, so the min-fill bound only applies to incrementally
+    // built trees.
+    if (!is_root && enforce_min_fill_ && cnt < cfg_.min_entries)
+      throw std::logic_error("RTree: node underfull");
+    if (!is_root && cnt > cfg_.max_entries)
+      throw std::logic_error("RTree: entry count out of bounds");
+    if (is_root && cnt > cfg_.max_entries)
+      throw std::logic_error("RTree: root overfull");
+
+    if (node->is_leaf) {
+      if (!leaf_depth_set) {
+        leaf_depth = depth;
+        leaf_depth_set = true;
+      } else if (leaf_depth != depth) {
+        throw std::logic_error("RTree: leaves at different depths");
+      }
+      for (std::size_t i = 0; i < node->ids.size(); ++i) {
+        if (!node->mbr.contains({node->pts[i], dim_}))
+          throw std::logic_error("RTree: leaf MBR does not contain point");
+        ++seen;
+      }
+    } else {
+      if (node->children.empty())
+        throw std::logic_error("RTree: empty internal node");
+      for (const auto& c : node->children) {
+        for (std::size_t k = 0; k < dim_; ++k) {
+          if (c->mbr.lo(k) < node->mbr.lo(k) || c->mbr.hi(k) > node->mbr.hi(k))
+            throw std::logic_error("RTree: child MBR escapes parent MBR");
+        }
+        stack.push_back({c.get(), false, depth + 1});
+      }
+    }
+  }
+  if (count_ > 0 && seen != count_)
+    throw std::logic_error("RTree: entry count mismatch");
+}
+
+}  // namespace udb

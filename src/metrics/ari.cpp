@@ -1,0 +1,45 @@
+#include "metrics/ari.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace udb {
+
+namespace {
+double choose2(double x) { return x * (x - 1.0) / 2.0; }
+}  // namespace
+
+double adjusted_rand_index(const std::vector<std::int64_t>& a,
+                           const std::vector<std::int64_t>& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("adjusted_rand_index: size mismatch");
+  const std::size_t n = a.size();
+  if (n == 0) return 1.0;
+
+  std::map<std::pair<std::int64_t, std::int64_t>, std::size_t> contingency;
+  std::map<std::int64_t, std::size_t> row_sum, col_sum;
+  for (std::size_t i = 0; i < n; ++i) {
+    ++contingency[{a[i], b[i]}];
+    ++row_sum[a[i]];
+    ++col_sum[b[i]];
+  }
+
+  double sum_comb = 0.0;
+  for (const auto& [key, cnt] : contingency)
+    sum_comb += choose2(static_cast<double>(cnt));
+  double sum_rows = 0.0;
+  for (const auto& [key, cnt] : row_sum)
+    sum_rows += choose2(static_cast<double>(cnt));
+  double sum_cols = 0.0;
+  for (const auto& [key, cnt] : col_sum)
+    sum_cols += choose2(static_cast<double>(cnt));
+
+  const double total = choose2(static_cast<double>(n));
+  const double expected = sum_rows * sum_cols / total;
+  const double max_index = 0.5 * (sum_rows + sum_cols);
+  if (max_index == expected) return 1.0;  // both clusterings are trivial
+  return (sum_comb - expected) / (max_index - expected);
+}
+
+}  // namespace udb

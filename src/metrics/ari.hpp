@@ -1,0 +1,15 @@
+// Adjusted Rand Index between two labelings — a soft similarity measure used
+// in tests and benches as a sanity metric alongside the strict exactness
+// checker (noise is treated as its own cluster for ARI purposes).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace udb {
+
+[[nodiscard]] double adjusted_rand_index(const std::vector<std::int64_t>& a,
+                                         const std::vector<std::int64_t>& b);
+
+}  // namespace udb

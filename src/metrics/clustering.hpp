@@ -1,0 +1,43 @@
+// The common output type of every clustering algorithm in the library, plus
+// small derived statistics.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.hpp"
+
+namespace udb {
+
+constexpr std::int64_t kNoise = -1;
+
+// DBSCAN density parameters (Section II of the paper).
+struct DbscanParams {
+  double eps = 1.0;
+  std::uint32_t min_pts = 5;
+};
+
+enum class PointKind : std::uint8_t { Core, Border, Noise };
+
+struct ClusteringResult {
+  // label[i] >= 0 is an arbitrary cluster id; kNoise marks noise. Label
+  // values carry no meaning across algorithms — comparisons are done on the
+  // induced partition, never on raw ids.
+  std::vector<std::int64_t> label;
+  std::vector<std::uint8_t> is_core;  // 1 iff point i is a core point
+
+  [[nodiscard]] std::size_t size() const noexcept { return label.size(); }
+
+  [[nodiscard]] PointKind kind(PointId i) const noexcept {
+    if (is_core[i]) return PointKind::Core;
+    return label[i] == kNoise ? PointKind::Noise : PointKind::Border;
+  }
+
+  [[nodiscard]] std::size_t num_clusters() const;
+  [[nodiscard]] std::size_t num_core() const;
+  [[nodiscard]] std::size_t num_border() const;
+  [[nodiscard]] std::size_t num_noise() const;
+};
+
+}  // namespace udb

@@ -1,0 +1,92 @@
+#include "metrics/exactness.hpp"
+
+#include <set>
+#include <unordered_map>
+
+namespace udb {
+
+std::size_t ClusteringResult::num_clusters() const {
+  std::set<std::int64_t> ids;
+  for (std::int64_t l : label)
+    if (l != kNoise) ids.insert(l);
+  return ids.size();
+}
+
+std::size_t ClusteringResult::num_core() const {
+  std::size_t c = 0;
+  for (std::uint8_t f : is_core) c += f;
+  return c;
+}
+
+std::size_t ClusteringResult::num_border() const {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < label.size(); ++i)
+    if (kind(static_cast<PointId>(i)) == PointKind::Border) ++c;
+  return c;
+}
+
+std::size_t ClusteringResult::num_noise() const {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < label.size(); ++i)
+    if (label[i] == kNoise) ++c;
+  return c;
+}
+
+ExactnessReport compare_exact(const ClusteringResult& a,
+                              const ClusteringResult& b) {
+  ExactnessReport rep;
+  if (a.size() != b.size()) {
+    rep.detail = "size mismatch";
+    return rep;
+  }
+  const std::size_t n = a.size();
+
+  rep.core_sets_equal = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((a.is_core[i] != 0) != (b.is_core[i] != 0)) {
+      rep.core_sets_equal = false;
+      rep.detail = "core flag differs at point " + std::to_string(i);
+      return rep;
+    }
+  }
+
+  // Partition equality over core points: a's cluster id must map 1:1 to b's
+  // cluster id across all cores.
+  rep.core_partitions_equal = true;
+  std::unordered_map<std::int64_t, std::int64_t> a_to_b, b_to_a;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!a.is_core[i]) continue;
+    const std::int64_t la = a.label[i];
+    const std::int64_t lb = b.label[i];
+    if (la == kNoise || lb == kNoise) {
+      rep.core_partitions_equal = false;
+      rep.detail = "core point " + std::to_string(i) + " labeled noise";
+      return rep;
+    }
+    auto [ita, ins_a] = a_to_b.try_emplace(la, lb);
+    auto [itb, ins_b] = b_to_a.try_emplace(lb, la);
+    if (ita->second != lb || itb->second != la) {
+      rep.core_partitions_equal = false;
+      rep.detail = "core partition differs at point " + std::to_string(i);
+      return rep;
+    }
+  }
+
+  rep.noise_sets_equal = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((a.label[i] == kNoise) != (b.label[i] == kNoise)) {
+      rep.noise_sets_equal = false;
+      rep.detail = "noise flag differs at point " + std::to_string(i);
+      return rep;
+    }
+  }
+
+  rep.cluster_counts_equal = a.num_clusters() == b.num_clusters();
+  if (!rep.cluster_counts_equal) {
+    rep.detail = "cluster counts differ: " + std::to_string(a.num_clusters()) +
+                 " vs " + std::to_string(b.num_clusters());
+  }
+  return rep;
+}
+
+}  // namespace udb

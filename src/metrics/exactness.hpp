@@ -1,0 +1,36 @@
+// Exact-clustering comparison, following Section III of the paper: two
+// clusterings are exact-equal iff they have (1) the same core-point set,
+// (2) the same core-point-to-cluster membership (i.e. the same partition of
+// core points), and (3) the same noise set. Border points may legally attach
+// to different adjacent clusters depending on processing order, so border
+// membership is excluded from equality — but a point's kind (core / border /
+// noise) must match, since noise is order-independent.
+
+#pragma once
+
+#include <string>
+
+#include "metrics/clustering.hpp"
+
+namespace udb {
+
+struct ExactnessReport {
+  bool core_sets_equal = false;
+  bool core_partitions_equal = false;
+  bool noise_sets_equal = false;
+  bool cluster_counts_equal = false;
+
+  [[nodiscard]] bool exact() const noexcept {
+    return core_sets_equal && core_partitions_equal && noise_sets_equal &&
+           cluster_counts_equal;
+  }
+
+  // Human-readable description of the first observed discrepancy (empty if
+  // exact). Used by the test suite for actionable failure messages.
+  std::string detail;
+};
+
+[[nodiscard]] ExactnessReport compare_exact(const ClusteringResult& a,
+                                            const ClusteringResult& b);
+
+}  // namespace udb

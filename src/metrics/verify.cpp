@@ -1,0 +1,126 @@
+#include "metrics/verify.hpp"
+
+#include <unordered_map>
+
+#include "common/distance.hpp"
+#include "unionfind/union_find.hpp"
+
+namespace udb {
+
+VerifyReport verify_dbscan(const Dataset& ds, const DbscanParams& params,
+                           const ClusteringResult& result) {
+  VerifyReport rep;
+  const std::size_t n = ds.size();
+  if (result.size() != n) {
+    rep.detail = "result size does not match dataset";
+    return rep;
+  }
+  const double eps2 = params.eps * params.eps;
+
+  // --- core flags: |N_eps(p)| >= MinPts, counting p itself ---------------
+  rep.core_flags_ok = true;
+  std::vector<std::uint32_t> degree(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t cnt = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (sq_dist(ds.ptr(static_cast<PointId>(i)),
+                  ds.ptr(static_cast<PointId>(j)), ds.dim()) < eps2)
+        ++cnt;
+    }
+    degree[i] = cnt;
+    const bool should_be_core = cnt >= params.min_pts;
+    if (should_be_core != (result.is_core[i] != 0)) {
+      rep.core_flags_ok = false;
+      rep.detail = "core flag wrong at point " + std::to_string(i);
+      return rep;
+    }
+  }
+
+  // --- maximality: cores within eps must share a cluster ------------------
+  // (This is the condition QIDBSCAN-style shortcuts break.)
+  rep.maximality_ok = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!result.is_core[i]) continue;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (!result.is_core[j]) continue;
+      if (sq_dist(ds.ptr(static_cast<PointId>(i)),
+                  ds.ptr(static_cast<PointId>(j)), ds.dim()) >= eps2)
+        continue;
+      if (result.label[i] != result.label[j]) {
+        rep.maximality_ok = false;
+        rep.detail = "cores " + std::to_string(i) + " and " +
+                     std::to_string(j) + " within eps but in different "
+                     "clusters";
+        return rep;
+      }
+    }
+  }
+
+  // --- connectivity --------------------------------------------------------
+  // With maximality already verified, each cluster's cores must form exactly
+  // one component of the core-proximity graph (two components that never
+  // touch cannot be density-connected), and every non-core member must be
+  // directly density-reachable from some core of its own cluster.
+  rep.connectivity_ok = true;
+  UnionFind core_uf(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!result.is_core[i]) continue;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (!result.is_core[j]) continue;
+      if (sq_dist(ds.ptr(static_cast<PointId>(i)),
+                  ds.ptr(static_cast<PointId>(j)), ds.dim()) < eps2)
+        core_uf.union_sets(static_cast<PointId>(i), static_cast<PointId>(j));
+    }
+  }
+  std::unordered_map<std::int64_t, PointId> cluster_component;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!result.is_core[i]) continue;
+    const PointId root = core_uf.find(static_cast<PointId>(i));
+    auto [it, inserted] = cluster_component.try_emplace(result.label[i], root);
+    if (it->second != root) {
+      rep.connectivity_ok = false;
+      rep.detail = "cluster " + std::to_string(result.label[i]) +
+                   " contains disconnected core groups";
+      return rep;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (result.is_core[i] || result.label[i] == kNoise) continue;
+    // Border point: must be within eps of a core of its own cluster.
+    bool anchored = false;
+    for (std::size_t j = 0; j < n && !anchored; ++j) {
+      if (!result.is_core[j] || result.label[j] != result.label[i]) continue;
+      if (sq_dist(ds.ptr(static_cast<PointId>(i)),
+                  ds.ptr(static_cast<PointId>(j)), ds.dim()) < eps2)
+        anchored = true;
+    }
+    if (!anchored) {
+      rep.connectivity_ok = false;
+      rep.detail = "border point " + std::to_string(i) +
+                   " has no core of its own cluster within eps";
+      return rep;
+    }
+  }
+
+  // --- noise ---------------------------------------------------------------
+  rep.noise_ok = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    bool near_core = false;
+    for (std::size_t j = 0; j < n && !near_core; ++j) {
+      if (!result.is_core[j]) continue;
+      if (sq_dist(ds.ptr(static_cast<PointId>(i)),
+                  ds.ptr(static_cast<PointId>(j)), ds.dim()) < eps2)
+        near_core = true;
+    }
+    const bool should_be_noise = !result.is_core[i] && !near_core;
+    if (should_be_noise != (result.label[i] == kNoise)) {
+      rep.noise_ok = false;
+      rep.detail = "noise flag wrong at point " + std::to_string(i);
+      return rep;
+    }
+  }
+
+  return rep;
+}
+
+}  // namespace udb

@@ -1,0 +1,45 @@
+// Direct verification of the DBSCAN cluster conditions (Section II of the
+// paper, the three conditions Theorem 1 proves for µDBSCAN): given a dataset,
+// parameters and a candidate ClusteringResult, check from first principles —
+// no reference clustering needed — that
+//
+//   * core flags are right: is_core[p]  <=>  |N_eps(p)| >= MinPts;
+//   * Connectivity: every two points sharing a cluster are density-connected
+//     (equivalently: each cluster's cores form one connected component of
+//     the core-proximity graph, and each non-core member is ddr to one of
+//     its cluster's cores);
+//   * Maximality: density-reachability never crosses cluster boundaries
+//     (cores within eps of each other share a cluster);
+//   * Noise: a point is labeled noise iff it is neither core nor within eps
+//     of any core.
+//
+// O(n^2); intended for tests and the CLI's --verify flag, as an independent
+// oracle beside brute-force comparison.
+
+#pragma once
+
+#include <string>
+
+#include "common/dataset.hpp"
+#include "metrics/clustering.hpp"
+
+namespace udb {
+
+struct VerifyReport {
+  bool core_flags_ok = false;
+  bool connectivity_ok = false;
+  bool maximality_ok = false;
+  bool noise_ok = false;
+
+  [[nodiscard]] bool valid() const noexcept {
+    return core_flags_ok && connectivity_ok && maximality_ok && noise_ok;
+  }
+
+  std::string detail;  // first violation found, empty if valid
+};
+
+[[nodiscard]] VerifyReport verify_dbscan(const Dataset& ds,
+                                         const DbscanParams& params,
+                                         const ClusteringResult& result);
+
+}  // namespace udb

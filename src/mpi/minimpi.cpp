@@ -1,0 +1,187 @@
+#include "mpi/minimpi.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/timer.hpp"
+
+namespace udb::mpi {
+
+// One mailbox per destination rank: tag-matched FIFO queues keyed by
+// (source, tag), a mutex + condvar, and a poison flag so that a crashed rank
+// unblocks every receiver instead of hanging the run.
+struct Runtime::Mailbox {
+  struct Message {
+    std::vector<std::byte> bytes;
+    double arrival_vtime = 0.0;
+  };
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<std::pair<int, Tag>, std::deque<Message>> queues;
+  bool poisoned = false;
+
+  void push(int src, Tag tag, Message msg) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      queues[{src, tag}].push_back(std::move(msg));
+    }
+    cv.notify_all();
+  }
+
+  Message pop(int src, Tag tag) {
+    std::unique_lock<std::mutex> lock(mu);
+    auto& q = queues[{src, tag}];
+    cv.wait(lock, [&] { return poisoned || !q.empty(); });
+    if (q.empty() && poisoned)
+      throw std::runtime_error("minimpi: peer rank failed");
+    Message msg = std::move(q.front());
+    q.pop_front();
+    return msg;
+  }
+
+  void poison() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      poisoned = true;
+    }
+    cv.notify_all();
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu);
+    queues.clear();
+    poisoned = false;
+  }
+};
+
+Runtime::Runtime(int nranks, CostModel cost) : nranks_(nranks), cost_(cost) {
+  if (nranks < 1) throw std::invalid_argument("Runtime: nranks must be >= 1");
+  mailboxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r)
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  vtimes_.assign(static_cast<std::size_t>(nranks), 0.0);
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::run(const std::function<void(Comm&)>& fn) {
+  for (auto& mb : mailboxes_) mb->reset();
+  std::fill(vtimes_.begin(), vtimes_.end(), 0.0);
+
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks_));
+
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([this, r, &fn, &first_error, &error_mu] {
+      Comm comm(this, r);
+      comm.cpu_mark_ = ThreadCpuTimer::now();
+      try {
+        fn(comm);
+        comm.settle_cpu();
+        vtimes_[static_cast<std::size_t>(r)] = comm.vtime_;
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        for (auto& mb : mailboxes_) mb->poison();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+double Runtime::makespan() const {
+  return *std::max_element(vtimes_.begin(), vtimes_.end());
+}
+
+// ---- Comm ----------------------------------------------------------------
+
+void Comm::settle_cpu() {
+  const double now = ThreadCpuTimer::now();
+  vtime_ += now - cpu_mark_;
+  cpu_mark_ = now;
+}
+
+void Comm::send_bytes(int dst, Tag tag, std::vector<std::byte> bytes) {
+  settle_cpu();
+  Runtime::Mailbox::Message msg;
+  msg.arrival_vtime = vtime_ + rt_->cost_.alpha +
+                      static_cast<double>(bytes.size()) * rt_->cost_.beta;
+  msg.bytes = std::move(bytes);
+  rt_->mailboxes_[static_cast<std::size_t>(dst)]->push(rank_, tag,
+                                                       std::move(msg));
+}
+
+std::vector<std::byte> Comm::recv_bytes(int src, Tag tag) {
+  settle_cpu();
+  auto msg = rt_->mailboxes_[static_cast<std::size_t>(rank_)]->pop(src, tag);
+  // Waiting for a slower sender advances the receiver's clock; an
+  // already-arrived message costs nothing extra (time spent blocked on the
+  // condvar is not CPU time, so it is never charged).
+  vtime_ = std::max(vtime_, msg.arrival_vtime);
+  cpu_mark_ = ThreadCpuTimer::now();
+  return msg.bytes;
+}
+
+double Comm::vtime() {
+  settle_cpu();
+  return vtime_;
+}
+
+void Comm::charge(double seconds) {
+  settle_cpu();
+  vtime_ += seconds;
+}
+
+void Comm::barrier(int base, int gsize) {
+  const int g = group_size(gsize);
+  const Tag tag = kInternalTag;
+  const std::vector<std::uint8_t> token{1};
+  if (rank_ == base) {
+    for (int r = base + 1; r < base + g; ++r)
+      (void)recv<std::uint8_t>(r, tag);
+    for (int r = base + 1; r < base + g; ++r) send(r, tag, token);
+  } else {
+    send(base, tag, token);
+    (void)recv<std::uint8_t>(base, tag);
+  }
+}
+
+namespace {
+
+template <typename T, typename Op>
+T reduce_impl(Comm& comm, T v, int base, int gsize, Op op) {
+  std::vector<T> all = comm.allgatherv(std::vector<T>{v}, nullptr, base, gsize);
+  T acc = all.front();
+  for (std::size_t i = 1; i < all.size(); ++i) acc = op(acc, all[i]);
+  return acc;
+}
+
+}  // namespace
+
+double Comm::allreduce_min(double v, int base, int gsize) {
+  return reduce_impl(*this, v, base, gsize,
+                     [](double a, double b) { return std::min(a, b); });
+}
+
+double Comm::allreduce_max(double v, int base, int gsize) {
+  return reduce_impl(*this, v, base, gsize,
+                     [](double a, double b) { return std::max(a, b); });
+}
+
+double Comm::allreduce_sum(double v, int base, int gsize) {
+  return reduce_impl(*this, v, base, gsize,
+                     [](double a, double b) { return a + b; });
+}
+
+std::int64_t Comm::allreduce_sum(std::int64_t v, int base, int gsize) {
+  return reduce_impl(*this, v, base, gsize,
+                     [](std::int64_t a, std::int64_t b) { return a + b; });
+}
+
+}  // namespace udb::mpi

@@ -1,0 +1,27 @@
+#include "unionfind/union_find.hpp"
+
+#include <unordered_map>
+
+namespace udb {
+
+std::size_t UnionFind::count_components() {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < parent_.size(); ++i)
+    if (parent_[i] == i) ++count;
+  return count;
+}
+
+std::size_t UnionFind::component_ids(std::vector<std::uint32_t>& out) {
+  out.assign(parent_.size(), 0);
+  std::unordered_map<PointId, std::uint32_t> root_to_id;
+  root_to_id.reserve(64);
+  for (std::size_t i = 0; i < parent_.size(); ++i) {
+    const PointId root = find(static_cast<PointId>(i));
+    auto [it, inserted] =
+        root_to_id.try_emplace(root, static_cast<std::uint32_t>(root_to_id.size()));
+    out[i] = it->second;
+  }
+  return root_to_id.size();
+}
+
+}  // namespace udb

@@ -1,0 +1,223 @@
+// Baseline algorithms: hand-constructed DBSCAN semantics cases against
+// brute_dbscan, then property sweeps asserting that R-DBSCAN, G-DBSCAN and
+// GridDBSCAN all produce exact DBSCAN clustering.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "baselines/brute_dbscan.hpp"
+#include "baselines/g_dbscan.hpp"
+#include "baselines/grid_dbscan.hpp"
+#include "baselines/r_dbscan.hpp"
+#include "common/rng.hpp"
+#include "data/generators.hpp"
+#include "metrics/exactness.hpp"
+
+namespace udb {
+namespace {
+
+// ---- hand-constructed semantics cases (ground truth by inspection) --------
+
+TEST(BruteDbscan, EmptyDataset) {
+  Dataset ds = Dataset::empty(2);
+  const auto r = brute_dbscan(ds, {1.0, 3});
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.num_clusters(), 0u);
+}
+
+TEST(BruteDbscan, AllNoiseWhenMinPtsExceedsN) {
+  Dataset ds(1, {0.0, 0.1, 0.2});
+  const auto r = brute_dbscan(ds, {1.0, 10});
+  EXPECT_EQ(r.num_noise(), 3u);
+  EXPECT_EQ(r.num_clusters(), 0u);
+}
+
+TEST(BruteDbscan, MinPtsOneMakesEveryPointCore) {
+  Dataset ds(1, {0.0, 100.0, 200.0});
+  const auto r = brute_dbscan(ds, {1.0, 1});
+  EXPECT_EQ(r.num_core(), 3u);
+  EXPECT_EQ(r.num_clusters(), 3u);
+  EXPECT_EQ(r.num_noise(), 0u);
+}
+
+TEST(BruteDbscan, NeighborhoodIsStrictlyLessThanEps) {
+  // Two points at exactly eps apart are NOT neighbors.
+  Dataset ds(1, {0.0, 1.0});
+  const auto r = brute_dbscan(ds, {1.0, 2});
+  EXPECT_EQ(r.num_noise(), 2u);
+  // Just under eps: neighbors, both core (count includes self).
+  Dataset ds2(1, {0.0, 0.999});
+  const auto r2 = brute_dbscan(ds2, {1.0, 2});
+  EXPECT_EQ(r2.num_core(), 2u);
+  EXPECT_EQ(r2.num_clusters(), 1u);
+}
+
+TEST(BruteDbscan, ChainForm_OneClusterThroughCores) {
+  // 0 -- 0.9 -- 1.8 -- 2.7: every adjacent pair < eps=1; MinPts=2 makes all
+  // core, so density-reachability chains them into one cluster.
+  Dataset ds(1, {0.0, 0.9, 1.8, 2.7});
+  const auto r = brute_dbscan(ds, {1.0, 2});
+  EXPECT_EQ(r.num_core(), 4u);
+  EXPECT_EQ(r.num_clusters(), 1u);
+}
+
+TEST(BruteDbscan, BorderPointDoesNotBridgeClusters) {
+  // Two dense pairs separated by a single border point reachable from both:
+  // cores: {0, 0.1} and {2.0, 2.1}; point 1.05 is within eps=1 of 0.1 and
+  // 2.0. With MinPts=3, 1.05 has neighbors {0.1, 1.05, 2.0} => core! Use
+  // MinPts=4 so it is a border: clusters must stay separate.
+  Dataset ds(1, {0.0, 0.1, 0.2, 1.05, 2.0, 2.1, 2.2});
+  const auto r = brute_dbscan(ds, {0.5, 3});
+  EXPECT_EQ(r.num_clusters(), 2u);
+  EXPECT_FALSE(r.is_core[3]);
+  EXPECT_EQ(r.label[3], kNoise);  // 1.05 is 0.85 from 0.2 and 0.95 from 2.0
+}
+
+TEST(BruteDbscan, BorderAttachesToSomeAdjacentCluster) {
+  Dataset ds(1, {0.0, 0.1, 0.2, 0.55, 0.9, 1.0, 1.1});
+  // eps=0.4, MinPts=3: {0,0.1,0.2} and {0.9,1.0,1.1} are core clusters;
+  // 0.55 is within 0.4 of 0.2 and 0.9 but has only 3 neighbors
+  // {0.2,0.55,0.9} of which itself — count = 3 >= 3 => actually core and
+  // bridges! Use MinPts=4: 0.55 is border of one of the two clusters.
+  const auto r = brute_dbscan(ds, {0.4, 4});
+  EXPECT_EQ(r.num_clusters(), 2u);
+  EXPECT_FALSE(r.is_core[3]);
+  EXPECT_NE(r.label[3], kNoise);  // border, attached to one side
+}
+
+TEST(BruteDbscan, DuplicatePointsClusterTogether) {
+  std::vector<double> coords(50, 7.5);  // 50 copies of the same 1-D point
+  Dataset ds(1, std::move(coords));
+  const auto r = brute_dbscan(ds, {0.1, 5});
+  EXPECT_EQ(r.num_clusters(), 1u);
+  EXPECT_EQ(r.num_core(), 50u);
+}
+
+TEST(BruteDbscan, PermutationInvariance) {
+  // Shuffling the input must not change cluster count, core set or noise
+  // set (the paper's definition of exact clustering is order-free).
+  Dataset ds = gen_blobs(300, 2, 3, 50.0, 2.0, 0.2, 31);
+  const auto base = brute_dbscan(ds, {2.0, 5});
+
+  std::vector<PointId> perm(ds.size());
+  std::iota(perm.begin(), perm.end(), 0u);
+  Rng rng(77);
+  for (std::size_t i = perm.size(); i > 1; --i)
+    std::swap(perm[i - 1], perm[rng.uniform_index(i)]);
+  Dataset shuffled = ds.select(perm);
+  const auto shuf = brute_dbscan(shuffled, {2.0, 5});
+
+  EXPECT_EQ(base.num_clusters(), shuf.num_clusters());
+  EXPECT_EQ(base.num_core(), shuf.num_core());
+  EXPECT_EQ(base.num_noise(), shuf.num_noise());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(base.is_core[perm[i]], shuf.is_core[i]);
+    EXPECT_EQ(base.label[perm[i]] == kNoise, shuf.label[i] == kNoise);
+  }
+}
+
+// ---- property sweeps: every baseline is exact ------------------------------
+
+struct SweepCase {
+  const char* tag;
+  std::size_t n;
+  std::size_t dim;
+  double eps;
+  std::uint32_t min_pts;
+  std::uint64_t seed;
+};
+
+void PrintTo(const SweepCase& c, std::ostream* os) { *os << c.tag << "/s" << c.seed; }
+
+Dataset make_sweep_dataset(const SweepCase& c) {
+  const std::string tag = c.tag;
+  if (tag == "blobs") return gen_blobs(c.n, c.dim, 5, 100.0, 3.0, 0.15, c.seed);
+  if (tag == "galaxy") {
+    GalaxyConfig cfg;
+    cfg.halos = 6;
+    cfg.subhalos_per_halo = 4;
+    cfg.box = 120.0;
+    return gen_galaxy(c.n, cfg, c.seed);
+  }
+  if (tag == "roadnet") {
+    RoadnetConfig cfg;
+    cfg.waypoints = 40;
+    return gen_roadnet(c.n, cfg, c.seed);
+  }
+  if (tag == "uniform") return gen_uniform(c.n, c.dim, 0.0, 30.0, c.seed);
+  if (tag == "moons") return gen_two_moons(c.n, 0.06, c.seed);
+  throw std::logic_error("unknown sweep tag");
+}
+
+class BaselineExactness : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(BaselineExactness, RDbscanMatchesBrute) {
+  const auto& c = GetParam();
+  Dataset ds = make_sweep_dataset(c);
+  const auto truth = brute_dbscan(ds, {c.eps, c.min_pts});
+  const auto got = r_dbscan(ds, {c.eps, c.min_pts});
+  const auto rep = compare_exact(truth, got);
+  EXPECT_TRUE(rep.exact()) << rep.detail;
+}
+
+TEST_P(BaselineExactness, GDbscanMatchesBrute) {
+  const auto& c = GetParam();
+  Dataset ds = make_sweep_dataset(c);
+  const auto truth = brute_dbscan(ds, {c.eps, c.min_pts});
+  GDbscanStats st;
+  const auto got = g_dbscan(ds, {c.eps, c.min_pts}, &st);
+  const auto rep = compare_exact(truth, got);
+  EXPECT_TRUE(rep.exact()) << rep.detail;
+  EXPECT_GT(st.groups, 0u);
+  EXPECT_LE(st.groups, ds.size());
+}
+
+TEST_P(BaselineExactness, GridDbscanMatchesBrute) {
+  const auto& c = GetParam();
+  Dataset ds = make_sweep_dataset(c);
+  const auto truth = brute_dbscan(ds, {c.eps, c.min_pts});
+  GridDbscanStats st;
+  const auto got = grid_dbscan(ds, {c.eps, c.min_pts}, &st);
+  const auto rep = compare_exact(truth, got);
+  EXPECT_TRUE(rep.exact()) << rep.detail;
+  EXPECT_EQ(st.queries + st.queries_saved, ds.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BaselineExactness,
+    ::testing::Values(
+        SweepCase{"blobs", 500, 2, 2.0, 5, 1}, SweepCase{"blobs", 500, 3, 2.5, 5, 2},
+        SweepCase{"blobs", 400, 5, 4.0, 4, 3}, SweepCase{"blobs", 300, 2, 0.5, 3, 4},
+        SweepCase{"blobs", 300, 2, 20.0, 8, 5}, SweepCase{"galaxy", 600, 3, 1.5, 5, 6},
+        SweepCase{"galaxy", 600, 3, 4.0, 6, 7}, SweepCase{"roadnet", 500, 3, 1.0, 4, 8},
+        SweepCase{"uniform", 400, 2, 1.5, 4, 9}, SweepCase{"uniform", 300, 3, 3.0, 5, 10},
+        SweepCase{"moons", 500, 2, 0.12, 5, 11}, SweepCase{"blobs", 64, 2, 2.0, 1, 12},
+        SweepCase{"blobs", 64, 2, 2.0, 2, 13}, SweepCase{"blobs", 500, 3, 2.5, 20, 14}));
+
+TEST(GDbscan, ReportsDenseGroups) {
+  Dataset ds = gen_blobs(500, 2, 2, 20.0, 0.5, 0.0, 3);
+  GDbscanStats st;
+  (void)g_dbscan(ds, {2.0, 5}, &st);
+  EXPECT_GT(st.dense_groups, 0u);
+}
+
+TEST(GridDbscan, SavesQueriesOnDenseData) {
+  Dataset ds = gen_blobs(2000, 2, 3, 20.0, 0.8, 0.0, 5);
+  GridDbscanStats st;
+  (void)grid_dbscan(ds, {1.5, 4}, &st);
+  EXPECT_GT(st.queries_saved, 0u);
+  EXPECT_GT(st.dense_cells, 0u);
+}
+
+TEST(RDbscan, ReportsOneQueryPerPoint) {
+  Dataset ds = gen_blobs(300, 3, 3, 50.0, 3.0, 0.1, 9);
+  RDbscanStats st;
+  (void)r_dbscan(ds, {2.0, 5}, &st);
+  EXPECT_EQ(st.queries, ds.size());
+  EXPECT_GT(st.distance_evals, 0u);
+}
+
+}  // namespace
+}  // namespace udb

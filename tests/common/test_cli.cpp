@@ -1,0 +1,85 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace udb {
+namespace {
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  Cli cli = make({"--eps", "0.5"});
+  EXPECT_DOUBLE_EQ(cli.get_double("eps", 1.0), 0.5);
+}
+
+TEST(Cli, EqualsSeparatedValue) {
+  Cli cli = make({"--eps=2.5"});
+  EXPECT_DOUBLE_EQ(cli.get_double("eps", 1.0), 2.5);
+}
+
+TEST(Cli, FallbackWhenAbsent) {
+  Cli cli = make({});
+  EXPECT_EQ(cli.get_int("n", 42), 42);
+  EXPECT_EQ(cli.get_string("name", "x"), "x");
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  Cli cli = make({"--verbose"});
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+}
+
+TEST(Cli, BoolParsesVariants) {
+  EXPECT_TRUE(make({"--a=yes"}).get_bool("a", false));
+  EXPECT_TRUE(make({"--a=1"}).get_bool("a", false));
+  EXPECT_FALSE(make({"--a=no"}).get_bool("a", true));
+}
+
+TEST(Cli, IntList) {
+  Cli cli = make({"--ranks", "1,2,4,8"});
+  const auto v = cli.get_int_list("ranks", {});
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[3], 8);
+}
+
+TEST(Cli, DoubleList) {
+  Cli cli = make({"--eps=0.5,1.5"});
+  const auto v = cli.get_double_list("eps", {});
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[1], 1.5);
+}
+
+TEST(Cli, ListFallback) {
+  Cli cli = make({});
+  const auto v = cli.get_int_list("ranks", {7});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 7);
+}
+
+TEST(Cli, RejectsNonFlagArgument) {
+  std::vector<const char*> argv{"prog", "loose"};
+  EXPECT_THROW(Cli(2, argv.data()), std::invalid_argument);
+}
+
+TEST(Cli, CheckUnusedThrowsOnTypo) {
+  Cli cli = make({"--epz=1"});
+  (void)cli.get_double("eps", 1.0);
+  EXPECT_THROW(cli.check_unused(), std::invalid_argument);
+}
+
+TEST(Cli, CheckUnusedPassesWhenAllRead) {
+  Cli cli = make({"--eps=1"});
+  (void)cli.get_double("eps", 2.0);
+  EXPECT_NO_THROW(cli.check_unused());
+}
+
+TEST(Cli, NegativeNumberAsValue) {
+  Cli cli = make({"--lo", "-3"});
+  EXPECT_EQ(cli.get_int("lo", 0), -3);
+}
+
+}  // namespace
+}  // namespace udb

@@ -1,0 +1,80 @@
+#include "common/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace udb {
+namespace {
+
+TEST(Dataset, BasicAccess) {
+  Dataset ds(2, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(ds.dim(), 2u);
+  EXPECT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds.coord(0, 1), 2.0);
+  EXPECT_EQ(ds.coord(1, 0), 3.0);
+  EXPECT_EQ(ds.point(1)[1], 4.0);
+}
+
+TEST(Dataset, RejectsZeroDim) {
+  EXPECT_THROW(Dataset(0, {}), std::invalid_argument);
+}
+
+TEST(Dataset, RejectsRaggedBuffer) {
+  EXPECT_THROW(Dataset(3, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Dataset, EmptyFactory) {
+  Dataset ds = Dataset::empty(5);
+  EXPECT_EQ(ds.size(), 0u);
+  EXPECT_EQ(ds.dim(), 5u);
+}
+
+TEST(Dataset, PushBackAppends) {
+  Dataset ds = Dataset::empty(2);
+  ds.push_back(std::vector<double>{1.0, 2.0});
+  ds.push_back(std::vector<double>{3.0, 4.0});
+  EXPECT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds.coord(1, 1), 4.0);
+}
+
+TEST(Dataset, PushBackRejectsWrongDim) {
+  Dataset ds = Dataset::empty(2);
+  EXPECT_THROW(ds.push_back(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Dataset, SelectPreservesOrder) {
+  Dataset ds(1, {10.0, 20.0, 30.0, 40.0});
+  const std::vector<PointId> ids{3, 1};
+  Dataset sub = ds.select(ids);
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.coord(0, 0), 40.0);
+  EXPECT_EQ(sub.coord(1, 0), 20.0);
+}
+
+TEST(Dataset, ProjectKeepsPrefixDims) {
+  Dataset ds(3, {1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
+  Dataset p = ds.project(2);
+  EXPECT_EQ(p.dim(), 2u);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.coord(0, 1), 2.0);
+  EXPECT_EQ(p.coord(1, 0), 4.0);
+}
+
+TEST(Dataset, ProjectFullDimIsIdentity) {
+  Dataset ds(2, {1.0, 2.0, 3.0, 4.0});
+  Dataset p = ds.project(2);
+  EXPECT_EQ(p.raw(), ds.raw());
+}
+
+TEST(Dataset, ProjectRejectsBadDims) {
+  Dataset ds(2, {1.0, 2.0});
+  EXPECT_THROW(ds.project(0), std::invalid_argument);
+  EXPECT_THROW(ds.project(3), std::invalid_argument);
+}
+
+TEST(Dataset, PointerAliasesRawBuffer) {
+  Dataset ds(2, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(ds.ptr(1), ds.raw().data() + 2);
+}
+
+}  // namespace
+}  // namespace udb

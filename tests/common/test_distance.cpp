@@ -1,0 +1,45 @@
+#include "common/distance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace udb {
+namespace {
+
+TEST(Distance, SquaredEuclidean) {
+  const std::vector<double> a{0.0, 0.0, 0.0};
+  const std::vector<double> b{1.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(sq_dist(a.data(), b.data(), 3), 9.0);
+  EXPECT_DOUBLE_EQ(dist(a.data(), b.data(), 3), 3.0);
+}
+
+TEST(Distance, ZeroForIdenticalPoints) {
+  const std::vector<double> a{1.5, -2.5};
+  EXPECT_EQ(sq_dist(a.data(), a.data(), 2), 0.0);
+}
+
+TEST(Distance, Symmetric) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{-3.0, 0.5};
+  EXPECT_DOUBLE_EQ(sq_dist(a.data(), b.data(), 2),
+                   sq_dist(b.data(), a.data(), 2));
+}
+
+TEST(Distance, HighDimensionalAccumulation) {
+  std::vector<double> a(74, 0.0), b(74, 1.0);
+  EXPECT_DOUBLE_EQ(sq_dist(a.data(), b.data(), 74), 74.0);
+}
+
+TEST(Distance, StrictComparisonSemantics) {
+  // The DBSCAN neighborhood predicate is DIST < eps; squared comparison
+  // against eps^2 must preserve the strict boundary.
+  const std::vector<double> a{0.0};
+  const std::vector<double> b{2.0};
+  const double eps = 2.0;
+  EXPECT_FALSE(sq_dist(a.data(), b.data(), 1) < eps * eps);
+  EXPECT_TRUE(sq_dist(a.data(), b.data(), 1) <= eps * eps);
+}
+
+}  // namespace
+}  // namespace udb

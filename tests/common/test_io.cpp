@@ -1,0 +1,99 @@
+#include "common/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "data/generators.hpp"
+
+namespace udb {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("udb_io_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, CsvRoundTrip) {
+  Dataset ds = gen_uniform(50, 3, -10.0, 10.0, 1);
+  write_csv(ds, path("a.csv"));
+  Dataset back = read_csv(path("a.csv"));
+  ASSERT_EQ(back.size(), ds.size());
+  ASSERT_EQ(back.dim(), ds.dim());
+  for (std::size_t i = 0; i < ds.raw().size(); ++i)
+    EXPECT_DOUBLE_EQ(back.raw()[i], ds.raw()[i]);
+}
+
+TEST_F(IoTest, CsvAcceptsWhitespaceAndComments) {
+  std::ofstream out(path("b.csv"));
+  out << "# header comment\n1.0 2.0\n\n3.0,4.0\n";
+  out.close();
+  Dataset ds = read_csv(path("b.csv"));
+  EXPECT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds.dim(), 2u);
+  EXPECT_EQ(ds.coord(1, 1), 4.0);
+}
+
+TEST_F(IoTest, CsvRejectsInconsistentDim) {
+  std::ofstream out(path("c.csv"));
+  out << "1,2\n3,4,5\n";
+  out.close();
+  EXPECT_THROW(read_csv(path("c.csv")), std::runtime_error);
+}
+
+TEST_F(IoTest, CsvRejectsMissingFile) {
+  EXPECT_THROW(read_csv(path("nope.csv")), std::runtime_error);
+}
+
+TEST_F(IoTest, CsvRejectsEmptyFile) {
+  std::ofstream(path("empty.csv")).close();
+  EXPECT_THROW(read_csv(path("empty.csv")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRoundTripBitExact) {
+  Dataset ds = gen_blobs(200, 5, 3, 100.0, 2.0, 0.1, 7);
+  write_binary(ds, path("a.bin"));
+  Dataset back = read_binary(path("a.bin"));
+  EXPECT_EQ(back.dim(), ds.dim());
+  EXPECT_EQ(back.raw(), ds.raw());
+}
+
+TEST_F(IoTest, BinaryRejectsBadMagic) {
+  std::ofstream out(path("bad.bin"), std::ios::binary);
+  out << "XXXXGARBAGE";
+  out.close();
+  EXPECT_THROW(read_binary(path("bad.bin")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRejectsTruncation) {
+  Dataset ds = gen_uniform(100, 2, 0.0, 1.0, 3);
+  write_binary(ds, path("t.bin"));
+  std::filesystem::resize_file(path("t.bin"), 64);
+  EXPECT_THROW(read_binary(path("t.bin")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryEmptyDatasetRoundTrip) {
+  Dataset ds = Dataset::empty(4);
+  write_binary(ds, path("e.bin"));
+  Dataset back = read_binary(path("e.bin"));
+  EXPECT_EQ(back.size(), 0u);
+  EXPECT_EQ(back.dim(), 4u);
+}
+
+}  // namespace
+}  // namespace udb

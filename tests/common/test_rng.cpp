@@ -1,0 +1,82 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace udb {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-5.0, 3.0);
+    EXPECT_GE(v, -5.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIndexInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform_index(17), 17u);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(17);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, CoversFullDoubleRangeStatistically) {
+  Rng rng(19);
+  int low = 0, high = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    if (v < 0.1) ++low;
+    if (v > 0.9) ++high;
+  }
+  EXPECT_GT(low, 700);
+  EXPECT_GT(high, 700);
+}
+
+}  // namespace
+}  // namespace udb

@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/sysinfo.hpp"
+#include "common/timer.hpp"
+
+namespace udb {
+namespace {
+
+TEST(SysInfo, PeakRssIsPositiveAndAtLeastCurrent) {
+  const std::size_t current = current_rss_bytes();
+  const std::size_t peak = peak_rss_bytes();
+  EXPECT_GT(current, 0u);
+  EXPECT_GE(peak, current / 2);  // peak can't be wildly below current
+}
+
+TEST(SysInfo, PeakRssMonotoneUnderAllocation) {
+  const std::size_t before = peak_rss_bytes();
+  // Touch ~32 MB so the high-water mark must move.
+  std::vector<char> hog(32 * 1024 * 1024);
+  for (std::size_t i = 0; i < hog.size(); i += 4096) hog[i] = 1;
+  const std::size_t after = peak_rss_bytes();
+  EXPECT_GE(after, before);
+  EXPECT_GE(after, before + 16 * 1024 * 1024);
+}
+
+TEST(WallTimer, AdvancesAndResets) {
+  WallTimer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 1000000; ++i) sink = sink + 1.0;
+  const double first = t.seconds();
+  EXPECT_GT(first, 0.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), first + 1.0);
+}
+
+TEST(ThreadCpuTimer, ChargesBusyWorkNotSleep) {
+  ThreadCpuTimer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 5000000; ++i) sink = sink + 1.0;
+  const double busy = t.seconds();
+  EXPECT_GT(busy, 0.0);
+  // now() is monotone non-decreasing.
+  const double a = ThreadCpuTimer::now();
+  const double b = ThreadCpuTimer::now();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace udb

@@ -1,0 +1,80 @@
+#include "core/kdist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/brute_dbscan.hpp"
+#include "common/distance.hpp"
+#include "data/generators.hpp"
+
+namespace udb {
+namespace {
+
+TEST(KDist, RejectsZeroK) {
+  Dataset ds(1, {0.0});
+  EXPECT_THROW(kdist_graph(ds, 0), std::invalid_argument);
+}
+
+TEST(KDist, EmptyDataset) {
+  Dataset ds = Dataset::empty(2);
+  EXPECT_TRUE(kdist_graph(ds, 4).empty());
+  EXPECT_EQ(suggest_eps(ds, 4), 0.0);
+}
+
+TEST(KDist, SortedDescending) {
+  Dataset ds = gen_blobs(500, 3, 4, 60.0, 3.0, 0.1, 3);
+  const auto curve = kdist_graph(ds, 4);
+  ASSERT_EQ(curve.size(), ds.size());
+  for (std::size_t i = 1; i < curve.size(); ++i)
+    EXPECT_GE(curve[i - 1], curve[i]);
+}
+
+TEST(KDist, MatchesBruteForceValues) {
+  Dataset ds = gen_uniform(150, 2, 0.0, 10.0, 5);
+  const std::size_t k = 3;
+  const auto curve = kdist_graph(ds, k);
+
+  // Brute: per point, k-th smallest distance to another point.
+  std::vector<double> want;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    std::vector<double> d;
+    for (std::size_t j = 0; j < ds.size(); ++j) {
+      if (i == j) continue;
+      d.push_back(dist(ds.ptr(static_cast<PointId>(i)),
+                       ds.ptr(static_cast<PointId>(j)), ds.dim()));
+    }
+    std::sort(d.begin(), d.end());
+    want.push_back(d[k - 1]);
+  }
+  std::sort(want.rbegin(), want.rend());
+  ASSERT_EQ(curve.size(), want.size());
+  for (std::size_t i = 0; i < curve.size(); ++i)
+    EXPECT_NEAR(curve[i], want[i], 1e-12);
+}
+
+TEST(KDist, SuggestedEpsSeparatesBlobNoiseRegimes) {
+  // Dense blobs + sparse noise: the knee of the 4-dist curve should land
+  // between the intra-blob spacing and the noise spacing, and DBSCAN with
+  // the suggested eps should recover roughly the planted clusters.
+  Dataset ds = gen_blobs(2000, 2, 4, 200.0, 1.5, 0.05, 7);
+  const std::size_t k = 4;
+  const double eps = suggest_eps(ds, k);
+  EXPECT_GT(eps, 0.0);
+  const auto r = brute_dbscan(ds, {eps, static_cast<std::uint32_t>(k + 1)});
+  EXPECT_GE(r.num_clusters(), 3u);
+  EXPECT_LE(r.num_clusters(), 12u);
+  // Most points should be clustered, most planted noise rejected.
+  EXPECT_GT(r.num_core(), ds.size() / 2);
+}
+
+TEST(KDist, SuggestionWithinCurveRange) {
+  Dataset ds = gen_galaxy(800, GalaxyConfig{}, 9);
+  const auto curve = kdist_graph(ds, 4);
+  const double eps = suggest_eps(ds, 4);
+  EXPECT_GE(eps, curve.back());
+  EXPECT_LE(eps, curve.front());
+}
+
+}  // namespace
+}  // namespace udb

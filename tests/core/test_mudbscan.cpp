@@ -1,0 +1,176 @@
+#include "core/mudbscan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_dbscan.hpp"
+#include "core/mudbscan_engine.hpp"
+#include "data/generators.hpp"
+#include "metrics/exactness.hpp"
+
+namespace udb {
+namespace {
+
+TEST(MuDbscan, RejectsZeroMinPts) {
+  Dataset ds(1, {0.0});
+  EXPECT_THROW(mu_dbscan(ds, {1.0, 0}), std::invalid_argument);
+}
+
+TEST(MuDbscan, EmptyDataset) {
+  Dataset ds = Dataset::empty(2);
+  const auto r = mu_dbscan(ds, {1.0, 5});
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(MuDbscan, SinglePointIsNoise) {
+  Dataset ds(2, {0.0, 0.0});
+  const auto r = mu_dbscan(ds, {1.0, 2});
+  EXPECT_EQ(r.num_noise(), 1u);
+}
+
+TEST(MuDbscan, SinglePointIsCoreWithMinPtsOne) {
+  Dataset ds(2, {0.0, 0.0});
+  const auto r = mu_dbscan(ds, {1.0, 1});
+  EXPECT_EQ(r.num_core(), 1u);
+  EXPECT_EQ(r.num_clusters(), 1u);
+}
+
+TEST(MuDbscan, DenseMicroClusterCoresNeedNoQuery) {
+  // 10 points tightly packed well inside eps/2 of the first point: the MC
+  // centred at point 0 is a DMC, so every IC point (all of them) is tagged
+  // wndq-core and the whole set costs zero neighborhood queries.
+  std::vector<double> coords;
+  for (int i = 0; i < 10; ++i) coords.push_back(0.01 * i);
+  Dataset ds(1, std::move(coords));
+  MuDbscanStats st;
+  const auto r = mu_dbscan(ds, {1.0, 5}, &st);
+  EXPECT_EQ(r.num_core(), 10u);
+  EXPECT_EQ(r.num_clusters(), 1u);
+  EXPECT_EQ(st.dmc, 1u);
+  EXPECT_EQ(st.queries_performed, 0u);
+  EXPECT_EQ(st.wndq_core_points, 10u);
+}
+
+TEST(MuDbscan, CoreMicroClusterMarksOnlyCenter) {
+  // 5 points spread between eps/2 and eps of the centre: |IC| = 0 but
+  // |MC| = 5 >= MinPts => CMC; only the centre is wndq-core, the rest are
+  // queried.
+  Dataset ds(1, {0.0, 0.6, 0.7, -0.6, -0.7});
+  MuDbscanStats st;
+  const auto r = mu_dbscan(ds, {1.0, 5}, &st);
+  EXPECT_EQ(st.cmc, 1u);
+  EXPECT_EQ(st.dmc, 0u);
+  EXPECT_TRUE(r.is_core[0]);
+  EXPECT_EQ(st.queries_performed, 4u);  // everyone but the centre
+  EXPECT_EQ(r.num_clusters(), 1u);
+}
+
+TEST(MuDbscan, SparseMicroClustersYieldNoise) {
+  Dataset ds(1, {0.0, 100.0, 200.0});
+  MuDbscanStats st;
+  const auto r = mu_dbscan(ds, {1.0, 2}, &st);
+  EXPECT_EQ(st.smc, 3u);
+  EXPECT_EQ(r.num_noise(), 3u);
+}
+
+TEST(MuDbscan, QueriesPlusWndqConsistent) {
+  Dataset ds = gen_blobs(2000, 3, 5, 100.0, 3.0, 0.15, 17);
+  MuDbscanStats st;
+  (void)mu_dbscan(ds, {2.0, 5}, &st);
+  // Every point either ran its query or was tagged wndq before its turn;
+  // dynamic promotion can tag a point after its query, so the sum may
+  // exceed n but queries alone never do.
+  EXPECT_LE(st.queries_performed, ds.size());
+  EXPECT_GE(st.queries_performed + st.wndq_core_points, ds.size());
+  EXPECT_GT(st.wndq_core_points, 0u);
+  EXPECT_GT(st.num_mcs, 0u);
+  EXPECT_EQ(st.dmc + st.cmc + st.smc, st.num_mcs);
+}
+
+TEST(MuDbscan, PhaseTimesArePopulated) {
+  Dataset ds = gen_blobs(1500, 3, 4, 80.0, 3.0, 0.1, 19);
+  MuDbscanStats st;
+  (void)mu_dbscan(ds, {2.0, 5}, &st);
+  EXPECT_GT(st.t_tree, 0.0);
+  EXPECT_GE(st.t_reach, 0.0);
+  EXPECT_GT(st.t_cluster, 0.0);
+  EXPECT_GE(st.t_post, 0.0);
+  EXPECT_GT(st.total(), 0.0);
+}
+
+TEST(MuDbscan, QuerySaveFractionMatchesCounters) {
+  Dataset ds = gen_blobs(1000, 2, 3, 50.0, 1.5, 0.1, 23);
+  MuDbscanStats st;
+  (void)mu_dbscan(ds, {1.5, 5}, &st);
+  const double frac = st.query_save_fraction(ds.size());
+  EXPECT_NEAR(frac,
+              1.0 - static_cast<double>(st.queries_performed) /
+                        static_cast<double>(ds.size()),
+              1e-12);
+  EXPECT_GE(frac, 0.0);
+  EXPECT_LE(frac, 1.0);
+}
+
+TEST(MuDbscan, EngineStepwiseMatchesOneShot) {
+  Dataset ds = gen_galaxy(1200, GalaxyConfig{}, 29);
+  const DbscanParams prm{1.5, 5};
+  MuDbscanEngine engine(ds, prm);
+  engine.build_tree();
+  engine.find_reachable();
+  engine.cluster();
+  engine.post_process();
+  const auto stepwise = engine.extract_result();
+  const auto oneshot = mu_dbscan(ds, prm);
+  const auto rep = compare_exact(stepwise, oneshot);
+  EXPECT_TRUE(rep.exact()) << rep.detail;
+}
+
+TEST(MuDbscan, AblationConfigsStayExact) {
+  Dataset ds = gen_blobs(800, 3, 4, 60.0, 2.5, 0.15, 31);
+  const DbscanParams prm{2.0, 5};
+  const auto truth = brute_dbscan(ds, prm);
+  for (bool two_eps : {true, false}) {
+    for (bool promo : {true, false}) {
+      for (bool filt : {true, false}) {
+        MuDbscanConfig cfg;
+        cfg.two_eps_rule = two_eps;
+        cfg.dynamic_promotion = promo;
+        cfg.mbr_filtration = filt;
+        const auto got = mu_dbscan(ds, prm, nullptr, cfg);
+        const auto rep = compare_exact(truth, got);
+        EXPECT_TRUE(rep.exact())
+            << rep.detail << " (two_eps=" << two_eps << " promo=" << promo
+            << " filt=" << filt << ")";
+      }
+    }
+  }
+}
+
+TEST(MuDbscan, DynamicPromotionSavesQueries) {
+  Dataset ds = gen_blobs(3000, 2, 4, 40.0, 1.0, 0.05, 37);
+  const DbscanParams prm{1.2, 5};
+  MuDbscanStats with_promo, without_promo;
+  MuDbscanConfig cfg;
+  (void)mu_dbscan(ds, prm, &with_promo, cfg);
+  cfg.dynamic_promotion = false;
+  (void)mu_dbscan(ds, prm, &without_promo, cfg);
+  EXPECT_LE(with_promo.queries_performed, without_promo.queries_performed);
+}
+
+TEST(MuDbscan, NoisePromotedToBorderByLateWndqCore) {
+  // Regression guard for Algorithm 8: a point processed as provisional noise
+  // whose neighbor is promoted to wndq-core later must end as border. We
+  // force this with a dataset where a border point precedes its dense blob
+  // in processing order.
+  std::vector<double> coords{-0.9};  // border-ish point, processed first
+  for (int i = 0; i < 8; ++i) coords.push_back(0.05 * i);  // dense blob
+  Dataset ds(1, std::move(coords));
+  const auto truth = brute_dbscan(ds, {1.0, 6});
+  const auto got = mu_dbscan(ds, {1.0, 6});
+  const auto rep = compare_exact(truth, got);
+  EXPECT_TRUE(rep.exact()) << rep.detail;
+  EXPECT_FALSE(got.is_core[0]);
+  EXPECT_NE(got.label[0], kNoise);
+}
+
+}  // namespace
+}  // namespace udb

@@ -1,0 +1,125 @@
+// Streaming µDBSCAN: the online/offline split must be exact offline and
+// sound online (the guaranteed-core lower bound never exceeds the truth).
+
+#include "core/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_dbscan.hpp"
+#include "core/mudbscan.hpp"
+#include "data/generators.hpp"
+#include "metrics/exactness.hpp"
+
+namespace udb {
+namespace {
+
+TEST(Streaming, RejectsBadParameters) {
+  EXPECT_THROW(StreamingMuDbscan(0, {1.0, 5}), std::invalid_argument);
+  EXPECT_THROW(StreamingMuDbscan(2, {0.0, 5}), std::invalid_argument);
+  EXPECT_THROW(StreamingMuDbscan(2, {1.0, 0}), std::invalid_argument);
+}
+
+TEST(Streaming, RejectsWrongDimension) {
+  StreamingMuDbscan stream(3, {1.0, 5});
+  EXPECT_THROW(stream.insert(std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Streaming, EmptyStreamYieldsEmptyResult) {
+  StreamingMuDbscan stream(2, {1.0, 5});
+  EXPECT_EQ(stream.size(), 0u);
+  EXPECT_EQ(stream.result().size(), 0u);
+  EXPECT_EQ(stream.guaranteed_core_lower_bound(), 0u);
+}
+
+TEST(Streaming, OfflineResultMatchesBatch) {
+  Dataset ds = gen_blobs(1500, 3, 4, 80.0, 3.0, 0.15, 3);
+  const DbscanParams prm{2.0, 5};
+  StreamingMuDbscan stream(3, prm);
+  stream.insert_batch(ds);
+  const auto& got = stream.result();
+  const auto want = mu_dbscan(ds, prm);
+  const auto rep = compare_exact(want, got);
+  EXPECT_TRUE(rep.exact()) << rep.detail;
+}
+
+TEST(Streaming, ExactAfterEveryCheckpoint) {
+  // Insert in waves; after each wave the offline result must equal the batch
+  // run over the prefix ingested so far.
+  Dataset ds = gen_galaxy(1200, GalaxyConfig{}, 7);
+  const DbscanParams prm{1.5, 5};
+  StreamingMuDbscan stream(3, prm);
+  const std::size_t wave = 400;
+  for (std::size_t start = 0; start < ds.size(); start += wave) {
+    for (std::size_t i = start; i < std::min(ds.size(), start + wave); ++i)
+      stream.insert(ds.point(static_cast<PointId>(i)));
+    std::vector<PointId> prefix_ids(std::min(ds.size(), start + wave));
+    for (std::size_t i = 0; i < prefix_ids.size(); ++i)
+      prefix_ids[i] = static_cast<PointId>(i);
+    const Dataset prefix = ds.select(prefix_ids);
+    const auto want = brute_dbscan(prefix, prm);
+    const auto rep = compare_exact(want, stream.result());
+    EXPECT_TRUE(rep.exact()) << "after " << prefix.size() << ": " << rep.detail;
+  }
+}
+
+TEST(Streaming, CacheInvalidatedByInsert) {
+  StreamingMuDbscan stream(1, {1.0, 2});
+  stream.insert(std::vector<double>{0.0});
+  EXPECT_EQ(stream.result().num_noise(), 1u);
+  stream.insert(std::vector<double>{0.5});
+  // Both points now core (each has 2 neighbors incl. itself).
+  EXPECT_EQ(stream.result().num_core(), 2u);
+  EXPECT_EQ(stream.result().num_clusters(), 1u);
+}
+
+TEST(Streaming, LowerBoundIsSoundAndUseful) {
+  Dataset ds = gen_blobs(3000, 2, 3, 30.0, 0.8, 0.1, 11);
+  const DbscanParams prm{1.0, 5};
+  StreamingMuDbscan stream(2, prm);
+  stream.insert_batch(ds);
+  const std::size_t bound = stream.guaranteed_core_lower_bound();
+  const std::size_t exact = stream.result().num_core();
+  EXPECT_LE(bound, exact);          // sound
+  EXPECT_GT(bound, exact / 10);     // and not vacuous on dense data
+}
+
+TEST(Streaming, LowerBoundMonotoneInIngestion) {
+  Dataset ds = gen_blobs(2000, 2, 2, 20.0, 0.6, 0.05, 13);
+  StreamingMuDbscan stream(2, {1.0, 5});
+  std::size_t prev = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    stream.insert(ds.point(static_cast<PointId>(i)));
+    if (i % 250 == 0) {
+      const std::size_t bound = stream.guaranteed_core_lower_bound();
+      EXPECT_GE(bound, prev);  // adding points never revokes a guarantee
+      prev = bound;
+    }
+  }
+}
+
+TEST(Streaming, CrossesChunkBoundaries) {
+  // More points than one storage chunk (4096) — pointers into earlier chunks
+  // must stay valid.
+  Dataset ds = gen_blobs(9000, 2, 3, 50.0, 2.0, 0.1, 17);
+  const DbscanParams prm{1.5, 5};
+  StreamingMuDbscan stream(2, prm);
+  stream.insert_batch(ds);
+  EXPECT_EQ(stream.size(), 9000u);
+  const auto want = mu_dbscan(ds, prm);
+  const auto rep = compare_exact(want, stream.result());
+  EXPECT_TRUE(rep.exact()) << rep.detail;
+}
+
+TEST(Streaming, McCountTracksStructure) {
+  StreamingMuDbscan stream(1, {1.0, 3});
+  stream.insert(std::vector<double>{0.0});
+  EXPECT_EQ(stream.num_mcs(), 1u);
+  stream.insert(std::vector<double>{0.5});  // joins MC(0)
+  EXPECT_EQ(stream.num_mcs(), 1u);
+  stream.insert(std::vector<double>{5.0});  // founds a new MC
+  EXPECT_EQ(stream.num_mcs(), 2u);
+}
+
+}  // namespace
+}  // namespace udb

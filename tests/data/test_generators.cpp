@@ -1,0 +1,119 @@
+#include "data/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace udb {
+namespace {
+
+TEST(Generators, UniformSizeDimAndBounds) {
+  Dataset ds = gen_uniform(1000, 4, -2.0, 3.0, 1);
+  EXPECT_EQ(ds.size(), 1000u);
+  EXPECT_EQ(ds.dim(), 4u);
+  for (double v : ds.raw()) {
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Generators, DeterministicForSameSeed) {
+  Dataset a = gen_blobs(500, 3, 4, 100.0, 2.0, 0.1, 42);
+  Dataset b = gen_blobs(500, 3, 4, 100.0, 2.0, 0.1, 42);
+  EXPECT_EQ(a.raw(), b.raw());
+}
+
+TEST(Generators, SeedChangesOutput) {
+  Dataset a = gen_blobs(100, 2, 3, 10.0, 1.0, 0.0, 1);
+  Dataset b = gen_blobs(100, 2, 3, 10.0, 1.0, 0.0, 2);
+  EXPECT_NE(a.raw(), b.raw());
+}
+
+TEST(Generators, BlobsRejectZeroClusters) {
+  EXPECT_THROW(gen_blobs(10, 2, 0, 1.0, 1.0, 0.0, 1), std::invalid_argument);
+}
+
+TEST(Generators, GalaxyShape) {
+  GalaxyConfig cfg;
+  Dataset ds = gen_galaxy(2000, cfg, 7);
+  EXPECT_EQ(ds.size(), 2000u);
+  EXPECT_EQ(ds.dim(), 3u);
+}
+
+TEST(Generators, GalaxyIsDeterministic) {
+  GalaxyConfig cfg;
+  EXPECT_EQ(gen_galaxy(300, cfg, 5).raw(), gen_galaxy(300, cfg, 5).raw());
+}
+
+TEST(Generators, GalaxyRejectsZeroHalos) {
+  GalaxyConfig cfg;
+  cfg.halos = 0;
+  EXPECT_THROW(gen_galaxy(10, cfg, 1), std::invalid_argument);
+}
+
+TEST(Generators, RoadnetIsQuasiPlanar) {
+  RoadnetConfig cfg;
+  Dataset ds = gen_roadnet(3000, cfg, 11);
+  EXPECT_EQ(ds.dim(), 3u);
+  EXPECT_EQ(ds.size(), 3000u);
+  // z (altitude) stays in a narrow band: quasi-2D manifold.
+  double zmin = 1e9, zmax = -1e9;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    zmin = std::min(zmin, ds.coord(static_cast<PointId>(i), 2));
+    zmax = std::max(zmax, ds.coord(static_cast<PointId>(i), 2));
+  }
+  EXPECT_LT(zmax - zmin, cfg.z_range + 10 * cfg.jitter);
+}
+
+TEST(Generators, RoadnetRejectsTooFewWaypoints) {
+  RoadnetConfig cfg;
+  cfg.waypoints = 1;
+  EXPECT_THROW(gen_roadnet(10, cfg, 1), std::invalid_argument);
+}
+
+TEST(Generators, HighDimShapeAndDeterminism) {
+  HighDimConfig cfg;
+  cfg.dim = 24;
+  Dataset ds = gen_highdim(500, cfg, 3);
+  EXPECT_EQ(ds.dim(), 24u);
+  EXPECT_EQ(ds.size(), 500u);
+  EXPECT_EQ(ds.raw(), gen_highdim(500, cfg, 3).raw());
+}
+
+TEST(Generators, HighDimProjectionSweepSharesPrefix) {
+  // The Fig. 6 sweep projects one dataset; prefix coordinates must agree.
+  HighDimConfig cfg;
+  cfg.dim = 74;
+  Dataset full = gen_highdim(100, cfg, 9);
+  Dataset d14 = full.project(14);
+  for (std::size_t i = 0; i < 100; ++i)
+    for (std::size_t k = 0; k < 14; ++k)
+      EXPECT_EQ(d14.coord(static_cast<PointId>(i), k),
+                full.coord(static_cast<PointId>(i), k));
+}
+
+TEST(Generators, TwoMoonsIs2D) {
+  Dataset ds = gen_two_moons(400, 0.05, 21);
+  EXPECT_EQ(ds.dim(), 2u);
+  EXPECT_EQ(ds.size(), 400u);
+}
+
+TEST(Generators, RingsRadialStructure) {
+  Dataset ds = gen_rings(2000, 2, 0.02, 23);
+  EXPECT_EQ(ds.dim(), 2u);
+  // Most points sit near radius 1 or 2.
+  std::size_t near = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const double r = std::hypot(ds.coord(static_cast<PointId>(i), 0),
+                                ds.coord(static_cast<PointId>(i), 1));
+    if (std::abs(r - 1.0) < 0.15 || std::abs(r - 2.0) < 0.15) ++near;
+  }
+  EXPECT_GT(near, ds.size() * 8 / 10);
+}
+
+TEST(Generators, RingsRejectZeroRings) {
+  EXPECT_THROW(gen_rings(10, 0, 0.1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace udb

@@ -1,0 +1,55 @@
+#include "data/named.hpp"
+
+#include <gtest/gtest.h>
+
+namespace udb {
+namespace {
+
+TEST(NamedDataset, UnknownNameThrows) {
+  EXPECT_THROW(make_named_dataset("NOPE"), std::invalid_argument);
+}
+
+TEST(NamedDataset, ScaleShrinksPointCount) {
+  NamedDataset big = make_named_dataset("MPAGB", 0.1);
+  NamedDataset small = make_named_dataset("MPAGB", 0.05);
+  EXPECT_GT(big.data.size(), small.data.size());
+  EXPECT_NEAR(static_cast<double>(big.data.size()),
+              2.0 * static_cast<double>(small.data.size()),
+              static_cast<double>(small.data.size()) * 0.1);
+}
+
+TEST(NamedDataset, ScaleFloorsAtMinimum) {
+  NamedDataset tiny = make_named_dataset("FOF", 1e-9);
+  EXPECT_GE(tiny.data.size(), 16u);
+}
+
+TEST(NamedDataset, DeterministicAcrossCalls) {
+  NamedDataset a = make_named_dataset("3DSRN", 0.02);
+  NamedDataset b = make_named_dataset("3DSRN", 0.02);
+  EXPECT_EQ(a.data.raw(), b.data.raw());
+}
+
+TEST(NamedDataset, KddFamilyDimensions) {
+  EXPECT_EQ(make_named_dataset("KDDB14", 0.05).data.dim(), 14u);
+  EXPECT_EQ(make_named_dataset("KDDB24", 0.05).data.dim(), 24u);
+  EXPECT_EQ(make_named_dataset("KDDB44", 0.05).data.dim(), 44u);
+  EXPECT_EQ(make_named_dataset("KDDB74", 0.05).data.dim(), 74u);
+}
+
+class NamedDatasetAll : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(NamedDatasetAll, ConstructsWithSaneParameters) {
+  NamedDataset nd = make_named_dataset(GetParam(), 0.02);
+  EXPECT_EQ(nd.name, GetParam() + "-S");
+  EXPECT_FALSE(nd.paper_name.empty());
+  EXPECT_GT(nd.data.size(), 0u);
+  EXPECT_GT(nd.data.dim(), 0u);
+  EXPECT_GT(nd.params.eps, 0.0);
+  EXPECT_GE(nd.params.min_pts, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, NamedDatasetAll,
+                         ::testing::ValuesIn(named_dataset_names()));
+
+}  // namespace
+}  // namespace udb

@@ -1,0 +1,47 @@
+// Future-work extensions (paper Section VII): intra-node multicore
+// µDBSCAN-SM. The decomposition is µDBSCAN-D's; only the cost model changes,
+// so exactness must be untouched and the modeled communication cheaper.
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_dbscan.hpp"
+#include "data/generators.hpp"
+#include "dist/mudbscan_sm.hpp"
+#include "metrics/exactness.hpp"
+
+namespace udb {
+namespace {
+
+class MuDbscanSmExactness : public ::testing::TestWithParam<int> {};
+
+TEST_P(MuDbscanSmExactness, MatchesBrute) {
+  const int threads = GetParam();
+  Dataset ds = gen_galaxy(900, GalaxyConfig{}, 31);
+  const DbscanParams prm{1.5, 5};
+  const auto truth = brute_dbscan(ds, prm);
+  const auto got = mudbscan_sm(ds, prm, threads);
+  const auto rep = compare_exact(truth, got);
+  EXPECT_TRUE(rep.exact()) << rep.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, MuDbscanSmExactness,
+                         ::testing::Values(1, 2, 4, 6));
+
+TEST(MuDbscanSm, ReportsStats) {
+  Dataset ds = gen_blobs(1000, 3, 4, 60.0, 3.0, 0.1, 37);
+  MuDbscanDStats st;
+  (void)mudbscan_sm(ds, {2.0, 5}, 4, &st);
+  EXPECT_GT(st.total(), 0.0);
+  EXPECT_GT(st.queries_performed, 0u);
+}
+
+TEST(MuDbscanSm, IntraNodeCostIsCheaperThanInterconnect) {
+  // Same data, same ranks, different transport: the shared-memory model must
+  // not make the total time larger than the interconnect model by more than
+  // noise (its alpha/beta are strictly smaller).
+  EXPECT_LT(kIntraNodeCost.alpha, mpi::CostModel{}.alpha);
+  EXPECT_LT(kIntraNodeCost.beta, mpi::CostModel{}.beta);
+}
+
+}  // namespace
+}  // namespace udb

@@ -1,0 +1,121 @@
+#include "dist/halo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/distance.hpp"
+#include "data/generators.hpp"
+#include "dist/kd_partition.hpp"
+
+namespace udb {
+namespace {
+
+struct HaloOutcome {
+  std::vector<std::vector<std::uint64_t>> local_gids;
+  std::vector<std::vector<std::uint64_t>> halo_gids;
+  std::vector<std::vector<int>> halo_owner;
+};
+
+HaloOutcome run_halo(const Dataset& ds, int p, double eps) {
+  mpi::Runtime rt(p);
+  HaloOutcome out;
+  out.local_gids.resize(static_cast<std::size_t>(p));
+  out.halo_gids.resize(static_cast<std::size_t>(p));
+  out.halo_owner.resize(static_cast<std::size_t>(p));
+  std::mutex mu;
+  rt.run([&](mpi::Comm& c) {
+    const std::size_t n = ds.size();
+    const std::size_t lo = n * static_cast<std::size_t>(c.rank()) /
+                           static_cast<std::size_t>(p);
+    const std::size_t hi = n * (static_cast<std::size_t>(c.rank()) + 1) /
+                           static_cast<std::size_t>(p);
+    std::vector<double> coords(
+        ds.raw().begin() + static_cast<std::ptrdiff_t>(lo * ds.dim()),
+        ds.raw().begin() + static_cast<std::ptrdiff_t>(hi * ds.dim()));
+    std::vector<std::uint64_t> gids(hi - lo);
+    for (std::size_t i = 0; i < gids.size(); ++i) gids[i] = lo + i;
+    PartitionResult part =
+        kd_partition(c, ds.dim(), std::move(coords), std::move(gids));
+    HaloResult halo = exchange_halo(c, ds.dim(), part.coords, part.gids, eps);
+    std::lock_guard<std::mutex> lock(mu);
+    out.local_gids[static_cast<std::size_t>(c.rank())] = std::move(part.gids);
+    out.halo_gids[static_cast<std::size_t>(c.rank())] = std::move(halo.gids);
+    out.halo_owner[static_cast<std::size_t>(c.rank())] = std::move(halo.owner);
+  });
+  return out;
+}
+
+class HaloRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(HaloRanks, HaloIsComplete) {
+  // Completeness: for every pair (x local to rank r, y local to rank s != r)
+  // with dist(x, y) < eps, y must appear in r's halo.
+  const int p = GetParam();
+  const double eps = 2.0;
+  Dataset ds = gen_blobs(800, 3, 4, 60.0, 4.0, 0.2, 17);
+  const auto out = run_halo(ds, p, eps);
+
+  std::vector<int> owner_of(ds.size(), -1);
+  for (int r = 0; r < p; ++r)
+    for (std::uint64_t g : out.local_gids[static_cast<std::size_t>(r)])
+      owner_of[g] = r;
+
+  const double eps2 = eps * eps;
+  for (int r = 0; r < p; ++r) {
+    std::vector<std::uint64_t> halo =
+        out.halo_gids[static_cast<std::size_t>(r)];
+    std::sort(halo.begin(), halo.end());
+    for (std::uint64_t gx : out.local_gids[static_cast<std::size_t>(r)]) {
+      for (std::size_t gy = 0; gy < ds.size(); ++gy) {
+        if (owner_of[gy] == r) continue;
+        if (sq_dist(ds.ptr(static_cast<PointId>(gx)),
+                    ds.ptr(static_cast<PointId>(gy)), ds.dim()) < eps2) {
+          EXPECT_TRUE(std::binary_search(halo.begin(), halo.end(), gy))
+              << "rank " << r << " missing halo point " << gy;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(HaloRanks, OwnersAreCorrect) {
+  const int p = GetParam();
+  Dataset ds = gen_blobs(600, 2, 3, 40.0, 3.0, 0.2, 19);
+  const auto out = run_halo(ds, p, 1.5);
+
+  std::vector<int> owner_of(ds.size(), -1);
+  for (int r = 0; r < p; ++r)
+    for (std::uint64_t g : out.local_gids[static_cast<std::size_t>(r)])
+      owner_of[g] = r;
+
+  for (int r = 0; r < p; ++r) {
+    const auto& gids = out.halo_gids[static_cast<std::size_t>(r)];
+    const auto& owners = out.halo_owner[static_cast<std::size_t>(r)];
+    ASSERT_EQ(gids.size(), owners.size());
+    for (std::size_t i = 0; i < gids.size(); ++i) {
+      EXPECT_EQ(owners[i], owner_of[gids[i]]);
+      EXPECT_NE(owners[i], r) << "own point in own halo";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, HaloRanks, ::testing::Values(2, 3, 4, 8));
+
+TEST(Halo, SingleRankHasEmptyHalo) {
+  Dataset ds = gen_uniform(100, 2, 0.0, 10.0, 21);
+  const auto out = run_halo(ds, 1, 1.0);
+  EXPECT_TRUE(out.halo_gids[0].empty());
+}
+
+TEST(Halo, EmptyRanksAreHarmless) {
+  Dataset ds(2, {0.0, 0.0, 0.1, 0.1});  // 2 points, 4 ranks
+  const auto out = run_halo(ds, 4, 1.0);
+  std::size_t total_local = 0;
+  for (const auto& g : out.local_gids) total_local += g.size();
+  EXPECT_EQ(total_local, 2u);
+}
+
+}  // namespace
+}  // namespace udb

@@ -1,0 +1,139 @@
+#include "dist/kd_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+
+#include "data/generators.hpp"
+
+namespace udb {
+namespace {
+
+struct PartitionOutcome {
+  std::vector<std::vector<std::uint64_t>> gids_per_rank;
+  std::vector<std::vector<double>> coords_per_rank;
+};
+
+PartitionOutcome run_partition(const Dataset& ds, int p) {
+  mpi::Runtime rt(p);
+  PartitionOutcome out;
+  out.gids_per_rank.resize(static_cast<std::size_t>(p));
+  out.coords_per_rank.resize(static_cast<std::size_t>(p));
+  std::mutex mu;
+  rt.run([&](mpi::Comm& c) {
+    const std::size_t n = ds.size();
+    const std::size_t lo = n * static_cast<std::size_t>(c.rank()) /
+                           static_cast<std::size_t>(p);
+    const std::size_t hi = n * (static_cast<std::size_t>(c.rank()) + 1) /
+                           static_cast<std::size_t>(p);
+    std::vector<double> coords(
+        ds.raw().begin() + static_cast<std::ptrdiff_t>(lo * ds.dim()),
+        ds.raw().begin() + static_cast<std::ptrdiff_t>(hi * ds.dim()));
+    std::vector<std::uint64_t> gids(hi - lo);
+    for (std::size_t i = 0; i < gids.size(); ++i) gids[i] = lo + i;
+    PartitionResult r =
+        kd_partition(c, ds.dim(), std::move(coords), std::move(gids));
+    std::lock_guard<std::mutex> lock(mu);
+    out.gids_per_rank[static_cast<std::size_t>(c.rank())] = std::move(r.gids);
+    out.coords_per_rank[static_cast<std::size_t>(c.rank())] =
+        std::move(r.coords);
+  });
+  return out;
+}
+
+class KdPartitionRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(KdPartitionRanks, PointsArePreservedExactlyOnce) {
+  const int p = GetParam();
+  Dataset ds = gen_blobs(1200, 3, 4, 100.0, 5.0, 0.2, 7);
+  const auto out = run_partition(ds, p);
+
+  std::vector<std::uint64_t> all;
+  for (const auto& g : out.gids_per_rank)
+    all.insert(all.end(), g.begin(), g.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), ds.size());
+  for (std::size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST_P(KdPartitionRanks, CoordinatesTravelWithGids) {
+  const int p = GetParam();
+  Dataset ds = gen_uniform(600, 2, -10.0, 10.0, 9);
+  const auto out = run_partition(ds, p);
+  for (int r = 0; r < p; ++r) {
+    const auto& gids = out.gids_per_rank[static_cast<std::size_t>(r)];
+    const auto& coords = out.coords_per_rank[static_cast<std::size_t>(r)];
+    ASSERT_EQ(coords.size(), gids.size() * ds.dim());
+    for (std::size_t i = 0; i < gids.size(); ++i)
+      for (std::size_t k = 0; k < ds.dim(); ++k)
+        EXPECT_EQ(coords[i * ds.dim() + k],
+                  ds.coord(static_cast<PointId>(gids[i]), k));
+  }
+}
+
+TEST_P(KdPartitionRanks, LoadIsRoughlyBalanced) {
+  const int p = GetParam();
+  Dataset ds = gen_blobs(2000, 3, 5, 100.0, 4.0, 0.1, 11);
+  const auto out = run_partition(ds, p);
+  const double ideal = static_cast<double>(ds.size()) / p;
+  for (int r = 0; r < p; ++r) {
+    const double sz =
+        static_cast<double>(out.gids_per_rank[static_cast<std::size_t>(r)].size());
+    EXPECT_GT(sz, ideal * 0.3) << "rank " << r;
+    EXPECT_LT(sz, ideal * 3.0) << "rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, KdPartitionRanks,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16));
+
+TEST(KdPartition, SpatiallySeparatesAlongFirstSplit) {
+  // With p = 2 and a dominant-spread x axis, rank 0 must end with the lower
+  // x half and rank 1 with the upper half (up to sampling error).
+  Dataset wide = gen_uniform(2000, 2, 0.0, 1.0, 13);
+  std::vector<double> coords = wide.raw();
+  for (std::size_t i = 0; i < coords.size(); i += 2) coords[i] *= 100.0;
+  Dataset ds(2, std::move(coords));
+  const auto out = run_partition(ds, 2);
+  double max0 = -1e18, min1 = 1e18;
+  for (std::size_t i = 0; i < out.gids_per_rank[0].size(); ++i)
+    max0 = std::max(max0, out.coords_per_rank[0][i * 2]);
+  for (std::size_t i = 0; i < out.gids_per_rank[1].size(); ++i)
+    min1 = std::min(min1, out.coords_per_rank[1][i * 2]);
+  EXPECT_LE(max0, min1 + 1e-9);  // disjoint halves along x
+}
+
+TEST(KdPartition, HandlesEmptyInitialBlocks) {
+  // More ranks than points: some blocks start empty; partitioning must not
+  // hang or lose the points.
+  Dataset ds(2, {0.0, 0.0, 10.0, 10.0, 20.0, 20.0});
+  const auto out = run_partition(ds, 8);
+  std::size_t total = 0;
+  for (const auto& g : out.gids_per_rank) total += g.size();
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(KdPartition, RejectsMismatchedBuffers) {
+  mpi::Runtime rt(1);
+  EXPECT_THROW(rt.run([](mpi::Comm& c) {
+                 (void)kd_partition(c, 2, {1.0, 2.0, 3.0}, {0});
+               }),
+               std::invalid_argument);
+}
+
+TEST(KdPartition, DuplicateCoordinatesSurvive) {
+  std::vector<double> coords;
+  for (int i = 0; i < 100; ++i) {
+    coords.push_back(5.0);
+    coords.push_back(5.0);
+  }
+  Dataset ds(2, std::move(coords));
+  const auto out = run_partition(ds, 4);
+  std::size_t total = 0;
+  for (const auto& g : out.gids_per_rank) total += g.size();
+  EXPECT_EQ(total, 100u);
+}
+
+}  // namespace
+}  // namespace udb

@@ -1,0 +1,238 @@
+// Direct tests of the merge protocol (dist/merge.cpp), driving
+// merge_local_clusterings with hand-built local states so that every
+// protocol path is exercised deliberately:
+//   * core-core union pairs across ranks,
+//   * border adoption at the owner (incoming core edge),
+//   * border adoption via reply (outgoing non-core edge),
+//   * unanchored local components adopting a remote cluster identity,
+//   * noise that stays noise.
+
+#include "dist/merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "mpi/minimpi.hpp"
+
+namespace udb {
+namespace {
+
+// Harness: a 1-D world split between two ranks at x = 0. Each rank gets its
+// own local points plus the other's points within eps as halo, and full
+// control over core/assigned/union state.
+struct RankState {
+  std::vector<double> local;             // local coordinates (1-D)
+  std::vector<std::uint64_t> local_gids;
+  std::vector<double> halo;              // halo coordinates
+  std::vector<std::uint64_t> halo_gids;
+  std::vector<std::uint8_t> core;        // over local+halo
+  std::vector<std::uint8_t> assigned;    // over local+halo
+  std::vector<std::pair<PointId, PointId>> unions;  // applied before merge
+};
+
+struct MergeOutcome {
+  std::vector<std::int64_t> label[2];
+  std::vector<std::uint8_t> core[2];
+};
+
+MergeOutcome run_merge(const RankState states[2], double eps) {
+  mpi::Runtime rt(2);
+  MergeOutcome outcome;
+  std::mutex mu;
+  rt.run([&](mpi::Comm& comm) {
+    const RankState& st = states[comm.rank()];
+    const std::size_t n_local = st.local.size();
+    const std::size_t n_total = n_local + st.halo.size();
+
+    std::vector<double> coords = st.local;
+    coords.insert(coords.end(), st.halo.begin(), st.halo.end());
+    std::vector<std::uint64_t> gids = st.local_gids;
+    gids.insert(gids.end(), st.halo_gids.begin(), st.halo_gids.end());
+    std::vector<int> halo_owner(st.halo.size(), 1 - comm.rank());
+
+    // Rank bounding boxes from the local points.
+    std::vector<Box> boxes;
+    for (int r = 0; r < 2; ++r) {
+      Box b(1);
+      for (double x : states[r].local)
+        b.expand(std::span<const double>(&x, 1));
+      boxes.push_back(std::move(b));
+    }
+
+    UnionFind uf(n_total);
+    for (const auto& [a, b] : st.unions) uf.union_sets(a, b);
+    std::vector<std::uint8_t> core = st.core;
+    std::vector<std::uint8_t> assigned = st.assigned;
+
+    DistClustering local = merge_local_clusterings(
+        comm, 1, eps, coords, n_local, gids, halo_owner, boxes, uf, core,
+        assigned);
+
+    std::lock_guard<std::mutex> lock(mu);
+    outcome.label[comm.rank()] = std::move(local.label);
+    outcome.core[comm.rank()] = std::move(local.is_core);
+  });
+  return outcome;
+}
+
+TEST(MergeProtocol, CoreCorePairUnifiesAcrossRanks) {
+  // Rank 0: core at -0.2 (gid 0); rank 1: core at +0.2 (gid 10); eps = 1.
+  // Both see the other as halo; the pair must end with one global label.
+  RankState st[2];
+  st[0].local = {-0.2};
+  st[0].local_gids = {0};
+  st[0].halo = {0.2};
+  st[0].halo_gids = {10};
+  st[0].core = {1, 0};      // own point core; halo unknown locally
+  st[0].assigned = {1, 0};
+  st[1].local = {0.2};
+  st[1].local_gids = {10};
+  st[1].halo = {-0.2};
+  st[1].halo_gids = {0};
+  st[1].core = {1, 0};
+  st[1].assigned = {1, 0};
+
+  const auto out = run_merge(st, 1.0);
+  ASSERT_EQ(out.label[0].size(), 1u);
+  ASSERT_EQ(out.label[1].size(), 1u);
+  EXPECT_EQ(out.label[0][0], out.label[1][0]);
+  EXPECT_NE(out.label[0][0], kNoise);
+}
+
+TEST(MergeProtocol, SeparatedCoresStaySeparate) {
+  // Cores farther apart than eps: labels must differ.
+  RankState st[2];
+  st[0].local = {-2.0};
+  st[0].local_gids = {0};
+  st[0].core = {1};
+  st[0].assigned = {1};
+  st[1].local = {2.0};
+  st[1].local_gids = {10};
+  st[1].core = {1};
+  st[1].assigned = {1};
+
+  const auto out = run_merge(st, 1.0);
+  EXPECT_NE(out.label[0][0], out.label[1][0]);
+}
+
+TEST(MergeProtocol, LocalNoiseBecomesBorderOfRemoteCore) {
+  // Rank 0 owns a point it decided is noise (non-core, unassigned); rank 1
+  // owns a core within eps. The reply path must upgrade it to border with
+  // the remote cluster's label.
+  RankState st[2];
+  st[0].local = {-0.1};
+  st[0].local_gids = {0};
+  st[0].halo = {0.3};
+  st[0].halo_gids = {10};
+  st[0].core = {0, 0};      // local noise; halo core status unknown locally
+  st[0].assigned = {0, 0};
+  st[1].local = {0.3};
+  st[1].local_gids = {10};
+  st[1].halo = {-0.1};
+  st[1].halo_gids = {0};
+  st[1].core = {1, 0};
+  st[1].assigned = {1, 0};
+
+  const auto out = run_merge(st, 1.0);
+  EXPECT_NE(out.label[0][0], kNoise) << "noise not upgraded to border";
+  EXPECT_EQ(out.label[0][0], out.label[1][0]);
+  EXPECT_EQ(out.core[0][0], 0);  // still not core
+}
+
+TEST(MergeProtocol, TrueNoiseStaysNoise) {
+  // Non-core point with a non-core remote neighbor: nothing to adopt.
+  RankState st[2];
+  st[0].local = {-0.1};
+  st[0].local_gids = {0};
+  st[0].halo = {0.3};
+  st[0].halo_gids = {10};
+  st[0].core = {0, 0};
+  st[0].assigned = {0, 0};
+  st[1].local = {0.3};
+  st[1].local_gids = {10};
+  st[1].halo = {-0.1};
+  st[1].halo_gids = {0};
+  st[1].core = {0, 0};
+  st[1].assigned = {0, 0};
+
+  const auto out = run_merge(st, 1.0);
+  EXPECT_EQ(out.label[0][0], kNoise);
+  EXPECT_EQ(out.label[1][0], kNoise);
+}
+
+TEST(MergeProtocol, UnanchoredComponentAdoptsRemoteIdentity) {
+  // Rank 0 holds two border points united with a halo core (a local
+  // component with no local core). Both must adopt the remote cluster's
+  // global label.
+  RankState st[2];
+  st[0].local = {-0.1, -0.2};
+  st[0].local_gids = {0, 1};
+  st[0].halo = {0.3};
+  st[0].halo_gids = {10};
+  st[0].core = {0, 0, 1};       // halo point known core locally (e.g. DMC)
+  st[0].assigned = {1, 1, 1};
+  st[0].unions = {{0, 2}, {1, 2}};  // both borders united with the halo core
+  st[1].local = {0.3};
+  st[1].local_gids = {10};
+  st[1].halo = {-0.1, -0.2};
+  st[1].halo_gids = {0, 1};
+  st[1].core = {1, 0, 0};
+  st[1].assigned = {1, 0, 0};
+
+  const auto out = run_merge(st, 1.0);
+  EXPECT_EQ(out.label[0][0], out.label[1][0]);
+  EXPECT_EQ(out.label[0][1], out.label[1][0]);
+  EXPECT_EQ(out.core[0][0], 0);
+  EXPECT_EQ(out.core[1][0], 1);
+}
+
+TEST(MergeProtocol, RemoteBorderAdoptedAtOwner) {
+  // Rank 1 owns a lone non-core point; rank 0's core sees it within eps.
+  // The owner-side adoption path (incoming core edge, non-core y) must
+  // attach it to rank 0's cluster.
+  RankState st[2];
+  st[0].local = {-0.1};
+  st[0].local_gids = {0};
+  st[0].halo = {0.5};
+  st[0].halo_gids = {10};
+  st[0].core = {1, 0};
+  st[0].assigned = {1, 0};
+  st[1].local = {0.5};
+  st[1].local_gids = {10};
+  st[1].halo = {-0.1};
+  st[1].halo_gids = {0};
+  st[1].core = {0, 0};  // y undercounted locally: not core at its owner
+  st[1].assigned = {0, 0};
+
+  const auto out = run_merge(st, 1.0);
+  EXPECT_EQ(out.label[1][0], out.label[0][0]);
+  EXPECT_NE(out.label[1][0], kNoise);
+}
+
+TEST(MergeProtocol, TransitiveChainAcrossManyPairs) {
+  // Chain of cores alternating ownership: gid 0 (r0) - gid 10 (r1) - gid 1
+  // (r0) - gid 11 (r1); adjacent distances < eps. All four must share one
+  // label through transitive pair resolution.
+  RankState st[2];
+  st[0].local = {-0.3, 0.5};
+  st[0].local_gids = {0, 1};
+  st[0].halo = {0.1, 0.9};
+  st[0].halo_gids = {10, 11};
+  st[0].core = {1, 1, 0, 0};
+  st[0].assigned = {1, 1, 0, 0};
+  st[1].local = {0.1, 0.9};
+  st[1].local_gids = {10, 11};
+  st[1].halo = {-0.3, 0.5};
+  st[1].halo_gids = {0, 1};
+  st[1].core = {1, 1, 0, 0};
+  st[1].assigned = {1, 1, 0, 0};
+
+  const auto out = run_merge(st, 0.45);
+  EXPECT_EQ(out.label[0][0], out.label[1][0]);
+  EXPECT_EQ(out.label[0][1], out.label[1][1]);
+  EXPECT_EQ(out.label[0][0], out.label[0][1]);
+}
+
+}  // namespace
+}  // namespace udb

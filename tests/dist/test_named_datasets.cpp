@@ -1,0 +1,43 @@
+// Cross-cutting sweep: every named dataset analog, at test scale, must
+// produce identical clusterings from sequential µDBSCAN and µDBSCAN-D —
+// i.e. the paper's exactness holds on exactly the data profiles the benches
+// measure (galaxy, road network, high-dimensional, dense and sparse).
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_dbscan.hpp"
+#include "core/mudbscan.hpp"
+#include "data/named.hpp"
+#include "dist/mudbscan_d.hpp"
+#include "metrics/exactness.hpp"
+
+namespace udb {
+namespace {
+
+class NamedDatasetExactness : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(NamedDatasetExactness, MuDbscanMatchesBrute) {
+  // Scale chosen so brute force (O(n^2)) stays test-friendly.
+  NamedDataset nd = make_named_dataset(GetParam(), 0.03);
+  const auto truth = brute_dbscan(nd.data, nd.params);
+  const auto got = mu_dbscan(nd.data, nd.params);
+  const auto rep = compare_exact(truth, got);
+  EXPECT_TRUE(rep.exact()) << rep.detail;
+}
+
+TEST_P(NamedDatasetExactness, DistributedMatchesSequential) {
+  NamedDataset nd = make_named_dataset(GetParam(), 0.05);
+  const auto seq = mu_dbscan(nd.data, nd.params);
+  const auto par = mudbscan_d(nd.data, nd.params, 5);
+  const auto rep = compare_exact(seq, par);
+  EXPECT_TRUE(rep.exact()) << rep.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, NamedDatasetExactness,
+                         ::testing::Values("3DSRN", "DGB", "HHP", "MPAGB",
+                                           "FOF", "MPAGD", "KDDB14",
+                                           "KDDB24", "FOF28M14D",
+                                           "MPAGD100M"));
+
+}  // namespace
+}  // namespace udb

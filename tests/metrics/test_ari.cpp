@@ -1,0 +1,62 @@
+#include "metrics/ari.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace udb {
+namespace {
+
+TEST(Ari, IdenticalLabelingsScoreOne) {
+  const std::vector<std::int64_t> a{0, 0, 1, 1, 2};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, a), 1.0);
+}
+
+TEST(Ari, RenamedLabelingsScoreOne) {
+  const std::vector<std::int64_t> a{0, 0, 1, 1};
+  const std::vector<std::int64_t> b{9, 9, 4, 4};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, b), 1.0);
+}
+
+TEST(Ari, SizeMismatchThrows) {
+  EXPECT_THROW((void)adjusted_rand_index({0}, {0, 1}),
+               std::invalid_argument);
+}
+
+TEST(Ari, EmptyIsOne) {
+  EXPECT_DOUBLE_EQ(adjusted_rand_index({}, {}), 1.0);
+}
+
+TEST(Ari, KnownSmallExample) {
+  // Classic textbook value: ARI of this pair is 0.24242...
+  const std::vector<std::int64_t> a{0, 0, 0, 1, 1, 1};
+  const std::vector<std::int64_t> b{0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(adjusted_rand_index(a, b), 0.2424242424, 1e-9);
+}
+
+TEST(Ari, IndependentLabelingsNearZero) {
+  Rng rng(5);
+  std::vector<std::int64_t> a(5000), b(5000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<std::int64_t>(rng.uniform_index(5));
+    b[i] = static_cast<std::int64_t>(rng.uniform_index(5));
+  }
+  EXPECT_NEAR(adjusted_rand_index(a, b), 0.0, 0.02);
+}
+
+TEST(Ari, PartialAgreementBetweenZeroAndOne) {
+  const std::vector<std::int64_t> a{0, 0, 0, 0, 1, 1, 1, 1};
+  const std::vector<std::int64_t> b{0, 0, 0, 1, 1, 1, 1, 1};
+  const double v = adjusted_rand_index(a, b);
+  EXPECT_GT(v, 0.0);
+  EXPECT_LT(v, 1.0);
+}
+
+TEST(Ari, SymmetricInArguments) {
+  const std::vector<std::int64_t> a{0, 1, 0, 2, 1, 2};
+  const std::vector<std::int64_t> b{1, 1, 0, 0, 2, 2};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, b), adjusted_rand_index(b, a));
+}
+
+}  // namespace
+}  // namespace udb

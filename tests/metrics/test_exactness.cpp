@@ -1,0 +1,94 @@
+#include "metrics/exactness.hpp"
+
+#include <gtest/gtest.h>
+
+namespace udb {
+namespace {
+
+ClusteringResult make(std::vector<std::int64_t> label,
+                      std::vector<std::uint8_t> core) {
+  ClusteringResult r;
+  r.label = std::move(label);
+  r.is_core = std::move(core);
+  return r;
+}
+
+TEST(Exactness, IdenticalClusteringsAreExact) {
+  auto a = make({0, 0, 1, kNoise}, {1, 0, 1, 0});
+  EXPECT_TRUE(compare_exact(a, a).exact());
+}
+
+TEST(Exactness, LabelRenamingIsExact) {
+  auto a = make({0, 0, 1, kNoise}, {1, 0, 1, 0});
+  auto b = make({7, 7, 3, kNoise}, {1, 0, 1, 0});
+  EXPECT_TRUE(compare_exact(a, b).exact());
+}
+
+TEST(Exactness, CoreFlagMismatchDetected) {
+  auto a = make({0, 0}, {1, 0});
+  auto b = make({0, 0}, {1, 1});
+  const auto rep = compare_exact(a, b);
+  EXPECT_FALSE(rep.exact());
+  EXPECT_FALSE(rep.core_sets_equal);
+}
+
+TEST(Exactness, CorePartitionSplitDetected) {
+  // Two cores in one cluster vs two clusters.
+  auto a = make({0, 0}, {1, 1});
+  auto b = make({0, 1}, {1, 1});
+  const auto rep = compare_exact(a, b);
+  EXPECT_FALSE(rep.exact());
+  EXPECT_FALSE(rep.core_partitions_equal);
+}
+
+TEST(Exactness, CorePartitionMergeDetected) {
+  auto a = make({0, 1}, {1, 1});
+  auto b = make({5, 5}, {1, 1});
+  EXPECT_FALSE(compare_exact(a, b).exact());
+}
+
+TEST(Exactness, BorderMembershipMayDiffer) {
+  // Point 2 is border: cluster 0 in `a`, cluster 1 in `b`. Still exact.
+  auto a = make({0, 1, 0}, {1, 1, 0});
+  auto b = make({0, 1, 1}, {1, 1, 0});
+  EXPECT_TRUE(compare_exact(a, b).exact());
+}
+
+TEST(Exactness, NoiseVsBorderDetected) {
+  auto a = make({0, 0}, {1, 0});
+  auto b = make({0, kNoise}, {1, 0});
+  const auto rep = compare_exact(a, b);
+  EXPECT_FALSE(rep.exact());
+  EXPECT_FALSE(rep.noise_sets_equal);
+}
+
+TEST(Exactness, CoreLabeledNoiseIsError) {
+  auto a = make({0}, {1});
+  auto b = make({kNoise}, {1});
+  EXPECT_FALSE(compare_exact(a, b).exact());
+}
+
+TEST(Exactness, SizeMismatchIsNotExact) {
+  auto a = make({0}, {1});
+  auto b = make({0, 0}, {1, 1});
+  EXPECT_FALSE(compare_exact(a, b).exact());
+}
+
+TEST(Exactness, EmptyClusteringsAreExact) {
+  auto a = make({}, {});
+  EXPECT_TRUE(compare_exact(a, a).exact());
+}
+
+TEST(ClusteringResult, DerivedCounts) {
+  auto a = make({0, 0, 1, kNoise, 1}, {1, 0, 1, 0, 1});
+  EXPECT_EQ(a.num_clusters(), 2u);
+  EXPECT_EQ(a.num_core(), 3u);
+  EXPECT_EQ(a.num_border(), 1u);
+  EXPECT_EQ(a.num_noise(), 1u);
+  EXPECT_EQ(a.kind(1), PointKind::Border);
+  EXPECT_EQ(a.kind(3), PointKind::Noise);
+  EXPECT_EQ(a.kind(4), PointKind::Core);
+}
+
+}  // namespace
+}  // namespace udb

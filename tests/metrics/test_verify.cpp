@@ -1,0 +1,140 @@
+// The first-principles DBSCAN verifier must accept genuine DBSCAN output and
+// pinpoint each corrupted condition.
+
+#include "metrics/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_dbscan.hpp"
+#include "baselines/qi_dbscan.hpp"
+#include "core/mudbscan.hpp"
+#include "data/generators.hpp"
+
+namespace udb {
+namespace {
+
+TEST(Verify, AcceptsBruteForceOutput) {
+  Dataset ds = gen_blobs(400, 3, 4, 60.0, 3.0, 0.15, 3);
+  const DbscanParams prm{2.0, 5};
+  const auto rep = verify_dbscan(ds, prm, brute_dbscan(ds, prm));
+  EXPECT_TRUE(rep.valid()) << rep.detail;
+}
+
+TEST(Verify, AcceptsMuDbscanOutput) {
+  Dataset ds = gen_galaxy(600, GalaxyConfig{}, 5);
+  const DbscanParams prm{1.5, 5};
+  const auto rep = verify_dbscan(ds, prm, mu_dbscan(ds, prm));
+  EXPECT_TRUE(rep.valid()) << rep.detail;
+}
+
+TEST(Verify, RejectsSizeMismatch) {
+  Dataset ds(1, {0.0, 1.0});
+  ClusteringResult r;
+  r.label = {0};
+  r.is_core = {1};
+  EXPECT_FALSE(verify_dbscan(ds, {1.0, 1}, r).valid());
+}
+
+TEST(Verify, DetectsWrongCoreFlag) {
+  Dataset ds = gen_blobs(200, 2, 2, 30.0, 1.0, 0.1, 7);
+  const DbscanParams prm{1.5, 5};
+  auto r = brute_dbscan(ds, prm);
+  // Flip one core flag.
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    if (r.is_core[i]) {
+      r.is_core[i] = 0;
+      break;
+    }
+  }
+  const auto rep = verify_dbscan(ds, prm, r);
+  EXPECT_FALSE(rep.valid());
+  EXPECT_FALSE(rep.core_flags_ok);
+}
+
+TEST(Verify, DetectsSplitCluster_MaximalityViolation) {
+  // One dense 1-D run of cores, artificially split into two labels.
+  std::vector<double> coords;
+  for (int i = 0; i < 20; ++i) coords.push_back(0.1 * i);
+  Dataset ds(1, std::move(coords));
+  const DbscanParams prm{0.5, 3};
+  auto r = brute_dbscan(ds, prm);
+  ASSERT_EQ(r.num_clusters(), 1u);
+  for (std::size_t i = 10; i < r.size(); ++i) r.label[i] = 99;
+  const auto rep = verify_dbscan(ds, prm, r);
+  EXPECT_FALSE(rep.valid());
+  EXPECT_FALSE(rep.maximality_ok);
+}
+
+TEST(Verify, DetectsMergedClusters_ConnectivityViolation) {
+  // Two far-apart dense blobs forced into one label: their cores can never
+  // be density-connected.
+  std::vector<double> coords;
+  for (int i = 0; i < 10; ++i) coords.push_back(0.05 * i);
+  for (int i = 0; i < 10; ++i) coords.push_back(100.0 + 0.05 * i);
+  Dataset ds(1, std::move(coords));
+  const DbscanParams prm{0.5, 3};
+  auto r = brute_dbscan(ds, prm);
+  ASSERT_EQ(r.num_clusters(), 2u);
+  const std::int64_t target = r.label[0];
+  for (auto& l : r.label) l = target;
+  const auto rep = verify_dbscan(ds, prm, r);
+  EXPECT_FALSE(rep.valid());
+  EXPECT_FALSE(rep.connectivity_ok);
+}
+
+TEST(Verify, DetectsBorderMislabeledAsNoise) {
+  // Border point within eps of a core but labeled noise (the failure
+  // Algorithm 8 exists to prevent).
+  std::vector<double> coords{-0.8};
+  for (int i = 0; i < 6; ++i) coords.push_back(0.05 * i);
+  Dataset ds(1, std::move(coords));
+  const DbscanParams prm{1.0, 5};
+  auto r = brute_dbscan(ds, prm);
+  ASSERT_NE(r.label[0], kNoise);
+  r.label[0] = kNoise;
+  const auto rep = verify_dbscan(ds, prm, r);
+  EXPECT_FALSE(rep.valid());
+  EXPECT_FALSE(rep.noise_ok);
+}
+
+TEST(Verify, DetectsNoiseInsideCluster) {
+  // Genuine noise dragged into a cluster.
+  std::vector<double> coords{50.0};
+  for (int i = 0; i < 6; ++i) coords.push_back(0.05 * i);
+  Dataset ds(1, std::move(coords));
+  const DbscanParams prm{1.0, 5};
+  auto r = brute_dbscan(ds, prm);
+  ASSERT_EQ(r.label[0], kNoise);
+  r.label[0] = r.label[1];
+  const auto rep = verify_dbscan(ds, prm, r);
+  EXPECT_FALSE(rep.valid());
+}
+
+TEST(Verify, FlagsQiDbscanWhereItDiverges) {
+  // The verifier and the brute-force comparison must agree about QIDBSCAN:
+  // wherever it diverges from exact DBSCAN, at least one condition breaks.
+  bool flagged = false;
+  for (std::uint64_t seed = 1; seed <= 10 && !flagged; ++seed) {
+    Dataset ds = gen_galaxy(800, GalaxyConfig{}, seed);
+    const DbscanParams prm{1.2, 5};
+    const auto qi = qi_dbscan(ds, prm);
+    const auto rep = verify_dbscan(ds, prm, qi);
+    if (!rep.valid()) flagged = true;
+  }
+  EXPECT_TRUE(flagged);
+}
+
+class VerifyPropertySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VerifyPropertySweep, EveryExactAlgorithmPasses) {
+  Dataset ds = gen_blobs(300, 3, 3, 50.0, 2.5, 0.2, GetParam());
+  const DbscanParams prm{2.0, 4};
+  EXPECT_TRUE(verify_dbscan(ds, prm, brute_dbscan(ds, prm)).valid());
+  EXPECT_TRUE(verify_dbscan(ds, prm, mu_dbscan(ds, prm)).valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerifyPropertySweep,
+                         ::testing::Values(11u, 12u, 13u, 14u, 15u));
+
+}  // namespace
+}  // namespace udb

@@ -1,0 +1,254 @@
+#include "mpi/minimpi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace udb::mpi {
+namespace {
+
+TEST(MiniMpi, RejectsZeroRanks) {
+  EXPECT_THROW(Runtime(0), std::invalid_argument);
+}
+
+TEST(MiniMpi, SingleRankRuns) {
+  Runtime rt(1);
+  int ran = 0;
+  rt.run([&ran](Comm& c) {
+    EXPECT_EQ(c.rank(), 0);
+    EXPECT_EQ(c.size(), 1);
+    ran = 1;
+  });
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(MiniMpi, PointToPointRoundTrip) {
+  Runtime rt(2);
+  rt.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 5, std::vector<int>{1, 2, 3});
+      const auto back = c.recv<int>(1, 6);
+      EXPECT_EQ(back, (std::vector<int>{6}));
+    } else {
+      const auto got = c.recv<int>(0, 5);
+      EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+      c.send(0, 6, std::vector<int>{6});
+    }
+  });
+}
+
+TEST(MiniMpi, FifoOrderPerSenderAndTag) {
+  Runtime rt(2);
+  rt.run([](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 20; ++i) c.send(1, 3, std::vector<int>{i});
+    } else {
+      for (int i = 0; i < 20; ++i) {
+        const auto m = c.recv<int>(0, 3);
+        ASSERT_EQ(m.size(), 1u);
+        EXPECT_EQ(m[0], i);
+      }
+    }
+  });
+}
+
+TEST(MiniMpi, TagsAreIndependentChannels) {
+  Runtime rt(2);
+  rt.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 10, std::vector<int>{10});
+      c.send(1, 20, std::vector<int>{20});
+    } else {
+      // Receive in the opposite order of sending: tags are independent.
+      EXPECT_EQ(c.recv<int>(0, 20)[0], 20);
+      EXPECT_EQ(c.recv<int>(0, 10)[0], 10);
+    }
+  });
+}
+
+TEST(MiniMpi, EmptyMessage) {
+  Runtime rt(2);
+  rt.run([](Comm& c) {
+    if (c.rank() == 0)
+      c.send(1, 1, std::vector<double>{});
+    else
+      EXPECT_TRUE(c.recv<double>(0, 1).empty());
+  });
+}
+
+TEST(MiniMpi, StructMessages) {
+  struct Rec {
+    std::uint64_t a;
+    double b;
+  };
+  Runtime rt(2);
+  rt.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 2, std::vector<Rec>{{7, 1.5}, {9, -2.5}});
+    } else {
+      const auto got = c.recv<Rec>(0, 2);
+      ASSERT_EQ(got.size(), 2u);
+      EXPECT_EQ(got[1].a, 9u);
+      EXPECT_EQ(got[1].b, -2.5);
+    }
+  });
+}
+
+TEST(MiniMpi, BarrierSynchronizes) {
+  Runtime rt(4);
+  std::atomic<int> before{0}, after{0};
+  rt.run([&](Comm& c) {
+    before.fetch_add(1);
+    c.barrier();
+    // Every rank passed `before` increment before anyone proceeds.
+    EXPECT_EQ(before.load(), 4);
+    after.fetch_add(1);
+  });
+  EXPECT_EQ(after.load(), 4);
+}
+
+TEST(MiniMpi, BroadcastFromRoot) {
+  Runtime rt(4);
+  rt.run([](Comm& c) {
+    std::vector<int> data;
+    if (c.rank() == 2) data = {42, 43};
+    data = c.bcast(2, data);
+    EXPECT_EQ(data, (std::vector<int>{42, 43}));
+  });
+}
+
+TEST(MiniMpi, AllgathervConcatenatesInRankOrder) {
+  Runtime rt(3);
+  rt.run([](Comm& c) {
+    std::vector<int> mine(static_cast<std::size_t>(c.rank()) + 1, c.rank());
+    std::vector<std::size_t> counts;
+    const auto all = c.allgatherv(mine, &counts);
+    EXPECT_EQ(all, (std::vector<int>{0, 1, 1, 2, 2, 2}));
+    EXPECT_EQ(counts, (std::vector<std::size_t>{1, 2, 3}));
+  });
+}
+
+TEST(MiniMpi, AllreduceVariants) {
+  Runtime rt(4);
+  rt.run([](Comm& c) {
+    const double r = static_cast<double>(c.rank());
+    EXPECT_DOUBLE_EQ(c.allreduce_min(r), 0.0);
+    EXPECT_DOUBLE_EQ(c.allreduce_max(r), 3.0);
+    EXPECT_DOUBLE_EQ(c.allreduce_sum(r), 6.0);
+    EXPECT_EQ(c.allreduce_sum(static_cast<std::int64_t>(c.rank() + 1)), 10);
+  });
+}
+
+TEST(MiniMpi, AlltoallvPersonalizedExchange) {
+  Runtime rt(3);
+  rt.run([](Comm& c) {
+    std::vector<std::vector<int>> out(3);
+    for (int dst = 0; dst < 3; ++dst)
+      out[static_cast<std::size_t>(dst)] = {c.rank() * 10 + dst};
+    const auto in = c.alltoallv(out);
+    for (int src = 0; src < 3; ++src) {
+      ASSERT_EQ(in[static_cast<std::size_t>(src)].size(), 1u);
+      EXPECT_EQ(in[static_cast<std::size_t>(src)][0], src * 10 + c.rank());
+    }
+  });
+}
+
+TEST(MiniMpi, GroupCollectivesAreScoped) {
+  Runtime rt(4);
+  rt.run([](Comm& c) {
+    const int base = c.rank() < 2 ? 0 : 2;
+    const auto all = c.allgatherv(std::vector<int>{c.rank()}, nullptr, base, 2);
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0], base);
+    EXPECT_EQ(all[1], base + 1);
+    EXPECT_DOUBLE_EQ(c.allreduce_sum(1.0, base, 2), 2.0);
+  });
+}
+
+TEST(MiniMpi, UnevenGroupHistoriesDoNotDesyncLaterCollectives) {
+  // Rank 0 leaves the "loop" after one round while ranks 1-2 do an extra
+  // group collective; a later full-communicator collective must still match.
+  Runtime rt(3);
+  rt.run([](Comm& c) {
+    if (c.rank() != 0)
+      (void)c.allgatherv(std::vector<int>{c.rank()}, nullptr, 1, 2);
+    const auto all = c.allgatherv(std::vector<int>{c.rank()});
+    EXPECT_EQ(all, (std::vector<int>{0, 1, 2}));
+  });
+}
+
+TEST(MiniMpi, VirtualTimeAdvancesWithWork) {
+  Runtime rt(2);
+  rt.run([](Comm& c) {
+    volatile double sink = 0.0;
+    for (int i = 0; i < 2000000; ++i) sink = sink + 1.0;
+    c.barrier();
+    EXPECT_GT(c.vtime(), 0.0);
+  });
+  EXPECT_GT(rt.makespan(), 0.0);
+}
+
+TEST(MiniMpi, ChargeAddsModeledTime) {
+  Runtime rt(1);
+  rt.run([](Comm& c) {
+    const double t0 = c.vtime();
+    c.charge(0.5);
+    EXPECT_GE(c.vtime() - t0, 0.5);
+  });
+  EXPECT_GE(rt.makespan(), 0.5);
+}
+
+TEST(MiniMpi, MessageCostModelChargesReceiver) {
+  CostModel cost;
+  cost.alpha = 0.125;  // huge latency so the effect dominates CPU noise
+  cost.beta = 0.0;
+  Runtime rt(2, cost);
+  rt.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 1, std::vector<int>{1});
+    } else {
+      (void)c.recv<int>(0, 1);
+      EXPECT_GE(c.vtime(), 0.125);
+    }
+  });
+}
+
+TEST(MiniMpi, RankExceptionPropagatesAndUnblocksPeers) {
+  Runtime rt(3);
+  EXPECT_THROW(rt.run([](Comm& c) {
+                 if (c.rank() == 1) throw std::runtime_error("rank died");
+                 // Other ranks block on a message that will never come; the
+                 // poison must wake them instead of deadlocking the test.
+                 (void)c.recv<int>(1, 99);
+               }),
+               std::runtime_error);
+}
+
+TEST(MiniMpi, RuntimeIsReusableAcrossRuns) {
+  Runtime rt(2);
+  for (int round = 0; round < 3; ++round) {
+    rt.run([round](Comm& c) {
+      const auto all = c.allgatherv(std::vector<int>{c.rank() + round});
+      EXPECT_EQ(all[1], 1 + round);
+    });
+  }
+}
+
+TEST(MiniMpi, ManyRanksStress) {
+  Runtime rt(16);
+  rt.run([](Comm& c) {
+    const auto all = c.allgatherv(std::vector<int>{c.rank()});
+    int sum = std::accumulate(all.begin(), all.end(), 0);
+    EXPECT_EQ(sum, 120);
+    c.barrier();
+    std::vector<std::vector<int>> out(16);
+    for (int d = 0; d < 16; ++d) out[static_cast<std::size_t>(d)] = {c.rank()};
+    const auto in = c.alltoallv(out);
+    for (int s = 0; s < 16; ++s)
+      EXPECT_EQ(in[static_cast<std::size_t>(s)][0], s);
+  });
+}
+
+}  // namespace
+}  // namespace udb::mpi

@@ -1,0 +1,109 @@
+#include "unionfind/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace udb {
+namespace {
+
+TEST(UnionFind, SingletonsInitially) {
+  UnionFind uf(5);
+  for (PointId i = 0; i < 5; ++i) EXPECT_EQ(uf.find(i), i);
+  EXPECT_EQ(uf.count_components(), 5u);
+}
+
+TEST(UnionFind, UnionMergesTwoSets) {
+  UnionFind uf(4);
+  uf.union_sets(0, 1);
+  EXPECT_TRUE(uf.same(0, 1));
+  EXPECT_FALSE(uf.same(0, 2));
+  EXPECT_EQ(uf.count_components(), 3u);
+}
+
+TEST(UnionFind, UnionIsIdempotent) {
+  UnionFind uf(3);
+  const PointId r1 = uf.union_sets(0, 1);
+  const PointId r2 = uf.union_sets(1, 0);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(uf.count_components(), 2u);
+}
+
+TEST(UnionFind, TransitivityViaChains) {
+  UnionFind uf(10);
+  for (PointId i = 0; i + 1 < 10; ++i) uf.union_sets(i, i + 1);
+  EXPECT_TRUE(uf.same(0, 9));
+  EXPECT_EQ(uf.count_components(), 1u);
+}
+
+TEST(UnionFind, ComponentIdsAreCompactAndConsistent) {
+  UnionFind uf(6);
+  uf.union_sets(0, 2);
+  uf.union_sets(3, 4);
+  std::vector<std::uint32_t> ids;
+  const std::size_t k = uf.component_ids(ids);
+  EXPECT_EQ(k, 4u);
+  EXPECT_EQ(ids[0], ids[2]);
+  EXPECT_EQ(ids[3], ids[4]);
+  EXPECT_NE(ids[0], ids[1]);
+  EXPECT_NE(ids[0], ids[3]);
+  for (std::uint32_t id : ids) EXPECT_LT(id, k);
+}
+
+TEST(UnionFind, FindNeverChangesMembership) {
+  // Path halving must not alter which set an element belongs to.
+  UnionFind uf(64);
+  for (PointId i = 0; i < 32; ++i) uf.union_sets(i, i + 32);
+  std::vector<PointId> before(64);
+  for (PointId i = 0; i < 64; ++i) before[i] = uf.find(i);
+  for (int rep = 0; rep < 3; ++rep)
+    for (PointId i = 0; i < 64; ++i) EXPECT_EQ(uf.find(i), before[i]);
+}
+
+TEST(UnionFind, RandomizedAgainstNaiveReference) {
+  // Property check: compare against a quadratic reference implementation on
+  // random union sequences.
+  const std::size_t n = 200;
+  Rng rng(99);
+  UnionFind uf(n);
+  std::vector<std::uint32_t> ref(n);
+  for (std::size_t i = 0; i < n; ++i) ref[i] = static_cast<std::uint32_t>(i);
+
+  for (int step = 0; step < 500; ++step) {
+    const PointId a = static_cast<PointId>(rng.uniform_index(n));
+    const PointId b = static_cast<PointId>(rng.uniform_index(n));
+    uf.union_sets(a, b);
+    const std::uint32_t keep = ref[a], kill = ref[b];
+    if (keep != kill)
+      for (auto& r : ref)
+        if (r == kill) r = keep;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      EXPECT_EQ(uf.same(static_cast<PointId>(i), static_cast<PointId>(j)),
+                ref[i] == ref[j])
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(UnionFind, LargeChainStaysShallowEnough) {
+  // Union-by-rank keeps finds cheap even for adversarial chains; this is a
+  // smoke guard, not a precise bound.
+  const std::size_t n = 100000;
+  UnionFind uf(n);
+  for (PointId i = 0; i + 1 < n; ++i) uf.union_sets(i, i + 1);
+  EXPECT_EQ(uf.count_components(), 1u);
+  EXPECT_EQ(uf.find(0), uf.find(static_cast<PointId>(n - 1)));
+}
+
+TEST(UnionFind, EmptyStructure) {
+  UnionFind uf(0);
+  EXPECT_EQ(uf.size(), 0u);
+  EXPECT_EQ(uf.count_components(), 0u);
+  std::vector<std::uint32_t> ids;
+  EXPECT_EQ(uf.component_ids(ids), 0u);
+}
+
+}  // namespace
+}  // namespace udb

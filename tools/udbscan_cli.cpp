@@ -1,0 +1,117 @@
+// udbscan — command-line clustering tool over the library's public API.
+//
+//   $ udbscan --input points.csv --eps 1.5 --minpts 5 --out labels.csv
+//   $ udbscan --input points.bin --algo rdbscan --eps 2 --minpts 4
+//   $ udbscan --input points.csv --algo mudbscan-d --ranks 8 ...
+//
+// Input: CSV (one point per line) or the UDB1 binary format (autodetected by
+// extension .bin). Output: one line per point, "label,is_core" (label -1 is
+// noise), preceded by a '#' header. Prints a summary to stdout.
+//
+// Algorithms: mudbscan (default), rdbscan, gdbscan, griddbscan, brute,
+// mudbscan-d (simulated ranks, see --ranks).
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "baselines/brute_dbscan.hpp"
+#include "baselines/g_dbscan.hpp"
+#include "baselines/grid_dbscan.hpp"
+#include "baselines/r_dbscan.hpp"
+#include "common/cli.hpp"
+#include "common/io.hpp"
+#include "common/timer.hpp"
+#include "core/kdist.hpp"
+#include "core/mudbscan.hpp"
+#include "dist/mudbscan_d.hpp"
+
+using namespace udb;
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Cli cli(argc, argv);
+    const std::string input = cli.get_string("input", "");
+    const std::string algo = cli.get_string("algo", "mudbscan");
+    const std::string out_path = cli.get_string("out", "");
+    const double eps = cli.get_double("eps", 1.0);
+    const auto min_pts = static_cast<std::uint32_t>(cli.get_int("minpts", 5));
+    const int ranks = static_cast<int>(cli.get_int("ranks", 8));
+    const bool suggest = cli.get_bool("suggest-eps", false);
+    cli.check_unused();
+
+    if (input.empty()) {
+      std::fprintf(stderr,
+                   "usage: udbscan --input points.csv [--algo mudbscan|"
+                   "rdbscan|gdbscan|griddbscan|brute|mudbscan-d] "
+                   "[--eps E] [--minpts M] [--ranks P] [--out labels.csv]\n");
+      return 2;
+    }
+
+    const Dataset data =
+        ends_with(input, ".bin") ? read_binary(input) : read_csv(input);
+    const DbscanParams params{eps, min_pts};
+    std::printf("loaded %zu points, %zu dims from %s\n", data.size(),
+                data.dim(), input.c_str());
+
+    if (suggest) {
+      const double rec = suggest_eps(data, min_pts > 1 ? min_pts - 1 : 1);
+      std::printf("k-dist knee suggests eps ~= %g for MinPts = %u\n", rec,
+                  min_pts);
+      return 0;
+    }
+
+    WallTimer timer;
+    ClusteringResult result;
+    MuDbscanStats mu_stats;
+    if (algo == "mudbscan") {
+      result = mu_dbscan(data, params, &mu_stats);
+    } else if (algo == "rdbscan") {
+      result = r_dbscan(data, params);
+    } else if (algo == "gdbscan") {
+      result = g_dbscan(data, params);
+    } else if (algo == "griddbscan") {
+      result = grid_dbscan(data, params);
+    } else if (algo == "brute") {
+      result = brute_dbscan(data, params);
+    } else if (algo == "mudbscan-d") {
+      result = mudbscan_d(data, params, ranks);
+    } else {
+      throw std::invalid_argument("unknown --algo " + algo);
+    }
+    const double elapsed = timer.seconds();
+
+    std::printf("%s: %.3f s — %zu clusters, %zu core, %zu border, %zu noise\n",
+                algo.c_str(), elapsed, result.num_clusters(),
+                result.num_core(), result.num_border(), result.num_noise());
+    if (algo == "mudbscan") {
+      std::printf("micro-clusters: %zu, queries saved: %.1f%%\n",
+                  mu_stats.num_mcs,
+                  100.0 * mu_stats.query_save_fraction(data.size()));
+    }
+
+    if (!out_path.empty()) {
+      std::ofstream out(out_path);
+      if (!out) throw std::runtime_error("cannot open " + out_path);
+      out << "# label,is_core (label -1 = noise)\n";
+      for (std::size_t i = 0; i < result.size(); ++i)
+        out << result.label[i] << ','
+            << static_cast<int>(result.is_core[i]) << '\n';
+      std::printf("labels written to %s\n", out_path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "udbscan: error: %s\n", e.what());
+    return 1;
+  }
+}
