@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_murtree.dir/ablation_murtree.cpp.o"
+  "CMakeFiles/ablation_murtree.dir/ablation_murtree.cpp.o.d"
+  "ablation_murtree"
+  "ablation_murtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_murtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

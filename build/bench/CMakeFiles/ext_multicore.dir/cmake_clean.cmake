@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multicore.dir/ext_multicore.cpp.o"
+  "CMakeFiles/ext_multicore.dir/ext_multicore.cpp.o.d"
+  "ext_multicore"
+  "ext_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_approx.dir/quality_approx.cpp.o"
+  "CMakeFiles/quality_approx.dir/quality_approx.cpp.o.d"
+  "quality_approx"
+  "quality_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_phase_split.dir/table3_phase_split.cpp.o"
+  "CMakeFiles/table3_phase_split.dir/table3_phase_split.cpp.o.d"
+  "table3_phase_split"
+  "table3_phase_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_phase_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

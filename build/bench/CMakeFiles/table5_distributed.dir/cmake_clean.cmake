@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_distributed.dir/table5_distributed.cpp.o"
+  "CMakeFiles/table5_distributed.dir/table5_distributed.cpp.o.d"
+  "table5_distributed"
+  "table5_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_core_scaling.dir/table6_core_scaling.cpp.o"
+  "CMakeFiles/table6_core_scaling.dir/table6_core_scaling.cpp.o.d"
+  "table6_core_scaling"
+  "table6_core_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_core_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

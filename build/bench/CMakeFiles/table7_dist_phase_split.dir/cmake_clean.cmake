@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_dist_phase_split.dir/table7_dist_phase_split.cpp.o"
+  "CMakeFiles/table7_dist_phase_split.dir/table7_dist_phase_split.cpp.o.d"
+  "table7_dist_phase_split"
+  "table7_dist_phase_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_dist_phase_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_step_speedup.dir/table8_step_speedup.cpp.o"
+  "CMakeFiles/table8_step_speedup.dir/table8_step_speedup.cpp.o.d"
+  "table8_step_speedup"
+  "table8_step_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_step_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galaxy_clustering.dir/galaxy_clustering.cpp.o"
+  "CMakeFiles/galaxy_clustering.dir/galaxy_clustering.cpp.o.d"
+  "galaxy_clustering"
+  "galaxy_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galaxy_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_clustering.dir/stream_clustering.cpp.o"
+  "CMakeFiles/stream_clustering.dir/stream_clustering.cpp.o.d"
+  "stream_clustering"
+  "stream_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

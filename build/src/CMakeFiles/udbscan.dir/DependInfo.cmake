@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/brute_dbscan.cpp" "src/CMakeFiles/udbscan.dir/baselines/brute_dbscan.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/baselines/brute_dbscan.cpp.o.d"
+  "/root/repo/src/baselines/g_dbscan.cpp" "src/CMakeFiles/udbscan.dir/baselines/g_dbscan.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/baselines/g_dbscan.cpp.o.d"
+  "/root/repo/src/baselines/grid_dbscan.cpp" "src/CMakeFiles/udbscan.dir/baselines/grid_dbscan.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/baselines/grid_dbscan.cpp.o.d"
+  "/root/repo/src/baselines/qi_dbscan.cpp" "src/CMakeFiles/udbscan.dir/baselines/qi_dbscan.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/baselines/qi_dbscan.cpp.o.d"
+  "/root/repo/src/baselines/r_dbscan.cpp" "src/CMakeFiles/udbscan.dir/baselines/r_dbscan.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/baselines/r_dbscan.cpp.o.d"
+  "/root/repo/src/baselines/sampled_dbscan.cpp" "src/CMakeFiles/udbscan.dir/baselines/sampled_dbscan.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/baselines/sampled_dbscan.cpp.o.d"
+  "/root/repo/src/common/cli.cpp" "src/CMakeFiles/udbscan.dir/common/cli.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/common/cli.cpp.o.d"
+  "/root/repo/src/common/dataset.cpp" "src/CMakeFiles/udbscan.dir/common/dataset.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/common/dataset.cpp.o.d"
+  "/root/repo/src/common/io.cpp" "src/CMakeFiles/udbscan.dir/common/io.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/common/io.cpp.o.d"
+  "/root/repo/src/common/sysinfo.cpp" "src/CMakeFiles/udbscan.dir/common/sysinfo.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/common/sysinfo.cpp.o.d"
+  "/root/repo/src/core/kdist.cpp" "src/CMakeFiles/udbscan.dir/core/kdist.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/core/kdist.cpp.o.d"
+  "/root/repo/src/core/microcluster.cpp" "src/CMakeFiles/udbscan.dir/core/microcluster.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/core/microcluster.cpp.o.d"
+  "/root/repo/src/core/mudbscan.cpp" "src/CMakeFiles/udbscan.dir/core/mudbscan.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/core/mudbscan.cpp.o.d"
+  "/root/repo/src/core/murtree.cpp" "src/CMakeFiles/udbscan.dir/core/murtree.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/core/murtree.cpp.o.d"
+  "/root/repo/src/core/streaming.cpp" "src/CMakeFiles/udbscan.dir/core/streaming.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/core/streaming.cpp.o.d"
+  "/root/repo/src/data/generators.cpp" "src/CMakeFiles/udbscan.dir/data/generators.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/data/generators.cpp.o.d"
+  "/root/repo/src/data/named.cpp" "src/CMakeFiles/udbscan.dir/data/named.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/data/named.cpp.o.d"
+  "/root/repo/src/dist/halo.cpp" "src/CMakeFiles/udbscan.dir/dist/halo.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/dist/halo.cpp.o.d"
+  "/root/repo/src/dist/hpdbscan_d.cpp" "src/CMakeFiles/udbscan.dir/dist/hpdbscan_d.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/dist/hpdbscan_d.cpp.o.d"
+  "/root/repo/src/dist/kd_partition.cpp" "src/CMakeFiles/udbscan.dir/dist/kd_partition.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/dist/kd_partition.cpp.o.d"
+  "/root/repo/src/dist/merge.cpp" "src/CMakeFiles/udbscan.dir/dist/merge.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/dist/merge.cpp.o.d"
+  "/root/repo/src/dist/mudbscan_d.cpp" "src/CMakeFiles/udbscan.dir/dist/mudbscan_d.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/dist/mudbscan_d.cpp.o.d"
+  "/root/repo/src/dist/pdsdbscan_d.cpp" "src/CMakeFiles/udbscan.dir/dist/pdsdbscan_d.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/dist/pdsdbscan_d.cpp.o.d"
+  "/root/repo/src/index/grid.cpp" "src/CMakeFiles/udbscan.dir/index/grid.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/index/grid.cpp.o.d"
+  "/root/repo/src/index/kdtree.cpp" "src/CMakeFiles/udbscan.dir/index/kdtree.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/index/kdtree.cpp.o.d"
+  "/root/repo/src/index/rtree.cpp" "src/CMakeFiles/udbscan.dir/index/rtree.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/index/rtree.cpp.o.d"
+  "/root/repo/src/metrics/ari.cpp" "src/CMakeFiles/udbscan.dir/metrics/ari.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/metrics/ari.cpp.o.d"
+  "/root/repo/src/metrics/exactness.cpp" "src/CMakeFiles/udbscan.dir/metrics/exactness.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/metrics/exactness.cpp.o.d"
+  "/root/repo/src/metrics/verify.cpp" "src/CMakeFiles/udbscan.dir/metrics/verify.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/metrics/verify.cpp.o.d"
+  "/root/repo/src/mpi/minimpi.cpp" "src/CMakeFiles/udbscan.dir/mpi/minimpi.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/mpi/minimpi.cpp.o.d"
+  "/root/repo/src/unionfind/union_find.cpp" "src/CMakeFiles/udbscan.dir/unionfind/union_find.cpp.o" "gcc" "src/CMakeFiles/udbscan.dir/unionfind/union_find.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_box.cpp" "tests/CMakeFiles/test_common.dir/common/test_box.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_box.cpp.o.d"
+  "/root/repo/tests/common/test_cli.cpp" "tests/CMakeFiles/test_common.dir/common/test_cli.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_cli.cpp.o.d"
+  "/root/repo/tests/common/test_dataset.cpp" "tests/CMakeFiles/test_common.dir/common/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_dataset.cpp.o.d"
+  "/root/repo/tests/common/test_distance.cpp" "tests/CMakeFiles/test_common.dir/common/test_distance.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_distance.cpp.o.d"
+  "/root/repo/tests/common/test_io.cpp" "tests/CMakeFiles/test_common.dir/common/test_io.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_io.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_sysinfo_timer.cpp" "tests/CMakeFiles/test_common.dir/common/test_sysinfo_timer.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_sysinfo_timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/udbscan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

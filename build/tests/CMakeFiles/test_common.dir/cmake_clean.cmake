@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_box.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_box.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_cli.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_cli.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_dataset.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_dataset.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_distance.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_distance.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_io.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_io.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_sysinfo_timer.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_sysinfo_timer.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_exactness_property.cpp" "tests/CMakeFiles/test_core.dir/core/test_exactness_property.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_exactness_property.cpp.o.d"
+  "/root/repo/tests/core/test_kdist.cpp" "tests/CMakeFiles/test_core.dir/core/test_kdist.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_kdist.cpp.o.d"
+  "/root/repo/tests/core/test_mudbscan.cpp" "tests/CMakeFiles/test_core.dir/core/test_mudbscan.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_mudbscan.cpp.o.d"
+  "/root/repo/tests/core/test_murtree.cpp" "tests/CMakeFiles/test_core.dir/core/test_murtree.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_murtree.cpp.o.d"
+  "/root/repo/tests/core/test_streaming.cpp" "tests/CMakeFiles/test_core.dir/core/test_streaming.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/udbscan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_exactness_property.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_exactness_property.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_kdist.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_kdist.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_mudbscan.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_mudbscan.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_murtree.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_murtree.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_streaming.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_streaming.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

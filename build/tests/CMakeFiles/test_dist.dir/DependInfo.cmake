@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dist/test_distributed.cpp" "tests/CMakeFiles/test_dist.dir/dist/test_distributed.cpp.o" "gcc" "tests/CMakeFiles/test_dist.dir/dist/test_distributed.cpp.o.d"
+  "/root/repo/tests/dist/test_driver_common.cpp" "tests/CMakeFiles/test_dist.dir/dist/test_driver_common.cpp.o" "gcc" "tests/CMakeFiles/test_dist.dir/dist/test_driver_common.cpp.o.d"
+  "/root/repo/tests/dist/test_extensions.cpp" "tests/CMakeFiles/test_dist.dir/dist/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/test_dist.dir/dist/test_extensions.cpp.o.d"
+  "/root/repo/tests/dist/test_halo.cpp" "tests/CMakeFiles/test_dist.dir/dist/test_halo.cpp.o" "gcc" "tests/CMakeFiles/test_dist.dir/dist/test_halo.cpp.o.d"
+  "/root/repo/tests/dist/test_kd_partition.cpp" "tests/CMakeFiles/test_dist.dir/dist/test_kd_partition.cpp.o" "gcc" "tests/CMakeFiles/test_dist.dir/dist/test_kd_partition.cpp.o.d"
+  "/root/repo/tests/dist/test_merge_protocol.cpp" "tests/CMakeFiles/test_dist.dir/dist/test_merge_protocol.cpp.o" "gcc" "tests/CMakeFiles/test_dist.dir/dist/test_merge_protocol.cpp.o.d"
+  "/root/repo/tests/dist/test_merge_strategies.cpp" "tests/CMakeFiles/test_dist.dir/dist/test_merge_strategies.cpp.o" "gcc" "tests/CMakeFiles/test_dist.dir/dist/test_merge_strategies.cpp.o.d"
+  "/root/repo/tests/dist/test_named_datasets.cpp" "tests/CMakeFiles/test_dist.dir/dist/test_named_datasets.cpp.o" "gcc" "tests/CMakeFiles/test_dist.dir/dist/test_named_datasets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/udbscan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

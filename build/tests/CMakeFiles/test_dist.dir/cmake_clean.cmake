@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist.dir/dist/test_distributed.cpp.o"
+  "CMakeFiles/test_dist.dir/dist/test_distributed.cpp.o.d"
+  "CMakeFiles/test_dist.dir/dist/test_driver_common.cpp.o"
+  "CMakeFiles/test_dist.dir/dist/test_driver_common.cpp.o.d"
+  "CMakeFiles/test_dist.dir/dist/test_extensions.cpp.o"
+  "CMakeFiles/test_dist.dir/dist/test_extensions.cpp.o.d"
+  "CMakeFiles/test_dist.dir/dist/test_halo.cpp.o"
+  "CMakeFiles/test_dist.dir/dist/test_halo.cpp.o.d"
+  "CMakeFiles/test_dist.dir/dist/test_kd_partition.cpp.o"
+  "CMakeFiles/test_dist.dir/dist/test_kd_partition.cpp.o.d"
+  "CMakeFiles/test_dist.dir/dist/test_merge_protocol.cpp.o"
+  "CMakeFiles/test_dist.dir/dist/test_merge_protocol.cpp.o.d"
+  "CMakeFiles/test_dist.dir/dist/test_merge_strategies.cpp.o"
+  "CMakeFiles/test_dist.dir/dist/test_merge_strategies.cpp.o.d"
+  "CMakeFiles/test_dist.dir/dist/test_named_datasets.cpp.o"
+  "CMakeFiles/test_dist.dir/dist/test_named_datasets.cpp.o.d"
+  "test_dist"
+  "test_dist.pdb"
+  "test_dist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_index.dir/index/test_grid.cpp.o"
+  "CMakeFiles/test_index.dir/index/test_grid.cpp.o.d"
+  "CMakeFiles/test_index.dir/index/test_kdtree.cpp.o"
+  "CMakeFiles/test_index.dir/index/test_kdtree.cpp.o.d"
+  "CMakeFiles/test_index.dir/index/test_rtree.cpp.o"
+  "CMakeFiles/test_index.dir/index/test_rtree.cpp.o.d"
+  "CMakeFiles/test_index.dir/index/test_rtree_knn.cpp.o"
+  "CMakeFiles/test_index.dir/index/test_rtree_knn.cpp.o.d"
+  "test_index"
+  "test_index.pdb"
+  "test_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/metrics/test_ari.cpp" "tests/CMakeFiles/test_metrics.dir/metrics/test_ari.cpp.o" "gcc" "tests/CMakeFiles/test_metrics.dir/metrics/test_ari.cpp.o.d"
+  "/root/repo/tests/metrics/test_exactness.cpp" "tests/CMakeFiles/test_metrics.dir/metrics/test_exactness.cpp.o" "gcc" "tests/CMakeFiles/test_metrics.dir/metrics/test_exactness.cpp.o.d"
+  "/root/repo/tests/metrics/test_verify.cpp" "tests/CMakeFiles/test_metrics.dir/metrics/test_verify.cpp.o" "gcc" "tests/CMakeFiles/test_metrics.dir/metrics/test_verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/udbscan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unionfind.dir/unionfind/test_union_find.cpp.o"
+  "CMakeFiles/test_unionfind.dir/unionfind/test_union_find.cpp.o.d"
+  "test_unionfind"
+  "test_unionfind.pdb"
+  "test_unionfind[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unionfind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_unionfind[1]_include.cmake")
+include("/root/repo/build/tests/test_index[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_data[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_dist[1]_include.cmake")
+add_test(smoke_quickstart "/root/repo/build/examples/quickstart" "--n" "500")
+set_tests_properties(smoke_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;59;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(smoke_galaxy "/root/repo/build/examples/galaxy_clustering" "--n" "3000")
+set_tests_properties(smoke_galaxy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;60;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(smoke_roadnet "/root/repo/build/examples/road_network" "--n" "3000")
+set_tests_properties(smoke_roadnet PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;61;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(smoke_distributed "/root/repo/build/examples/distributed_demo" "--n" "3000" "--ranks" "1,3")
+set_tests_properties(smoke_distributed PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;62;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(smoke_make_dataset "/root/repo/build/tools/make_dataset" "--gen" "blobs" "--n" "500" "--dim" "2" "--out" "/root/repo/build/smoke_blobs.csv")
+set_tests_properties(smoke_make_dataset PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;63;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(smoke_udbscan_cli "/root/repo/build/tools/udbscan" "--input" "/root/repo/build/smoke_blobs.csv" "--eps" "3" "--minpts" "5")
+set_tests_properties(smoke_udbscan_cli PROPERTIES  DEPENDS "smoke_make_dataset" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;66;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udbscan_cli.dir/udbscan_cli.cpp.o"
+  "CMakeFiles/udbscan_cli.dir/udbscan_cli.cpp.o.d"
+  "udbscan"
+  "udbscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udbscan_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
