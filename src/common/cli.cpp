@@ -5,6 +5,38 @@
 
 namespace udb {
 
+namespace {
+
+// stod/stoll wrappers that name the offending flag and reject trailing
+// garbage ("--eps 2.5x" must not silently parse as 2.5).
+double parse_double(const std::string& name, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size())
+      throw std::invalid_argument("trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Cli: --" + name + " expects a number, got '" +
+                                value + "'");
+  }
+}
+
+std::int64_t parse_int(const std::string& name, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(value, &pos);
+    if (pos != value.size())
+      throw std::invalid_argument("trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Cli: --" + name +
+                                " expects an integer, got '" + value + "'");
+  }
+}
+
+}  // namespace
+
 Cli::Cli(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -39,13 +71,13 @@ std::string Cli::get_string(const std::string& name,
 }
 
 double Cli::get_double(const std::string& name, double fallback) const {
-  if (auto v = lookup(name)) return std::stod(*v);
+  if (auto v = lookup(name)) return parse_double(name, *v);
   return fallback;
 }
 
 std::int64_t Cli::get_int(const std::string& name,
                           std::int64_t fallback) const {
-  if (auto v = lookup(name)) return std::stoll(*v);
+  if (auto v = lookup(name)) return parse_int(name, *v);
   return fallback;
 }
 
@@ -61,7 +93,7 @@ std::vector<std::int64_t> Cli::get_int_list(
   std::vector<std::int64_t> out;
   std::stringstream ss(*v);
   std::string item;
-  while (std::getline(ss, item, ',')) out.push_back(std::stoll(item));
+  while (std::getline(ss, item, ',')) out.push_back(parse_int(name, item));
   return out;
 }
 
@@ -72,7 +104,7 @@ std::vector<double> Cli::get_double_list(const std::string& name,
   std::vector<double> out;
   std::stringstream ss(*v);
   std::string item;
-  while (std::getline(ss, item, ',')) out.push_back(std::stod(item));
+  while (std::getline(ss, item, ',')) out.push_back(parse_double(name, item));
   return out;
 }
 

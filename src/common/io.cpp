@@ -1,9 +1,11 @@
 #include "common/io.hpp"
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -29,9 +31,18 @@ Dataset read_csv(const std::string& path) {
     std::size_t count = 0;
     double v = 0.0;
     while (ss >> v) {
+      if (!std::isfinite(v))
+        throw std::runtime_error("read_csv: non-finite value at line " +
+                                 std::to_string(lineno) + " in " + path);
       coords.push_back(v);
       ++count;
     }
+    // The extraction loop above stops either at end-of-line (fine) or on an
+    // unparseable token ("nan", "abc", ...) — which must be an error, not a
+    // silently shortened or skipped row.
+    if (!ss.eof())
+      throw std::runtime_error("read_csv: unparseable value at line " +
+                               std::to_string(lineno) + " in " + path);
     if (count == 0) continue;
     if (dim == 0) {
       dim = count;
@@ -71,7 +82,24 @@ Dataset read_binary(const std::string& path) {
   in.read(reinterpret_cast<char*>(&count), sizeof count);
   if (!in || dim == 0)
     throw std::runtime_error("read_binary: bad header in " + path);
-  std::vector<double> coords(dim * count);
+  // A hostile or truncated header must not drive a huge (or overflowing)
+  // allocation: dim*count must fit in size_t with room for sizeof(double),
+  // and the payload it implies must fit in the bytes actually present.
+  constexpr std::uint64_t kMaxElems =
+      std::numeric_limits<std::size_t>::max() / sizeof(double);
+  if (count != 0 && dim > kMaxElems / count)
+    throw std::runtime_error("read_binary: header overflows size_t in " +
+                             path);
+  const std::uint64_t payload = dim * count * sizeof(double);
+  const auto data_pos = in.tellg();
+  in.seekg(0, std::ios::end);
+  const auto end_pos = in.tellg();
+  in.seekg(data_pos);
+  if (data_pos < 0 || end_pos < data_pos ||
+      static_cast<std::uint64_t>(end_pos - data_pos) < payload)
+    throw std::runtime_error(
+        "read_binary: header implies more data than file holds in " + path);
+  std::vector<double> coords(static_cast<std::size_t>(dim * count));
   in.read(reinterpret_cast<char*>(coords.data()),
           static_cast<std::streamsize>(coords.size() * sizeof(double)));
   if (!in) throw std::runtime_error("read_binary: truncated file " + path);

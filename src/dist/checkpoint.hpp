@@ -1,0 +1,94 @@
+// Per-rank phase checkpoints for the fault-tolerant µDBSCAN-D driver
+// (docs/FAULT_MODEL.md §4). The store stands in for reliable stable storage
+// (a parallel filesystem): each rank snapshots its phase output after
+// partition, halo exchange, and local clustering, and snapshots survive the
+// rank — that is the whole point — so survivors can adopt a dead rank's
+// partition block and replay only the lost work.
+//
+// Snapshots are indexed by *logical* rank (the rank numbering of the
+// original run). During an attempt, rank r writes only slot r; between
+// attempts the single-threaded recovery coordinator reshuffles slots. No
+// locking is needed under that access pattern.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.hpp"
+
+namespace udb {
+
+// Output of the kd-partition phase: the rank's owned points.
+struct PartitionCkpt {
+  bool valid = false;
+  std::vector<double> coords;
+  std::vector<std::uint64_t> gids;
+
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return coords.size() * sizeof(double) + gids.size() * sizeof(std::uint64_t);
+  }
+};
+
+// Output of the halo exchange: the eps-strip copies this rank received.
+// Owners are stored as logical ranks; the driver remaps them to the current
+// attempt's communicator (dead owner -> its adopter) before merging.
+struct HaloCkpt {
+  bool valid = false;
+  std::vector<double> coords;
+  std::vector<std::uint64_t> gids;
+  std::vector<int> owner_logical;
+
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return coords.size() * sizeof(double) +
+           gids.size() * sizeof(std::uint64_t) +
+           owner_logical.size() * sizeof(int);
+  }
+};
+
+// Output of the local clustering phase over the combined local+halo set:
+// the union-find partition (as per-element roots) and the point flags —
+// everything the merge phase reads from the engine.
+struct LocalCkpt {
+  bool valid = false;
+  std::vector<PointId> uf_root;
+  std::vector<std::uint8_t> is_core;
+  std::vector<std::uint8_t> assigned;
+
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return uf_root.size() * sizeof(PointId) + is_core.size() +
+           assigned.size();
+  }
+};
+
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(int nranks)
+      : partition_(static_cast<std::size_t>(nranks)),
+        halo_(static_cast<std::size_t>(nranks)),
+        local_(static_cast<std::size_t>(nranks)) {}
+
+  [[nodiscard]] PartitionCkpt& partition(int r) {
+    return partition_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] HaloCkpt& halo(int r) {
+    return halo_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] LocalCkpt& local(int r) {
+    return local_[static_cast<std::size_t>(r)];
+  }
+
+  // Drops every snapshot (full restart after an unrecoverable phase loss).
+  void clear() {
+    for (auto& c : partition_) c = {};
+    for (auto& c : halo_) c = {};
+    for (auto& c : local_) c = {};
+  }
+
+ private:
+  std::vector<PartitionCkpt> partition_;
+  std::vector<HaloCkpt> halo_;
+  std::vector<LocalCkpt> local_;
+};
+
+}  // namespace udb

@@ -1,0 +1,384 @@
+#include "dist/ft_mudbscan_d.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/timer.hpp"
+#include "core/mudbscan_engine.hpp"
+#include "dist/checkpoint.hpp"
+#include "dist/halo.hpp"
+#include "dist/kd_partition.hpp"
+
+namespace udb {
+
+namespace {
+
+// Everything one attempt shares across its rank threads. Each rank writes
+// only its own checkpoint slot and its own gids in the result arrays, so the
+// only synchronized member is the stats aggregate.
+struct AttemptContext {
+  const Dataset* global = nullptr;
+  DbscanParams params;
+  const FtConfig* cfg = nullptr;
+  CheckpointStore* store = nullptr;
+  const std::vector<int>* logical_of = nullptr;  // comm rank -> logical rank
+  const std::vector<int>* comm_of = nullptr;     // logical rank -> comm rank
+  const std::vector<int>* owner_now = nullptr;   // logical rank -> logical
+  ClusteringResult* result = nullptr;
+  MuDbscanDStats* agg = nullptr;
+  std::mutex* agg_mu = nullptr;
+  std::atomic<std::uint64_t>* ckpt_bytes = nullptr;
+};
+
+void run_rank(mpi::Comm& comm, const AttemptContext& ctx) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  const int logical = (*ctx.logical_of)[static_cast<std::size_t>(me)];
+  const Dataset& global = *ctx.global;
+  const std::size_t dim = global.dim();
+  const std::size_t n = global.size();
+  const double eps = ctx.params.eps;
+  CheckpointStore& store = *ctx.store;
+
+  const auto charge_ckpt = [&](std::size_t bytes) {
+    comm.charge(static_cast<double>(bytes) * ctx.cfg->checkpoint_beta);
+    ctx.ckpt_bytes->fetch_add(bytes);
+  };
+
+  // ---- phase 1: partition (snapshot reused verbatim on recovery) ---------
+  comm.fault_point(kFtPointPartition);
+  double t0 = comm.vtime();
+  PartitionCkpt& pc = store.partition(logical);
+  if (!pc.valid) {
+    // Fresh start (first attempt or full restart): contiguous initial block
+    // of the shared input, then the collective kd partitioning. Partition
+    // validity is all-or-nothing across alive ranks, so every rank takes the
+    // same branch and the collective stays aligned.
+    const std::size_t lo =
+        n * static_cast<std::size_t>(me) / static_cast<std::size_t>(p);
+    const std::size_t hi =
+        n * (static_cast<std::size_t>(me) + 1) / static_cast<std::size_t>(p);
+    std::vector<double> coords(
+        global.raw().begin() + static_cast<std::ptrdiff_t>(lo * dim),
+        global.raw().begin() + static_cast<std::ptrdiff_t>(hi * dim));
+    std::vector<std::uint64_t> gids(hi - lo);
+    std::iota(gids.begin(), gids.end(), lo);
+    PartitionResult part =
+        kd_partition(comm, dim, std::move(coords), std::move(gids));
+    pc.coords = std::move(part.coords);
+    pc.gids = std::move(part.gids);
+    pc.valid = true;
+    charge_ckpt(pc.bytes());
+  }
+  const double t_partition = comm.vtime() - t0;
+  comm.barrier();
+
+  // ---- phase 2: halo exchange --------------------------------------------
+  comm.fault_point(kFtPointHalo);
+  t0 = comm.vtime();
+  // The strip exchange re-runs collectively every attempt: that is how an
+  // adopter's grown region receives its complete eps-halo. A rank with a
+  // valid halo snapshot keeps the snapshot — its bounding box is unchanged,
+  // so the freshly received strip is the same point set (possibly reordered,
+  // and the local-clustering snapshot is index-order dependent) — and takes
+  // only the current rank boxes from the fresh exchange.
+  HaloResult fresh = exchange_halo(comm, dim, pc.coords, pc.gids, eps);
+  HaloCkpt& hc = store.halo(logical);
+  if (!hc.valid) {
+    hc.coords = std::move(fresh.coords);
+    hc.gids = std::move(fresh.gids);
+    hc.owner_logical.resize(fresh.owner.size());
+    for (std::size_t i = 0; i < fresh.owner.size(); ++i)
+      hc.owner_logical[i] =
+          (*ctx.logical_of)[static_cast<std::size_t>(fresh.owner[i])];
+    hc.valid = true;
+  }
+  charge_ckpt(hc.bytes());
+  const std::vector<Box> rank_boxes = std::move(fresh.rank_boxes);
+  // Route each halo copy to its *current* owner: the rank that holds the
+  // point locally in this attempt (a dead owner's points belong to its
+  // adopter), expressed in this attempt's communicator numbering.
+  std::vector<int> halo_owner(hc.owner_logical.size());
+  for (std::size_t i = 0; i < halo_owner.size(); ++i) {
+    const int now =
+        (*ctx.owner_now)[static_cast<std::size_t>(hc.owner_logical[i])];
+    halo_owner[i] = (*ctx.comm_of)[static_cast<std::size_t>(now)];
+  }
+  const double t_halo = comm.vtime() - t0;
+  comm.barrier();
+
+  const std::size_t n_local = pc.gids.size();
+  std::vector<double> combined = pc.coords;
+  combined.insert(combined.end(), hc.coords.begin(), hc.coords.end());
+  std::vector<std::uint64_t> gids = pc.gids;
+  gids.insert(gids.end(), hc.gids.begin(), hc.gids.end());
+  const std::size_t n_comb = gids.size();
+  const Dataset comb_ds(dim, std::move(combined));
+
+  // ---- phase 3: local clustering (pure compute; snapshot or replay) ------
+  comm.fault_point(kFtPointLocal);
+  double t_tree = 0.0, t_reach = 0.0, t_cluster = 0.0, t_post = 0.0;
+  std::uint64_t queries = 0;
+  LocalCkpt& lc = store.local(logical);
+  UnionFind uf(n_comb);
+  std::vector<std::uint8_t> is_core, assigned;
+  if (lc.valid) {
+    // Restore: replaying the saved roots reproduces the same partition of
+    // combined indices (root identities may differ; the merge only groups).
+    for (std::size_t i = 0; i < n_comb; ++i) {
+      const PointId pt = static_cast<PointId>(i);
+      if (lc.uf_root[i] != pt) (void)uf.union_sets(pt, lc.uf_root[i]);
+    }
+    is_core = lc.is_core;
+    assigned = lc.assigned;
+    charge_ckpt(lc.bytes());
+  } else {
+    MuDbscanEngine engine(comb_ds, ctx.params, ctx.cfg->mu);
+    t0 = comm.vtime();
+    engine.build_tree();
+    t_tree = comm.vtime() - t0;
+    t0 = comm.vtime();
+    engine.find_reachable();
+    t_reach = comm.vtime() - t0;
+    t0 = comm.vtime();
+    engine.cluster();
+    t_cluster = comm.vtime() - t0;
+    t0 = comm.vtime();
+    engine.post_process();
+    t_post = comm.vtime() - t0;
+    queries = engine.stats.queries_performed;
+
+    UnionFind& euf = engine.uf();
+    lc.uf_root.resize(n_comb);
+    for (std::size_t i = 0; i < n_comb; ++i)
+      lc.uf_root[i] = euf.find(static_cast<PointId>(i));
+    lc.is_core = engine.core_flags();
+    lc.assigned = engine.assigned_flags();
+    lc.valid = true;
+    charge_ckpt(lc.bytes());
+    for (std::size_t i = 0; i < n_comb; ++i) {
+      const PointId pt = static_cast<PointId>(i);
+      if (lc.uf_root[i] != pt) (void)uf.union_sets(pt, lc.uf_root[i]);
+    }
+    is_core = lc.is_core;
+    assigned = lc.assigned;
+  }
+  comm.barrier();
+
+  // ---- phase 4: merge (always replayed — it is the global phase) ---------
+  comm.fault_point(kFtPointMerge);
+  t0 = comm.vtime();
+  MergeStats merge_stats;
+  DistClustering local = merge_local_clusterings(
+      comm, dim, eps, comb_ds.raw(), n_local, gids, halo_owner, rank_boxes,
+      uf, is_core, assigned, &merge_stats, ctx.cfg->merge_strategy);
+  const double t_merge = comm.vtime() - t0;
+
+  for (std::size_t i = 0; i < n_local; ++i) {
+    ctx.result->label[gids[i]] = local.label[i];
+    ctx.result->is_core[gids[i]] = local.is_core[i];
+  }
+
+  // Phase makespans + summed counters, as in the fault-free driver. Only the
+  // successful attempt's aggregate is consumed.
+  const double m_partition = comm.allreduce_max(t_partition);
+  const double m_halo = comm.allreduce_max(t_halo);
+  const double m_tree = comm.allreduce_max(t_tree);
+  const double m_reach = comm.allreduce_max(t_reach);
+  const double m_cluster = comm.allreduce_max(t_cluster);
+  const double m_post = comm.allreduce_max(t_post);
+  const double m_merge = comm.allreduce_max(t_merge);
+  const std::int64_t halo_total = comm.allreduce_sum(
+      static_cast<std::int64_t>(n_comb - n_local));
+  const std::int64_t edges_total =
+      comm.allreduce_sum(static_cast<std::int64_t>(merge_stats.cross_edges));
+  const std::int64_t queries_total =
+      comm.allreduce_sum(static_cast<std::int64_t>(queries));
+
+  if (me == 0) {
+    std::lock_guard<std::mutex> lock(*ctx.agg_mu);
+    ctx.agg->t_partition = m_partition;
+    ctx.agg->t_halo = m_halo;
+    ctx.agg->t_tree = m_tree;
+    ctx.agg->t_reach = m_reach;
+    ctx.agg->t_cluster = m_cluster;
+    ctx.agg->t_post = m_post;
+    ctx.agg->t_merge = m_merge;
+    ctx.agg->halo_points_total = static_cast<std::uint64_t>(halo_total);
+    ctx.agg->cross_edges = static_cast<std::uint64_t>(edges_total);
+    ctx.agg->union_pairs = merge_stats.union_pairs;
+    ctx.agg->queries_performed = static_cast<std::uint64_t>(queries_total);
+  }
+}
+
+}  // namespace
+
+ClusteringResult mudbscan_d_ft(const Dataset& global,
+                               const DbscanParams& params, int nranks,
+                               const FtConfig& cfg, FtStats* stats) {
+  if (nranks < 1)
+    throw std::invalid_argument("mudbscan_d_ft: nranks must be >= 1");
+  const std::size_t n = global.size();
+
+  ClusteringResult result;
+  result.label.assign(n, kNoise);
+  result.is_core.assign(n, 0);
+
+  CheckpointStore store(nranks);
+  std::vector<int> alive(static_cast<std::size_t>(nranks));
+  std::iota(alive.begin(), alive.end(), 0);
+  std::vector<int> owner_now(static_cast<std::size_t>(nranks));
+  std::iota(owner_now.begin(), owner_now.end(), 0);
+
+  FtStats ft;
+  std::atomic<std::uint64_t> ckpt_bytes{0};
+  WallTimer wall;
+  const int max_attempts = cfg.max_attempts > 0 ? cfg.max_attempts : nranks + 2;
+  bool success = false;
+
+  for (int attempt = 0; attempt < max_attempts && !success; ++attempt) {
+    ++ft.attempts;
+    const int p = static_cast<int>(alive.size());
+    std::vector<int> comm_of(static_cast<std::size_t>(nranks), -1);
+    for (int i = 0; i < p; ++i)
+      comm_of[static_cast<std::size_t>(alive[static_cast<std::size_t>(i)])] = i;
+
+    // Per-attempt plan: crash/slow specs of dead ranks are dropped, the rest
+    // are translated to the attempt's communicator numbering, and message
+    // faults are re-rolled per attempt (a retry of the same phase must not
+    // deterministically hit the identical loss pattern forever).
+    mpi::FaultPlan plan = cfg.plan;
+    plan.seed = attempt == 0 ? cfg.plan.seed
+                             : mpi::fault_mix(cfg.plan.seed +
+                                              static_cast<std::uint64_t>(attempt));
+    plan.crashes.clear();
+    for (const mpi::CrashSpec& c : cfg.plan.crashes) {
+      if (c.rank < 0 || c.rank >= nranks) continue;
+      if (comm_of[static_cast<std::size_t>(c.rank)] < 0) continue;
+      mpi::CrashSpec cc = c;
+      cc.rank = comm_of[static_cast<std::size_t>(c.rank)];
+      plan.crashes.push_back(std::move(cc));
+    }
+    plan.slowdowns.clear();
+    for (const mpi::SlowSpec& s : cfg.plan.slowdowns) {
+      if (s.rank < 0 || s.rank >= nranks) continue;
+      if (comm_of[static_cast<std::size_t>(s.rank)] < 0) continue;
+      mpi::SlowSpec ss = s;
+      ss.rank = comm_of[static_cast<std::size_t>(s.rank)];
+      plan.slowdowns.push_back(ss);
+    }
+
+    mpi::Runtime rt(p, cfg.cost);
+    rt.set_fault_plan(std::move(plan));
+
+    MuDbscanDStats agg;
+    std::mutex agg_mu;
+    std::atomic<bool> attempt_failed{false};
+
+    AttemptContext ctx;
+    ctx.global = &global;
+    ctx.params = params;
+    ctx.cfg = &cfg;
+    ctx.store = &store;
+    ctx.logical_of = &alive;
+    ctx.comm_of = &comm_of;
+    ctx.owner_now = &owner_now;
+    ctx.result = &result;
+    ctx.agg = &agg;
+    ctx.agg_mu = &agg_mu;
+    ctx.ckpt_bytes = &ckpt_bytes;
+
+    rt.run([&](mpi::Comm& comm) {
+      try {
+        run_rank(comm, ctx);
+      } catch (const mpi::TimeoutError&) {
+        // A peer stopped talking (crashed rank or lost message): abort the
+        // attempt everywhere so no survivor stays blocked in a collective.
+        comm.abort_attempt();
+        attempt_failed.store(true);
+      } catch (const mpi::AttemptAbortedError&) {
+        attempt_failed.store(true);
+      }
+    });
+
+    ft.vtime_total += rt.makespan();
+    ft.faults += rt.fault_counts();
+
+    const std::vector<int> crashed_comm = rt.crashed_ranks();
+    if (crashed_comm.empty() && !attempt_failed.load()) {
+      success = true;
+      ft.vtime_final_attempt = rt.makespan();
+      ft.survivor_count = p;
+      ft.dist = agg;
+      break;
+    }
+
+    // ---- recovery bookkeeping (single-threaded, between attempts) --------
+    std::vector<int> dead;
+    for (int cr : crashed_comm) {
+      const int d = alive[static_cast<std::size_t>(cr)];
+      const char* phase = !store.partition(d).valid ? kFtPointPartition
+                          : !store.halo(d).valid    ? kFtPointHalo
+                          : !store.local(d).valid   ? kFtPointLocal
+                                                    : kFtPointMerge;
+      ft.crashed_ranks.push_back(d);
+      ft.crash_phases.emplace_back(phase);
+      dead.push_back(d);
+    }
+    for (int d : dead)
+      alive.erase(std::remove(alive.begin(), alive.end(), d), alive.end());
+    if (alive.empty())
+      throw std::runtime_error("mudbscan_d_ft: every rank failed");
+
+    bool full_restart = false;
+    for (int d : dead)
+      if (!store.partition(d).valid) full_restart = true;
+    if (full_restart) {
+      // The dead rank died before its partition snapshot existed: its block
+      // assignment is unrecoverable, so the survivors restart the pipeline
+      // from the shared input.
+      store.clear();
+      ft.full_restarts = true;
+      for (int r : alive) owner_now[static_cast<std::size_t>(r)] = r;
+    } else {
+      for (int d : dead) {
+        // Adopt the dead rank's partition block wholesale at the survivor
+        // with the fewest points (deterministic; ties to the lowest id).
+        // Only the adopter's halo/local snapshots are invalidated — every
+        // other survivor replays nothing.
+        int adopter = alive.front();
+        for (int r : alive)
+          if (store.partition(r).gids.size() <
+              store.partition(adopter).gids.size())
+            adopter = r;
+        PartitionCkpt& ap = store.partition(adopter);
+        PartitionCkpt& dp = store.partition(d);
+        ap.coords.insert(ap.coords.end(), dp.coords.begin(), dp.coords.end());
+        ap.gids.insert(ap.gids.end(), dp.gids.begin(), dp.gids.end());
+        dp = {};
+        store.halo(d) = {};
+        store.local(d) = {};
+        store.halo(adopter) = {};
+        store.local(adopter) = {};
+        for (int r = 0; r < nranks; ++r)
+          if (owner_now[static_cast<std::size_t>(r)] == d)
+            owner_now[static_cast<std::size_t>(r)] = adopter;
+      }
+    }
+  }
+
+  if (!success)
+    throw std::runtime_error(
+        "mudbscan_d_ft: no attempt completed within " +
+        std::to_string(max_attempts) + " attempts");
+
+  ft.checkpoint_bytes = ckpt_bytes.load();
+  ft.dist.wall_seconds = wall.seconds();
+  if (stats) *stats = ft;
+  return result;
+}
+
+}  // namespace udb

@@ -1,0 +1,79 @@
+// Fault-tolerant µDBSCAN-D: the distributed algorithm of dist/mudbscan_d.hpp
+// hardened against injected rank crashes and message faults (see
+// docs/FAULT_MODEL.md). The driver is phase-checkpointed — after partition,
+// halo exchange, and local clustering each rank snapshots its phase output to
+// the CheckpointStore (modeled stable storage) — and runs in attempts:
+//
+//   attempt:  partition -> halo -> local µDBSCAN -> merge
+//             (each phase prefixed by a named fault point: "partition",
+//             "halo", "local", "merge")
+//   on a detected rank failure (recv TimeoutError), survivors abort the
+//   attempt; the coordinator reassigns the dead rank's partition block to
+//   the survivor with the fewest points and starts a recovery attempt over
+//   the survivor communicator. Survivors whose point set did not change
+//   restore their halo and local-clustering snapshots and replay nothing;
+//   the adopter recomputes its halo and local clustering; the merge phase
+//   always re-runs (it is the global phase). If the dead rank died before
+//   its partition snapshot existed, every snapshot is dropped and the
+//   pipeline restarts from scratch over the survivors.
+//
+// The output is the exact DBSCAN clustering (same core set, same core
+// partition, same noise set) regardless of which ranks die when — the
+// pipeline is exact for every partition shape, and recovery only changes the
+// partition shape.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/dataset.hpp"
+#include "core/mudbscan.hpp"
+#include "dist/merge.hpp"
+#include "dist/mudbscan_d.hpp"
+#include "metrics/clustering.hpp"
+#include "mpi/minimpi.hpp"
+
+namespace udb {
+
+// Fault-point names the driver announces (usable in FaultPlan::CrashSpec).
+inline constexpr const char* kFtPointPartition = "partition";
+inline constexpr const char* kFtPointHalo = "halo";
+inline constexpr const char* kFtPointLocal = "local";
+inline constexpr const char* kFtPointMerge = "merge";
+
+struct FtConfig {
+  mpi::FaultPlan plan;  // faults to inject (default: none)
+  MuDbscanConfig mu;
+  mpi::CostModel cost;
+  MergeStrategy merge_strategy = MergeStrategy::AllGatherPairs;
+  int max_attempts = 0;  // 0 -> nranks + 2
+  // Virtual-time cost per checkpointed byte (write and restore), modeling
+  // the snapshot I/O a real deployment would pay (~1 GB/s default).
+  double checkpoint_beta = 1e-9;
+};
+
+struct FtStats {
+  int attempts = 0;
+  int survivor_count = 0;
+  bool full_restarts = false;  // some recovery could not reuse checkpoints
+  std::vector<int> crashed_ranks;        // logical ids, in detection order
+  std::vector<std::string> crash_phases; // phase the rank died in
+  double vtime_total = 0.0;         // summed makespans over all attempts
+  double vtime_final_attempt = 0.0; // makespan of the successful attempt
+  std::uint64_t checkpoint_bytes = 0;
+  mpi::FaultCounts faults;      // aggregated over all attempts
+  MuDbscanDStats dist;          // phase stats of the successful attempt
+};
+
+// Runs on `nranks` simulated ranks under cfg.plan's faults and returns the
+// exact global clustering. Throws if every rank dies or cfg.max_attempts
+// recovery attempts are exhausted (e.g. persistent unreliable-transport
+// message loss).
+[[nodiscard]] ClusteringResult mudbscan_d_ft(const Dataset& global,
+                                             const DbscanParams& params,
+                                             int nranks,
+                                             const FtConfig& cfg = {},
+                                             FtStats* stats = nullptr);
+
+}  // namespace udb

@@ -1,6 +1,7 @@
 #include "mpi/minimpi.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
 #include "common/timer.hpp"
@@ -15,6 +16,8 @@ struct Runtime::Mailbox {
     std::vector<std::byte> bytes;
     double arrival_vtime = 0.0;
   };
+
+  enum class PopStatus { Ok, Poisoned, PeerGone, Timeout, Aborted };
 
   std::mutex mu;
   std::condition_variable cv;
@@ -40,10 +43,54 @@ struct Runtime::Mailbox {
     return msg;
   }
 
+  // Fault-mode pop: also fails when the peer is no longer running (no
+  // message can ever arrive — its pushes happen-before its state change),
+  // when the run is aborted, or when the real-time deadline elapses.
+  // The queue is always checked first so a message that did arrive is never
+  // lost to a racing state change.
+  PopStatus pop_wait(int src, Tag tag, Message& out,
+                     const std::atomic<int>& peer_state,
+                     const std::atomic<bool>& aborted, double timeout_real) {
+    std::unique_lock<std::mutex> lock(mu);
+    auto& q = queues[{src, tag}];
+    const auto deadline =
+        timeout_real >= 0.0
+            ? std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(timeout_real))
+            : std::chrono::steady_clock::time_point::max();
+    for (;;) {
+      if (!q.empty()) {
+        out = std::move(q.front());
+        q.pop_front();
+        return PopStatus::Ok;
+      }
+      if (poisoned) return PopStatus::Poisoned;
+      if (aborted.load()) return PopStatus::Aborted;
+      if (peer_state.load() != static_cast<int>(RankState::Running))
+        return PopStatus::PeerGone;
+      if (timeout_real >= 0.0) {
+        if (cv.wait_until(lock, deadline) == std::cv_status::timeout &&
+            q.empty())
+          return PopStatus::Timeout;
+      } else {
+        cv.wait(lock);
+      }
+    }
+  }
+
   void poison() {
     {
       std::lock_guard<std::mutex> lock(mu);
       poisoned = true;
+    }
+    cv.notify_all();
+  }
+
+  // Wakes every waiter so it re-checks abort/peer-state predicates.
+  void kick() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
     }
     cv.notify_all();
   }
@@ -55,19 +102,57 @@ struct Runtime::Mailbox {
   }
 };
 
+void Runtime::Counters::reset() noexcept {
+  dropped = 0;
+  delayed = 0;
+  duplicated = 0;
+  corrupted = 0;
+  retries = 0;
+  crashes = 0;
+  timeouts = 0;
+}
+
 Runtime::Runtime(int nranks, CostModel cost) : nranks_(nranks), cost_(cost) {
   if (nranks < 1) throw std::invalid_argument("Runtime: nranks must be >= 1");
   mailboxes_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r)
     mailboxes_.push_back(std::make_unique<Mailbox>());
   vtimes_.assign(static_cast<std::size_t>(nranks), 0.0);
+  states_ = std::make_unique<std::atomic<int>[]>(
+      static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r)
+    states_[static_cast<std::size_t>(r)] =
+        static_cast<int>(RankState::Finished);
 }
 
 Runtime::~Runtime() = default;
 
+void Runtime::mark_rank(int rank, RankState st) {
+  states_[static_cast<std::size_t>(rank)].store(static_cast<int>(st));
+  for (auto& mb : mailboxes_) mb->kick();
+}
+
+FaultCounts Runtime::fault_counts() const noexcept {
+  FaultCounts c;
+  c.dropped = counters_.dropped.load();
+  c.delayed = counters_.delayed.load();
+  c.duplicated = counters_.duplicated.load();
+  c.corrupted = counters_.corrupted.load();
+  c.retries = counters_.retries.load();
+  c.crashes = counters_.crashes.load();
+  c.timeouts = counters_.timeouts.load();
+  return c;
+}
+
 void Runtime::run(const std::function<void(Comm&)>& fn) {
   for (auto& mb : mailboxes_) mb->reset();
   std::fill(vtimes_.begin(), vtimes_.end(), 0.0);
+  for (int r = 0; r < nranks_; ++r)
+    states_[static_cast<std::size_t>(r)] =
+        static_cast<int>(RankState::Running);
+  aborted_ = false;
+  crashed_.clear();
+  counters_.reset();
 
   std::exception_ptr first_error;
   std::mutex error_mu;
@@ -82,16 +167,29 @@ void Runtime::run(const std::function<void(Comm&)>& fn) {
         fn(comm);
         comm.settle_cpu();
         vtimes_[static_cast<std::size_t>(r)] = comm.vtime_;
+        mark_rank(r, RankState::Finished);
+      } catch (const RankCrashedError&) {
+        // Injected crash: the rank dies, the run survives. Peers detect the
+        // death through recv timeouts instead of being poisoned.
+        vtimes_[static_cast<std::size_t>(r)] = comm.vtime_;
+        ++counters_.crashes;
+        {
+          std::lock_guard<std::mutex> lock(crashed_mu_);
+          crashed_.push_back(r);
+        }
+        mark_rank(r, RankState::Crashed);
       } catch (...) {
         {
           std::lock_guard<std::mutex> lock(error_mu);
           if (!first_error) first_error = std::current_exception();
         }
+        mark_rank(r, RankState::Crashed);
         for (auto& mb : mailboxes_) mb->poison();
       }
     });
   }
   for (auto& t : threads) t.join();
+  std::sort(crashed_.begin(), crashed_.end());
   if (first_error) std::rethrow_exception(first_error);
 }
 
@@ -101,31 +199,176 @@ double Runtime::makespan() const {
 
 // ---- Comm ----------------------------------------------------------------
 
+Comm::Comm(Runtime* rt, int rank) : rt_(rt), rank_(rank) {
+  if (rt_->plan_) {
+    for (const SlowSpec& s : rt_->plan_->slowdowns)
+      if (s.rank == rank_) slow_factor_ = s.factor;
+    for (const CrashSpec& c : rt_->plan_->crashes)
+      if (c.rank == rank_ && c.at_vtime >= 0.0)
+        crash_at_vtime_ = crash_at_vtime_ < 0.0
+                              ? c.at_vtime
+                              : std::min(crash_at_vtime_, c.at_vtime);
+  }
+}
+
 void Comm::settle_cpu() {
   const double now = ThreadCpuTimer::now();
-  vtime_ += now - cpu_mark_;
+  vtime_ += (now - cpu_mark_) * slow_factor_;
   cpu_mark_ = now;
+}
+
+void Comm::maybe_crash() {
+  if (crash_at_vtime_ >= 0.0 && vtime_ >= crash_at_vtime_) {
+    crash_at_vtime_ = -1.0;
+    throw RankCrashedError("rank " + std::to_string(rank_) +
+                           " at vtime threshold");
+  }
+}
+
+void Comm::fault_point(const std::string& name) {
+  if (!rt_->plan_) return;
+  settle_cpu();
+  maybe_crash();
+  const int count = ++fault_point_counts_[name];
+  for (const CrashSpec& c : rt_->plan_->crashes) {
+    if (c.rank == rank_ && c.at_point == name && c.occurrence == count)
+      throw RankCrashedError("rank " + std::to_string(rank_) + " at " + name);
+  }
+}
+
+void Comm::abort_attempt() {
+  rt_->aborted_.store(true);
+  for (auto& mb : rt_->mailboxes_) mb->kick();
 }
 
 void Comm::send_bytes(int dst, Tag tag, std::vector<std::byte> bytes) {
   settle_cpu();
+  const FaultPlan* plan = rt_->plan_ ? &*rt_->plan_ : nullptr;
+  Runtime::Mailbox& box = *rt_->mailboxes_[static_cast<std::size_t>(dst)];
+  auto& ctr = rt_->counters_;
+
+  if (!plan) {
+    Runtime::Mailbox::Message msg;
+    msg.arrival_vtime = vtime_ + rt_->cost_.alpha +
+                        static_cast<double>(bytes.size()) * rt_->cost_.beta;
+    msg.bytes = std::move(bytes);
+    box.push(rank_, tag, std::move(msg));
+    return;
+  }
+
+  maybe_crash();
+  const std::uint64_t seq = send_seq_++;
+  const auto roll = [&](std::uint64_t salt) {
+    return fault_unit(fault_hash(plan->seed, rank_, dst, tag, seq, salt));
+  };
+  const MessageFaultConfig& mf = plan->msg;
+
+  double extra_latency = 0.0;
+  if (mf.delay_rate > 0.0 && roll(1) < mf.delay_rate) {
+    extra_latency += mf.delay_seconds;
+    ++ctr.delayed;
+  }
+
+  if (plan->reliable) {
+    // Sender-side ARQ simulation: each transmission attempt is independently
+    // lost or corrupted; a failed attempt waits out the current RTO (charged
+    // to virtual time) and retransmits with exponential backoff. Corruption
+    // is caught by the checksum, duplicates by sequence numbers, so the
+    // message is ultimately delivered exactly once, intact.
+    double rto = plan->rto_initial;
+    int attempt = 0;
+    for (;; ++attempt) {
+      if (attempt > plan->max_retries)
+        throw SendFailedError(dst, attempt);
+      const bool lost =
+          mf.drop_rate > 0.0 && roll(100 + 2 * static_cast<std::uint64_t>(attempt)) < mf.drop_rate;
+      const bool garbled =
+          mf.corrupt_rate > 0.0 &&
+          roll(101 + 2 * static_cast<std::uint64_t>(attempt)) < mf.corrupt_rate;
+      if (!lost && !garbled) break;
+      if (lost)
+        ++ctr.dropped;
+      else
+        ++ctr.corrupted;
+      ++ctr.retries;
+      vtime_ += rto;
+      rto = std::min(rto * 2.0, plan->rto_max);
+    }
+    if (mf.dup_rate > 0.0 && roll(4) < mf.dup_rate)
+      ++ctr.duplicated;  // suppressed by receiver-side sequence numbers
+    Runtime::Mailbox::Message msg;
+    msg.arrival_vtime = vtime_ + rt_->cost_.alpha +
+                        static_cast<double>(bytes.size()) * rt_->cost_.beta +
+                        extra_latency;
+    msg.bytes = std::move(bytes);
+    box.push(rank_, tag, std::move(msg));
+    return;
+  }
+
+  // Raw (unreliable) transport: faults hit the application directly.
+  if (mf.drop_rate > 0.0 && roll(2) < mf.drop_rate) {
+    ++ctr.dropped;
+    return;
+  }
+  if (mf.corrupt_rate > 0.0 && roll(3) < mf.corrupt_rate && !bytes.empty()) {
+    const std::uint64_t h = fault_hash(plan->seed, rank_, dst, tag, seq, 9);
+    bytes[static_cast<std::size_t>(h % bytes.size())] ^= std::byte{0xA5};
+    ++ctr.corrupted;
+  }
+  const bool dup = mf.dup_rate > 0.0 && roll(4) < mf.dup_rate;
   Runtime::Mailbox::Message msg;
   msg.arrival_vtime = vtime_ + rt_->cost_.alpha +
-                      static_cast<double>(bytes.size()) * rt_->cost_.beta;
+                      static_cast<double>(bytes.size()) * rt_->cost_.beta +
+                      extra_latency;
   msg.bytes = std::move(bytes);
-  rt_->mailboxes_[static_cast<std::size_t>(dst)]->push(rank_, tag,
-                                                       std::move(msg));
+  if (dup) {
+    Runtime::Mailbox::Message copy;
+    copy.arrival_vtime = msg.arrival_vtime;
+    copy.bytes = msg.bytes;
+    box.push(rank_, tag, std::move(msg));
+    box.push(rank_, tag, std::move(copy));
+    ++ctr.duplicated;
+  } else {
+    box.push(rank_, tag, std::move(msg));
+  }
 }
 
 std::vector<std::byte> Comm::recv_bytes(int src, Tag tag) {
   settle_cpu();
-  auto msg = rt_->mailboxes_[static_cast<std::size_t>(rank_)]->pop(src, tag);
-  // Waiting for a slower sender advances the receiver's clock; an
-  // already-arrived message costs nothing extra (time spent blocked on the
-  // condvar is not CPU time, so it is never charged).
-  vtime_ = std::max(vtime_, msg.arrival_vtime);
+  Runtime::Mailbox& box = *rt_->mailboxes_[static_cast<std::size_t>(rank_)];
+  const FaultPlan* plan = rt_->plan_ ? &*rt_->plan_ : nullptr;
+
+  if (!plan) {
+    auto msg = box.pop(src, tag);
+    // Waiting for a slower sender advances the receiver's clock; an
+    // already-arrived message costs nothing extra (time spent blocked on the
+    // condvar is not CPU time, so it is never charged).
+    vtime_ = std::max(vtime_, msg.arrival_vtime);
+    cpu_mark_ = ThreadCpuTimer::now();
+    return msg.bytes;
+  }
+
+  maybe_crash();
+  Runtime::Mailbox::Message msg;
+  const auto status =
+      box.pop_wait(src, tag, msg, rt_->states_[static_cast<std::size_t>(src)],
+                   rt_->aborted_, plan->recv_timeout_real);
   cpu_mark_ = ThreadCpuTimer::now();
-  return msg.bytes;
+  switch (status) {
+    case Runtime::Mailbox::PopStatus::Ok:
+      vtime_ = std::max(vtime_, msg.arrival_vtime);
+      return std::move(msg.bytes);
+    case Runtime::Mailbox::PopStatus::Poisoned:
+      throw std::runtime_error("minimpi: peer rank failed");
+    case Runtime::Mailbox::PopStatus::Aborted:
+      throw AttemptAbortedError();
+    case Runtime::Mailbox::PopStatus::PeerGone:
+    case Runtime::Mailbox::PopStatus::Timeout:
+      vtime_ += plan->recv_timeout_vtime;
+      ++rt_->counters_.timeouts;
+      throw TimeoutError(src, tag);
+  }
+  throw std::logic_error("minimpi: unreachable recv status");
 }
 
 double Comm::vtime() {
@@ -136,6 +379,7 @@ double Comm::vtime() {
 void Comm::charge(double seconds) {
   settle_cpu();
   vtime_ += seconds;
+  if (rt_->plan_) maybe_crash();
 }
 
 void Comm::barrier(int base, int gsize) {

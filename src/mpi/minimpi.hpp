@@ -18,6 +18,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -27,9 +28,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <type_traits>
 #include <vector>
+
+#include "mpi/fault.hpp"
 
 namespace udb::mpi {
 
@@ -65,14 +70,46 @@ class Runtime {
   // Makespan: max over ranks of the final virtual clock.
   [[nodiscard]] double makespan() const;
 
+  // ---- fault injection (see mpi/fault.hpp, docs/FAULT_MODEL.md) ----------
+  // Installs a fault plan for subsequent run() calls. With a plan installed,
+  // a rank throwing RankCrashedError does not abort the run: its thread
+  // exits, peers observe TimeoutError on recv, and the run completes with
+  // the rank listed in crashed_ranks().
+  void set_fault_plan(FaultPlan plan) { plan_ = std::move(plan); }
+  void clear_fault_plan() { plan_.reset(); }
+  [[nodiscard]] bool fault_mode() const noexcept { return plan_.has_value(); }
+
+  // Ranks that died to an injected crash during the last run(), in crash
+  // order, and the fault counters accumulated over that run.
+  [[nodiscard]] const std::vector<int>& crashed_ranks() const noexcept {
+    return crashed_;
+  }
+  [[nodiscard]] FaultCounts fault_counts() const noexcept;
+
  private:
   friend class Comm;
   struct Mailbox;
+
+  enum class RankState : int { Running, Finished, Crashed };
+
+  void mark_rank(int rank, RankState st);  // updates state, wakes all recvs
 
   int nranks_;
   CostModel cost_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<double> vtimes_;
+
+  std::optional<FaultPlan> plan_;
+  std::unique_ptr<std::atomic<int>[]> states_;  // RankState per rank
+  std::atomic<bool> aborted_{false};
+  std::mutex crashed_mu_;
+  std::vector<int> crashed_;
+  struct Counters {
+    std::atomic<std::uint64_t> dropped{0}, delayed{0}, duplicated{0},
+        corrupted{0}, retries{0}, crashes{0}, timeouts{0};
+    void reset() noexcept;
+  };
+  Counters counters_;
 };
 
 class Comm {
@@ -137,13 +174,22 @@ class Comm {
   // Adds `seconds` of modeled (non-CPU) work — e.g. I/O the paper excludes.
   void charge(double seconds);
 
+  // ---- fault injection -------------------------------------------------
+  // Named fault point: drivers annotate phase boundaries so a FaultPlan can
+  // crash a rank at a precise, deterministic place. No-op without a plan.
+  void fault_point(const std::string& name);
+  // Wakes every blocked recv in the runtime with AttemptAbortedError. Used
+  // by fault-tolerant drivers to unwind a failed attempt without deadlock.
+  void abort_attempt();
+
  private:
   friend class Runtime;
-  Comm(Runtime* rt, int rank) : rt_(rt), rank_(rank) {}
+  Comm(Runtime* rt, int rank);
 
   void send_bytes(int dst, Tag tag, std::vector<std::byte> bytes);
   std::vector<std::byte> recv_bytes(int src, Tag tag);
-  void settle_cpu();  // fold thread CPU since last mark into vtime_
+  void settle_cpu();   // fold thread CPU since last mark into vtime_
+  void maybe_crash();  // at_vtime crash specs; call after settle_cpu
 
   [[nodiscard]] int group_size(int gsize) const noexcept {
     return gsize == 0 ? rt_->nranks_ : gsize;
@@ -153,6 +199,11 @@ class Comm {
   int rank_;
   double vtime_ = 0.0;
   double cpu_mark_ = 0.0;
+  // Fault state (all unused without a plan).
+  double slow_factor_ = 1.0;
+  double crash_at_vtime_ = -1.0;
+  std::uint64_t send_seq_ = 0;
+  std::map<std::string, int> fault_point_counts_;
   // All collectives share one reserved tag: matching is FIFO per ordered
   // (sender, receiver) pair, and every pair's send/recv sequences align in
   // program order — this stays correct even when sub-groups execute

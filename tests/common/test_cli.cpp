@@ -81,5 +81,37 @@ TEST(Cli, NegativeNumberAsValue) {
   EXPECT_EQ(cli.get_int("lo", 0), -3);
 }
 
+TEST(Cli, RejectsNonNumericDouble) {
+  EXPECT_THROW((void)make({"--eps=abc"}).get_double("eps", 1.0),
+               std::invalid_argument);
+}
+
+TEST(Cli, RejectsTrailingGarbageOnNumber) {
+  EXPECT_THROW((void)make({"--eps=2.5x"}).get_double("eps", 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)make({"--n=12.5"}).get_int("n", 1),
+               std::invalid_argument);
+}
+
+TEST(Cli, RejectsOutOfRangeNumber) {
+  EXPECT_THROW((void)make({"--n=99999999999999999999999"}).get_int("n", 1),
+               std::invalid_argument);
+}
+
+TEST(Cli, ParseErrorNamesTheFlag) {
+  try {
+    (void)make({"--minpts=five"}).get_int("minpts", 1);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--minpts"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("five"), std::string::npos);
+  }
+}
+
+TEST(Cli, RejectsBadListElement) {
+  EXPECT_THROW((void)make({"--ranks=1,x,4"}).get_int_list("ranks", {}),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace udb

@@ -87,6 +87,44 @@ TEST_F(IoTest, BinaryRejectsTruncation) {
   EXPECT_THROW(read_binary(path("t.bin")), std::runtime_error);
 }
 
+TEST_F(IoTest, CsvRejectsNonFiniteValues) {
+  std::ofstream out(path("nf.csv"));
+  out << "1.0,2.0\nnan,4.0\n";
+  out.close();
+  EXPECT_THROW(read_csv(path("nf.csv")), std::runtime_error);
+  std::ofstream out2(path("inf.csv"));
+  out2 << "1.0,inf\n";
+  out2.close();
+  EXPECT_THROW(read_csv(path("inf.csv")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRejectsOverflowingHeader) {
+  // dim * count * sizeof(double) overflows size_t: must throw, not allocate.
+  std::ofstream out(path("ovf.bin"), std::ios::binary);
+  out.write("UDB1", 4);
+  const std::uint64_t dim = std::uint64_t{1} << 62;
+  const std::uint64_t count = 16;
+  out.write(reinterpret_cast<const char*>(&dim), sizeof dim);
+  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  out.close();
+  EXPECT_THROW(read_binary(path("ovf.bin")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRejectsHeaderLargerThanFile) {
+  // Plausible (non-overflowing) header advertising far more payload than the
+  // file holds: rejected against the actual file size, before allocation.
+  std::ofstream out(path("big.bin"), std::ios::binary);
+  out.write("UDB1", 4);
+  const std::uint64_t dim = 3;
+  const std::uint64_t count = 1000000;
+  out.write(reinterpret_cast<const char*>(&dim), sizeof dim);
+  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  const double few[6] = {1, 2, 3, 4, 5, 6};
+  out.write(reinterpret_cast<const char*>(few), sizeof few);
+  out.close();
+  EXPECT_THROW(read_binary(path("big.bin")), std::runtime_error);
+}
+
 TEST_F(IoTest, BinaryEmptyDatasetRoundTrip) {
   Dataset ds = Dataset::empty(4);
   write_binary(ds, path("e.bin"));

@@ -1,0 +1,316 @@
+// Fault-injection runtime tests (mpi/fault.hpp + minimpi): determinism of
+// the seeded fault stream, the unreliable fault effects (drop / delay /
+// duplicate / corrupt), the reliable ack/retry transport, crash injection at
+// fault points and vtime thresholds, and — crucially — that no recv can
+// block forever once a plan is installed.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "mpi/minimpi.hpp"
+
+namespace udb::mpi {
+namespace {
+
+// Sends K one-int messages 0..K-1 on distinct tags over lossy unreliable
+// transport; returns the delivery bitmask the receiver observed.
+std::vector<bool> run_lossy(Runtime& rt, int k) {
+  std::vector<bool> got(static_cast<std::size_t>(k), false);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < k; ++i)
+        c.send(1, static_cast<Tag>(i), std::vector<int>{i});
+    } else {
+      for (int i = 0; i < k; ++i) {
+        try {
+          const auto m = c.recv<int>(0, static_cast<Tag>(i));
+          ASSERT_EQ(m.size(), 1u);
+          EXPECT_EQ(m[0], i);
+          got[static_cast<std::size_t>(i)] = true;
+        } catch (const TimeoutError&) {
+          // dropped
+        }
+      }
+    }
+  });
+  return got;
+}
+
+TEST(FaultInjection, DropPatternIsDeterministicUnderSeed) {
+  const int k = 40;
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.msg.drop_rate = 0.4;
+  plan.recv_timeout_real = 1.0;
+
+  Runtime rt(2);
+  rt.set_fault_plan(plan);
+  const std::vector<bool> first = run_lossy(rt, k);
+  const FaultCounts counts_first = rt.fault_counts();
+  const std::vector<bool> second = run_lossy(rt, k);
+  const FaultCounts counts_second = rt.fault_counts();
+
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(counts_first.dropped, counts_second.dropped);
+  EXPECT_EQ(counts_first.timeouts, counts_second.timeouts);
+  // With drop_rate 0.4 over 40 messages, both outcomes must occur.
+  EXPECT_GT(counts_first.dropped, 0u);
+  EXPECT_LT(counts_first.dropped, static_cast<std::uint64_t>(k));
+
+  plan.seed = 8;
+  rt.set_fault_plan(plan);
+  EXPECT_NE(run_lossy(rt, k), first);
+}
+
+TEST(FaultInjection, DelayChargesVirtualLatency) {
+  FaultPlan plan;
+  plan.msg.delay_rate = 1.0;
+  plan.msg.delay_seconds = 0.01;
+  Runtime rt(2);
+  rt.set_fault_plan(plan);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 1, std::vector<int>{42});
+    } else {
+      (void)c.recv<int>(0, 1);
+      EXPECT_GE(c.vtime(), 0.01);
+    }
+  });
+  EXPECT_EQ(rt.fault_counts().delayed, 1u);
+}
+
+TEST(FaultInjection, UnreliableDuplicateDeliversTwice) {
+  FaultPlan plan;
+  plan.msg.dup_rate = 1.0;
+  Runtime rt(2);
+  rt.set_fault_plan(plan);
+  rt.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 1, std::vector<int>{9});
+    } else {
+      EXPECT_EQ(c.recv<int>(0, 1), (std::vector<int>{9}));
+      EXPECT_EQ(c.recv<int>(0, 1), (std::vector<int>{9}));
+    }
+  });
+  EXPECT_EQ(rt.fault_counts().duplicated, 1u);
+}
+
+TEST(FaultInjection, UnreliableCorruptionFlipsExactlyOneByte) {
+  FaultPlan plan;
+  plan.msg.corrupt_rate = 1.0;
+  Runtime rt(2);
+  rt.set_fault_plan(plan);
+  const std::vector<int> sent{10, 20, 30, 40};
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 1, sent);
+    } else {
+      const auto got = c.recv<int>(0, 1);
+      ASSERT_EQ(got.size(), sent.size());
+      int diff_bytes = 0;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        std::uint32_t a = 0, b = 0;
+        std::memcpy(&a, &got[i], 4);
+        std::memcpy(&b, &sent[i], 4);
+        for (std::uint32_t x = a ^ b; x; x >>= 8)
+          if (x & 0xFF) ++diff_bytes;
+      }
+      EXPECT_EQ(diff_bytes, 1);
+    }
+  });
+  EXPECT_EQ(rt.fault_counts().corrupted, 1u);
+}
+
+TEST(FaultInjection, ReliableTransportDeliversExactlyOnceIntact) {
+  const int k = 50;
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.reliable = true;
+  plan.msg.drop_rate = 0.3;
+  plan.msg.corrupt_rate = 0.2;
+  plan.msg.dup_rate = 0.2;
+  Runtime rt(2);
+  rt.set_fault_plan(plan);
+  double sender_vtime = 0.0;
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < k; ++i) c.send(1, 1, std::vector<int>{i});
+      sender_vtime = c.vtime();
+    } else {
+      for (int i = 0; i < k; ++i)
+        EXPECT_EQ(c.recv<int>(0, 1), (std::vector<int>{i}));
+    }
+  });
+  const FaultCounts counts = rt.fault_counts();
+  EXPECT_GT(counts.retries, 0u);
+  EXPECT_EQ(counts.retries, counts.dropped + counts.corrupted);
+  // Every retry waited out at least one initial RTO of sender virtual time.
+  EXPECT_GE(sender_vtime,
+            static_cast<double>(counts.retries) * plan.rto_initial);
+}
+
+TEST(FaultInjection, ReliableTransportExhaustionThrows) {
+  FaultPlan plan;
+  plan.reliable = true;
+  plan.msg.drop_rate = 1.0;  // every transmission lost
+  plan.max_retries = 3;
+  Runtime rt(2);
+  rt.set_fault_plan(plan);
+  EXPECT_THROW(rt.run([](Comm& c) {
+                 if (c.rank() == 0) c.send(1, 1, std::vector<int>{1});
+               }),
+               SendFailedError);
+}
+
+TEST(FaultInjection, CrashAtFaultPointOccurrence) {
+  FaultPlan plan;
+  CrashSpec crash;
+  crash.rank = 1;
+  crash.at_point = "phase";
+  crash.occurrence = 2;
+  plan.crashes.push_back(crash);
+  Runtime rt(3);
+  rt.set_fault_plan(plan);
+  std::atomic<int> completions{0};
+  rt.run([&](Comm& c) {
+    c.fault_point("phase");  // occurrence 1: survives
+    c.fault_point("phase");  // occurrence 2: rank 1 dies here
+    ++completions;
+  });
+  EXPECT_EQ(rt.crashed_ranks(), (std::vector<int>{1}));
+  EXPECT_EQ(rt.fault_counts().crashes, 1u);
+  EXPECT_EQ(completions.load(), 2);
+}
+
+TEST(FaultInjection, CrashAtVtimeThreshold) {
+  FaultPlan plan;
+  CrashSpec crash;
+  crash.rank = 0;
+  crash.at_vtime = 0.5;
+  plan.crashes.push_back(crash);
+  Runtime rt(1);
+  rt.set_fault_plan(plan);
+  bool passed_crash = false;
+  rt.run([&](Comm& c) {
+    c.charge(1.0);  // pushes vtime past the threshold
+    passed_crash = true;
+  });
+  EXPECT_FALSE(passed_crash);
+  EXPECT_EQ(rt.crashed_ranks(), (std::vector<int>{0}));
+}
+
+TEST(FaultInjection, RecvFromCrashedRankTimesOutInsteadOfHanging) {
+  FaultPlan plan;
+  plan.recv_timeout_vtime = 0.25;
+  CrashSpec crash;
+  crash.rank = 1;
+  crash.at_point = "start";
+  plan.crashes.push_back(crash);
+  Runtime rt(2);
+  rt.set_fault_plan(plan);
+  rt.run([&](Comm& c) {
+    c.fault_point("start");  // rank 1 dies before ever sending
+    try {
+      (void)c.recv<int>(1, 7);
+      FAIL() << "recv from crashed rank returned";
+    } catch (const TimeoutError& e) {
+      EXPECT_EQ(e.src(), 1);
+      EXPECT_EQ(e.tag(), 7u);
+    }
+    // The modeled failure-detection latency was charged to virtual time.
+    EXPECT_GE(c.vtime(), 0.25);
+  });
+  EXPECT_GE(rt.fault_counts().timeouts, 1u);
+}
+
+TEST(FaultInjection, RecvRealDeadlineBreaksMutualWait) {
+  // Both ranks block receiving from each other and neither ever sends: with
+  // a plan installed, the real-time deadline fires instead of deadlocking.
+  FaultPlan plan;
+  plan.recv_timeout_real = 0.05;
+  Runtime rt(2);
+  rt.set_fault_plan(plan);
+  std::atomic<int> timeouts{0};
+  rt.run([&](Comm& c) {
+    try {
+      (void)c.recv<int>(1 - c.rank(), 3);
+    } catch (const TimeoutError&) {
+      ++timeouts;
+    }
+  });
+  EXPECT_EQ(timeouts.load(), 2);
+}
+
+TEST(FaultInjection, AbortAttemptWakesBlockedRecv) {
+  FaultPlan plan;
+  plan.recv_timeout_real = 30.0;  // the abort, not the deadline, must wake it
+  Runtime rt(2);
+  rt.set_fault_plan(plan);
+  bool aborted = false;
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      try {
+        (void)c.recv<int>(1, 3);  // blocks: rank 1 never sends
+      } catch (const AttemptAbortedError&) {
+        aborted = true;
+      }
+    } else {
+      c.abort_attempt();
+    }
+  });
+  EXPECT_TRUE(aborted);
+}
+
+TEST(FaultInjection, SlowdownInflatesCpuCharges) {
+  FaultPlan plan;
+  SlowSpec slow;
+  slow.rank = 0;
+  slow.factor = 1000.0;
+  plan.slowdowns.push_back(slow);
+  Runtime rt(2);
+  rt.set_fault_plan(plan);
+  rt.run([](Comm& c) {
+    volatile double acc = 0.0;
+    for (int i = 0; i < 2000000; ++i) acc = acc + 1e-9;
+    (void)c.vtime();
+  });
+  // Identical work, 1000x multiplier on rank 0: its clock must dominate.
+  EXPECT_GT(rt.virtual_times()[0], rt.virtual_times()[1] * 10.0);
+}
+
+TEST(FaultInjection, NoPlanKeepsLegacyBehaviour) {
+  Runtime rt(2);
+  EXPECT_FALSE(rt.fault_mode());
+  rt.run([](Comm& c) {
+    if (c.rank() == 0)
+      c.send(1, 1, std::vector<int>{5});
+    else
+      EXPECT_EQ(c.recv<int>(0, 1), (std::vector<int>{5}));
+  });
+  EXPECT_TRUE(rt.crashed_ranks().empty());
+  const FaultCounts counts = rt.fault_counts();
+  EXPECT_EQ(counts.dropped + counts.crashes + counts.timeouts, 0u);
+}
+
+TEST(FaultInjection, CollectivesSurviveReliableLossyTransport) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.reliable = true;
+  plan.msg.drop_rate = 0.2;
+  plan.msg.corrupt_rate = 0.1;
+  Runtime rt(4);
+  rt.set_fault_plan(plan);
+  rt.run([](Comm& c) {
+    const auto all = c.allgatherv(std::vector<int>{c.rank()});
+    EXPECT_EQ(all, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(c.allreduce_sum(std::int64_t{1}), 4);
+    c.barrier();
+  });
+  EXPECT_GT(rt.fault_counts().retries, 0u);
+}
+
+}  // namespace
+}  // namespace udb::mpi

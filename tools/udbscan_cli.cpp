@@ -11,6 +11,7 @@
 // Algorithms: mudbscan (default), rdbscan, gdbscan, griddbscan, brute,
 // mudbscan-d (simulated ranks, see --ranks).
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
@@ -45,10 +46,19 @@ int main(int argc, char** argv) {
     const std::string algo = cli.get_string("algo", "mudbscan");
     const std::string out_path = cli.get_string("out", "");
     const double eps = cli.get_double("eps", 1.0);
-    const auto min_pts = static_cast<std::uint32_t>(cli.get_int("minpts", 5));
+    const std::int64_t min_pts_raw = cli.get_int("minpts", 5);
+    const auto min_pts = static_cast<std::uint32_t>(min_pts_raw);
     const int ranks = static_cast<int>(cli.get_int("ranks", 8));
     const bool suggest = cli.get_bool("suggest-eps", false);
     cli.check_unused();
+
+    if (!(eps > 0.0) || !std::isfinite(eps))
+      throw std::invalid_argument("--eps must be a finite value > 0 (got " +
+                                  std::to_string(eps) + ")");
+    if (min_pts_raw < 1 || min_pts_raw > 0xFFFFFFFFll)
+      throw std::invalid_argument("--minpts must be >= 1");
+    if (ranks < 1)
+      throw std::invalid_argument("--ranks must be >= 1");
 
     if (input.empty()) {
       std::fprintf(stderr,
