@@ -1,5 +1,7 @@
 #include "baselines/brute_dbscan.hpp"
 
+#include <algorithm>
+
 #include "baselines/uf_labels.hpp"
 #include "common/distance.hpp"
 
@@ -7,19 +9,27 @@ namespace udb {
 
 ClusteringResult brute_dbscan(const Dataset& ds, const DbscanParams& params) {
   const std::size_t n = ds.size();
+  const std::size_t dim = ds.dim();
   const double eps2 = params.eps * params.eps;
   UnionFind uf(n);
   std::vector<std::uint8_t> is_core(n, 0);
   std::vector<std::uint8_t> assigned(n, 0);
   std::vector<PointId> nbhd;
 
+  // The dataset rows are contiguous, so the O(n^2) scan runs through the
+  // blocked sq_dist kernel rather than per-point calls.
+  constexpr std::size_t kBlock = 256;
+  std::vector<double> d2(kBlock);
+
   for (std::size_t i = 0; i < n; ++i) {
     const PointId p = static_cast<PointId>(i);
     nbhd.clear();
     const double* pp = ds.ptr(p);
-    for (std::size_t j = 0; j < n; ++j) {
-      if (sq_dist(pp, ds.ptr(static_cast<PointId>(j)), ds.dim()) < eps2)
-        nbhd.push_back(static_cast<PointId>(j));
+    for (std::size_t j0 = 0; j0 < n; j0 += kBlock) {
+      const std::size_t cnt = std::min(kBlock, n - j0);
+      sq_dist_block(pp, ds.ptr(static_cast<PointId>(j0)), cnt, dim, d2.data());
+      for (std::size_t j = 0; j < cnt; ++j)
+        if (d2[j] < eps2) nbhd.push_back(static_cast<PointId>(j0 + j));
     }
     if (nbhd.size() < params.min_pts) continue;
     is_core[p] = 1;

@@ -12,9 +12,11 @@
 
 namespace udb {
 
-inline ClusteringResult extract_labels(UnionFind& uf,
-                                       std::vector<std::uint8_t> is_core,
-                                       const std::vector<std::uint8_t>& assigned) {
+namespace detail {
+
+template <typename UF>
+ClusteringResult extract_labels_impl(UF& uf, std::vector<std::uint8_t> is_core,
+                                     const std::vector<std::uint8_t>& assigned) {
   const std::size_t n = uf.size();
   ClusteringResult res;
   res.is_core = std::move(is_core);
@@ -28,6 +30,23 @@ inline ClusteringResult extract_labels(UnionFind& uf,
     res.label[i] = it->second;
   }
   return res;
+}
+
+}  // namespace detail
+
+inline ClusteringResult extract_labels(UnionFind& uf,
+                                       std::vector<std::uint8_t> is_core,
+                                       const std::vector<std::uint8_t>& assigned) {
+  return detail::extract_labels_impl(uf, std::move(is_core), assigned);
+}
+
+// Const overload: uses the non-compressing read-only find, so extraction can
+// run from const contexts (e.g. MuDbscanEngine::extract_result) without the
+// former const_cast.
+inline ClusteringResult extract_labels(const UnionFind& uf,
+                                       std::vector<std::uint8_t> is_core,
+                                       const std::vector<std::uint8_t>& assigned) {
+  return detail::extract_labels_impl(uf, std::move(is_core), assigned);
 }
 
 }  // namespace udb

@@ -25,4 +25,41 @@ namespace udb {
   return std::sqrt(sq_dist(a, b, dim));
 }
 
+// Batch kernel: squared distances from one query point to `count` consecutive
+// row-major points (stride = dim) starting at `base`. The restrict-qualified,
+// unit-stride form lets the compiler unroll and vectorize across points —
+// this is the inner loop of every O(n·m) scan over packed coordinates (brute
+// oracle, blocked leaf scans). Semantics identical to calling sq_dist per row.
+inline void sq_dist_block(const double* __restrict__ q,
+                          const double* __restrict__ base, std::size_t count,
+                          std::size_t dim, double* __restrict__ out) noexcept {
+  switch (dim) {
+    case 2:
+      for (std::size_t i = 0; i < count; ++i) {
+        const double d0 = q[0] - base[2 * i];
+        const double d1 = q[1] - base[2 * i + 1];
+        out[i] = d0 * d0 + d1 * d1;
+      }
+      return;
+    case 3:
+      for (std::size_t i = 0; i < count; ++i) {
+        const double d0 = q[0] - base[3 * i];
+        const double d1 = q[1] - base[3 * i + 1];
+        const double d2 = q[2] - base[3 * i + 2];
+        out[i] = d0 * d0 + d1 * d1 + d2 * d2;
+      }
+      return;
+    default:
+      for (std::size_t i = 0; i < count; ++i) {
+        const double* p = base + i * dim;
+        double acc = 0.0;
+        for (std::size_t k = 0; k < dim; ++k) {
+          const double diff = q[k] - p[k];
+          acc += diff * diff;
+        }
+        out[i] = acc;
+      }
+  }
+}
+
 }  // namespace udb

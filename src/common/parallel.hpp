@@ -1,0 +1,73 @@
+// Reusable intra-process thread pool and parallel-for helpers — the
+// shared-memory execution substrate for the thread-parallel µDBSCAN phases
+// (paper Section VII: "leverage multiple cores available in each computing
+// node"). Unlike minimpi (threads-as-ranks with private partitions and
+// message passing), the pool runs data-parallel loops over shared read-only
+// structures; writers coordinate through atomics (see unionfind/ and
+// core/mudbscan.cpp).
+//
+// Design: N-1 persistent workers plus the calling thread (tid 0), one job at
+// a time, generation-counted condvar handoff. A null/size-1 pool degrades to
+// an inline sequential loop, so call sites need no threading special case.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace udb {
+
+class ThreadPool {
+ public:
+  // Spawns num_threads - 1 workers; the thread calling run() acts as tid 0.
+  // num_threads == 0 is clamped to 1.
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned num_threads() const noexcept { return nthreads_; }
+
+  // Runs fn(tid) once per tid in [0, num_threads()), the caller executing
+  // tid 0; blocks until every tid finished. The first exception thrown by
+  // any tid is rethrown here after all tids complete.
+  void run(const std::function<void(unsigned)>& fn);
+
+ private:
+  void worker_loop(unsigned tid);
+
+  unsigned nthreads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable job_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned pending_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+// Statically blocked parallel loop: splits [0, n) into one contiguous range
+// per thread and calls body(begin, end, tid). Deterministic assignment of
+// indices to tids. pool == nullptr or a 1-thread pool runs inline.
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t,
+                                           unsigned)>& body);
+
+// Dynamically scheduled parallel loop: threads grab chunks of `chunk`
+// consecutive indices from an atomic cursor until [0, n) is exhausted. Use
+// for skewed per-index costs (e.g. neighborhood queries). Which tid runs
+// which chunk is nondeterministic; every index runs exactly once.
+void parallel_for_chunked(ThreadPool* pool, std::size_t n, std::size_t chunk,
+                          const std::function<void(std::size_t, std::size_t,
+                                                   unsigned)>& body);
+
+}  // namespace udb

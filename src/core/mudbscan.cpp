@@ -1,13 +1,26 @@
 #include "core/mudbscan.hpp"
 
+#include <atomic>
 #include <stdexcept>
+#include <utility>
 
 #include "baselines/uf_labels.hpp"
 #include "common/distance.hpp"
+#include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "core/mudbscan_engine.hpp"
 
 namespace udb {
+
+namespace {
+
+// Atomic view of a byte flag shared between threads in the parallel phases.
+inline std::atomic_ref<std::uint8_t> flag(std::vector<std::uint8_t>& v,
+                                          PointId i) {
+  return std::atomic_ref<std::uint8_t>(v[i]);
+}
+
+}  // namespace
 
 MuDbscanEngine::MuDbscanEngine(const Dataset& ds, const DbscanParams& params,
                                MuDbscanConfig cfg)
@@ -18,6 +31,11 @@ MuDbscanEngine::MuDbscanEngine(const Dataset& ds, const DbscanParams& params,
   is_core_.assign(n, 0);
   wndq_.assign(n, 0);
   assigned_.assign(n, 0);
+  // CSR invariant: noise_off_.size() == noise_pts_.size() + 1 from the start,
+  // so the Algorithm 8 scan and per-thread merging need no lazy init.
+  noise_off_.assign(1, 0);
+  if (cfg_.num_threads > 1)
+    pool_ = std::make_unique<ThreadPool>(cfg_.num_threads);
 }
 
 void MuDbscanEngine::build_tree() {
@@ -25,19 +43,23 @@ void MuDbscanEngine::build_tree() {
   MuRTree::Config tcfg;
   tcfg.two_eps_rule = cfg_.two_eps_rule;
   tcfg.bulk_aux = cfg_.bulk_aux;
-  tree_ = std::make_unique<MuRTree>(*ds_, params_.eps, tcfg);
-  tree_->compute_inner_circles();
+  tree_ = std::make_unique<MuRTree>(*ds_, params_.eps, tcfg, pool_.get());
+  tree_->compute_inner_circles(pool_.get());
   stats.num_mcs = tree_->num_mcs();
   stats.t_tree = timer.seconds();
 }
 
 void MuDbscanEngine::find_reachable() {
   WallTimer timer;
-  tree_->compute_reachable();
+  tree_->compute_reachable(pool_.get());
   stats.t_reach = timer.seconds();
 }
 
 void MuDbscanEngine::cluster() {
+  if (pool_) {
+    cluster_parallel();
+    return;
+  }
   WallTimer timer;
   const std::size_t n = ds_->size();
   const double eps = params_.eps;
@@ -122,7 +144,6 @@ void MuDbscanEngine::cluster() {
       }
       if (!attached) {
         noise_pts_.push_back(p);
-        if (noise_off_.empty()) noise_off_.push_back(0);
         for (const auto& [q, d2] : nbhd)
           if (q != p) noise_nbrs_.push_back(q);
         noise_off_.push_back(static_cast<std::uint32_t>(noise_nbrs_.size()));
@@ -168,7 +189,204 @@ void MuDbscanEngine::cluster() {
   stats.t_cluster = timer.seconds();
 }
 
+// Thread-parallel Algorithms 4 + 6, exact-equivalent to the sequential path
+// above (full argument in docs/PARALLEL.md). Sketch:
+//   * Algorithm 4 parallelizes over MCs: every point belongs to exactly one
+//     MC, so member flag writes are exclusive to the owning thread; only the
+//     lock-free union-find is shared.
+//   * Algorithm 6 parallelizes over points. Core points publish is_core_
+//     with seq_cst BEFORE scanning their neighborhood; for any two
+//     concurrently-queried core neighbors the store/load pattern is Dekker's,
+//     so at least one side observes the other and performs the union. Border
+//     points are claimed with an atomic exchange on assigned_ (exactly one
+//     core adopts an unassigned non-core neighbor — the classic parallel
+//     DBSCAN border race). Missed late-promoted cores are repaired by
+//     Algorithms 7/8 exactly as in the sequential engine.
+//   * wndq additions and the provisional-noise CSR go to per-thread buffers
+//     merged after the join, so the Algorithm 7/8 inputs keep their layout.
+void MuDbscanEngine::cluster_parallel() {
+  WallTimer timer;
+  const std::size_t n = ds_->size();
+  const double eps = params_.eps;
+  const double half2 = (eps / 2.0) * (eps / 2.0);
+  const std::uint32_t min_pts = params_.min_pts;
+  ThreadPool* pool = pool_.get();
+  const unsigned nt = pool->num_threads();
+
+  // --- Algorithm 4 (parallel over MCs) ----------------------------------
+  struct alignas(64) McAccum {
+    std::uint64_t dmc = 0, cmc = 0, smc = 0;
+    std::vector<PointId> wndq;
+  };
+  std::vector<McAccum> mc_acc(nt);
+  parallel_for_chunked(
+      pool, tree_->num_mcs(), 16,
+      [&](std::size_t begin, std::size_t end, unsigned tid) {
+        McAccum& acc = mc_acc[tid];
+        for (std::size_t zi = begin; zi < end; ++zi) {
+          const MicroCluster& mc = tree_->mc(static_cast<McId>(zi));
+          const McKind kind = mc.classify(min_pts);
+          if (kind == McKind::Sparse) {
+            ++acc.smc;
+            continue;
+          }
+          if (kind == McKind::Dense) {
+            ++acc.dmc;
+            const double* c = ds_->ptr(mc.center);
+            for (PointId q : mc.members) {
+              if (q != mc.center &&
+                  sq_dist(c, ds_->ptr(q), ds_->dim()) >= half2)
+                continue;
+              // q is exclusive to this MC (hence this thread): plain writes.
+              if (!wndq_[q]) {
+                wndq_[q] = 1;
+                is_core_[q] = 1;
+                acc.wndq.push_back(q);
+              }
+            }
+          } else {  // Core MC
+            ++acc.cmc;
+            if (!wndq_[mc.center]) {
+              wndq_[mc.center] = 1;
+              is_core_[mc.center] = 1;
+              acc.wndq.push_back(mc.center);
+            }
+          }
+          for (PointId q : mc.members) {
+            uf_.union_sets(mc.center, q);
+            assigned_[q] = 1;
+          }
+        }
+      });
+  for (const McAccum& acc : mc_acc) {
+    stats.dmc += acc.dmc;
+    stats.cmc += acc.cmc;
+    stats.smc += acc.smc;
+    wndq_list_.insert(wndq_list_.end(), acc.wndq.begin(), acc.wndq.end());
+  }
+
+  // --- Algorithm 6 (parallel over points) -------------------------------
+  struct alignas(64) PtAccum {
+    std::uint64_t queries = 0;
+    std::vector<PointId> wndq;
+    std::vector<PointId> noise_pts;
+    std::vector<std::uint32_t> noise_len;  // neighbors stored per noise point
+    std::vector<PointId> noise_nbrs;
+    std::vector<std::pair<PointId, double>> nbhd;  // query scratch
+  };
+  std::vector<PtAccum> pt_acc(nt);
+
+  parallel_for_chunked(
+      pool, n, 64, [&](std::size_t begin, std::size_t end, unsigned tid) {
+        PtAccum& acc = pt_acc[tid];
+        auto& nbhd = acc.nbhd;
+        for (std::size_t i = begin; i < end; ++i) {
+          const PointId p = static_cast<PointId>(i);
+          // A concurrent promotion may land after this check — p then runs a
+          // redundant (but harmless) query, exactly like a sequential run
+          // that promoted p after its turn.
+          if (flag(wndq_, p).load(std::memory_order_relaxed)) continue;
+          ++acc.queries;
+
+          nbhd.clear();
+          if (cfg_.mbr_filtration) {
+            tree_->query_neighborhood(p, eps, nbhd);
+          } else {
+            const McId z = tree_->mc_of_point(p);
+            const auto pt = ds_->point(p);
+            for (McId r : tree_->mc(z).reach) {
+              tree_->aux_tree(r).visit_ball(
+                  pt, eps, [&nbhd](PointId id, double d2) {
+                    nbhd.emplace_back(id, d2);
+                    return true;
+                  });
+            }
+          }
+
+          if (nbhd.size() < min_pts) {
+            bool attached =
+                flag(assigned_, p).load(std::memory_order_acquire) != 0;
+            if (!attached) {
+              for (const auto& [q, d2] : nbhd) {
+                if (flag(is_core_, q).load(std::memory_order_seq_cst)) {
+                  uf_.union_sets(q, p);
+                  flag(assigned_, p).store(1, std::memory_order_release);
+                  attached = true;
+                  break;
+                }
+              }
+            }
+            if (!attached) {
+              // Conservative: a neighbor may become core after this scan;
+              // Algorithm 8 re-checks the stored neighborhood against the
+              // final core flags and repairs the label.
+              acc.noise_pts.push_back(p);
+              std::uint32_t len = 0;
+              for (const auto& [q, d2] : nbhd)
+                if (q != p) {
+                  acc.noise_nbrs.push_back(q);
+                  ++len;
+                }
+              acc.noise_len.push_back(len);
+            }
+            continue;
+          }
+
+          // Core point: publish the flag BEFORE scanning neighbors (seq_cst;
+          // Dekker pairing with other queried cores — see docs/PARALLEL.md).
+          flag(is_core_, p).store(1, std::memory_order_seq_cst);
+          flag(assigned_, p).store(1, std::memory_order_release);
+
+          if (cfg_.dynamic_promotion) {
+            std::size_t inner = 0;
+            for (const auto& [q, d2] : nbhd)
+              if (d2 < half2) ++inner;
+            if (inner >= min_pts) {
+              for (const auto& [q, d2] : nbhd) {
+                if (d2 >= half2) continue;
+                const bool was_core =
+                    flag(is_core_, q).exchange(1, std::memory_order_seq_cst);
+                if (!was_core &&
+                    !flag(wndq_, q).exchange(1, std::memory_order_relaxed))
+                  acc.wndq.push_back(q);
+              }
+            }
+          }
+
+          for (const auto& [q, d2] : nbhd) {
+            if (flag(is_core_, q).load(std::memory_order_seq_cst)) {
+              uf_.union_sets(p, q);
+              flag(assigned_, q).store(1, std::memory_order_release);
+            } else if (!flag(assigned_, q)
+                            .exchange(1, std::memory_order_acq_rel)) {
+              // Atomically adopted q as this cluster's border point; exactly
+              // one core wins this exchange (the parallel-DBSCAN border
+              // race), mirroring the sequential first-claimer rule.
+              uf_.union_sets(p, q);
+            }
+          }
+        }
+      });
+
+  for (PtAccum& acc : pt_acc) {
+    stats.queries_performed += acc.queries;
+    wndq_list_.insert(wndq_list_.end(), acc.wndq.begin(), acc.wndq.end());
+    noise_pts_.insert(noise_pts_.end(), acc.noise_pts.begin(),
+                      acc.noise_pts.end());
+    noise_nbrs_.insert(noise_nbrs_.end(), acc.noise_nbrs.begin(),
+                       acc.noise_nbrs.end());
+    for (std::uint32_t len : acc.noise_len)
+      noise_off_.push_back(noise_off_.back() + len);
+  }
+  stats.wndq_core_points = wndq_list_.size();
+  stats.t_cluster = timer.seconds();
+}
+
 void MuDbscanEngine::post_process() {
+  if (pool_) {
+    post_process_parallel();
+    return;
+  }
   WallTimer timer;
   const double eps2 = params_.eps * params_.eps;
 
@@ -214,9 +432,68 @@ void MuDbscanEngine::post_process() {
   stats.t_post = timer.seconds();
 }
 
+// Thread-parallel Algorithms 7 + 8. After cluster() joins, is_core_ is final
+// and read-only; Algorithm 7 writes nothing but the lock-free union-find, and
+// Algorithm 8 touches assigned_[p] only for its own (unique) noise point, so
+// both loops are data-parallel as-is.
+void MuDbscanEngine::post_process_parallel() {
+  WallTimer timer;
+  const double eps2 = params_.eps * params_.eps;
+  ThreadPool* pool = pool_.get();
+  const unsigned nt = pool->num_threads();
+
+  struct alignas(64) EvalAccum {
+    std::uint64_t v = 0;
+  };
+  std::vector<EvalAccum> evals(nt);
+  parallel_for_chunked(
+      pool, wndq_list_.size(), 16,
+      [&](std::size_t begin, std::size_t end, unsigned tid) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const PointId p = wndq_list_[i];
+          const McId z = tree_->mc_of_point(p);
+          const auto pt = ds_->point(p);
+          for (McId r : tree_->mc(z).reach) {
+            if (cfg_.mbr_filtration &&
+                !tree_->aux_tree(r).root_mbr().overlaps_ball(pt, params_.eps))
+              continue;
+            for (PointId q : tree_->mc(r).members) {
+              if (!is_core_[q]) continue;
+              // Concurrent unions may make this a stale negative — the
+              // worst case is a redundant distance eval + no-op union.
+              if (uf_.find(q) == uf_.find(p)) continue;
+              ++evals[tid].v;
+              if (sq_dist(pt.data(), ds_->ptr(q), ds_->dim()) < eps2)
+                uf_.union_sets(p, q);
+            }
+          }
+        }
+      });
+  for (const EvalAccum& e : evals) stats.post_core_distance_evals += e.v;
+
+  parallel_for_chunked(
+      pool, noise_pts_.size(), 64,
+      [&](std::size_t begin, std::size_t end, unsigned) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const PointId p = noise_pts_[i];
+          if (assigned_[p]) continue;
+          for (std::uint32_t j = noise_off_[i]; j < noise_off_[i + 1]; ++j) {
+            const PointId q = noise_nbrs_[j];
+            if (is_core_[q]) {
+              uf_.union_sets(q, p);
+              assigned_[p] = 1;
+              break;
+            }
+          }
+        }
+      });
+  stats.t_post = timer.seconds();
+}
+
 ClusteringResult MuDbscanEngine::extract_result() const {
-  UnionFind& uf = const_cast<UnionFind&>(uf_);
-  return extract_labels(uf, is_core_, assigned_);
+  // uf_ is const in this context, which selects the non-compressing
+  // read-only find — no const_cast needed.
+  return extract_labels(std::as_const(uf_), is_core_, assigned_);
 }
 
 void MuDbscanEngine::query_neighborhood(

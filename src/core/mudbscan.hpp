@@ -21,6 +21,15 @@ struct MuDbscanConfig {
   bool dynamic_promotion = true;   // Algorithm 6 lines 18-21
   bool mbr_filtration = true;      // reachable-MC MBR filter in FIND-NBHD
   bool bulk_aux = true;            // STR-pack AuxR-trees (engineering knob)
+
+  // Real shared-memory parallelism (paper Section VII). 1 = the sequential
+  // engine, byte-for-byte the previous behavior. >1 runs the AuxR-tree
+  // builds, inner-circle/reachable computation, the Algorithm 6 query loop,
+  // and both post-processing passes on a thread pool of this size, with a
+  // lock-free union-find; the clustering stays exactly equal to sequential
+  // DBSCAN at every thread count (see docs/PARALLEL.md). Stats that count
+  // saved queries can differ run-to-run when > 1 (promotion races are benign).
+  unsigned num_threads = 1;
 };
 
 struct MuDbscanStats {

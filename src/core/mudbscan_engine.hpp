@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/dataset.hpp"
+#include "common/parallel.hpp"
 #include "core/mudbscan.hpp"
 #include "core/murtree.hpp"
 #include "unionfind/union_find.hpp"
@@ -68,18 +69,27 @@ class MuDbscanEngine {
   MuDbscanStats stats;
 
  private:
+  // Thread-parallel variants of the phase bodies (cfg_.num_threads > 1):
+  // exact-equivalent to the sequential code paths, see docs/PARALLEL.md for
+  // the decomposition and the determinism argument.
+  void cluster_parallel();
+  void post_process_parallel();
+
   const Dataset* ds_;
   DbscanParams params_;
   MuDbscanConfig cfg_;
+  std::unique_ptr<ThreadPool> pool_;  // null when num_threads == 1
   std::unique_ptr<MuRTree> tree_;
   UnionFind uf_;
   std::vector<std::uint8_t> is_core_;
   std::vector<std::uint8_t> wndq_;      // tagged wndq-core (skips its query)
   std::vector<std::uint8_t> assigned_;  // united into some cluster
   std::vector<PointId> wndq_list_;      // Algorithm 7 worklist
-  // noiseList with stored neighborhoods (Algorithm 8): flattened id buffer.
+  // noiseList with stored neighborhoods (Algorithm 8): flattened CSR buffer.
+  // Invariant (established in the constructor): noise_off_ always holds
+  // noise_pts_.size() + 1 offsets, even with zero noise points.
   std::vector<PointId> noise_pts_;
-  std::vector<std::uint32_t> noise_off_;  // size noise_pts_.size()+1
+  std::vector<std::uint32_t> noise_off_;
   std::vector<PointId> noise_nbrs_;
 };
 

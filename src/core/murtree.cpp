@@ -6,7 +6,7 @@
 
 namespace udb {
 
-MuRTree::MuRTree(const Dataset& ds, double eps, Config cfg)
+MuRTree::MuRTree(const Dataset& ds, double eps, Config cfg, ThreadPool* pool)
     : ds_(&ds), eps_(eps), cfg_(cfg), level1_(ds.dim(), cfg.level1) {
   if (!(eps > 0.0)) throw std::invalid_argument("MuRTree: eps must be > 0");
   const std::size_t n = ds.size();
@@ -46,20 +46,28 @@ MuRTree::MuRTree(const Dataset& ds, double eps, Config cfg)
   }
 
   // AuxR-trees: one small R-tree per MC over its members (STR-packed by
-  // default; the members are all known at this point).
+  // default; the members are all known at this point). Each MC's tree is
+  // independent, so the builds run in parallel when a pool is supplied; the
+  // result is identical for any thread count.
   aux_.reserve(mcs_.size());
-  for (const MicroCluster& mc : mcs_) {
-    if (cfg_.bulk_aux) {
-      std::vector<std::pair<const double*, PointId>> items;
-      items.reserve(mc.members.size());
-      for (PointId q : mc.members) items.emplace_back(ds.ptr(q), q);
-      aux_.push_back(RTree::bulk_load_str(ds.dim(), std::move(items), cfg_.aux));
-    } else {
-      RTree tree(ds.dim(), cfg_.aux);
-      for (PointId q : mc.members) tree.insert(ds.ptr(q), q);
-      aux_.push_back(std::move(tree));
-    }
-  }
+  for (std::size_t z = 0; z < mcs_.size(); ++z)
+    aux_.emplace_back(ds.dim(), cfg_.aux);
+  parallel_for_chunked(
+      pool, mcs_.size(), 32,
+      [&](std::size_t begin, std::size_t end, unsigned) {
+        for (std::size_t z = begin; z < end; ++z) {
+          const MicroCluster& mc = mcs_[z];
+          if (cfg_.bulk_aux) {
+            std::vector<std::pair<const double*, PointId>> items;
+            items.reserve(mc.members.size());
+            for (PointId q : mc.members) items.emplace_back(ds_->ptr(q), q);
+            aux_[z] =
+                RTree::bulk_load_str(ds_->dim(), std::move(items), cfg_.aux);
+          } else {
+            for (PointId q : mc.members) aux_[z].insert(ds_->ptr(q), q);
+          }
+        }
+      });
 }
 
 McId MuRTree::create_mc(PointId center) {
@@ -75,31 +83,43 @@ McId MuRTree::create_mc(PointId center) {
   return id;
 }
 
-void MuRTree::compute_inner_circles() {
+void MuRTree::compute_inner_circles(ThreadPool* pool) {
   const double half2 = (eps_ / 2.0) * (eps_ / 2.0);
-  for (MicroCluster& mc : mcs_) {
-    const double* c = ds_->ptr(mc.center);
-    std::uint32_t cnt = 0;
-    for (PointId q : mc.members) {
-      if (q == mc.center) continue;
-      if (sq_dist(c, ds_->ptr(q), ds_->dim()) < half2) ++cnt;
-    }
-    mc.ic_count = cnt;
-  }
+  // Each iteration reads shared immutable coordinates and writes only its own
+  // MC's ic_count — embarrassingly parallel, identical for any thread count.
+  parallel_for_chunked(
+      pool, mcs_.size(), 64,
+      [&](std::size_t begin, std::size_t end, unsigned) {
+        for (std::size_t z = begin; z < end; ++z) {
+          MicroCluster& mc = mcs_[z];
+          const double* c = ds_->ptr(mc.center);
+          std::uint32_t cnt = 0;
+          for (PointId q : mc.members) {
+            if (q == mc.center) continue;
+            if (sq_dist(c, ds_->ptr(q), ds_->dim()) < half2) ++cnt;
+          }
+          mc.ic_count = cnt;
+        }
+      });
 }
 
-void MuRTree::compute_reachable() {
+void MuRTree::compute_reachable(ThreadPool* pool) {
   // Lemma 3: a query from any member of MC(p) can only reach members of MCs
   // whose centre is within 3*eps of p (<=, not <: the lemma's bound is
-  // attained when the query point sits on the MC boundary).
+  // attained when the query point sits on the MC boundary). The level-1 tree
+  // is read-only here, so the per-MC ball queries run in parallel.
   const double reach_r = 3.0 * eps_;
-  std::vector<PointId> hits;
-  for (McId z = 0; z < mcs_.size(); ++z) {
-    hits.clear();
-    level1_.query_ball(ds_->point(mcs_[z].center), reach_r, hits,
-                       /*strict=*/false);
-    mcs_[z].reach.assign(hits.begin(), hits.end());
-  }
+  parallel_for_chunked(
+      pool, mcs_.size(), 64,
+      [&](std::size_t begin, std::size_t end, unsigned) {
+        std::vector<PointId> hits;
+        for (std::size_t z = begin; z < end; ++z) {
+          hits.clear();
+          level1_.query_ball(ds_->point(mcs_[z].center), reach_r, hits,
+                             /*strict=*/false);
+          mcs_[z].reach.assign(hits.begin(), hits.end());
+        }
+      });
 }
 
 void MuRTree::query_neighborhood(
@@ -111,7 +131,7 @@ void MuRTree::query_neighborhood(
     // Filtration (Section IV-B2): skip reachable MCs whose AuxR-tree MBR
     // does not intersect the query ball.
     if (!aux_[r].root_mbr().overlaps_ball(pt, radius)) continue;
-    ++aux_searched_;
+    aux_searched_.fetch_add(1, std::memory_order_relaxed);
     aux_[r].visit_ball(
         pt, radius,
         [&fn](PointId id, double d2) {

@@ -14,11 +14,13 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "common/dataset.hpp"
+#include "common/parallel.hpp"
 #include "core/microcluster.hpp"
 #include "index/rtree.hpp"
 #include "metrics/clustering.hpp"
@@ -40,8 +42,13 @@ class MuRTree {
     RTree::Config aux;
   };
 
+  // `pool` (optional) parallelizes the embarrassingly parallel build stages:
+  // per-MC AuxR-tree bulk loads, inner-circle counts, reachable-MC queries.
+  // The MC assignment sweep itself stays sequential (points join MCs founded
+  // by earlier points), so the tree is identical for every thread count.
   MuRTree(const Dataset& ds, double eps) : MuRTree(ds, eps, Config()) {}
-  MuRTree(const Dataset& ds, double eps, Config cfg);
+  MuRTree(const Dataset& ds, double eps, Config cfg,
+          ThreadPool* pool = nullptr);
 
   [[nodiscard]] std::size_t num_mcs() const noexcept { return mcs_.size(); }
   [[nodiscard]] const MicroCluster& mc(McId id) const noexcept {
@@ -60,11 +67,11 @@ class MuRTree {
   }
 
   // Computes MC.ic_count for every MC (strict < eps/2 from centre).
-  void compute_inner_circles();
+  void compute_inner_circles(ThreadPool* pool = nullptr);
 
   // Populates MC.reach for every MC: all MCs whose centre is within 3*eps
   // (Lemma 3). Each MC's reach list includes itself.
-  void compute_reachable();
+  void compute_reachable(ThreadPool* pool = nullptr);
 
   // Exact eps-neighborhood of point p (Lemma 3 + MBR filtration): searches
   // only the AuxR-trees of reachable MCs of MC(p) whose root MBR intersects
@@ -78,9 +85,10 @@ class MuRTree {
                           std::vector<std::pair<PointId, double>>& out) const;
 
   // Number of MCs whose AuxR-tree was actually searched across all
-  // query_neighborhood calls (for the filtration ablation).
+  // query_neighborhood calls (for the filtration ablation). Atomic so
+  // concurrent queries from the parallel engine stay race-free.
   [[nodiscard]] std::uint64_t aux_trees_searched() const noexcept {
-    return aux_searched_;
+    return aux_searched_.load(std::memory_order_relaxed);
   }
 
   // Test hook: structural invariants — every point in exactly one MC, member
@@ -98,7 +106,7 @@ class MuRTree {
   std::vector<RTree> aux_;
   std::vector<McId> point_mc_;
   std::size_t deferred_ = 0;
-  mutable std::uint64_t aux_searched_ = 0;
+  mutable std::atomic<std::uint64_t> aux_searched_{0};
 };
 
 }  // namespace udb

@@ -34,8 +34,33 @@ RTree::RTree(std::size_t dim, Config cfg) : dim_(dim), cfg_(cfg) {
 }
 
 RTree::~RTree() = default;
-RTree::RTree(RTree&&) noexcept = default;
-RTree& RTree::operator=(RTree&&) noexcept = default;
+
+// Hand-written moves: the atomic instrumentation counter is not movable.
+// Moving a tree while queries run on it is a caller bug, so relaxed
+// load/store of the counter is sufficient.
+RTree::RTree(RTree&& other) noexcept
+    : dim_(other.dim_),
+      cfg_(other.cfg_),
+      root_(std::move(other.root_)),
+      count_(other.count_),
+      enforce_min_fill_(other.enforce_min_fill_),
+      dist_evals_(other.dist_evals_.load(std::memory_order_relaxed)) {
+  other.count_ = 0;
+}
+
+RTree& RTree::operator=(RTree&& other) noexcept {
+  if (this != &other) {
+    dim_ = other.dim_;
+    cfg_ = other.cfg_;
+    root_ = std::move(other.root_);
+    count_ = other.count_;
+    enforce_min_fill_ = other.enforce_min_fill_;
+    dist_evals_.store(other.dist_evals_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    other.count_ = 0;
+  }
+  return *this;
+}
 
 const Box& RTree::root_mbr() const { return root_->mbr; }
 
@@ -269,11 +294,26 @@ PointId RTree::first_within(std::span<const double> center, double radius,
   return found;
 }
 
+namespace {
+
+// Accumulates a query's distance evaluations locally and publishes them with
+// one relaxed add on scope exit (every early return included) — keeps the
+// leaf scan free of atomics while staying exact and race-free under
+// concurrent queries.
+struct EvalCounter {
+  std::atomic<std::uint64_t>& sink;
+  std::uint64_t local = 0;
+  ~EvalCounter() { sink.fetch_add(local, std::memory_order_relaxed); }
+};
+
+}  // namespace
+
 void RTree::visit_ball(std::span<const double> center, double radius,
                        const std::function<bool(PointId, double)>& fn,
                        bool strict) const {
   if (count_ == 0) return;
   const double r2 = radius * radius;
+  EvalCounter evals{dist_evals_};
 
   // Explicit stack to avoid recursion overhead on deep trees.
   std::vector<const Node*> stack;
@@ -284,7 +324,7 @@ void RTree::visit_ball(std::span<const double> center, double radius,
     if (node->mbr.min_sq_dist(center) > r2) continue;
     if (node->is_leaf) {
       for (std::size_t i = 0; i < node->ids.size(); ++i) {
-        ++dist_evals_;
+        ++evals.local;
         const double d2 = sq_dist(center.data(), node->pts[i], dim_);
         const bool in = strict ? (d2 < r2) : (d2 <= r2);
         if (in && !fn(node->ids[i], d2)) return;
@@ -371,6 +411,7 @@ void RTree::query_knn(std::span<const double> center, std::size_t k,
                       std::vector<std::pair<PointId, double>>& out) const {
   out.clear();
   if (k == 0 || count_ == 0) return;
+  EvalCounter evals{dist_evals_};
 
   // Best-first search: a min-heap of (distance lower bound, node) frontier
   // entries plus a max-heap of the current k best points.
@@ -397,7 +438,7 @@ void RTree::query_knn(std::span<const double> center, std::size_t k,
     if (out.size() == k && bound >= worst()) break;  // cannot improve
     if (node->is_leaf) {
       for (std::size_t i = 0; i < node->ids.size(); ++i) {
-        ++dist_evals_;
+        ++evals.local;
         const double d2 = sq_dist(center.data(), node->pts[i], dim_);
         if (out.size() < k) {
           out.emplace_back(node->ids[i], d2);

@@ -16,6 +16,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -88,11 +89,16 @@ class RTree {
   [[nodiscard]] const Box& root_mbr() const;
 
   // Instrumentation: number of point-point distance evaluations performed by
-  // queries since construction (used by the ablation benches).
+  // queries since construction (used by the ablation benches). The counter is
+  // atomic so concurrent read-only queries (the thread-parallel µDBSCAN
+  // phases) stay race-free; each query accumulates locally and publishes one
+  // relaxed add on exit, keeping the leaf scan itself atomic-free.
   [[nodiscard]] std::uint64_t distance_evals() const noexcept {
-    return dist_evals_;
+    return dist_evals_.load(std::memory_order_relaxed);
   }
-  void reset_distance_evals() noexcept { dist_evals_ = 0; }
+  void reset_distance_evals() noexcept {
+    dist_evals_.store(0, std::memory_order_relaxed);
+  }
 
   struct Stats {
     std::size_t height = 0;
@@ -120,7 +126,7 @@ class RTree {
   std::unique_ptr<Node> root_;
   std::size_t count_ = 0;
   bool enforce_min_fill_ = true;  // false for STR bulk-loaded trees
-  mutable std::uint64_t dist_evals_ = 0;
+  mutable std::atomic<std::uint64_t> dist_evals_{0};
 };
 
 }  // namespace udb

@@ -4,10 +4,11 @@
 
 namespace udb {
 
-std::size_t UnionFind::count_components() {
+std::size_t UnionFind::count_components() const {
   std::size_t count = 0;
   for (std::size_t i = 0; i < parent_.size(); ++i)
-    if (parent_[i] == i) ++count;
+    if (parent_[i].load(std::memory_order_relaxed) == static_cast<PointId>(i))
+      ++count;
   return count;
 }
 

@@ -1,14 +1,27 @@
 // Disjoint-set (union-find) structure — the clustering backbone of every
 // algorithm in this library, following the PDSDBSCAN line of work (Patwary et
 // al.): clusters are built by UNION operations instead of the classical
-// sequential breadth-first expansion, which is what makes both µDBSCAN's
-// post-processing passes and the distributed merge phase possible.
+// sequential breadth-first expansion, which is what makes µDBSCAN's
+// post-processing passes, the distributed merge phase, and the thread-parallel
+// engine possible.
 //
-// Implementation: union by rank + path halving (Patwary, Blair & Manne's
-// experimental study found rank/halving among the fastest combinations).
+// Implementation: lock-free concurrent union-find over an atomic parent
+// array (the CAS-link scheme of Jayanti & Tarjan, also used by Wang et al.'s
+// "Theoretically-Efficient and Practical Parallel DBSCAN"):
+//   * links always point from the larger root index to the smaller, so every
+//     parent chain is strictly decreasing and the final root of a component
+//     is its minimum element — the resulting partition AND representatives
+//     are deterministic regardless of thread interleaving;
+//   * union_sets retries a single CAS on the losing root (lock-free);
+//   * find performs path halving with benign CAS shortcuts (thread-safe);
+//     the const overload is a pure read walk (wait-free, no compression),
+//     usable from const contexts such as result extraction.
+// Used single-threaded, the relaxed atomics compile to plain loads/stores,
+// so the sequential algorithms keep their previous cost profile.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -18,49 +31,77 @@ namespace udb {
 
 class UnionFind {
  public:
-  explicit UnionFind(std::size_t n) : parent_(n), rank_(n, 0) {
-    for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<PointId>(i);
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i)
+      parent_[i].store(static_cast<PointId>(i), std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return parent_.size(); }
 
   // Path-halving find: every other node on the path is re-pointed at its
-  // grandparent, giving the same amortized bound as full compression with a
-  // single pass.
+  // grandparent via CAS. Safe to call concurrently with unions and other
+  // finds; a failed CAS just skips one shortcut.
   [[nodiscard]] PointId find(PointId x) noexcept {
-    while (parent_[x] != x) {
-      parent_[x] = parent_[parent_[x]];
-      x = parent_[x];
+    while (true) {
+      PointId p = parent_[x].load(std::memory_order_acquire);
+      if (p == x) return x;
+      const PointId gp = parent_[p].load(std::memory_order_acquire);
+      if (gp != p) {
+        // Halve: x -> grandparent. gp is an ancestor of x, so the shortcut
+        // never changes membership even if parent_[x] moved concurrently.
+        parent_[x].compare_exchange_weak(p, gp, std::memory_order_release,
+                                         std::memory_order_relaxed);
+      }
+      x = gp;
+    }
+  }
+
+  // Read-only find: walks to the root without compressing. Wait-free in the
+  // absence of concurrent unions; exact at quiescence (how the engines use
+  // it: extraction happens after all union phases joined).
+  [[nodiscard]] PointId find(PointId x) const noexcept {
+    PointId p = parent_[x].load(std::memory_order_acquire);
+    while (p != x) {
+      x = p;
+      p = parent_[x].load(std::memory_order_acquire);
     }
     return x;
   }
 
-  // Unites the sets of a and b; returns the new root. No-op (returns the
-  // common root) if already united.
+  // Unites the sets of a and b; returns the surviving root (the smaller
+  // index). No-op (returns the common root) if already united. Lock-free:
+  // concurrent calls linearize on the CAS of the losing root.
   PointId union_sets(PointId a, PointId b) noexcept {
-    PointId ra = find(a);
-    PointId rb = find(b);
-    if (ra == rb) return ra;
-    if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
-    parent_[rb] = ra;
-    if (rank_[ra] == rank_[rb]) ++rank_[ra];
-    return ra;
+    while (true) {
+      a = find(a);
+      b = find(b);
+      if (a == b) return a;
+      if (a > b) std::swap(a, b);  // smaller index stays root
+      PointId expected = b;
+      if (parent_[b].compare_exchange_strong(expected, a,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire))
+        return a;
+      // b gained a parent concurrently; retry from the fresh roots.
+    }
   }
 
   [[nodiscard]] bool same(PointId a, PointId b) noexcept {
     return find(a) == find(b);
   }
+  [[nodiscard]] bool same(PointId a, PointId b) const noexcept {
+    return find(a) == find(b);
+  }
 
-  // Number of distinct sets among the given members (or all elements).
-  [[nodiscard]] std::size_t count_components();
+  // Number of distinct sets among all elements.
+  [[nodiscard]] std::size_t count_components() const;
 
   // Compacts roots into consecutive ids 0..k-1; out[i] is the component id of
   // element i. Returns k.
   std::size_t component_ids(std::vector<std::uint32_t>& out);
 
  private:
-  std::vector<PointId> parent_;
-  std::vector<std::uint8_t> rank_;
+  std::vector<std::atomic<PointId>> parent_;
 };
 
 }  // namespace udb

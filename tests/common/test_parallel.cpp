@@ -1,0 +1,136 @@
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace udb {
+namespace {
+
+TEST(ThreadPool, RunsEveryTidExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::vector<std::atomic<int>> hits(4);
+  for (auto& h : hits) h.store(0);
+  pool.run([&](unsigned tid) { hits[tid].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  int calls = 0;
+  pool.run([&](unsigned tid) {
+    EXPECT_EQ(tid, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  // The engine submits one job per phase; the pool must hand off cleanly
+  // job after job without losing workers.
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int job = 0; job < 200; ++job)
+    pool.run([&](unsigned) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 200 * 3);
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesAfterJoin) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.run([&](unsigned tid) {
+        if (tid == 1) throw std::runtime_error("boom");
+        completed.fetch_add(1);
+      }),
+      std::runtime_error);
+  // The non-throwing tids all ran to completion before the rethrow.
+  EXPECT_EQ(completed.load(), 3);
+  // And the pool is still usable afterwards.
+  std::atomic<int> again{0};
+  pool.run([&](unsigned) { again.fetch_add(1); });
+  EXPECT_EQ(again.load(), 4);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnceAndInOrderPerTid) {
+  ThreadPool pool(4);
+  const std::size_t n = 1013;  // deliberately not a multiple of 4
+  std::vector<std::atomic<int>> seen(n);
+  for (auto& s : seen) s.store(0);
+  parallel_for(&pool, n, [&](std::size_t begin, std::size_t end, unsigned tid) {
+    EXPECT_LT(tid, 4u);
+    EXPECT_LE(begin, end);
+    for (std::size_t i = begin; i < end; ++i) seen[i].fetch_add(1);
+  });
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ParallelFor, NullPoolRunsInlineAsTidZero) {
+  std::vector<int> seen(100, 0);
+  parallel_for(nullptr, seen.size(),
+               [&](std::size_t begin, std::size_t end, unsigned tid) {
+                 EXPECT_EQ(tid, 0u);
+                 for (std::size_t i = begin; i < end; ++i) ++seen[i];
+               });
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(ParallelFor, StaticPartitionIsDeterministic) {
+  // The static split maps each index to a fixed tid: two runs must agree.
+  ThreadPool pool(3);
+  const std::size_t n = 97;
+  std::vector<unsigned> owner_a(n, 99), owner_b(n, 99);
+  auto record = [n](std::vector<unsigned>& owner) {
+    return [&owner](std::size_t begin, std::size_t end, unsigned tid) {
+      for (std::size_t i = begin; i < end; ++i) owner[i] = tid;
+    };
+  };
+  parallel_for(&pool, n, record(owner_a));
+  parallel_for(&pool, n, record(owner_b));
+  EXPECT_EQ(owner_a, owner_b);
+}
+
+TEST(ParallelForChunked, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 2003;
+  std::vector<std::atomic<int>> seen(n);
+  for (auto& s : seen) s.store(0);
+  parallel_for_chunked(&pool, n, 16,
+                       [&](std::size_t begin, std::size_t end, unsigned) {
+                         EXPECT_LE(end - begin, 16u);
+                         for (std::size_t i = begin; i < end; ++i)
+                           seen[i].fetch_add(1);
+                       });
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ParallelForChunked, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for_chunked(&pool, 0, 8,
+                       [&](std::size_t, std::size_t, unsigned) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForChunked, SumMatchesSequential) {
+  ThreadPool pool(8);  // oversubscribed on small machines; still correct
+  const std::size_t n = 50000;
+  std::vector<std::uint64_t> partial(8, 0);
+  parallel_for_chunked(&pool, n, 128,
+                       [&](std::size_t begin, std::size_t end, unsigned tid) {
+                         std::uint64_t local = 0;
+                         for (std::size_t i = begin; i < end; ++i) local += i;
+                         partial[tid] += local;
+                       });
+  const std::uint64_t total =
+      std::accumulate(partial.begin(), partial.end(), std::uint64_t{0});
+  EXPECT_EQ(total, static_cast<std::uint64_t>(n) * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace udb

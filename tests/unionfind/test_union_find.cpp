@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 
 namespace udb {
@@ -95,6 +98,103 @@ TEST(UnionFind, LargeChainStaysShallowEnough) {
   for (PointId i = 0; i + 1 < n; ++i) uf.union_sets(i, i + 1);
   EXPECT_EQ(uf.count_components(), 1u);
   EXPECT_EQ(uf.find(0), uf.find(static_cast<PointId>(n - 1)));
+}
+
+TEST(UnionFind, ConstFindAgreesWithMutatingFind) {
+  UnionFind uf(128);
+  Rng rng(5);
+  for (int step = 0; step < 200; ++step)
+    uf.union_sets(static_cast<PointId>(rng.uniform_index(128)),
+                  static_cast<PointId>(rng.uniform_index(128)));
+  const UnionFind& cuf = uf;
+  for (PointId i = 0; i < 128; ++i) {
+    const PointId via_const = cuf.find(i);  // no compression
+    EXPECT_EQ(via_const, uf.find(i)) << i;
+    EXPECT_EQ(cuf.find(i), via_const) << i;  // compression didn't move roots
+  }
+}
+
+TEST(UnionFind, RootIsComponentMinimum) {
+  // The CAS-link rule (larger root points at smaller) makes the final
+  // representative of every component its minimum element — the property the
+  // parallel engine relies on to compare partitions across thread counts.
+  const std::size_t n = 500;
+  Rng rng(11);
+  UnionFind uf(n);
+  std::vector<std::uint32_t> ref(n);
+  for (std::size_t i = 0; i < n; ++i) ref[i] = static_cast<std::uint32_t>(i);
+  for (int step = 0; step < 800; ++step) {
+    const PointId a = static_cast<PointId>(rng.uniform_index(n));
+    const PointId b = static_cast<PointId>(rng.uniform_index(n));
+    uf.union_sets(a, b);
+    const std::uint32_t keep = ref[a], kill = ref[b];
+    if (keep != kill)
+      for (auto& r : ref)
+        if (r == kill) r = keep;
+  }
+  std::vector<PointId> min_of(n);
+  for (std::size_t i = 0; i < n; ++i) min_of[i] = static_cast<PointId>(n);
+  for (std::size_t i = 0; i < n; ++i)
+    min_of[ref[i]] = std::min(min_of[ref[i]], static_cast<PointId>(i));
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_EQ(uf.find(static_cast<PointId>(i)), min_of[ref[i]]) << i;
+}
+
+TEST(UnionFind, ConcurrentStressMatchesSequentialReplay) {
+  // Randomized lock-free stress: apply the same edge list sequentially and
+  // concurrently (threads striding over the list, so unions interleave
+  // heavily) and require identical find() values everywhere — valid because
+  // representatives are component minima under any interleaving. Run under
+  // TSan in CI to also certify the absence of data races.
+  const std::size_t n = 20000;
+  const std::size_t m = 60000;
+  Rng rng(2024);
+  std::vector<std::pair<PointId, PointId>> edges;
+  edges.reserve(m);
+  for (std::size_t i = 0; i < m; ++i)
+    edges.emplace_back(static_cast<PointId>(rng.uniform_index(n)),
+                       static_cast<PointId>(rng.uniform_index(n)));
+
+  UnionFind seq(n);
+  for (const auto& [a, b] : edges) seq.union_sets(a, b);
+
+  for (const unsigned nt : {2u, 4u, 8u}) {
+    UnionFind par(n);
+    ThreadPool pool(nt);
+    pool.run([&](unsigned tid) {
+      for (std::size_t i = tid; i < edges.size(); i += nt)
+        par.union_sets(edges[i].first, edges[i].second);
+    });
+    const UnionFind& cpar = par;
+    EXPECT_EQ(cpar.count_components(), seq.count_components()) << nt;
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(cpar.find(static_cast<PointId>(i)),
+                seq.find(static_cast<PointId>(i)))
+          << "threads=" << nt << " i=" << i;
+    }
+  }
+}
+
+TEST(UnionFind, ConcurrentFindsDuringUnionsStayConsistent) {
+  // Readers racing writers: concurrent find() must always return an element
+  // of the caller's component (an ancestor), never corrupt the structure.
+  const std::size_t n = 4096;
+  UnionFind uf(n);
+  ThreadPool pool(4);
+  pool.run([&](unsigned tid) {
+    if (tid == 0) {
+      for (PointId i = 0; i + 1 < n; ++i) uf.union_sets(i, i + 1);
+    } else {
+      Rng rng(100 + tid);
+      for (int step = 0; step < 20000; ++step) {
+        const PointId x = static_cast<PointId>(rng.uniform_index(n));
+        const PointId r = uf.find(x);
+        ASSERT_LE(r, x);  // links always point to smaller indices
+      }
+    }
+  });
+  EXPECT_EQ(uf.count_components(), 1u);
+  for (PointId i = 0; i < n; ++i) ASSERT_EQ(uf.find(i), 0u);
 }
 
 TEST(UnionFind, EmptyStructure) {

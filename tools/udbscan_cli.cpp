@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
     const std::int64_t min_pts_raw = cli.get_int("minpts", 5);
     const auto min_pts = static_cast<std::uint32_t>(min_pts_raw);
     const int ranks = static_cast<int>(cli.get_int("ranks", 8));
+    const std::int64_t threads_raw = cli.get_int("threads", 1);
     const bool suggest = cli.get_bool("suggest-eps", false);
     cli.check_unused();
 
@@ -59,12 +60,15 @@ int main(int argc, char** argv) {
       throw std::invalid_argument("--minpts must be >= 1");
     if (ranks < 1)
       throw std::invalid_argument("--ranks must be >= 1");
+    if (threads_raw < 1 || threads_raw > 1024)
+      throw std::invalid_argument("--threads must be in [1, 1024]");
 
     if (input.empty()) {
       std::fprintf(stderr,
                    "usage: udbscan --input points.csv [--algo mudbscan|"
                    "rdbscan|gdbscan|griddbscan|brute|mudbscan-d] "
-                   "[--eps E] [--minpts M] [--ranks P] [--out labels.csv]\n");
+                   "[--eps E] [--minpts M] [--threads T] [--ranks P] "
+                   "[--out labels.csv]\n");
       return 2;
     }
 
@@ -85,7 +89,9 @@ int main(int argc, char** argv) {
     ClusteringResult result;
     MuDbscanStats mu_stats;
     if (algo == "mudbscan") {
-      result = mu_dbscan(data, params, &mu_stats);
+      MuDbscanConfig cfg;
+      cfg.num_threads = static_cast<unsigned>(threads_raw);
+      result = mu_dbscan(data, params, &mu_stats, cfg);
     } else if (algo == "rdbscan") {
       result = r_dbscan(data, params);
     } else if (algo == "gdbscan") {
