@@ -7,8 +7,20 @@ namespace udb {
 ThreadPool::ThreadPool(unsigned num_threads)
     : nthreads_(std::max(1u, num_threads)) {
   workers_.reserve(nthreads_ - 1);
-  for (unsigned tid = 1; tid < nthreads_; ++tid)
-    workers_.emplace_back([this, tid] { worker_loop(tid); });
+  try {
+    for (unsigned tid = 1; tid < nthreads_; ++tid)
+      workers_.emplace_back([this, tid] { worker_loop(tid); });
+  } catch (...) {
+    // Partially-spawned pool: joinable threads in workers_ would terminate
+    // the process on vector destruction; shut them down, then propagate.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    job_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+    throw;
+  }
 }
 
 ThreadPool::~ThreadPool() {

@@ -309,8 +309,13 @@ void MuDbscanEngine::cluster_parallel() {
             if (!attached) {
               for (const auto& [q, d2] : nbhd) {
                 if (flag(is_core_, q).load(std::memory_order_seq_cst)) {
-                  uf_.union_sets(q, p);
-                  flag(assigned_, p).store(1, std::memory_order_release);
+                  // Claim before union: a concurrent core may adopt p via the
+                  // same exchange, and only the exchange winner unions — a
+                  // load/union/store here would let both unions run and
+                  // bridge two clusters through non-core p.
+                  if (!flag(assigned_, p)
+                           .exchange(1, std::memory_order_acq_rel))
+                    uf_.union_sets(q, p);
                   attached = true;
                   break;
                 }

@@ -62,6 +62,10 @@ int main(int argc, char** argv) {
       throw std::invalid_argument("--ranks must be >= 1");
     if (threads_raw < 1 || threads_raw > 1024)
       throw std::invalid_argument("--threads must be in [1, 1024]");
+    if (threads_raw > 1 && algo != "mudbscan")
+      throw std::invalid_argument(
+          "--threads > 1 is only supported by --algo mudbscan (got --algo " +
+          algo + ")");
 
     if (input.empty()) {
       std::fprintf(stderr,
