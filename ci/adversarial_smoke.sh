@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# Adversarial-input smoke for the CLI binaries, meant to run under
+# ASan/UBSan (see .github/workflows/ci.yml). Each case feeds the tools input
+# a hostile or unlucky caller would: malformed files, truncated binaries,
+# nonsense flags, blown budgets, tripped deadlines, SIGINT mid-run. The
+# contract under test is the run-guard runtime's (docs/ROBUSTNESS.md):
+# every failure is a clean, prompt, leak-free exit with an actionable
+# message — never a crash, never a hang.
+#
+# Usage: ci/adversarial_smoke.sh <build-dir>
+set -u
+
+BUILD=${1:?usage: adversarial_smoke.sh <build-dir>}
+CLI="$BUILD/tools/udbscan"
+MKDATA="$BUILD/tools/make_dataset"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+FAILURES=0
+
+# expect_fail <name> <expected-exit> <cmd...>: the command must exit with
+# exactly the expected code (never 0, never a signal death) within 60 s.
+expect_fail() {
+  local name=$1 want=$2
+  shift 2
+  timeout 60 "$@" >"$TMP/out" 2>&1
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL [$name]: expected exit $want, got $got"
+    sed 's/^/    /' "$TMP/out"
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok   [$name] (exit $got)"
+  fi
+}
+
+expect_ok() {
+  local name=$1
+  shift
+  timeout 120 "$@" >"$TMP/out" 2>&1
+  local got=$?
+  if [ "$got" -ne 0 ]; then
+    echo "FAIL [$name]: expected exit 0, got $got"
+    sed 's/^/    /' "$TMP/out"
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok   [$name]"
+  fi
+}
+
+# ---- hostile files --------------------------------------------------------
+printf 'not,numbers\nat,all\n' > "$TMP/garbage.csv"
+expect_fail csv-garbage 1 "$CLI" --input "$TMP/garbage.csv" --eps 1 --minpts 3
+
+printf '1,2\nnan,4\n' > "$TMP/nan.csv"
+expect_fail csv-nan-strict 1 "$CLI" --input "$TMP/nan.csv" --eps 1 --minpts 3
+
+printf 'XXXX' > "$TMP/badmagic.bin"
+expect_fail bin-bad-magic 1 "$CLI" --input "$TMP/badmagic.bin" --eps 1 --minpts 3
+
+# Header promising far more points than the file holds must not allocate.
+printf 'UDB1' > "$TMP/liar.bin"
+printf '\x08\x00\x00\x00\x00\x00\x00\x00' >> "$TMP/liar.bin"   # dim = 8
+printf '\xff\xff\xff\xff\xff\xff\xff\x7f' >> "$TMP/liar.bin"   # count = 2^63-1
+expect_fail bin-liar-header 1 "$CLI" --input "$TMP/liar.bin" --eps 1 --minpts 3
+
+: > "$TMP/empty.csv"
+expect_fail csv-empty 1 "$CLI" --input "$TMP/empty.csv" --eps 1 --minpts 3
+
+# Quarantine accepts the file with a few bad rows...
+{ for i in $(seq 1 200); do echo "$i,$i"; done; echo "nan,1"; } > "$TMP/mixed.csv"
+expect_ok csv-quarantine "$CLI" --input "$TMP/mixed.csv" --eps 5 --minpts 3 --quarantine
+# ...but strict mode still refuses it.
+expect_fail csv-mixed-strict 1 "$CLI" --input "$TMP/mixed.csv" --eps 5 --minpts 3
+
+# ---- nonsense parameters --------------------------------------------------
+expect_fail eps-inf 1 "$CLI" --input "$TMP/mixed.csv" --eps inf
+expect_fail eps-overflow 1 "$CLI" --input "$TMP/mixed.csv" --eps 1e999
+expect_fail minpts-overflow 1 "$CLI" --input "$TMP/mixed.csv" --minpts 99999999999999999999
+expect_fail unknown-flag 1 "$CLI" --input "$TMP/mixed.csv" --eps 1 --frobnicate 3
+expect_fail bad-on-budget 1 "$CLI" --input "$TMP/mixed.csv" --deadline-ms 100 --on-budget maybe
+expect_fail mkdata-negative-n 1 "$MKDATA" --gen blobs --n -1 --out "$TMP/x.csv"
+expect_fail mkdata-overflow-n 1 "$MKDATA" --gen blobs --n 9999999999999999999 --out "$TMP/x.csv"
+expect_fail mkdata-zero-dim 1 "$MKDATA" --gen blobs --dim 0 --out "$TMP/x.csv"
+expect_fail mkdata-bad-combo 1 "$MKDATA" --name MPAGD --gen blobs --out "$TMP/x.csv"
+
+# ---- guarded runs: budget, deadline, cancellation -------------------------
+"$MKDATA" --gen blobs --n 50000 --dim 3 --out "$TMP/big.bin" >/dev/null
+
+# Budget smaller than the dataset: clean exit 3 under fail...
+expect_fail budget-fail 3 "$CLI" --input "$TMP/big.bin" --eps 3 --minpts 5 \
+  --mem-budget-mb 1 --on-budget fail
+# ...approximate success under degrade (both thread counts share the path).
+expect_ok budget-degrade-t1 "$CLI" --input "$TMP/big.bin" --eps 3 --minpts 5 \
+  --mem-budget-mb 1 --on-budget degrade
+expect_ok budget-degrade-t4 "$CLI" --input "$TMP/big.bin" --eps 3 --minpts 5 \
+  --mem-budget-mb 1 --on-budget degrade --threads 4
+
+# A 1 ms deadline on a 50k-point run: exit 3, promptly.
+expect_fail deadline-fail 3 "$CLI" --input "$TMP/big.bin" --eps 3 --minpts 5 \
+  --deadline-ms 1
+expect_fail deadline-fail-dist 3 "$CLI" --input "$TMP/big.bin" --eps 3 \
+  --minpts 5 --deadline-ms 1 --algo mudbscan-d --ranks 3
+
+# SIGINT mid-run: graceful CANCELLED exit (4), not a signal death (130).
+"$CLI" --input "$TMP/big.bin" --eps 3 --minpts 5 --threads 4 \
+  --deadline-ms 600000 >"$TMP/out" 2>&1 &
+CLI_PID=$!
+sleep 0.2
+kill -INT "$CLI_PID" 2>/dev/null
+wait "$CLI_PID"
+got=$?
+if [ "$got" -eq 4 ] || [ "$got" -eq 0 ]; then
+  # exit 0 is legal if the run beat the signal; exit 4 is the cancelled path.
+  echo "ok   [sigint-cancel] (exit $got)"
+else
+  echo "FAIL [sigint-cancel]: expected exit 4 (or 0 if too fast), got $got"
+  sed 's/^/    /' "$TMP/out"
+  FAILURES=$((FAILURES + 1))
+fi
+
+echo
+if [ "$FAILURES" -ne 0 ]; then
+  echo "adversarial smoke: $FAILURES failure(s)"
+  exit 1
+fi
+echo "adversarial smoke: all cases passed"

@@ -9,13 +9,24 @@
 
 namespace udb {
 
+namespace {
+constexpr std::size_t kCheckStride = 2048;
+}  // namespace
+
 ClusteringResult sampled_dbscan(const Dataset& ds, const DbscanParams& params,
                                 double rho, std::uint64_t seed,
-                                SampledDbscanStats* stats) {
+                                SampledDbscanStats* stats, RunGuard* guard) {
   if (!(rho > 0.0) || rho > 1.0)
     throw std::invalid_argument("sampled_dbscan: rho must be in (0, 1]");
   const std::size_t n = ds.size();
   SampledDbscanStats local_stats;
+
+  // Charge the per-point flag/label structures up front; the sample index is
+  // charged after it is built (its size depends on the rho draw).
+  ScopedCharge flags_charge;
+  if (guard)
+    flags_charge.acquire_throw(guard, n * (2 + sizeof(PointId)),
+                               "sampled_dbscan flags + union-find");
 
   // rho-sample of the points; only sampled points enter the index, so every
   // neighborhood count is an estimate count/rho.
@@ -31,7 +42,15 @@ ClusteringResult sampled_dbscan(const Dataset& ds, const DbscanParams& params,
   local_stats.sample_size = sample.size();
 
   RTree tree(ds.dim());
-  for (PointId s : sample) tree.insert(ds.ptr(s), s);
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    if (guard && i % kCheckStride == 0)
+      guard->check_throw("sampled_dbscan index build");
+    tree.insert(ds.ptr(sample[i]), sample[i]);
+  }
+  ScopedCharge tree_charge;
+  if (guard)
+    tree_charge.acquire_throw(guard, tree.memory_bytes(),
+                              "sampled_dbscan sample index");
 
   UnionFind uf(n);
   std::vector<std::uint8_t> is_core(n, 0), assigned(n, 0);
@@ -39,6 +58,8 @@ ClusteringResult sampled_dbscan(const Dataset& ds, const DbscanParams& params,
   const double scale = 1.0 / rho;
 
   for (std::size_t i = 0; i < n; ++i) {
+    if (guard && i % kCheckStride == 0)
+      guard->check_throw("sampled_dbscan query sweep");
     const PointId p = static_cast<PointId>(i);
     nbhd.clear();
     tree.query_ball(ds.point(p), params.eps, nbhd);

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "common/dataset.hpp"
+#include "common/runguard.hpp"
 #include "metrics/clustering.hpp"
 
 namespace udb {
@@ -23,10 +24,15 @@ struct SampledDbscanStats {
 };
 
 // rho in (0, 1]: sampling fraction. rho = 1 degenerates to exact DBSCAN.
+//
+// `guard` (optional) adds cooperative checkpoints to the sample-index build
+// and the query sweep — the run-guard degradation path hands its guard here
+// (in degraded mode) so even the approximate fallback stays Ctrl-C-able.
 [[nodiscard]] ClusteringResult sampled_dbscan(const Dataset& ds,
                                               const DbscanParams& params,
                                               double rho,
                                               std::uint64_t seed = 1,
-                                              SampledDbscanStats* stats = nullptr);
+                                              SampledDbscanStats* stats = nullptr,
+                                              RunGuard* guard = nullptr);
 
 }  // namespace udb

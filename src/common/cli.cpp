@@ -1,5 +1,6 @@
 #include "common/cli.hpp"
 
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
@@ -84,6 +85,39 @@ std::int64_t Cli::get_int(const std::string& name,
 bool Cli::get_bool(const std::string& name, bool fallback) const {
   if (auto v = lookup(name)) return *v == "true" || *v == "1" || *v == "yes";
   return fallback;
+}
+
+double Cli::get_positive_double(const std::string& name,
+                                double fallback) const {
+  const double v = get_double(name, fallback);
+  if (!std::isfinite(v) || !(v > 0.0))
+    throw std::invalid_argument("Cli: --" + name +
+                                " must be a finite number > 0, got " +
+                                std::to_string(v));
+  return v;
+}
+
+std::int64_t Cli::get_int_at_least(const std::string& name,
+                                   std::int64_t fallback,
+                                   std::int64_t lo) const {
+  const std::int64_t v = get_int(name, fallback);
+  if (v < lo)
+    throw std::invalid_argument("Cli: --" + name + " must be >= " +
+                                std::to_string(lo) + ", got " +
+                                std::to_string(v));
+  return v;
+}
+
+std::int64_t Cli::get_int_in_range(const std::string& name,
+                                   std::int64_t fallback, std::int64_t lo,
+                                   std::int64_t hi) const {
+  const std::int64_t v = get_int(name, fallback);
+  if (v < lo || v > hi)
+    throw std::invalid_argument("Cli: --" + name + " must be in [" +
+                                std::to_string(lo) + ", " +
+                                std::to_string(hi) + "], got " +
+                                std::to_string(v));
+  return v;
 }
 
 std::vector<std::int64_t> Cli::get_int_list(

@@ -25,6 +25,20 @@ class Cli {
                                      std::int64_t fallback) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
 
+  // Range-validated getters: same parsing as get_double/get_int, then a
+  // range check with a one-line error naming the flag and the legal range.
+  // get_positive_double additionally rejects inf/nan (an eps of "inf" parses
+  // as a number but is never a sane parameter).
+  [[nodiscard]] double get_positive_double(const std::string& name,
+                                           double fallback) const;
+  [[nodiscard]] std::int64_t get_int_at_least(const std::string& name,
+                                              std::int64_t fallback,
+                                              std::int64_t lo) const;
+  [[nodiscard]] std::int64_t get_int_in_range(const std::string& name,
+                                              std::int64_t fallback,
+                                              std::int64_t lo,
+                                              std::int64_t hi) const;
+
   // Comma-separated list of integers, e.g. --ranks 1,2,4,8.
   [[nodiscard]] std::vector<std::int64_t> get_int_list(
       const std::string& name, std::vector<std::int64_t> fallback) const;

@@ -106,6 +106,127 @@ Dataset read_binary(const std::string& path) {
   return Dataset(dim, std::move(coords));
 }
 
+StatusOr<Dataset> load_csv(const std::string& path, const ReadOptions& opts,
+                           ReadReport* report) {
+  std::ifstream in(path);
+  if (!in) return NotFoundError("load_csv: cannot open " + path);
+  std::vector<double> coords;
+  std::vector<double> row;
+  std::size_t dim = 0;
+  ReadReport rep;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    for (char& c : line)
+      if (c == ',') c = ' ';
+    std::istringstream ss(line);
+    row.clear();
+    bool bad = false;
+    double v = 0.0;
+    while (ss >> v) {
+      if (!std::isfinite(v)) bad = true;
+      row.push_back(v);
+    }
+    if (!ss.eof()) bad = true;          // unparseable token somewhere
+    if (row.empty() && !bad) continue;  // whitespace-only line, not a row
+    if (dim == 0 && !bad) dim = row.size();
+    if (!bad && row.size() != dim) bad = true;  // short/long row
+    if (bad) {
+      if (!opts.quarantine)
+        return DataLossError("load_csv: bad row at line " +
+                             std::to_string(lineno) + " in " + path);
+      ++rep.rows_skipped;
+      continue;
+    }
+    coords.insert(coords.end(), row.begin(), row.end());
+    ++rep.rows_read;
+  }
+  if (dim == 0)
+    return DataLossError("load_csv: no valid data rows in " + path);
+  const std::size_t total = rep.rows_read + rep.rows_skipped;
+  if (rep.rows_skipped > 0 &&
+      static_cast<double>(rep.rows_skipped) >
+          opts.max_skip_fraction * static_cast<double>(total))
+    return DataLossError(
+        "load_csv: quarantined " + std::to_string(rep.rows_skipped) + " of " +
+        std::to_string(total) + " rows in " + path +
+        " (over max_skip_fraction)");
+  if (report) *report = rep;
+  return Dataset(dim, std::move(coords));
+}
+
+StatusOr<Dataset> load_binary(const std::string& path, const ReadOptions& opts,
+                              ReadReport* report) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("load_binary: cannot open " + path);
+  std::array<char, 4> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic)
+    return DataLossError("load_binary: bad magic in " + path);
+  std::uint64_t dim = 0, count = 0;
+  in.read(reinterpret_cast<char*>(&dim), sizeof dim);
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  if (!in || dim == 0)
+    return DataLossError("load_binary: bad header in " + path);
+  constexpr std::uint64_t kMaxElems =
+      std::numeric_limits<std::size_t>::max() / sizeof(double);
+  if (count != 0 && dim > kMaxElems / count)
+    return DataLossError("load_binary: header overflows size_t in " + path);
+
+  const auto data_pos = in.tellg();
+  in.seekg(0, std::ios::end);
+  const auto end_pos = in.tellg();
+  in.seekg(data_pos);
+  if (data_pos < 0 || end_pos < data_pos)
+    return DataLossError("load_binary: unseekable stream for " + path);
+  const std::uint64_t avail = static_cast<std::uint64_t>(end_pos - data_pos);
+  const std::uint64_t row_bytes = dim * sizeof(double);
+  std::uint64_t readable = count;
+  ReadReport rep;
+  if (avail < count * row_bytes) {
+    if (!opts.quarantine)
+      return DataLossError(
+          "load_binary: header implies more data than file holds in " + path);
+    // Truncated tail: read the full rows that are present, quarantine the
+    // rest (including a final partial row).
+    readable = avail / row_bytes;
+    rep.rows_skipped += static_cast<std::size_t>(count - readable);
+  }
+
+  std::vector<double> coords;
+  coords.reserve(static_cast<std::size_t>(readable * dim));
+  std::vector<double> row(static_cast<std::size_t>(dim));
+  for (std::uint64_t i = 0; i < readable; ++i) {
+    in.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(row_bytes));
+    if (!in) return DataLossError("load_binary: truncated file " + path);
+    bool bad = false;
+    for (double v : row)
+      if (!std::isfinite(v)) bad = true;
+    if (bad) {
+      if (!opts.quarantine)
+        return DataLossError("load_binary: non-finite value in row " +
+                             std::to_string(i) + " of " + path);
+      ++rep.rows_skipped;
+      continue;
+    }
+    coords.insert(coords.end(), row.begin(), row.end());
+    ++rep.rows_read;
+  }
+  const std::size_t total = rep.rows_read + rep.rows_skipped;
+  if (rep.rows_skipped > 0 &&
+      static_cast<double>(rep.rows_skipped) >
+          opts.max_skip_fraction * static_cast<double>(total))
+    return DataLossError(
+        "load_binary: quarantined " + std::to_string(rep.rows_skipped) +
+        " of " + std::to_string(total) + " rows in " + path +
+        " (over max_skip_fraction)");
+  if (report) *report = rep;
+  return Dataset(static_cast<std::size_t>(dim), std::move(coords));
+}
+
 void write_binary(const Dataset& ds, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("write_binary: cannot open " + path);

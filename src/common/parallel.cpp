@@ -88,10 +88,12 @@ void ThreadPool::run(const std::function<void(unsigned)>& fn) {
 
 void parallel_for(ThreadPool* pool, std::size_t n,
                   const std::function<void(std::size_t, std::size_t,
-                                           unsigned)>& body) {
+                                           unsigned)>& body,
+                  RunGuard* guard) {
   if (n == 0) return;
   const unsigned nt = pool ? pool->num_threads() : 1;
   if (nt == 1) {
+    if (guard) guard->check_throw("parallel_for");
     body(0, n, 0);
     return;
   }
@@ -100,26 +102,40 @@ void parallel_for(ThreadPool* pool, std::size_t n,
   pool->run([&](unsigned tid) {
     const std::size_t begin = std::min(n, tid * block);
     const std::size_t end = std::min(n, begin + block);
-    if (begin < end) body(begin, end, tid);
+    if (begin < end) {
+      if (guard) guard->check_throw("parallel_for");
+      body(begin, end, tid);
+    }
   });
 }
 
 void parallel_for_chunked(ThreadPool* pool, std::size_t n, std::size_t chunk,
                           const std::function<void(std::size_t, std::size_t,
-                                                   unsigned)>& body) {
+                                                   unsigned)>& body,
+                          RunGuard* guard) {
   if (n == 0) return;
   const unsigned nt = pool ? pool->num_threads() : 1;
+  chunk = std::max<std::size_t>(1, chunk);
   if (nt == 1) {
-    body(0, n, 0);
+    if (!guard) {
+      body(0, n, 0);
+      return;
+    }
+    // Guarded inline path keeps the chunk loop so the one-chunk cancellation
+    // latency bound holds in the sequential engine too.
+    for (std::size_t begin = 0; begin < n; begin += chunk) {
+      guard->check_throw("parallel_for_chunked");
+      body(begin, std::min(n, begin + chunk), 0);
+    }
     return;
   }
-  chunk = std::max<std::size_t>(1, chunk);
   std::atomic<std::size_t> cursor{0};
   pool->run([&](unsigned tid) {
     while (true) {
       const std::size_t begin =
           cursor.fetch_add(chunk, std::memory_order_relaxed);
       if (begin >= n) return;
+      if (guard) guard->check_throw("parallel_for_chunked");
       body(begin, std::min(n, begin + chunk), tid);
     }
   });

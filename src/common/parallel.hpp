@@ -21,6 +21,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/runguard.hpp"
+
 namespace udb {
 
 class ThreadPool {
@@ -58,16 +60,27 @@ class ThreadPool {
 // Statically blocked parallel loop: splits [0, n) into one contiguous range
 // per thread and calls body(begin, end, tid). Deterministic assignment of
 // indices to tids. pool == nullptr or a 1-thread pool runs inline.
+//
+// `guard` (optional) makes the loop cooperative: each thread runs
+// guard->check_throw before its range, so a tripped guard (cancel, deadline,
+// budget) aborts the loop via the pool's exception channel.
 void parallel_for(ThreadPool* pool, std::size_t n,
                   const std::function<void(std::size_t, std::size_t,
-                                           unsigned)>& body);
+                                           unsigned)>& body,
+                  RunGuard* guard = nullptr);
 
 // Dynamically scheduled parallel loop: threads grab chunks of `chunk`
 // consecutive indices from an atomic cursor until [0, n) is exhausted. Use
 // for skewed per-index costs (e.g. neighborhood queries). Which tid runs
 // which chunk is nondeterministic; every index runs exactly once.
+//
+// `guard` (optional): guard->check_throw runs before every chunk — on every
+// thread, and also on the inline sequential path (a 1-thread "pool" still
+// iterates chunk by chunk when guarded) — so cancellation latency is bounded
+// by one chunk of body work regardless of thread count.
 void parallel_for_chunked(ThreadPool* pool, std::size_t n, std::size_t chunk,
                           const std::function<void(std::size_t, std::size_t,
-                                                   unsigned)>& body);
+                                                   unsigned)>& body,
+                          RunGuard* guard = nullptr);
 
 }  // namespace udb

@@ -1,0 +1,32 @@
+#include "common/runguard.hpp"
+
+#include <csignal>
+
+namespace udb {
+
+namespace {
+
+// Process-global cancellation target for the SIGINT handler. A plain atomic
+// pointer: the handler does one lock-free load and one lock-free store
+// (request_cancel), both async-signal-safe.
+std::atomic<RunGuard*> g_signal_guard{nullptr};
+
+void sigint_handler(int /*signum*/) {
+  RunGuard* guard = g_signal_guard.load(std::memory_order_relaxed);
+  if (guard != nullptr) guard->request_cancel();
+  // First Ctrl-C is cooperative; restore default disposition so a second
+  // Ctrl-C force-kills a run that is stuck outside checkpointed code.
+  std::signal(SIGINT, SIG_DFL);
+}
+
+}  // namespace
+
+void install_sigint_cancel(RunGuard* guard) {
+  g_signal_guard.store(guard, std::memory_order_relaxed);
+  if (guard != nullptr)
+    std::signal(SIGINT, sigint_handler);
+  else
+    std::signal(SIGINT, SIG_DFL);
+}
+
+}  // namespace udb

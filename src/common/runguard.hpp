@@ -1,0 +1,259 @@
+// RunGuard — the per-run governor that turns "a clustering run" into a
+// bounded, killable unit of work (the precondition for any serving layer on
+// top of this library):
+//
+//   * wall-clock deadline — armed once, checked at every cooperative
+//     checkpoint against std::chrono::steady_clock;
+//   * memory budget — byte accounting charged at the big allocation sites
+//     (dataset load, µR-tree / AuxR-tree build, per-thread scratch, merge
+//     buffers; see docs/ROBUSTNESS.md for the exact charge points). A charge
+//     that would exceed the budget fails *before* the allocation happens;
+//   * cancellation token — a single atomic flag, async-signal-safe to trip
+//     (the CLI's SIGINT handler calls request_cancel()).
+//
+// Engines call check() at cooperative checkpoints: every chunk of the
+// parallel loops (common/parallel.*) and every few-thousand iterations of the
+// sequential phase loops. A non-OK check latches the guard (tripped()), so
+// once any thread observes a violation every other worker stops at its next
+// checkpoint — cancellation latency is bounded by one chunk of work.
+//
+// All methods are thread-safe. The guard performs no allocation after
+// construction, and accounting is advisory: it never frees anything itself —
+// reclamation is RAII at the call sites (ScopedCharge + ordinary vectors), so
+// a tripped run unwinds to a clean heap (ASan/LSan-verified in CI).
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace udb {
+
+// Policy on deadline/budget exhaustion (wired through MuDbscanConfig and the
+// CLI's --on-budget flag; applied by core/guarded_run.*).
+enum class OnBudget {
+  kFail,     // return a clean Status, all memory reclaimed
+  kDegrade,  // fall back to sampled_dbscan, result flagged approximate
+};
+
+struct RunLimits {
+  double deadline_seconds = 0.0;        // <= 0: no deadline
+  std::size_t memory_budget_bytes = 0;  // 0: no budget
+};
+
+class RunGuard {
+ public:
+  RunGuard() { arm({}); }
+  explicit RunGuard(RunLimits limits) { arm(limits); }
+
+  RunGuard(const RunGuard&) = delete;
+  RunGuard& operator=(const RunGuard&) = delete;
+
+  // (Re)arms the guard: installs limits and restarts the deadline clock.
+  // Leaves the cancellation token and memory accounting untouched.
+  void arm(RunLimits limits) noexcept {
+    limits_ = limits;
+    start_ = std::chrono::steady_clock::now();
+    tripped_.store(static_cast<int>(StatusCode::kOk),
+                   std::memory_order_relaxed);
+  }
+
+  // Degraded mode: after an exhaustion trip, the approximate fallback still
+  // has to run to completion — it keeps honoring the cancellation token but
+  // is exempt from the (already blown) deadline and budget.
+  void enter_degraded_mode() noexcept {
+    limits_ = {};
+    tripped_.store(static_cast<int>(StatusCode::kOk),
+                   std::memory_order_relaxed);
+  }
+
+  // ---- cancellation ------------------------------------------------------
+  // Async-signal-safe: a single lock-free atomic store.
+  void request_cancel() noexcept {
+    cancel_.store(true, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+
+  // ---- deadline ----------------------------------------------------------
+  [[nodiscard]] bool has_deadline() const noexcept {
+    return limits_.deadline_seconds > 0.0;
+  }
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  // Seconds until the deadline; a large positive value when none is set.
+  [[nodiscard]] double remaining_seconds() const noexcept {
+    if (!has_deadline()) return kNoDeadlineRemaining;
+    return limits_.deadline_seconds - elapsed_seconds();
+  }
+
+  // ---- memory budget -----------------------------------------------------
+  // Charges `bytes` against the budget. On exhaustion returns
+  // RESOURCE_EXHAUSTED naming the site, charges nothing, and latches the
+  // guard so every other worker stops at its next checkpoint.
+  Status try_charge(std::size_t bytes, const char* what) {
+    const std::size_t used =
+        used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (limits_.memory_budget_bytes != 0 &&
+        used > limits_.memory_budget_bytes) {
+      used_.fetch_sub(bytes, std::memory_order_relaxed);
+      trip(StatusCode::kResourceExhausted);
+      return ResourceExhaustedError(
+          std::string("memory budget exceeded at ") + what + ": " +
+          std::to_string(used) + " > " +
+          std::to_string(limits_.memory_budget_bytes) + " bytes");
+    }
+    // Racy max update is fine: peak is observability, not enforcement.
+    std::size_t peak = peak_.load(std::memory_order_relaxed);
+    while (used > peak &&
+           !peak_.compare_exchange_weak(peak, used, std::memory_order_relaxed))
+      ;
+    return Status::Ok();
+  }
+  void release(std::size_t bytes) noexcept {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t bytes_in_use() const noexcept {
+    return used_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t bytes_peak() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t budget_bytes() const noexcept {
+    return limits_.memory_budget_bytes;
+  }
+
+  // ---- cooperative checkpoint -------------------------------------------
+  // Cheap enough for per-chunk use: one atomic load, one atomic increment,
+  // and (with a deadline armed) one steady_clock read.
+  Status check(const char* where) {
+    checkpoints_.fetch_add(1, std::memory_order_relaxed);
+    if (cancel_.load(std::memory_order_relaxed))
+      return CancelledError(std::string("run cancelled at ") + where);
+    const auto latched =
+        static_cast<StatusCode>(tripped_.load(std::memory_order_relaxed));
+    if (latched != StatusCode::kOk)
+      return Status(latched,
+                    std::string("guard tripped, observed at ") + where);
+    if (has_deadline() && elapsed_seconds() > limits_.deadline_seconds) {
+      trip(StatusCode::kDeadlineExceeded);
+      return DeadlineExceededError(
+          std::string("deadline of ") +
+          std::to_string(limits_.deadline_seconds) + " s exceeded at " +
+          where);
+    }
+    return Status::Ok();
+  }
+
+  // Checkpoint for exception-unwound contexts (the engines' loop bodies):
+  // throws StatusError so stack unwinding releases every allocation.
+  void check_throw(const char* where) {
+    Status s = check(where);
+    if (!s.ok()) throw StatusError(std::move(s));
+  }
+
+  [[nodiscard]] bool tripped() const noexcept {
+    return static_cast<StatusCode>(tripped_.load(std::memory_order_relaxed)) !=
+               StatusCode::kOk ||
+           cancel_requested();
+  }
+  [[nodiscard]] std::uint64_t checkpoints_passed() const noexcept {
+    return checkpoints_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr double kNoDeadlineRemaining = 1e30;
+
+  void trip(StatusCode code) noexcept {
+    int expected = static_cast<int>(StatusCode::kOk);
+    tripped_.compare_exchange_strong(expected, static_cast<int>(code),
+                                     std::memory_order_relaxed);
+  }
+
+  RunLimits limits_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<bool> cancel_{false};
+  std::atomic<int> tripped_{static_cast<int>(StatusCode::kOk)};
+  std::atomic<std::size_t> used_{0};
+  std::atomic<std::size_t> peak_{0};
+  std::atomic<std::uint64_t> checkpoints_{0};
+};
+
+// RAII budget charge: releases what it charged on destruction, so unwinding
+// out of a tripped run leaves the accounting (and the heap) clean.
+class ScopedCharge {
+ public:
+  ScopedCharge() = default;
+  ~ScopedCharge() { reset(); }
+
+  ScopedCharge(ScopedCharge&& o) noexcept
+      : guard_(o.guard_), bytes_(o.bytes_) {
+    o.guard_ = nullptr;
+    o.bytes_ = 0;
+  }
+  ScopedCharge& operator=(ScopedCharge&& o) noexcept {
+    if (this != &o) {
+      reset();
+      guard_ = o.guard_;
+      bytes_ = o.bytes_;
+      o.guard_ = nullptr;
+      o.bytes_ = 0;
+    }
+    return *this;
+  }
+  ScopedCharge(const ScopedCharge&) = delete;
+  ScopedCharge& operator=(const ScopedCharge&) = delete;
+
+  // Charges `bytes` (releasing any previous charge first). Null guard: no-op
+  // success, so ungoverned runs pay nothing.
+  Status acquire(RunGuard* guard, std::size_t bytes, const char* what) {
+    reset();
+    if (guard == nullptr || bytes == 0) return Status::Ok();
+    Status s = guard->try_charge(bytes, what);
+    if (s.ok()) {
+      guard_ = guard;
+      bytes_ = bytes;
+    }
+    return s;
+  }
+  // Throwing variant for exception-unwound contexts.
+  void acquire_throw(RunGuard* guard, std::size_t bytes, const char* what) {
+    Status s = acquire(guard, bytes, what);
+    if (!s.ok()) throw StatusError(std::move(s));
+  }
+
+  void reset() noexcept {
+    if (guard_ != nullptr) guard_->release(bytes_);
+    guard_ = nullptr;
+    bytes_ = 0;
+  }
+
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
+
+ private:
+  RunGuard* guard_ = nullptr;
+  std::size_t bytes_ = 0;
+};
+
+// Heap bytes held by a vector (capacity, not size — what the allocator sees).
+template <typename T>
+[[nodiscard]] std::size_t vector_bytes(const std::vector<T>& v) noexcept {
+  return v.capacity() * sizeof(T);
+}
+
+// Routes SIGINT to guard->request_cancel() for graceful Ctrl-C: the first
+// interrupt trips the token (the run unwinds at its next checkpoint and
+// reports CANCELLED), a second one falls back to the default fatal handler.
+// Pass nullptr to uninstall. Not reentrant; call from main() only.
+void install_sigint_cancel(RunGuard* guard);
+
+}  // namespace udb

@@ -1,0 +1,171 @@
+// Recoverable, message-carrying error handling for library code.
+//
+// A production run must be a governable unit of work: a pathological input, a
+// blown deadline, or an exhausted memory budget has to surface as a *value*
+// the caller can branch on and log — not a process abort. Status carries a
+// machine-readable code plus a human-readable message; StatusOr<T> is the
+// return type of fallible producers (dataset loads, guarded runs).
+//
+// Interop with the existing exception-based call sites: StatusError is a
+// std::runtime_error that carries a Status, so code deep inside an engine can
+// throw it (unwinding releases every allocation RAII-style) and the guarded
+// entry points (core/guarded_run.*) catch it at the boundary and hand the
+// caller the Status. status_from_current_exception() converts foreign
+// exceptions (std::bad_alloc, std::invalid_argument, ...) at the same
+// boundary, so *no* failure mode escapes as a crash from a guarded run.
+
+#pragma once
+
+#include <new>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace udb {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,    // caller passed nonsense (bad eps, minpts, flags)
+  kNotFound,           // missing file / unknown name
+  kDataLoss,           // malformed or quarantine-rejected input data
+  kResourceExhausted,  // memory budget exceeded
+  kDeadlineExceeded,   // wall-clock deadline exceeded
+  kCancelled,          // cancellation token tripped (e.g. SIGINT)
+  kUnavailable,        // transient distributed failure (rank death, timeout)
+  kInternal,           // invariant violation / unexpected exception
+};
+
+[[nodiscard]] constexpr const char* status_code_name(StatusCode c) noexcept {
+  switch (c) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status Ok() { return Status(); }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    if (ok()) return "OK";
+    return std::string(status_code_name(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;  // code-wise comparison; messages are free-form
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Convenience constructors, named after the code they produce.
+[[nodiscard]] inline Status InvalidArgumentError(std::string msg) {
+  return {StatusCode::kInvalidArgument, std::move(msg)};
+}
+[[nodiscard]] inline Status NotFoundError(std::string msg) {
+  return {StatusCode::kNotFound, std::move(msg)};
+}
+[[nodiscard]] inline Status DataLossError(std::string msg) {
+  return {StatusCode::kDataLoss, std::move(msg)};
+}
+[[nodiscard]] inline Status ResourceExhaustedError(std::string msg) {
+  return {StatusCode::kResourceExhausted, std::move(msg)};
+}
+[[nodiscard]] inline Status DeadlineExceededError(std::string msg) {
+  return {StatusCode::kDeadlineExceeded, std::move(msg)};
+}
+[[nodiscard]] inline Status CancelledError(std::string msg) {
+  return {StatusCode::kCancelled, std::move(msg)};
+}
+[[nodiscard]] inline Status UnavailableError(std::string msg) {
+  return {StatusCode::kUnavailable, std::move(msg)};
+}
+[[nodiscard]] inline Status InternalError(std::string msg) {
+  return {StatusCode::kInternal, std::move(msg)};
+}
+
+// Exception bridge: thrown by library code at failure sites, caught at the
+// guarded-run boundary and converted back to its Status. Deriving from
+// std::runtime_error keeps every legacy caller (which catches std::exception
+// or std::runtime_error) working unchanged.
+class StatusError : public std::runtime_error {
+ public:
+  explicit StatusError(Status status)
+      : std::runtime_error(status.to_string()), status_(std::move(status)) {}
+
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+ private:
+  Status status_;
+};
+
+// Maps the in-flight exception to a Status. Call only from a catch block.
+[[nodiscard]] inline Status status_from_current_exception() {
+  try {
+    throw;
+  } catch (const StatusError& e) {
+    return e.status();
+  } catch (const std::bad_alloc&) {
+    return ResourceExhaustedError("allocation failed (std::bad_alloc)");
+  } catch (const std::invalid_argument& e) {
+    return InvalidArgumentError(e.what());
+  } catch (const std::exception& e) {
+    return InternalError(e.what());
+  } catch (...) {
+    return InternalError("unknown exception");
+  }
+}
+
+// StatusOr<T>: either a value or a non-OK Status. Minimal by design — enough
+// for the fallible producers in this library, no allocator gymnastics.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(implicit)
+    if (status_.ok())
+      status_ = InternalError("StatusOr constructed from OK status");
+  }
+  StatusOr(T value)  // NOLINT(implicit)
+      : value_(std::move(value)) {}
+
+  [[nodiscard]] bool ok() const noexcept { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  [[nodiscard]] T& value() & { return require(), *value_; }
+  [[nodiscard]] const T& value() const& { return require(), *value_; }
+  [[nodiscard]] T&& value() && { return require(), std::move(*value_); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void require() const {
+    if (!value_.has_value()) throw StatusError(status_);
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace udb

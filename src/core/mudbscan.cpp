@@ -20,6 +20,10 @@ inline std::atomic_ref<std::uint8_t> flag(std::vector<std::uint8_t>& v,
   return std::atomic_ref<std::uint8_t>(v[i]);
 }
 
+// Sequential-loop checkpoint stride (Algorithms 4/6/7/8). The parallel paths
+// checkpoint per chunk via parallel_for_chunked instead.
+constexpr std::size_t kSeqCheckStride = 1024;
+
 }  // namespace
 
 MuDbscanEngine::MuDbscanEngine(const Dataset& ds, const DbscanParams& params,
@@ -28,6 +32,21 @@ MuDbscanEngine::MuDbscanEngine(const Dataset& ds, const DbscanParams& params,
   if (params_.min_pts == 0)
     throw std::invalid_argument("MuDbscan: MinPts must be >= 1");
   const std::size_t n = ds.size();
+
+  // Run-guard setup: an external guard is shared (distributed ranks all point
+  // at the run's guard); limits without a guard get an engine-owned one.
+  guard_ = cfg_.guard;
+  if (guard_ == nullptr &&
+      (cfg_.deadline_seconds > 0.0 || cfg_.mem_budget_bytes > 0)) {
+    owned_guard_ = std::make_unique<RunGuard>(
+        RunLimits{cfg_.deadline_seconds, cfg_.mem_budget_bytes});
+    guard_ = owned_guard_.get();
+  }
+  // Per-point flag vectors (4 bytes) + the union-find parent array.
+  if (guard_)
+    flags_charge_.acquire_throw(guard_, n * (4 + sizeof(PointId)),
+                                "engine flags + union-find");
+
   is_core_.assign(n, 0);
   wndq_.assign(n, 0);
   assigned_.assign(n, 0);
@@ -43,6 +62,7 @@ void MuDbscanEngine::build_tree() {
   MuRTree::Config tcfg;
   tcfg.two_eps_rule = cfg_.two_eps_rule;
   tcfg.bulk_aux = cfg_.bulk_aux;
+  tcfg.guard = guard_;
   tree_ = std::make_unique<MuRTree>(*ds_, params_.eps, tcfg, pool_.get());
   tree_->compute_inner_circles(pool_.get());
   stats.num_mcs = tree_->num_mcs();
@@ -72,6 +92,8 @@ void MuDbscanEngine::cluster() {
   // (Lemma 2). Either way all members are united with the centre — they are
   // directly density-reachable from it.
   for (McId z = 0; z < tree_->num_mcs(); ++z) {
+    if (guard_ && z % kSeqCheckStride == 0)
+      guard_->check_throw("algorithm 4");
     const MicroCluster& mc = tree_->mc(z);
     const McKind kind = mc.classify(min_pts);
     if (kind == McKind::Sparse) {
@@ -108,6 +130,8 @@ void MuDbscanEngine::cluster() {
   // --- Algorithm 6: PROCESS-REM-POINTS ----------------------------------
   std::vector<std::pair<PointId, double>> nbhd;
   for (std::size_t i = 0; i < n; ++i) {
+    if (guard_ && i % kSeqCheckStride == 0)
+      guard_->check_throw("algorithm 6");
     const PointId p = static_cast<PointId>(i);
     if (wndq_[p]) continue;  // query saved
     ++stats.queries_performed;
@@ -186,6 +210,7 @@ void MuDbscanEngine::cluster() {
     }
   }
   stats.wndq_core_points = wndq_list_.size();
+  charge_scratch();
   stats.t_cluster = timer.seconds();
 }
 
@@ -257,7 +282,8 @@ void MuDbscanEngine::cluster_parallel() {
             assigned_[q] = 1;
           }
         }
-      });
+      },
+      guard_);
   for (const McAccum& acc : mc_acc) {
     stats.dmc += acc.dmc;
     stats.cmc += acc.cmc;
@@ -371,7 +397,22 @@ void MuDbscanEngine::cluster_parallel() {
             }
           }
         }
-      });
+      },
+      guard_);
+
+  // Per-thread scratch is the phase's hidden allocation: charge its actual
+  // footprint while it coexists with the merged engine buffers, then let it
+  // go out of scope (the ScopedCharge releases with it).
+  ScopedCharge thread_scratch;
+  if (guard_) {
+    std::size_t scratch_bytes = 0;
+    for (const PtAccum& acc : pt_acc)
+      scratch_bytes += vector_bytes(acc.wndq) + vector_bytes(acc.noise_pts) +
+                       vector_bytes(acc.noise_len) +
+                       vector_bytes(acc.noise_nbrs) + vector_bytes(acc.nbhd);
+    thread_scratch.acquire_throw(guard_, scratch_bytes,
+                                 "per-thread scratch buffers");
+  }
 
   for (PtAccum& acc : pt_acc) {
     stats.queries_performed += acc.queries;
@@ -384,7 +425,17 @@ void MuDbscanEngine::cluster_parallel() {
       noise_off_.push_back(noise_off_.back() + len);
   }
   stats.wndq_core_points = wndq_list_.size();
+  charge_scratch();
   stats.t_cluster = timer.seconds();
+}
+
+void MuDbscanEngine::charge_scratch() {
+  if (!guard_) return;
+  scratch_charge_.acquire_throw(
+      guard_,
+      vector_bytes(wndq_list_) + vector_bytes(noise_pts_) +
+          vector_bytes(noise_off_) + vector_bytes(noise_nbrs_),
+      "engine worklists + noise CSR");
 }
 
 void MuDbscanEngine::post_process() {
@@ -401,7 +452,10 @@ void MuDbscanEngine::post_process() {
   // MCs and unite with any core point strictly within eps that is not yet in
   // the same set. (Distance is only computed for cores in a different set —
   // far cheaper than a neighborhood query.)
-  for (PointId p : wndq_list_) {
+  for (std::size_t wi = 0; wi < wndq_list_.size(); ++wi) {
+    if (guard_ && wi % kSeqCheckStride == 0)
+      guard_->check_throw("algorithm 7");
+    const PointId p = wndq_list_[wi];
     const McId z = tree_->mc_of_point(p);
     const auto pt = ds_->point(p);
     for (McId r : tree_->mc(z).reach) {
@@ -423,6 +477,8 @@ void MuDbscanEngine::post_process() {
   // point (one promoted to wndq-core after the noise point was processed)
   // is in fact a border point.
   for (std::size_t i = 0; i < noise_pts_.size(); ++i) {
+    if (guard_ && i % kSeqCheckStride == 0)
+      guard_->check_throw("algorithm 8");
     const PointId p = noise_pts_[i];
     if (assigned_[p]) continue;
     for (std::uint32_t j = noise_off_[i]; j < noise_off_[i + 1]; ++j) {
@@ -473,7 +529,8 @@ void MuDbscanEngine::post_process_parallel() {
             }
           }
         }
-      });
+      },
+      guard_);
   for (const EvalAccum& e : evals) stats.post_core_distance_evals += e.v;
 
   parallel_for_chunked(
@@ -491,7 +548,8 @@ void MuDbscanEngine::post_process_parallel() {
             }
           }
         }
-      });
+      },
+      guard_);
   stats.t_post = timer.seconds();
 }
 

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "common/dataset.hpp"
+#include "common/runguard.hpp"
 #include "core/murtree.hpp"
 #include "metrics/clustering.hpp"
 
@@ -30,6 +31,21 @@ struct MuDbscanConfig {
   // DBSCAN at every thread count (see docs/PARALLEL.md). Stats that count
   // saved queries can differ run-to-run when > 1 (promotion races are benign).
   unsigned num_threads = 1;
+
+  // ---- run-guard limits (docs/ROBUSTNESS.md) -----------------------------
+  // When a limit is set (or `guard` is supplied) the engine runs cooperative
+  // checkpoints in every phase; a violation aborts the run with a
+  // StatusError carrying DEADLINE_EXCEEDED / RESOURCE_EXHAUSTED / CANCELLED
+  // and all memory is reclaimed on unwind. `on_budget` is the policy the
+  // guarded entry point (core/guarded_run.*) applies on exhaustion; the
+  // engine itself always fails cleanly and leaves degradation to the caller.
+  double deadline_seconds = 0.0;        // <= 0: none
+  std::size_t mem_budget_bytes = 0;     // 0: none
+  OnBudget on_budget = OnBudget::kFail;
+  // External guard (not owned). Supplying one shares a deadline/budget/token
+  // across engines (each distributed rank's engine shares the run's guard);
+  // when null and a limit above is set, the engine owns a private guard.
+  RunGuard* guard = nullptr;
 };
 
 struct MuDbscanStats {

@@ -12,6 +12,7 @@
 
 #include "common/dataset.hpp"
 #include "common/parallel.hpp"
+#include "common/runguard.hpp"
 #include "core/mudbscan.hpp"
 #include "core/murtree.hpp"
 #include "unionfind/union_find.hpp"
@@ -66,6 +67,10 @@ class MuDbscanEngine {
   // merge when a remote core adopts a local border point).
   void mark_assigned(PointId p) { assigned_[p] = 1; }
 
+  // The run guard governing this engine: the external cfg.guard when one was
+  // supplied, the engine-owned guard when cfg limits are set, else null.
+  [[nodiscard]] RunGuard* guard() const noexcept { return guard_; }
+
   MuDbscanStats stats;
 
  private:
@@ -75,9 +80,17 @@ class MuDbscanEngine {
   void cluster_parallel();
   void post_process_parallel();
 
+  // Trues up the budget charge for the engine-owned worklists (wndq list +
+  // provisional-noise CSR) after the clustering phase sized them.
+  void charge_scratch();
+
   const Dataset* ds_;
   DbscanParams params_;
   MuDbscanConfig cfg_;
+  std::unique_ptr<RunGuard> owned_guard_;  // set when cfg carries limits only
+  RunGuard* guard_ = nullptr;              // cfg.guard or owned_guard_.get()
+  ScopedCharge flags_charge_;              // flag vectors + union-find
+  ScopedCharge scratch_charge_;            // noise CSR + worklists (trued up)
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads == 1
   std::unique_ptr<MuRTree> tree_;
   UnionFind uf_;

@@ -6,16 +6,34 @@
 
 namespace udb {
 
+namespace {
+// Sequential-sweep checkpoint stride: cheap relative to the per-point index
+// probes, frequent enough that cancellation latency stays in the low
+// milliseconds even on slow hosts.
+constexpr std::size_t kBuildCheckStride = 2048;
+}  // namespace
+
 MuRTree::MuRTree(const Dataset& ds, double eps, Config cfg, ThreadPool* pool)
     : ds_(&ds), eps_(eps), cfg_(cfg), level1_(ds.dim(), cfg.level1) {
   if (!(eps > 0.0)) throw std::invalid_argument("MuRTree: eps must be > 0");
   const std::size_t n = ds.size();
+  RunGuard* guard = cfg_.guard;
+
+  // Up-front charge for the per-point map and a conservative floor for the
+  // member lists (every point appears in exactly one MC): a budget too small
+  // for even the skeleton fails here, before the expensive sweep starts.
+  if (guard)
+    mem_charge_.acquire_throw(guard,
+                              n * (sizeof(McId) + sizeof(PointId)),
+                              "murtree skeleton");
   point_mc_.assign(n, kInvalidMc);
 
   // Pass 1 (Algorithm 3, BUILD-MICRO-CLUSTERS): assign within eps, defer
   // within 2*eps, otherwise found a new MC.
   std::vector<PointId> unassigned;
   for (std::size_t i = 0; i < n; ++i) {
+    if (guard && i % kBuildCheckStride == 0)
+      guard->check_throw("murtree build pass 1");
     const PointId p = static_cast<PointId>(i);
     const auto pt = ds.point(p);
     const McId hit = static_cast<McId>(level1_.first_within(pt, eps_));
@@ -34,7 +52,10 @@ MuRTree::MuRTree(const Dataset& ds, double eps, Config cfg, ThreadPool* pool)
   deferred_ = unassigned.size();
 
   // Pass 2 (PROCESS-UNASSIGNED-POINT): join within eps or found a new MC.
-  for (PointId p : unassigned) {
+  for (std::size_t i = 0; i < unassigned.size(); ++i) {
+    if (guard && i % kBuildCheckStride == 0)
+      guard->check_throw("murtree build pass 2");
+    const PointId p = unassigned[i];
     const auto pt = ds.point(p);
     const McId hit = static_cast<McId>(level1_.first_within(pt, eps_));
     if (hit != kInvalidMc) {
@@ -48,7 +69,8 @@ MuRTree::MuRTree(const Dataset& ds, double eps, Config cfg, ThreadPool* pool)
   // AuxR-trees: one small R-tree per MC over its members (STR-packed by
   // default; the members are all known at this point). Each MC's tree is
   // independent, so the builds run in parallel when a pool is supplied; the
-  // result is identical for any thread count.
+  // result is identical for any thread count. With a guard, every 32-MC
+  // chunk is a cooperative checkpoint (see parallel_for_chunked).
   aux_.reserve(mcs_.size());
   for (std::size_t z = 0; z < mcs_.size(); ++z)
     aux_.emplace_back(ds.dim(), cfg_.aux);
@@ -67,7 +89,20 @@ MuRTree::MuRTree(const Dataset& ds, double eps, Config cfg, ThreadPool* pool)
             for (PointId q : mc.members) aux_[z].insert(ds_->ptr(q), q);
           }
         }
-      });
+      },
+      guard);
+
+  // True up the budget charge to the real footprint now that the trees
+  // exist. The index is the run's dominant allocation after the dataset
+  // itself, so this is where an undersized budget is meant to trip.
+  if (guard) {
+    std::size_t bytes = n * sizeof(McId) + level1_.memory_bytes();
+    for (const MicroCluster& mc : mcs_)
+      bytes += vector_bytes(mc.members) + vector_bytes(mc.reach) +
+               sizeof(MicroCluster);
+    for (const RTree& t : aux_) bytes += t.memory_bytes();
+    mem_charge_.acquire_throw(guard, bytes, "murtree index");
+  }
 }
 
 McId MuRTree::create_mc(PointId center) {
@@ -100,7 +135,8 @@ void MuRTree::compute_inner_circles(ThreadPool* pool) {
           }
           mc.ic_count = cnt;
         }
-      });
+      },
+      cfg_.guard);
 }
 
 void MuRTree::compute_reachable(ThreadPool* pool) {
@@ -119,7 +155,17 @@ void MuRTree::compute_reachable(ThreadPool* pool) {
                              /*strict=*/false);
           mcs_[z].reach.assign(hits.begin(), hits.end());
         }
-      });
+      },
+      cfg_.guard);
+
+  // The reach lists are quadratic in the worst case (every MC reaches every
+  // MC when eps spans the domain) — charge them now that their size is known.
+  if (cfg_.guard) {
+    std::size_t reach_bytes = 0;
+    for (const MicroCluster& mc : mcs_) reach_bytes += vector_bytes(mc.reach);
+    mem_charge_.acquire_throw(cfg_.guard, mem_charge_.bytes() + reach_bytes,
+                              "murtree reach lists");
+  }
 }
 
 void MuRTree::query_neighborhood(

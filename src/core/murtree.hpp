@@ -21,6 +21,7 @@
 
 #include "common/dataset.hpp"
 #include "common/parallel.hpp"
+#include "common/runguard.hpp"
 #include "core/microcluster.hpp"
 #include "index/rtree.hpp"
 #include "metrics/clustering.hpp"
@@ -40,6 +41,12 @@ class MuRTree {
     bool bulk_aux = true;
     RTree::Config level1;
     RTree::Config aux;
+    // Optional run guard (not owned): the MC assignment sweep, AuxR-tree
+    // builds, inner-circle and reachable phases run cooperative checkpoints
+    // against it, and the built index structures are charged to its memory
+    // budget (docs/ROBUSTNESS.md). A trip aborts construction via
+    // StatusError; partial state is reclaimed on unwind.
+    RunGuard* guard = nullptr;
   };
 
   // `pool` (optional) parallelizes the embarrassingly parallel build stages:
@@ -106,6 +113,9 @@ class MuRTree {
   std::vector<RTree> aux_;
   std::vector<McId> point_mc_;
   std::size_t deferred_ = 0;
+  // Budget charge for the index structures (point_mc_, MC member lists,
+  // level-1 tree, aux trees); released when the tree is destroyed.
+  ScopedCharge mem_charge_;
   mutable std::atomic<std::uint64_t> aux_searched_{0};
 };
 

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/runguard.hpp"
+#include "common/status.hpp"
 #include "common/timer.hpp"
 #include "core/mudbscan_engine.hpp"
 #include "dist/checkpoint.hpp"
@@ -239,7 +241,18 @@ ClusteringResult mudbscan_d_ft(const Dataset& global,
   const int max_attempts = cfg.max_attempts > 0 ? cfg.max_attempts : nranks + 2;
   bool success = false;
 
+  // Run deadline: prefer the guard shared with the rank engines (it also
+  // carries the cancel token and memory budget); a bare cfg.deadline_seconds
+  // arms a driver-private guard.
+  RunGuard local_guard;
+  RunGuard* guard = cfg.mu.guard;
+  if (!guard && cfg.deadline_seconds > 0.0) {
+    local_guard.arm(RunLimits{cfg.deadline_seconds, 0});
+    guard = &local_guard;
+  }
+
   for (int attempt = 0; attempt < max_attempts && !success; ++attempt) {
+    if (guard) guard->check_throw("ft attempt start");
     ++ft.attempts;
     const int p = static_cast<int>(alive.size());
     std::vector<int> comm_of(static_cast<std::size_t>(nranks), -1);
@@ -269,6 +282,16 @@ ClusteringResult mudbscan_d_ft(const Dataset& global,
       mpi::SlowSpec ss = s;
       ss.rank = comm_of[static_cast<std::size_t>(s.rank)];
       plan.slowdowns.push_back(ss);
+    }
+
+    // Failure-detection timeout from the remaining run deadline: never block
+    // a recv longer than half the time the run has left (floor 50 ms keeps
+    // detection robust against scheduler jitter), instead of the plan's
+    // one-size-fits-all constant. Without a deadline the constant stands.
+    if (guard && guard->has_deadline()) {
+      const double budget = std::max(0.05, guard->remaining_seconds() / 2.0);
+      if (plan.recv_timeout_real < 0.0 || plan.recv_timeout_real > budget)
+        plan.recv_timeout_real = budget;
     }
 
     mpi::Runtime rt(p, cfg.cost);
@@ -331,7 +354,7 @@ ClusteringResult mudbscan_d_ft(const Dataset& global,
     for (int d : dead)
       alive.erase(std::remove(alive.begin(), alive.end(), d), alive.end());
     if (alive.empty())
-      throw std::runtime_error("mudbscan_d_ft: every rank failed");
+      throw StatusError(UnavailableError("mudbscan_d_ft: every rank failed"));
 
     bool full_restart = false;
     for (int d : dead)
@@ -370,10 +393,15 @@ ClusteringResult mudbscan_d_ft(const Dataset& global,
     }
   }
 
-  if (!success)
-    throw std::runtime_error(
+  if (!success) {
+    if (guard && guard->has_deadline() && guard->remaining_seconds() <= 0.0)
+      throw StatusError(DeadlineExceededError(
+          "mudbscan_d_ft: deadline exceeded after " +
+          std::to_string(ft.attempts) + " attempts"));
+    throw StatusError(UnavailableError(
         "mudbscan_d_ft: no attempt completed within " +
-        std::to_string(max_attempts) + " attempts");
+        std::to_string(max_attempts) + " attempts"));
+  }
 
   ft.checkpoint_bytes = ckpt_bytes.load();
   ft.dist.wall_seconds = wall.seconds();

@@ -51,6 +51,14 @@ struct FtConfig {
   // Virtual-time cost per checkpointed byte (write and restore), modeling
   // the snapshot I/O a real deployment would pay (~1 GB/s default).
   double checkpoint_beta = 1e-9;
+  // Wall-clock deadline for the whole run, attempts included (<= 0: none;
+  // when mu.guard carries a deadline it takes precedence). Instead of the
+  // plan's ad-hoc recv_timeout_real constant, each attempt's failure-detection
+  // timeout is derived from the *remaining* deadline, so a run that is almost
+  // out of time detects dead peers fast instead of blocking past its budget,
+  // and the driver surfaces DEADLINE_EXCEEDED between attempts rather than
+  // burning max_attempts after time ran out.
+  double deadline_seconds = 0.0;
 };
 
 struct FtStats {

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/status.hpp"
+
 namespace udb {
 
 namespace {
@@ -22,7 +24,8 @@ PartitionResult kd_partition(mpi::Comm& comm, std::size_t dim,
                              std::vector<std::uint64_t> gids,
                              const PartitionConfig& cfg) {
   if (coords.size() != gids.size() * dim)
-    throw std::invalid_argument("kd_partition: coords/gids size mismatch");
+    throw StatusError(
+        InvalidArgumentError("kd_partition: coords/gids size mismatch"));
   const int me = comm.rank();
 
   Group grp{0, comm.size()};

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/status.hpp"
 #include "index/rtree.hpp"
 
 namespace udb {
@@ -145,7 +146,8 @@ std::unordered_map<std::uint64_t, std::uint64_t> resolve_distributed_uf(
     }
   }
   if (round >= kMaxRounds)
-    throw std::runtime_error("distributed union-find did not converge");
+    throw StatusError(
+        InternalError("distributed union-find did not converge"));
   stats->union_rounds = static_cast<std::uint64_t>(round);
 
   // Resolution: batched pointer jumping. Each query carries (original gid,
@@ -165,7 +167,7 @@ std::unordered_map<std::uint64_t, std::uint64_t> resolve_distributed_uf(
 
   for (int jround = 0;; ++jround) {
     if (jround >= kMaxRounds)
-      throw std::runtime_error("distributed find did not converge");
+      throw StatusError(InternalError("distributed find did not converge"));
     std::int64_t outgoing = 0;
     for (const auto& v : q_out) outgoing += static_cast<std::int64_t>(v.size());
     if (comm.allreduce_sum(outgoing) == 0) break;

@@ -477,6 +477,21 @@ RTree::Stats RTree::stats() const {
   return s;
 }
 
+std::size_t RTree::memory_bytes() const {
+  std::size_t bytes = sizeof(RTree);
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    bytes += sizeof(Node) + 2 * node->mbr.dim() * sizeof(double) +
+             node->pts.capacity() * sizeof(const double*) +
+             node->ids.capacity() * sizeof(PointId) +
+             node->children.capacity() * sizeof(std::unique_ptr<Node>);
+    for (const auto& c : node->children) stack.push_back(c.get());
+  }
+  return bytes;
+}
+
 void RTree::check_invariants() const {
   struct Frame {
     const Node* node;

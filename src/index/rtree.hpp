@@ -108,6 +108,10 @@ class RTree {
   };
   [[nodiscard]] Stats stats() const;
 
+  // Heap bytes held by the tree structure (nodes, MBRs, entry arrays; leaf
+  // coordinates are external). Used by the run-guard memory accounting.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
   // Test hook: verifies the structural invariants (MBR containment, entry
   // count bounds, consistent leaf depth). Throws std::logic_error on
   // violation.

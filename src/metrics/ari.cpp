@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/status.hpp"
+
 namespace udb {
 
 namespace {
@@ -13,7 +15,8 @@ double choose2(double x) { return x * (x - 1.0) / 2.0; }
 double adjusted_rand_index(const std::vector<std::int64_t>& a,
                            const std::vector<std::int64_t>& b) {
   if (a.size() != b.size())
-    throw std::invalid_argument("adjusted_rand_index: size mismatch");
+    throw StatusError(
+        InvalidArgumentError("adjusted_rand_index: size mismatch"));
   const std::size_t n = a.size();
   if (n == 0) return 1.0;
 

@@ -1,0 +1,202 @@
+#include "common/runguard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+
+namespace udb {
+namespace {
+
+TEST(RunGuard, UnlimitedGuardPassesChecks) {
+  RunGuard g;
+  EXPECT_TRUE(g.check("anywhere").ok());
+  EXPECT_FALSE(g.has_deadline());
+  EXPECT_GT(g.remaining_seconds(), 1e20);
+  EXPECT_TRUE(g.try_charge(1 << 30, "big").ok());  // no budget: all charges ok
+  g.release(1 << 30);
+}
+
+TEST(RunGuard, CountsCheckpoints) {
+  RunGuard g;
+  const auto before = g.checkpoints_passed();
+  (void)g.check("a");
+  (void)g.check("b");
+  EXPECT_EQ(g.checkpoints_passed(), before + 2);
+}
+
+TEST(RunGuard, DeadlineTripsAndLatches) {
+  RunGuard g(RunLimits{1e-9, 0});
+  // Any measurable elapsed time exceeds a nanosecond deadline.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(g.check("phase").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(g.tripped());
+  // Latched: later checks report the same code without re-measuring.
+  EXPECT_EQ(g.check("elsewhere").code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(RunGuard, RearmRestartsClockAndClearsTrip) {
+  RunGuard g(RunLimits{1e-9, 0});
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_FALSE(g.check("x").ok());
+  g.arm(RunLimits{3600.0, 0});
+  EXPECT_TRUE(g.check("x").ok());
+}
+
+TEST(RunGuard, BudgetRejectsOverCharge) {
+  RunGuard g(RunLimits{0.0, 1000});
+  EXPECT_TRUE(g.try_charge(600, "a").ok());
+  const Status s = g.try_charge(600, "b");
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(s.message().find("b"), std::string::npos);  // names the site
+  // The failed charge must not leak into the accounting.
+  EXPECT_EQ(g.bytes_in_use(), 600u);
+  EXPECT_TRUE(g.tripped());
+}
+
+TEST(RunGuard, ReleaseMakesRoomAndPeakPersists) {
+  RunGuard g(RunLimits{0.0, 1000});
+  EXPECT_TRUE(g.try_charge(900, "a").ok());
+  g.release(900);
+  g.arm(RunLimits{0.0, 1000});  // clear the non-tripped state explicitly
+  EXPECT_TRUE(g.try_charge(900, "b").ok());
+  EXPECT_EQ(g.bytes_peak(), 900u);
+  g.release(900);
+  EXPECT_EQ(g.bytes_in_use(), 0u);
+}
+
+TEST(RunGuard, CancelWinsOverEverything) {
+  RunGuard g;
+  g.request_cancel();
+  EXPECT_EQ(g.check("loop").code(), StatusCode::kCancelled);
+  EXPECT_TRUE(g.tripped());
+  EXPECT_THROW(g.check_throw("loop"), StatusError);
+}
+
+TEST(RunGuard, DegradedModeDropsLimitsKeepsCancelToken) {
+  RunGuard g(RunLimits{1e-9, 100});
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_FALSE(g.check("x").ok());
+  g.enter_degraded_mode();
+  EXPECT_TRUE(g.check("fallback").ok());
+  EXPECT_TRUE(g.try_charge(1 << 20, "fallback alloc").ok());
+  g.release(1 << 20);
+  g.request_cancel();  // Ctrl-C still works in degraded mode
+  EXPECT_EQ(g.check("fallback").code(), StatusCode::kCancelled);
+}
+
+TEST(ScopedCharge, ReleasesOnDestruction) {
+  RunGuard g(RunLimits{0.0, 1000});
+  {
+    ScopedCharge c;
+    ASSERT_TRUE(c.acquire(&g, 800, "block").ok());
+    EXPECT_EQ(g.bytes_in_use(), 800u);
+  }
+  EXPECT_EQ(g.bytes_in_use(), 0u);
+}
+
+TEST(ScopedCharge, ReacquireReleasesPrevious) {
+  RunGuard g(RunLimits{0.0, 1000});
+  ScopedCharge c;
+  ASSERT_TRUE(c.acquire(&g, 800, "first").ok());
+  ASSERT_TRUE(c.acquire(&g, 900, "grown").ok());  // 800 released before 900
+  EXPECT_EQ(g.bytes_in_use(), 900u);
+  c.reset();
+  EXPECT_EQ(g.bytes_in_use(), 0u);
+}
+
+TEST(ScopedCharge, FailedAcquireChargesNothing) {
+  RunGuard g(RunLimits{0.0, 100});
+  ScopedCharge c;
+  EXPECT_FALSE(c.acquire(&g, 200, "too big").ok());
+  EXPECT_EQ(g.bytes_in_use(), 0u);
+  EXPECT_EQ(c.bytes(), 0u);
+}
+
+TEST(ScopedCharge, NullGuardIsFree) {
+  ScopedCharge c;
+  EXPECT_TRUE(c.acquire(nullptr, 1 << 30, "ungoverned").ok());
+  EXPECT_EQ(c.bytes(), 0u);
+}
+
+TEST(ScopedCharge, MoveTransfersOwnership) {
+  RunGuard g(RunLimits{0.0, 1000});
+  ScopedCharge a;
+  ASSERT_TRUE(a.acquire(&g, 500, "x").ok());
+  ScopedCharge b = std::move(a);
+  EXPECT_EQ(a.bytes(), 0u);
+  EXPECT_EQ(b.bytes(), 500u);
+  EXPECT_EQ(g.bytes_in_use(), 500u);
+  b.reset();
+  EXPECT_EQ(g.bytes_in_use(), 0u);
+}
+
+// The latency contract: once one worker trips the guard, every worker of a
+// guarded parallel_for_chunked stops at its next chunk boundary — the loop
+// never drains the remaining range.
+TEST(RunGuardParallel, CancellationStopsWithinOneChunkPerThread) {
+  for (unsigned nt : {2u, 4u}) {
+    ThreadPool pool(nt);
+    RunGuard g;
+    constexpr std::size_t kN = 100000;
+    constexpr std::size_t kChunk = 64;
+    std::atomic<std::size_t> done{0};
+    bool threw = false;
+    try {
+      parallel_for_chunked(
+          &pool, kN, kChunk,
+          [&](std::size_t begin, std::size_t end, unsigned) {
+            done.fetch_add(end - begin);
+            if (begin == 0) g.request_cancel();  // first chunk cancels the run
+          },
+          &g);
+    } catch (const StatusError& e) {
+      threw = true;
+      EXPECT_EQ(e.status().code(), StatusCode::kCancelled);
+    }
+    EXPECT_TRUE(threw);
+    // Each worker finishes at most the chunk it was inside plus one more it
+    // had already claimed before observing the trip.
+    EXPECT_LE(done.load(), static_cast<std::size_t>(2 * nt) * kChunk)
+        << "threads=" << nt;
+  }
+}
+
+TEST(RunGuardParallel, SingleThreadGuardedPathKeepsChunkBound) {
+  RunGuard g;
+  std::size_t done = 0;
+  bool threw = false;
+  try {
+    parallel_for_chunked(
+        nullptr, 10000, 32,
+        [&](std::size_t begin, std::size_t end, unsigned) {
+          done += end - begin;
+          if (begin == 0) g.request_cancel();
+        },
+        &g);
+  } catch (const StatusError&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+  EXPECT_LE(done, 64u);  // the cancelling chunk, plus at most one claimed
+}
+
+TEST(RunGuardParallel, GuardedParallelForChecksBeforeBodies) {
+  ThreadPool pool(2);
+  RunGuard g;
+  g.request_cancel();
+  std::atomic<std::size_t> ran{0};
+  EXPECT_THROW(parallel_for(
+                   &pool, 1000,
+                   [&](std::size_t, std::size_t, unsigned) { ran.fetch_add(1); },
+                   &g),
+               StatusError);
+  EXPECT_EQ(ran.load(), 0u);
+}
+
+}  // namespace
+}  // namespace udb

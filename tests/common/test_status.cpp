@@ -1,0 +1,97 @@
+#include "common/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace udb {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, NamedConstructorsCarryCodeAndMessage) {
+  const Status s = DeadlineExceededError("took too long");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(s.message(), "took too long");
+  EXPECT_EQ(s.to_string(), "DEADLINE_EXCEEDED: took too long");
+}
+
+TEST(Status, EqualityIsCodeWise) {
+  EXPECT_EQ(CancelledError("a"), CancelledError("b"));
+  EXPECT_FALSE(CancelledError("a") == InternalError("a"));
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    const char* name = status_code_name(static_cast<StatusCode>(c));
+    EXPECT_NE(std::string(name), "UNKNOWN");
+  }
+}
+
+TEST(StatusError, IsARuntimeErrorCarryingTheStatus) {
+  try {
+    throw StatusError(ResourceExhaustedError("budget blown"));
+  } catch (const std::runtime_error& e) {  // legacy catch sites keep working
+    EXPECT_NE(std::string(e.what()).find("budget blown"), std::string::npos);
+  }
+  try {
+    throw StatusError(ResourceExhaustedError("budget blown"));
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(StatusError, CurrentExceptionMapsKnownTypes) {
+  const auto map = [](auto thrower) {
+    try {
+      thrower();
+    } catch (...) {
+      return status_from_current_exception();
+    }
+    return Status::Ok();
+  };
+  EXPECT_EQ(map([] { throw StatusError(CancelledError("x")); }).code(),
+            StatusCode::kCancelled);
+  EXPECT_EQ(map([] { throw std::bad_alloc(); }).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(map([] { throw std::invalid_argument("bad eps"); }).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(map([] { throw std::logic_error("invariant"); }).code(),
+            StatusCode::kInternal);
+  EXPECT_EQ(map([] { throw 42; }).code(), StatusCode::kInternal);
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 7;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 7);
+  EXPECT_EQ(v.value(), 7);
+}
+
+TEST(StatusOr, HoldsStatusAndThrowsOnAccess) {
+  StatusOr<int> v = NotFoundError("missing");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_THROW((void)v.value(), StatusError);
+}
+
+TEST(StatusOr, RejectsOkStatus) {
+  StatusOr<int> v = Status::Ok();
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOr, MovesValueOut) {
+  StatusOr<std::string> v = std::string("payload");
+  const std::string s = std::move(v).value();
+  EXPECT_EQ(s, "payload");
+}
+
+}  // namespace
+}  // namespace udb

@@ -1,0 +1,136 @@
+// Degenerate-dataset robustness (docs/ROBUSTNESS.md): every engine, at every
+// thread count we ship, must survive the pathological inputs a production
+// caller will eventually feed it — empty input, a single point, all points
+// identical, MinPts larger than n, an eps that spans the whole domain, and
+// zero-variance dimensions — and must agree exactly with brute-force DBSCAN
+// on each of them.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baselines/brute_dbscan.hpp"
+#include "baselines/g_dbscan.hpp"
+#include "baselines/grid_dbscan.hpp"
+#include "baselines/r_dbscan.hpp"
+#include "core/mudbscan.hpp"
+#include "dist/mudbscan_d.hpp"
+#include "metrics/exactness.hpp"
+
+namespace udb {
+namespace {
+
+struct Engine {
+  std::string name;
+  std::function<ClusteringResult(const Dataset&, const DbscanParams&)> run;
+};
+
+std::vector<Engine> all_engines() {
+  std::vector<Engine> engines;
+  for (unsigned nt : {1u, 2u, 4u}) {
+    engines.push_back(
+        {"mudbscan/t" + std::to_string(nt),
+         [nt](const Dataset& ds, const DbscanParams& p) {
+           MuDbscanConfig cfg;
+           cfg.num_threads = nt;
+           return mu_dbscan(ds, p, nullptr, cfg);
+         }});
+  }
+  engines.push_back({"rdbscan", [](const Dataset& ds, const DbscanParams& p) {
+                       return r_dbscan(ds, p);
+                     }});
+  engines.push_back({"gdbscan", [](const Dataset& ds, const DbscanParams& p) {
+                       return g_dbscan(ds, p);
+                     }});
+  engines.push_back({"griddbscan",
+                     [](const Dataset& ds, const DbscanParams& p) {
+                       return grid_dbscan(ds, p);
+                     }});
+  for (int ranks : {1, 3}) {
+    engines.push_back({"mudbscan-d/r" + std::to_string(ranks),
+                       [ranks](const Dataset& ds, const DbscanParams& p) {
+                         return mudbscan_d(ds, p, ranks);
+                       }});
+  }
+  return engines;
+}
+
+void expect_all_engines_match_brute(const Dataset& ds,
+                                    const DbscanParams& params,
+                                    const std::string& which) {
+  const ClusteringResult ref = brute_dbscan(ds, params);
+  ASSERT_EQ(ref.size(), ds.size());
+  for (const Engine& e : all_engines()) {
+    SCOPED_TRACE(which + " via " + e.name);
+    ClusteringResult got;
+    ASSERT_NO_THROW(got = e.run(ds, params));
+    ASSERT_EQ(got.size(), ds.size());
+    const ExactnessReport rep = compare_exact(ref, got);
+    EXPECT_TRUE(rep.exact()) << rep.detail;
+  }
+}
+
+TEST(Degenerate, EmptyInput) {
+  expect_all_engines_match_brute(Dataset::empty(3), DbscanParams{1.0, 5},
+                                 "empty");
+}
+
+TEST(Degenerate, SinglePoint) {
+  Dataset ds(2, {4.0, 2.0});
+  expect_all_engines_match_brute(ds, DbscanParams{1.0, 2}, "single point");
+  // min_pts = 1: a lone point is its own core cluster.
+  expect_all_engines_match_brute(ds, DbscanParams{1.0, 1},
+                                 "single point, minpts 1");
+}
+
+TEST(Degenerate, AllDuplicates) {
+  std::vector<double> coords;
+  for (int i = 0; i < 64; ++i) {
+    coords.push_back(3.5);
+    coords.push_back(-1.0);
+  }
+  Dataset ds(2, std::move(coords));
+  expect_all_engines_match_brute(ds, DbscanParams{0.5, 4}, "all duplicates");
+}
+
+TEST(Degenerate, MinPtsLargerThanN) {
+  std::vector<double> coords;
+  for (int i = 0; i < 10; ++i) {
+    coords.push_back(static_cast<double>(i));
+    coords.push_back(0.0);
+  }
+  Dataset ds(2, std::move(coords));
+  expect_all_engines_match_brute(ds, DbscanParams{100.0, 50}, "minpts > n");
+}
+
+TEST(Degenerate, EpsSpansTheDomain) {
+  // Every point within eps of every other: one all-core cluster, and the
+  // reach lists degenerate to all-pairs (the charge-accounting worst case).
+  std::vector<double> coords;
+  for (int i = 0; i < 40; ++i) {
+    coords.push_back(static_cast<double>(i % 7));
+    coords.push_back(static_cast<double>(i % 5));
+    coords.push_back(static_cast<double>(i % 3));
+  }
+  Dataset ds(3, std::move(coords));
+  expect_all_engines_match_brute(ds, DbscanParams{1e6, 4}, "huge eps");
+}
+
+TEST(Degenerate, ZeroVarianceDimensions) {
+  // Variation only in dimension 0; dims 1 and 2 are constant, so every MBR
+  // is flat and every split on those axes is degenerate.
+  std::vector<double> coords;
+  for (int i = 0; i < 120; ++i) {
+    coords.push_back(static_cast<double>(i / 3));
+    coords.push_back(7.0);
+    coords.push_back(-2.5);
+  }
+  Dataset ds(3, std::move(coords));
+  expect_all_engines_match_brute(ds, DbscanParams{1.5, 4},
+                                 "zero-variance dims");
+}
+
+}  // namespace
+}  // namespace udb

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <mutex>
 
+#include "common/status.hpp"
 #include "data/generators.hpp"
 
 namespace udb {
@@ -116,10 +117,14 @@ TEST(KdPartition, HandlesEmptyInitialBlocks) {
 
 TEST(KdPartition, RejectsMismatchedBuffers) {
   mpi::Runtime rt(1);
-  EXPECT_THROW(rt.run([](mpi::Comm& c) {
-                 (void)kd_partition(c, 2, {1.0, 2.0, 3.0}, {0});
-               }),
-               std::invalid_argument);
+  try {
+    rt.run([](mpi::Comm& c) {
+      (void)kd_partition(c, 2, {1.0, 2.0, 3.0}, {0});
+    });
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument);
+  }
 }
 
 TEST(KdPartition, DuplicateCoordinatesSurvive) {

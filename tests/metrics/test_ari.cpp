@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "common/status.hpp"
 
 namespace udb {
 namespace {
@@ -19,8 +20,12 @@ TEST(Ari, RenamedLabelingsScoreOne) {
 }
 
 TEST(Ari, SizeMismatchThrows) {
-  EXPECT_THROW((void)adjusted_rand_index({0}, {0, 1}),
-               std::invalid_argument);
+  try {
+    (void)adjusted_rand_index({0}, {0, 1});
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument);
+  }
 }
 
 TEST(Ari, EmptyIsOne) {

@@ -33,10 +33,18 @@ int main(int argc, char** argv) {
     const std::string name = cli.get_string("name", "");
     const std::string gen = cli.get_string("gen", "");
     const std::string out_path = cli.get_string("out", "");
-    const double scale = cli.get_double("scale", 1.0);
-    const auto n = static_cast<std::size_t>(cli.get_int("n", 10000));
-    const auto dim = static_cast<std::size_t>(cli.get_int("dim", 3));
+    const double scale = cli.get_positive_double("scale", 1.0);
+    // n*dim doubles must fit in memory-sized arithmetic: cap each factor so
+    // the product can't overflow size_t (and a typo like --n -5 or
+    // --n 1e18 dies with a one-line error instead of an OOM or a wrap).
+    const auto n = static_cast<std::size_t>(
+        cli.get_int_in_range("n", 10000, 0, std::int64_t{1} << 40));
+    const auto dim = static_cast<std::size_t>(
+        cli.get_int_in_range("dim", 3, 1, 1 << 16));
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+    if (!name.empty() && !gen.empty())
+      throw std::invalid_argument(
+          "--name and --gen are mutually exclusive; pick one");
 
     Dataset data = Dataset::empty(1);
     if (!name.empty()) {
@@ -45,9 +53,12 @@ int main(int argc, char** argv) {
       std::printf("%s: suggested eps = %g, MinPts = %u\n", nd.name.c_str(),
                   nd.params.eps, nd.params.min_pts);
     } else if (gen == "blobs") {
-      const auto k = static_cast<std::size_t>(cli.get_int("k", 5));
-      const double stddev = cli.get_double("stddev", 3.0);
+      const auto k =
+          static_cast<std::size_t>(cli.get_int_at_least("k", 5, 1));
+      const double stddev = cli.get_positive_double("stddev", 3.0);
       const double noise = cli.get_double("noise", 0.1);
+      if (noise < 0.0 || noise > 1.0)
+        throw std::invalid_argument("--noise must be in [0, 1]");
       data = gen_blobs(n, dim, k, 100.0, stddev, noise, seed);
     } else if (gen == "galaxy") {
       GalaxyConfig cfg;

@@ -3,6 +3,8 @@
 //   $ udbscan --input points.csv --eps 1.5 --minpts 5 --out labels.csv
 //   $ udbscan --input points.bin --algo rdbscan --eps 2 --minpts 4
 //   $ udbscan --input points.csv --algo mudbscan-d --ranks 8 ...
+//   $ udbscan --input big.bin --deadline-ms 60000 --mem-budget-mb 2048 \
+//             --on-budget degrade
 //
 // Input: CSV (one point per line) or the UDB1 binary format (autodetected by
 // extension .bin). Output: one line per point, "label,is_core" (label -1 is
@@ -10,6 +12,19 @@
 //
 // Algorithms: mudbscan (default), rdbscan, gdbscan, griddbscan, brute,
 // mudbscan-d (simulated ranks, see --ranks).
+//
+// Run governance (docs/ROBUSTNESS.md): --deadline-ms and --mem-budget-mb arm
+// a RunGuard; for the guarded algorithms (mudbscan, mudbscan-d) a tripped
+// limit either fails cleanly (--on-budget fail, the default; exit 3) or falls
+// back to sampled approximate DBSCAN (--on-budget degrade, the result is
+// flagged APPROXIMATE in the summary and the label file header). Ctrl-C trips
+// the cancellation token: the run stops at the next cooperative checkpoint
+// and exits with code 4 (a second Ctrl-C force-kills). --quarantine skips
+// malformed input rows (reported) instead of failing on the first one.
+//
+// Exit codes: 0 ok (including a degraded/approximate result), 1 usage or
+// input error, 2 missing required flags, 3 deadline/budget exceeded under
+// --on-budget fail, 4 cancelled.
 
 #include <cmath>
 #include <cstdio>
@@ -23,7 +38,10 @@
 #include "baselines/r_dbscan.hpp"
 #include "common/cli.hpp"
 #include "common/io.hpp"
+#include "common/runguard.hpp"
+#include "common/status.hpp"
 #include "common/timer.hpp"
+#include "core/guarded_run.hpp"
 #include "core/kdist.hpp"
 #include "core/mudbscan.hpp"
 #include "dist/mudbscan_d.hpp"
@@ -37,50 +55,88 @@ bool ends_with(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+int exit_code_for(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+      return 3;
+    case StatusCode::kCancelled:
+      return 4;
+    default:
+      return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Owned here (not in the guarded run) so the SIGINT handler can reach it
+  // for the whole lifetime of the process.
+  static RunGuard guard;
   try {
     Cli cli(argc, argv);
     const std::string input = cli.get_string("input", "");
     const std::string algo = cli.get_string("algo", "mudbscan");
     const std::string out_path = cli.get_string("out", "");
-    const double eps = cli.get_double("eps", 1.0);
-    const std::int64_t min_pts_raw = cli.get_int("minpts", 5);
-    const auto min_pts = static_cast<std::uint32_t>(min_pts_raw);
-    const int ranks = static_cast<int>(cli.get_int("ranks", 8));
-    const std::int64_t threads_raw = cli.get_int("threads", 1);
+    const double eps = cli.get_positive_double("eps", 1.0);
+    const auto min_pts = static_cast<std::uint32_t>(
+        cli.get_int_in_range("minpts", 5, 1, 0xFFFFFFFFll));
+    const int ranks =
+        static_cast<int>(cli.get_int_in_range("ranks", 8, 1, 4096));
+    const std::int64_t threads_raw =
+        cli.get_int_in_range("threads", 1, 1, 1024);
     const bool suggest = cli.get_bool("suggest-eps", false);
+    const bool quarantine = cli.get_bool("quarantine", false);
+    const std::int64_t deadline_ms =
+        cli.get_int_at_least("deadline-ms", 0, 0);
+    const std::int64_t budget_mb =
+        cli.get_int_at_least("mem-budget-mb", 0, 0);
+    const std::string on_budget_str = cli.get_string("on-budget", "fail");
     cli.check_unused();
 
-    if (!(eps > 0.0) || !std::isfinite(eps))
-      throw std::invalid_argument("--eps must be a finite value > 0 (got " +
-                                  std::to_string(eps) + ")");
-    if (min_pts_raw < 1 || min_pts_raw > 0xFFFFFFFFll)
-      throw std::invalid_argument("--minpts must be >= 1");
-    if (ranks < 1)
-      throw std::invalid_argument("--ranks must be >= 1");
-    if (threads_raw < 1 || threads_raw > 1024)
-      throw std::invalid_argument("--threads must be in [1, 1024]");
     if (threads_raw > 1 && algo != "mudbscan")
       throw std::invalid_argument(
           "--threads > 1 is only supported by --algo mudbscan (got --algo " +
           algo + ")");
+    OnBudget on_budget = OnBudget::kFail;
+    if (on_budget_str == "degrade") {
+      on_budget = OnBudget::kDegrade;
+    } else if (on_budget_str != "fail") {
+      throw std::invalid_argument("--on-budget must be 'fail' or 'degrade'");
+    }
+    const bool guarded = deadline_ms > 0 || budget_mb > 0;
+    if (guarded && algo != "mudbscan" && algo != "mudbscan-d")
+      throw std::invalid_argument(
+          "--deadline-ms/--mem-budget-mb require --algo mudbscan or "
+          "mudbscan-d (got --algo " + algo + ")");
 
     if (input.empty()) {
       std::fprintf(stderr,
                    "usage: udbscan --input points.csv [--algo mudbscan|"
                    "rdbscan|gdbscan|griddbscan|brute|mudbscan-d] "
                    "[--eps E] [--minpts M] [--threads T] [--ranks P] "
+                   "[--deadline-ms MS] [--mem-budget-mb MB] "
+                   "[--on-budget fail|degrade] [--quarantine] "
                    "[--out labels.csv]\n");
       return 2;
     }
 
-    const Dataset data =
-        ends_with(input, ".bin") ? read_binary(input) : read_csv(input);
+    ReadOptions ropts;
+    ropts.quarantine = quarantine;
+    ReadReport rrep;
+    auto loaded = ends_with(input, ".bin") ? load_binary(input, ropts, &rrep)
+                                           : load_csv(input, ropts, &rrep);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "udbscan: error: %s\n",
+                   loaded.status().to_string().c_str());
+      return 1;
+    }
+    const Dataset data = std::move(loaded).value();
     const DbscanParams params{eps, min_pts};
     std::printf("loaded %zu points, %zu dims from %s\n", data.size(),
                 data.dim(), input.c_str());
+    if (rrep.rows_skipped > 0)
+      std::printf("quarantined %zu malformed rows\n", rrep.rows_skipped);
 
     if (suggest) {
       const double rec = suggest_eps(data, min_pts > 1 ? min_pts - 1 : 1);
@@ -89,13 +145,44 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    // Ctrl-C trips the cancel token; the run stops at the next cooperative
+    // checkpoint. Installed even without limits so every guarded run is
+    // interruptible.
+    install_sigint_cancel(&guard);
+
     WallTimer timer;
     ClusteringResult result;
     MuDbscanStats mu_stats;
-    if (algo == "mudbscan") {
-      MuDbscanConfig cfg;
-      cfg.num_threads = static_cast<unsigned>(threads_raw);
-      result = mu_dbscan(data, params, &mu_stats, cfg);
+    bool approximate = false;
+    if (algo == "mudbscan" || algo == "mudbscan-d") {
+      GuardedRunOptions opts;
+      opts.limits.deadline_seconds =
+          static_cast<double>(deadline_ms) / 1000.0;
+      opts.limits.memory_budget_bytes =
+          static_cast<std::size_t>(budget_mb) * 1024 * 1024;
+      opts.on_budget = on_budget;
+      opts.mu.num_threads = static_cast<unsigned>(threads_raw);
+      opts.ranks = algo == "mudbscan-d" ? ranks : 1;
+      auto run = run_guarded(data, params, opts, &guard);
+      if (!run.ok()) {
+        std::fprintf(stderr, "udbscan: error: %s\n",
+                     run.status().to_string().c_str());
+        return exit_code_for(run.status());
+      }
+      GuardedRunReport rep = std::move(run).value();
+      result = std::move(rep.result);
+      mu_stats = rep.stats;
+      approximate = rep.approximate;
+      if (rep.approximate)
+        std::printf(
+            "APPROXIMATE result: exact run abandoned (%s); sampled fallback "
+            "with rho = %g (%zu sample points)\n",
+            rep.degrade_reason.to_string().c_str(), rep.sample_rho,
+            rep.sample_size);
+      if (budget_mb > 0)
+        std::printf("guarded memory peak: %.1f MB of %lld MB budget\n",
+                    static_cast<double>(rep.mem_peak_bytes) / (1024.0 * 1024.0),
+                    static_cast<long long>(budget_mb));
     } else if (algo == "rdbscan") {
       result = r_dbscan(data, params);
     } else if (algo == "gdbscan") {
@@ -104,8 +191,6 @@ int main(int argc, char** argv) {
       result = grid_dbscan(data, params);
     } else if (algo == "brute") {
       result = brute_dbscan(data, params);
-    } else if (algo == "mudbscan-d") {
-      result = mudbscan_d(data, params, ranks);
     } else {
       throw std::invalid_argument("unknown --algo " + algo);
     }
@@ -114,7 +199,7 @@ int main(int argc, char** argv) {
     std::printf("%s: %.3f s — %zu clusters, %zu core, %zu border, %zu noise\n",
                 algo.c_str(), elapsed, result.num_clusters(),
                 result.num_core(), result.num_border(), result.num_noise());
-    if (algo == "mudbscan") {
+    if (algo == "mudbscan" && !approximate) {
       std::printf("micro-clusters: %zu, queries saved: %.1f%%\n",
                   mu_stats.num_mcs,
                   100.0 * mu_stats.query_save_fraction(data.size()));
@@ -123,13 +208,17 @@ int main(int argc, char** argv) {
     if (!out_path.empty()) {
       std::ofstream out(out_path);
       if (!out) throw std::runtime_error("cannot open " + out_path);
-      out << "# label,is_core (label -1 = noise)\n";
+      out << "# label,is_core (label -1 = noise)"
+          << (approximate ? " — APPROXIMATE (sampled fallback)" : "") << '\n';
       for (std::size_t i = 0; i < result.size(); ++i)
         out << result.label[i] << ','
             << static_cast<int>(result.is_core[i]) << '\n';
       std::printf("labels written to %s\n", out_path.c_str());
     }
     return 0;
+  } catch (const StatusError& e) {
+    std::fprintf(stderr, "udbscan: error: %s\n", e.what());
+    return exit_code_for(e.status());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "udbscan: error: %s\n", e.what());
     return 1;
