@@ -4,9 +4,13 @@
 #pragma once
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 
 namespace udb::bench {
 
@@ -31,6 +35,19 @@ inline void row(const char* fmt, ...) {
 
 inline void rule() {
   std::printf("----------------------------------------------------------\n");
+}
+
+// Serializes a metrics snapshot as a self-contained JSON object (the same
+// shape as the run report's ledger/murtree/counters/histograms sections), for
+// embedding into the BENCH_*.json files. `points` sizes the ledger's
+// query_savings denominator.
+inline std::string metrics_json_object(const obs::MetricsSnapshot& snap,
+                                       std::uint64_t points) {
+  obs::JsonWriter w;
+  w.begin_object();
+  obs::write_metrics_snapshot(w, snap, points);
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace udb::bench

@@ -44,17 +44,22 @@ struct DatasetReport {
   std::string name;
   std::size_t n = 0;
   double seq_s = 0.0;
+  std::string metrics_json;  // sequential-run metrics snapshot embed
   std::vector<Row> rows;
 };
 
 // Best-of-reps wall time for one configuration; returns the last result so
-// the caller can check exactness.
+// the caller can check exactness. `metrics` (optional) receives the merged
+// engine metrics of every rep.
 double time_run(const NamedDataset& nd, unsigned threads, int reps,
-                ClusteringResult& out) {
+                ClusteringResult& out,
+                obs::MetricsRegistry* metrics = nullptr) {
   double best = 0.0;
   for (int r = 0; r < reps; ++r) {
     MuDbscanConfig cfg;
     cfg.num_threads = threads;
+    // Only the final rep feeds the embed, so its counts describe one run.
+    cfg.metrics = r + 1 == reps ? metrics : nullptr;
     WallTimer timer;
     out = mu_dbscan(nd.data, nd.params, nullptr, cfg);
     const double s = timer.seconds();
@@ -81,6 +86,7 @@ void write_json(const std::string& path, double scale, bool quick, int reps,
         << "      \"name\": \"" << rep.name << "\",\n"
         << "      \"n\": " << rep.n << ",\n"
         << "      \"sequential_seconds\": " << rep.seq_s << ",\n"
+        << "      \"metrics\": " << rep.metrics_json << ",\n"
         << "      \"rows\": [\n";
     for (std::size_t j = 0; j < rep.rows.size(); ++j) {
       const Row& r = rep.rows[j];
@@ -127,7 +133,10 @@ int main(int argc, char** argv) {
     rep.n = nd.data.size();
 
     ClusteringResult seq;
-    rep.seq_s = time_run(nd, 1, reps, seq);
+    obs::MetricsRegistry seq_metrics;
+    rep.seq_s = time_run(nd, 1, reps, seq, &seq_metrics);
+    rep.metrics_json = bench::metrics_json_object(
+        seq_metrics.snapshot(), static_cast<std::uint64_t>(nd.data.size()));
 
     bench::row("");
     bench::row("dataset %s (n = %zu), sequential engine: %.3f s",

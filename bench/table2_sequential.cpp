@@ -7,6 +7,9 @@
 // GridDBSCAN struggles at higher dimensionality; query saves span a wide
 // range with FOF/KDDB/3DSRN at the top and DGB at the bottom.
 
+#include <fstream>
+#include <stdexcept>
+
 #include "baselines/g_dbscan.hpp"
 #include "baselines/grid_dbscan.hpp"
 #include "baselines/r_dbscan.hpp"
@@ -19,10 +22,52 @@
 
 using namespace udb;
 
+namespace {
+
+struct Table2Row {
+  std::string name;
+  std::size_t n = 0;
+  std::size_t dim = 0;
+  double eps = 0.0;
+  std::uint32_t min_pts = 0;
+  double t_r = 0.0, t_g = -1.0, t_grid = 0.0, t_mu = 0.0;
+  std::size_t num_mcs = 0;
+  double save_fraction = 0.0;
+  bool exact = true;
+  std::string metrics_json;  // µDBSCAN-run metrics snapshot embed
+};
+
+void write_json(const std::string& path, double scale,
+                const std::vector<Table2Row>& rows) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << "{\n  \"bench\": \"table2_sequential\",\n  \"scale\": " << scale
+      << ",\n  \"datasets\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Table2Row& r = rows[i];
+    out << "    {\"name\": \"" << r.name << "\", \"n\": " << r.n
+        << ", \"dim\": " << r.dim << ", \"eps\": " << r.eps
+        << ", \"min_pts\": " << r.min_pts
+        << ",\n     \"rdbscan_seconds\": " << r.t_r;
+    if (r.t_g >= 0.0) out << ", \"gdbscan_seconds\": " << r.t_g;
+    out << ", \"griddbscan_seconds\": " << r.t_grid
+        << ", \"mudbscan_seconds\": " << r.t_mu
+        << ",\n     \"num_mcs\": " << r.num_mcs
+        << ", \"query_save_fraction\": " << r.save_fraction
+        << ", \"exact\": " << (r.exact ? "true" : "false")
+        << ",\n     \"metrics\": " << r.metrics_json << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const double scale = cli.get_double("scale", 1.0);
   const bool skip_slow = cli.get_bool("skip-slow", false);
+  const std::string out_path = cli.get_string("out", "");
   cli.check_unused();
 
   bench::header(
@@ -40,6 +85,7 @@ int main(int argc, char** argv) {
              "GridDBSCAN", "uDBSCAN", "#MCs", "save%", "exact");
   bench::rule();
 
+  std::vector<Table2Row> json_rows;
   for (const auto& name : names) {
     NamedDataset nd = make_named_dataset(name, scale);
     const Dataset& ds = nd.data;
@@ -62,7 +108,10 @@ int main(int argc, char** argv) {
 
     t.reset();
     MuDbscanStats st;
-    const auto mu_res = mu_dbscan(ds, nd.params, &st);
+    obs::MetricsRegistry mu_metrics;
+    MuDbscanConfig mu_cfg;
+    mu_cfg.metrics = &mu_metrics;
+    const auto mu_res = mu_dbscan(ds, nd.params, &st, mu_cfg);
     const double t_mu = t.seconds();
 
     // Cross-check exactness across all four algorithms on the bench data.
@@ -82,10 +131,31 @@ int main(int argc, char** argv) {
                nd.params.min_pts, t_r, gbuf, t_grid, t_mu, st.num_mcs,
                100.0 * st.query_save_fraction(ds.size()),
                exact ? "yes" : "NO!");
+
+    Table2Row jr;
+    jr.name = nd.name;
+    jr.n = ds.size();
+    jr.dim = ds.dim();
+    jr.eps = nd.params.eps;
+    jr.min_pts = nd.params.min_pts;
+    jr.t_r = t_r;
+    jr.t_g = t_g;
+    jr.t_grid = t_grid;
+    jr.t_mu = t_mu;
+    jr.num_mcs = st.num_mcs;
+    jr.save_fraction = st.query_save_fraction(ds.size());
+    jr.exact = exact;
+    jr.metrics_json = bench::metrics_json_object(
+        mu_metrics.snapshot(), static_cast<std::uint64_t>(ds.size()));
+    json_rows.push_back(std::move(jr));
   }
 
   bench::rule();
   bench::row("paper Table II: uDBSCAN fastest everywhere; query saves "
              "43.6%%-96.6%%; #MCs << n");
+  if (!out_path.empty()) {
+    write_json(out_path, scale, json_rows);
+    bench::row("json written to %s", out_path.c_str());
+  }
   return 0;
 }

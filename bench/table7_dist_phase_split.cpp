@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const double scale = cli.get_double("scale", 1.0);
   const int ranks = static_cast<int>(cli.get_int("ranks", 16));
+  const bool cli_per_rank = cli.get_bool("per-rank", false);
   cli.check_unused();
 
   bench::header("Table VII — %% split-up of µDBSCAN-D step times",
@@ -30,6 +31,7 @@ int main(int argc, char** argv) {
              "tree%", "reach%", "clustering%", "post%", "merge%", "total(s)");
   bench::rule();
 
+  const bool per_rank = cli_per_rank;
   for (const auto& name : names) {
     NamedDataset nd = make_named_dataset(name, scale);
     MuDbscanDStats st;
@@ -40,6 +42,24 @@ int main(int argc, char** argv) {
                100.0 * st.t_tree / total, 100.0 * st.t_reach / total,
                100.0 * st.t_cluster / total, 100.0 * st.t_post / total,
                100.0 * st.t_merge / total, total);
+    if (per_rank && !st.ranks.empty()) {
+      // Per-rank splits behind the makespans: load balance of each phase
+      // plus the traffic each rank generated (obs CommStats).
+      bench::row("  %-10s | %8s %8s %8s %8s | %7s %7s %9s %9s", "rank",
+                 "halo(s)", "local(s)", "merge(s)", "queries", "n_loc",
+                 "n_halo", "msgs", "bytes");
+      for (const MuDbscanDRank& r : st.ranks) {
+        const double local = r.t_tree + r.t_reach + r.t_cluster + r.t_post;
+        bench::row("  %-10d | %8.3f %8.3f %8.3f %8llu | %7llu %7llu %9llu "
+                   "%9llu",
+                   r.rank, r.t_halo, local, r.t_merge,
+                   static_cast<unsigned long long>(r.queries_performed),
+                   static_cast<unsigned long long>(r.n_local),
+                   static_cast<unsigned long long>(r.n_halo),
+                   static_cast<unsigned long long>(r.comm.msgs_sent),
+                   static_cast<unsigned long long>(r.comm.bytes_sent));
+      }
+    }
   }
 
   bench::rule();

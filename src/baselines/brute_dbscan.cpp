@@ -7,7 +7,8 @@
 
 namespace udb {
 
-ClusteringResult brute_dbscan(const Dataset& ds, const DbscanParams& params) {
+ClusteringResult brute_dbscan(const Dataset& ds, const DbscanParams& params,
+                              obs::MetricsRegistry* metrics) {
   const std::size_t n = ds.size();
   const std::size_t dim = ds.dim();
   const double eps2 = params.eps * params.eps;
@@ -15,6 +16,7 @@ ClusteringResult brute_dbscan(const Dataset& ds, const DbscanParams& params) {
   std::vector<std::uint8_t> is_core(n, 0);
   std::vector<std::uint8_t> assigned(n, 0);
   std::vector<PointId> nbhd;
+  std::uint64_t unions = 0;
 
   // The dataset rows are contiguous, so the O(n^2) scan runs through the
   // blocked sq_dist kernel rather than per-point calls.
@@ -31,17 +33,24 @@ ClusteringResult brute_dbscan(const Dataset& ds, const DbscanParams& params) {
       for (std::size_t j = 0; j < cnt; ++j)
         if (d2[j] < eps2) nbhd.push_back(static_cast<PointId>(j0 + j));
     }
+    if (metrics) metrics->observe(obs::Hist::kNeighborCount, nbhd.size());
     if (nbhd.size() < params.min_pts) continue;
     is_core[p] = 1;
     assigned[p] = 1;
     for (PointId q : nbhd) {
       if (is_core[q]) {
         uf.union_sets(p, q);
+        ++unions;
       } else if (!assigned[q]) {
         uf.union_sets(p, q);
         assigned[q] = 1;
+        ++unions;
       }
     }
+  }
+  if (metrics) {
+    metrics->add(obs::Counter::kQueriesPerformed, n);
+    metrics->add(obs::Counter::kUnionCalls, unions);
   }
   return extract_labels(uf, std::move(is_core), assigned);
 }

@@ -7,10 +7,15 @@
 
 #include "common/dataset.hpp"
 #include "metrics/clustering.hpp"
+#include "obs/metrics.hpp"
 
 namespace udb {
 
-[[nodiscard]] ClusteringResult brute_dbscan(const Dataset& ds,
-                                            const DbscanParams& params);
+// `metrics` (optional): records queries_performed, the neighbor-count
+// histogram, and union calls — the baseline's side of the run report's
+// query ledger. Counting is skipped entirely when null.
+[[nodiscard]] ClusteringResult brute_dbscan(
+    const Dataset& ds, const DbscanParams& params,
+    obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace udb

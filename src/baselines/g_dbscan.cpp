@@ -16,7 +16,7 @@ struct Group {
 }  // namespace
 
 ClusteringResult g_dbscan(const Dataset& ds, const DbscanParams& params,
-                          GDbscanStats* stats) {
+                          GDbscanStats* stats, obs::MetricsRegistry* metrics) {
   const std::size_t n = ds.size();
   const std::size_t dim = ds.dim();
   const double eps = params.eps;
@@ -57,10 +57,11 @@ ClusteringResult g_dbscan(const Dataset& ds, const DbscanParams& params,
 
   // Dense groups: every member is core (pairwise < eps covers >= MinPts
   // points); union them upfront.
-  std::uint64_t dense = 0;
+  std::uint64_t dense = 0, dense_members = 0;
   for (const Group& g : groups) {
     if (g.members.size() < params.min_pts) continue;
     ++dense;
+    dense_members += g.members.size();
     for (PointId q : g.members) {
       is_core[q] = 1;
       assigned[q] = 1;
@@ -81,6 +82,7 @@ ClusteringResult g_dbscan(const Dataset& ds, const DbscanParams& params,
         if (sq_dist(pp, ds.ptr(q), dim) < eps2) nbhd.push_back(q);
       }
     }
+    if (metrics) metrics->observe(obs::Hist::kNeighborCount, nbhd.size());
     if (nbhd.size() < params.min_pts) {
       // Non-core: attach to an already-known core neighbor if any (border).
       if (!assigned[p]) {
@@ -106,6 +108,10 @@ ClusteringResult g_dbscan(const Dataset& ds, const DbscanParams& params,
     }
   }
 
+  if (metrics) {
+    metrics->add(obs::Counter::kQueriesPerformed, n);
+    metrics->add(obs::Counter::kQueriesAvoidedDenseGroup, dense_members);
+  }
   if (stats) {
     stats->groups = groups.size();
     stats->dense_groups = dense;

@@ -16,6 +16,7 @@
 
 #include "common/dataset.hpp"
 #include "metrics/clustering.hpp"
+#include "obs/metrics.hpp"
 
 namespace udb {
 
@@ -26,8 +27,14 @@ struct GDbscanStats {
   double cluster_seconds = 0.0;
 };
 
+// `metrics` (optional): queries_performed (every point still runs its
+// expansion query — required for exact cross-group connectivity), the
+// neighbor-count histogram, and queries_avoided_gdbscan_dense_group = the
+// core-status determinations satisfied by dense-group membership alone
+// ("all-core without counting"). No counting when null.
 [[nodiscard]] ClusteringResult g_dbscan(const Dataset& ds,
                                         const DbscanParams& params,
-                                        GDbscanStats* stats = nullptr);
+                                        GDbscanStats* stats = nullptr,
+                                        obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace udb

@@ -10,7 +10,8 @@
 namespace udb {
 
 ClusteringResult grid_dbscan(const Dataset& ds, const DbscanParams& params,
-                             GridDbscanStats* stats) {
+                             GridDbscanStats* stats,
+                             obs::MetricsRegistry* metrics) {
   const std::size_t n = ds.size();
   const std::size_t dim = ds.dim();
   const double eps = params.eps;
@@ -72,6 +73,7 @@ ClusteringResult grid_dbscan(const Dataset& ds, const DbscanParams& params,
         if (sq_dist(pp, ds.ptr(q), dim) < eps2) nbhd.push_back(q);
       }
     }
+    if (metrics) metrics->observe(obs::Hist::kNeighborCount, nbhd.size());
     if (nbhd.size() < params.min_pts) {
       if (!assigned[p]) {
         for (PointId q : nbhd) {
@@ -119,6 +121,10 @@ ClusteringResult grid_dbscan(const Dataset& ds, const DbscanParams& params,
     }
   }
 
+  if (metrics) {
+    metrics->add(obs::Counter::kQueriesPerformed, queries);
+    metrics->add(obs::Counter::kQueriesAvoidedDenseCell, saved);
+  }
   if (stats) {
     stats->cells = ncells;
     stats->dense_cells = dense_cnt;

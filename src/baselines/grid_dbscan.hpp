@@ -13,6 +13,7 @@
 
 #include "common/dataset.hpp"
 #include "metrics/clustering.hpp"
+#include "obs/metrics.hpp"
 
 namespace udb {
 
@@ -26,8 +27,11 @@ struct GridDbscanStats {
   double cluster_seconds = 0.0;
 };
 
-[[nodiscard]] ClusteringResult grid_dbscan(const Dataset& ds,
-                                           const DbscanParams& params,
-                                           GridDbscanStats* stats = nullptr);
+// `metrics` (optional): queries_performed, queries_avoided_grid_dense_cell
+// (dense-cell points that skipped their query — performed + avoided == n),
+// neighbor-count histogram, union calls. No counting when null.
+[[nodiscard]] ClusteringResult grid_dbscan(
+    const Dataset& ds, const DbscanParams& params,
+    GridDbscanStats* stats = nullptr, obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace udb

@@ -7,7 +7,7 @@
 namespace udb {
 
 ClusteringResult r_dbscan(const Dataset& ds, const DbscanParams& params,
-                          RDbscanStats* stats) {
+                          RDbscanStats* stats, obs::MetricsRegistry* metrics) {
   const std::size_t n = ds.size();
   WallTimer timer;
 
@@ -23,24 +23,34 @@ ClusteringResult r_dbscan(const Dataset& ds, const DbscanParams& params,
   std::vector<PointId> nbhd;
   std::uint64_t queries = 0;
 
+  std::uint64_t unions = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const PointId p = static_cast<PointId>(i);
     nbhd.clear();
     tree.query_ball(ds.point(p), params.eps, nbhd);
     ++queries;
+    if (metrics) metrics->observe(obs::Hist::kNeighborCount, nbhd.size());
     if (nbhd.size() < params.min_pts) continue;
     is_core[p] = 1;
     assigned[p] = 1;
     for (PointId q : nbhd) {
       if (is_core[q]) {
         uf.union_sets(p, q);
+        ++unions;
       } else if (!assigned[q]) {
         uf.union_sets(p, q);
         assigned[q] = 1;
+        ++unions;
       }
     }
   }
 
+  if (metrics) {
+    metrics->add(obs::Counter::kQueriesPerformed, queries);
+    metrics->add(obs::Counter::kUnionCalls, unions);
+    metrics->add(obs::Counter::kRtreeNodeVisits, tree.node_visits());
+    metrics->add(obs::Counter::kRtreeDistanceEvals, tree.distance_evals());
+  }
   if (stats) {
     stats->build_seconds = build_s;
     stats->cluster_seconds = timer.seconds();

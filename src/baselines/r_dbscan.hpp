@@ -8,6 +8,7 @@
 
 #include "common/dataset.hpp"
 #include "metrics/clustering.hpp"
+#include "obs/metrics.hpp"
 
 namespace udb {
 
@@ -18,8 +19,11 @@ struct RDbscanStats {
   std::uint64_t distance_evals = 0;
 };
 
+// `metrics` (optional): queries_performed, neighbor-count histogram, R-tree
+// node visits / distance evals, union calls. No counting when null.
 [[nodiscard]] ClusteringResult r_dbscan(const Dataset& ds,
                                         const DbscanParams& params,
-                                        RDbscanStats* stats = nullptr);
+                                        RDbscanStats* stats = nullptr,
+                                        obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace udb

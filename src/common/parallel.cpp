@@ -2,10 +2,12 @@
 
 #include <algorithm>
 
+#include "common/timer.hpp"
+
 namespace udb {
 
 ThreadPool::ThreadPool(unsigned num_threads)
-    : nthreads_(std::max(1u, num_threads)) {
+    : nthreads_(std::max(1u, num_threads)), accum_(nthreads_) {
   workers_.reserve(nthreads_ - 1);
   try {
     for (unsigned tid = 1; tid < nthreads_; ++tid)
@@ -44,11 +46,14 @@ void ThreadPool::worker_loop(unsigned tid) {
       job = job_;
     }
     std::exception_ptr err;
+    WallTimer busy;
     try {
       (*job)(tid);
     } catch (...) {
       err = std::current_exception();
     }
+    accum_[tid].busy_seconds += busy.seconds();
+    ++accum_[tid].jobs;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (err && !first_error_) first_error_ = err;
@@ -59,7 +64,16 @@ void ThreadPool::worker_loop(unsigned tid) {
 
 void ThreadPool::run(const std::function<void(unsigned)>& fn) {
   if (nthreads_ == 1) {
-    fn(0);
+    WallTimer busy;
+    try {
+      fn(0);
+    } catch (...) {
+      accum_[0].busy_seconds += busy.seconds();
+      ++accum_[0].jobs;
+      throw;
+    }
+    accum_[0].busy_seconds += busy.seconds();
+    ++accum_[0].jobs;
     return;
   }
   {
@@ -72,11 +86,14 @@ void ThreadPool::run(const std::function<void(unsigned)>& fn) {
   job_cv_.notify_all();
 
   std::exception_ptr caller_err;
+  WallTimer busy;
   try {
     fn(0);
   } catch (...) {
     caller_err = std::current_exception();
   }
+  accum_[0].busy_seconds += busy.seconds();
+  ++accum_[0].jobs;
 
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return pending_ == 0; });
@@ -84,6 +101,13 @@ void ThreadPool::run(const std::function<void(unsigned)>& fn) {
   first_error_ = nullptr;
   lock.unlock();
   if (err) std::rethrow_exception(err);
+}
+
+std::vector<ThreadPool::WorkerStats> ThreadPool::worker_stats() const {
+  std::vector<WorkerStats> out(nthreads_);
+  for (unsigned tid = 0; tid < nthreads_; ++tid)
+    out[tid] = {accum_[tid].busy_seconds, accum_[tid].jobs};
+  return out;
 }
 
 void parallel_for(ThreadPool* pool, std::size_t n,

@@ -42,10 +42,27 @@ class ThreadPool {
   // any tid is rethrown here after all tids complete.
   void run(const std::function<void(unsigned)>& fn);
 
+  // Per-worker busy time and job count accumulated over the pool's lifetime
+  // (obs run report: busy/idle split per tid). Each slot is written only by
+  // its owning tid during run(); call this only while the pool is idle (no
+  // run() in flight) — every engine call site reads after the phase joins,
+  // which the run() exit mutex orders.
+  struct WorkerStats {
+    double busy_seconds = 0.0;
+    std::uint64_t jobs = 0;
+  };
+  [[nodiscard]] std::vector<WorkerStats> worker_stats() const;
+
  private:
   void worker_loop(unsigned tid);
 
+  struct alignas(64) WorkerAccum {
+    double busy_seconds = 0.0;
+    std::uint64_t jobs = 0;
+  };
+
   unsigned nthreads_;
+  std::vector<WorkerAccum> accum_;  // one slot per tid, cache-line padded
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable job_cv_;

@@ -31,6 +31,8 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace udb {
 
@@ -106,7 +108,11 @@ class RunGuard {
     if (limits_.memory_budget_bytes != 0 &&
         used > limits_.memory_budget_bytes) {
       used_.fetch_sub(bytes, std::memory_order_relaxed);
-      trip(StatusCode::kResourceExhausted);
+      if (trip(StatusCode::kResourceExhausted))
+        obs::LogLine(obs::LogLevel::kWarn, "runguard", "budget_exceeded")
+            .kv("site", what)
+            .kv("requested_bytes", bytes)
+            .kv("budget_bytes", limits_.memory_budget_bytes);
       return ResourceExhaustedError(
           std::string("memory budget exceeded at ") + what + ": " +
           std::to_string(used) + " > " +
@@ -132,11 +138,24 @@ class RunGuard {
     return limits_.memory_budget_bytes;
   }
 
+  // ---- observability -----------------------------------------------------
+  // Attaches a metrics registry (not owned): every checkpoint then records
+  // the gap since the calling thread's previous checkpoint into the
+  // checkpoint_gap_us histogram — the run report's evidence that the
+  // cancellation-latency bound holds. Detach with nullptr BEFORE the
+  // registry dies. With no registry attached the entire obs cost of a
+  // checkpoint is this one relaxed pointer load.
+  void set_metrics(obs::MetricsRegistry* m) noexcept {
+    metrics_.store(m, std::memory_order_relaxed);
+  }
+
   // ---- cooperative checkpoint -------------------------------------------
   // Cheap enough for per-chunk use: one atomic load, one atomic increment,
   // and (with a deadline armed) one steady_clock read.
   Status check(const char* where) {
     checkpoints_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::MetricsRegistry* m = metrics_.load(std::memory_order_relaxed))
+      observe_gap(m);
     if (cancel_.load(std::memory_order_relaxed))
       return CancelledError(std::string("run cancelled at ") + where);
     const auto latched =
@@ -145,7 +164,11 @@ class RunGuard {
       return Status(latched,
                     std::string("guard tripped, observed at ") + where);
     if (has_deadline() && elapsed_seconds() > limits_.deadline_seconds) {
-      trip(StatusCode::kDeadlineExceeded);
+      if (trip(StatusCode::kDeadlineExceeded))
+        obs::LogLine(obs::LogLevel::kWarn, "runguard", "deadline_exceeded")
+            .kv("site", where)
+            .kv("elapsed_s", elapsed_seconds())
+            .kv("deadline_s", limits_.deadline_seconds);
       return DeadlineExceededError(
           std::string("deadline of ") +
           std::to_string(limits_.deadline_seconds) + " s exceeded at " +
@@ -173,10 +196,32 @@ class RunGuard {
  private:
   static constexpr double kNoDeadlineRemaining = 1e30;
 
-  void trip(StatusCode code) noexcept {
+  // Latches the guard. Returns true for the one caller that performed the
+  // latch (so trip-site logging fires exactly once per trip, not once per
+  // worker that subsequently observes it).
+  bool trip(StatusCode code) noexcept {
     int expected = static_cast<int>(StatusCode::kOk);
-    tripped_.compare_exchange_strong(expected, static_cast<int>(code),
-                                     std::memory_order_relaxed);
+    return tripped_.compare_exchange_strong(expected, static_cast<int>(code),
+                                            std::memory_order_relaxed);
+  }
+
+  // Records the time since this thread's previous checkpoint on this guard.
+  // Out of line of check(): the common no-registry case should not pay for
+  // the thread_local machinery.
+  void observe_gap(obs::MetricsRegistry* m) {
+    struct GapCache {
+      const RunGuard* guard = nullptr;
+      std::uint64_t last_ns = 0;
+    };
+    thread_local GapCache cache;
+    const std::uint64_t now_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    if (cache.guard == this)
+      m->observe(obs::Hist::kCheckpointGapUs, (now_ns - cache.last_ns) / 1000);
+    cache.guard = this;
+    cache.last_ns = now_ns;
   }
 
   RunLimits limits_;
@@ -186,6 +231,7 @@ class RunGuard {
   std::atomic<std::size_t> used_{0};
   std::atomic<std::size_t> peak_{0};
   std::atomic<std::uint64_t> checkpoints_{0};
+  std::atomic<obs::MetricsRegistry*> metrics_{nullptr};  // not owned
 };
 
 // RAII budget charge: releases what it charged on destruction, so unwinding

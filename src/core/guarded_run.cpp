@@ -3,6 +3,8 @@
 #include <chrono>
 
 #include "baselines/sampled_dbscan.hpp"
+#include "core/mudbscan_engine.hpp"
+#include "obs/log.hpp"
 
 namespace udb {
 
@@ -41,8 +43,20 @@ StatusOr<GuardedRunReport> run_guarded(const Dataset& ds,
   // deep inside the tree build.
   ScopedCharge ds_charge;
 
+  // Run-level registry: every engine this run creates (one for ranks == 1,
+  // one per rank otherwise) merges into it on destruction, and the guard
+  // feeds it the checkpoint-gap histogram. Detached from the guard before any
+  // return — the registry is a local, the external guard may not be.
+  obs::MetricsRegistry run_metrics;
+  struct MetricsUnset {
+    RunGuard* g;
+    ~MetricsUnset() { g->set_metrics(nullptr); }
+  } metrics_unset{guard};
+  guard->set_metrics(&run_metrics);
+
   MuDbscanConfig mu = opts.mu;
   mu.guard = guard;
+  mu.metrics = &run_metrics;
   mu.deadline_seconds = 0.0;  // the shared guard carries the limits
   mu.mem_budget_bytes = 0;
   mu.on_budget = OnBudget::kFail;  // engines always fail; we degrade here
@@ -53,8 +67,16 @@ StatusOr<GuardedRunReport> run_guarded(const Dataset& ds,
     if (opts.ranks > 1) {
       rep.result = mudbscan_d(ds, params, opts.ranks, &rep.dist_stats, mu);
     } else {
-      rep.result = mu_dbscan(ds, params, &rep.stats, mu);
+      // Drive the engine directly (not the mu_dbscan wrapper) so the report
+      // can also harvest the pool's per-worker stats. Scoped: the engine's
+      // destructor merges its shards into run_metrics.
+      MuDbscanEngine engine(ds, params, mu);
+      engine.run_all();
+      rep.result = engine.extract_result();
+      rep.stats = engine.stats;
+      rep.workers = engine.worker_stats();
     }
+    rep.metrics = run_metrics.snapshot();
     rep.mem_peak_bytes = guard->bytes_peak();
     rep.guard_checkpoints = guard->checkpoints_passed();
     rep.seconds = seconds_since(t0);
@@ -75,6 +97,10 @@ StatusOr<GuardedRunReport> run_guarded(const Dataset& ds,
 
   // Degrade: drop the limits (keep the cancel token — Ctrl-C still works),
   // rerun approximately, and flag the result.
+  obs::LogLine(obs::LogLevel::kWarn, "guarded_run", "degrading")
+      .kv("reason", failure.message())
+      .kv("rho", opts.degrade_rho)
+      .kv("elapsed_s", seconds_since(t0));
   guard->enter_degraded_mode();
   try {
     SampledDbscanStats sstats;
@@ -84,6 +110,7 @@ StatusOr<GuardedRunReport> run_guarded(const Dataset& ds,
     rep.sample_rho = opts.degrade_rho;
     rep.sample_size = sstats.sample_size;
     rep.degrade_reason = failure;
+    rep.metrics = run_metrics.snapshot();  // counts from the abandoned run
     rep.mem_peak_bytes = guard->bytes_peak();
     rep.guard_checkpoints = guard->checkpoints_passed();
     rep.seconds = seconds_since(t0);

@@ -16,13 +16,16 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/dataset.hpp"
+#include "common/parallel.hpp"
 #include "common/runguard.hpp"
 #include "common/status.hpp"
 #include "core/mudbscan.hpp"
 #include "dist/mudbscan_d.hpp"
 #include "metrics/clustering.hpp"
+#include "obs/metrics.hpp"
 
 namespace udb {
 
@@ -49,6 +52,14 @@ struct GuardedRunReport {
 
   MuDbscanStats stats;        // populated for shared-memory runs
   MuDbscanDStats dist_stats;  // populated for ranks > 1
+
+  // Run-level metrics registry snapshot: for ranks == 1 the engine's shards,
+  // for ranks > 1 every rank engine merged together. On a degraded run this
+  // still holds whatever the abandoned exact run counted.
+  obs::MetricsSnapshot metrics;
+  // ThreadPool per-worker busy/jobs (tid order); empty when num_threads == 1
+  // or ranks > 1 (rank engines are single-threaded within their rank).
+  std::vector<ThreadPool::WorkerStats> workers;
 
   std::size_t mem_peak_bytes = 0;       // high-water mark of guarded charges
   std::uint64_t guard_checkpoints = 0;  // cooperative checkpoints passed

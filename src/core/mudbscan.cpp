@@ -9,6 +9,7 @@
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "core/mudbscan_engine.hpp"
+#include "obs/trace.hpp"
 
 namespace udb {
 
@@ -23,6 +24,35 @@ inline std::atomic_ref<std::uint8_t> flag(std::vector<std::uint8_t>& v,
 // Sequential-loop checkpoint stride (Algorithms 4/6/7/8). The parallel paths
 // checkpoint per chunk via parallel_for_chunked instead.
 constexpr std::size_t kSeqCheckStride = 1024;
+
+// wndq_ byte values double as query-avoidance reason codes: any nonzero
+// value means "tagged, skip the query" (all existing truthiness checks keep
+// working), and the value records WHY for the Algorithm 6 skip-site ledger.
+// A tag is claimed exactly once (plain first-write in the thread-exclusive
+// Algorithm 4 paths, compare-exchange from 0 in the concurrent promotion
+// path), so a DMC/CMC tag is never overwritten by a later promotion and the
+// dmc/cmc avoidance counts are deterministic at every thread count.
+enum WndqReason : std::uint8_t {
+  kWndqNone = 0,
+  kWndqDmc = 1,        // inner-circle member of a dense MC (Lemma 1)
+  kWndqCmc = 2,        // centre of a core MC (Lemma 2)
+  kWndqPromotion = 3,  // dynamically promoted (Algorithm 6 lines 18-21)
+};
+
+// Per-reason skip totals accumulated at the Algorithm 6 skip site. Each
+// point is tested exactly once, so performed + avoided[*] == n.
+struct AvoidedLedger {
+  std::uint64_t by_reason[4] = {};
+  void count(std::uint8_t reason) { ++by_reason[reason & 3]; }
+  [[nodiscard]] std::uint64_t dmc() const { return by_reason[kWndqDmc]; }
+  [[nodiscard]] std::uint64_t cmc() const { return by_reason[kWndqCmc]; }
+  [[nodiscard]] std::uint64_t promotion() const {
+    return by_reason[kWndqPromotion];
+  }
+  void merge(const AvoidedLedger& o) {
+    for (int r = 0; r < 4; ++r) by_reason[r] += o.by_reason[r];
+  }
+};
 
 }  // namespace
 
@@ -57,12 +87,18 @@ MuDbscanEngine::MuDbscanEngine(const Dataset& ds, const DbscanParams& params,
     pool_ = std::make_unique<ThreadPool>(cfg_.num_threads);
 }
 
+MuDbscanEngine::~MuDbscanEngine() {
+  if (cfg_.metrics != nullptr) cfg_.metrics->merge_from(metrics_.snapshot());
+}
+
 void MuDbscanEngine::build_tree() {
+  obs::Span span(cfg_.tracer, "phase.build_tree");
   WallTimer timer;
   MuRTree::Config tcfg;
   tcfg.two_eps_rule = cfg_.two_eps_rule;
   tcfg.bulk_aux = cfg_.bulk_aux;
   tcfg.guard = guard_;
+  tcfg.tracer = cfg_.tracer;
   tree_ = std::make_unique<MuRTree>(*ds_, params_.eps, tcfg, pool_.get());
   tree_->compute_inner_circles(pool_.get());
   stats.num_mcs = tree_->num_mcs();
@@ -70,6 +106,7 @@ void MuDbscanEngine::build_tree() {
 }
 
 void MuDbscanEngine::find_reachable() {
+  obs::Span span(cfg_.tracer, "phase.find_reachable");
   WallTimer timer;
   tree_->compute_reachable(pool_.get());
   stats.t_reach = timer.seconds();
@@ -80,17 +117,26 @@ void MuDbscanEngine::cluster() {
     cluster_parallel();
     return;
   }
+  obs::Span phase_span(cfg_.tracer, "phase.cluster");
   WallTimer timer;
   const std::size_t n = ds_->size();
   const double eps = params_.eps;
   const double half2 = (eps / 2.0) * (eps / 2.0);
   const std::uint32_t min_pts = params_.min_pts;
+  // Hot-loop counters accumulate in locals and publish to the registry once
+  // per phase; only the per-query histogram observation hits the registry
+  // inside the loop (a TLS lookup + a few relaxed stores, dwarfed by the
+  // tree descent it accounts for).
+  std::uint64_t unions = 0;
+  std::uint64_t noise_provisional = 0;
+  AvoidedLedger avoided;
 
   // --- Algorithm 4: PROCESS-MICRO-CLUSTERS ------------------------------
   // DMC: every inner-circle point is core (Lemma 1) and so is the centre
   // (its eps-ball contains IC plus itself); CMC: the centre is core
   // (Lemma 2). Either way all members are united with the centre — they are
   // directly density-reachable from it.
+  obs::Span alg4_span(cfg_.tracer, "alg4.process_mcs");
   for (McId z = 0; z < tree_->num_mcs(); ++z) {
     if (guard_ && z % kSeqCheckStride == 0)
       guard_->check_throw("algorithm 4");
@@ -108,7 +154,7 @@ void MuDbscanEngine::cluster() {
             sq_dist(c, ds_->ptr(q), ds_->dim()) >= half2)
           continue;  // outside the inner circle: border for the time being
         if (!wndq_[q]) {
-          wndq_[q] = 1;
+          wndq_[q] = kWndqDmc;
           is_core_[q] = 1;
           wndq_list_.push_back(q);
         }
@@ -116,7 +162,7 @@ void MuDbscanEngine::cluster() {
     } else {  // Core MC
       ++stats.cmc;
       if (!wndq_[mc.center]) {
-        wndq_[mc.center] = 1;
+        wndq_[mc.center] = kWndqCmc;
         is_core_[mc.center] = 1;
         wndq_list_.push_back(mc.center);
       }
@@ -125,15 +171,21 @@ void MuDbscanEngine::cluster() {
       uf_.union_sets(mc.center, q);
       assigned_[q] = 1;
     }
+    unions += mc.members.size();
   }
+  alg4_span.end();
 
   // --- Algorithm 6: PROCESS-REM-POINTS ----------------------------------
+  obs::Span alg6_span(cfg_.tracer, "alg6.process_rem_points");
   std::vector<std::pair<PointId, double>> nbhd;
   for (std::size_t i = 0; i < n; ++i) {
     if (guard_ && i % kSeqCheckStride == 0)
       guard_->check_throw("algorithm 6");
     const PointId p = static_cast<PointId>(i);
-    if (wndq_[p]) continue;  // query saved
+    if (wndq_[p]) {  // query saved; ledger by reason code
+      avoided.count(wndq_[p]);
+      continue;
+    }
     ++stats.queries_performed;
 
     nbhd.clear();
@@ -151,6 +203,7 @@ void MuDbscanEngine::cluster() {
         });
       }
     }
+    metrics_.observe(obs::Hist::kNeighborCount, nbhd.size());
 
     if (nbhd.size() < min_pts) {
       // Non-core: border if some already-known core is in range, otherwise
@@ -160,6 +213,7 @@ void MuDbscanEngine::cluster() {
         for (const auto& [q, d2] : nbhd) {
           if (is_core_[q]) {
             uf_.union_sets(q, p);
+            ++unions;
             assigned_[p] = 1;
             attached = true;
             break;
@@ -167,6 +221,7 @@ void MuDbscanEngine::cluster() {
         }
       }
       if (!attached) {
+        ++noise_provisional;
         noise_pts_.push_back(p);
         for (const auto& [q, d2] : nbhd)
           if (q != p) noise_nbrs_.push_back(q);
@@ -191,7 +246,7 @@ void MuDbscanEngine::cluster() {
           if (d2 < half2 && !is_core_[q]) {
             is_core_[q] = 1;
             if (!wndq_[q]) {
-              wndq_[q] = 1;
+              wndq_[q] = kWndqPromotion;
               wndq_list_.push_back(q);
             }
           }
@@ -202,14 +257,28 @@ void MuDbscanEngine::cluster() {
     for (const auto& [q, d2] : nbhd) {
       if (is_core_[q]) {
         uf_.union_sets(p, q);
+        ++unions;
         assigned_[q] = 1;
       } else if (!assigned_[q]) {
         uf_.union_sets(p, q);
+        ++unions;
         assigned_[q] = 1;
       }
     }
   }
   stats.wndq_core_points = wndq_list_.size();
+  stats.avoided_dmc = avoided.dmc();
+  stats.avoided_cmc = avoided.cmc();
+  stats.avoided_promotion = avoided.promotion();
+  metrics_.add(obs::Counter::kQueriesPerformed, stats.queries_performed);
+  metrics_.add(obs::Counter::kQueriesAvoidedDmc, avoided.dmc());
+  metrics_.add(obs::Counter::kQueriesAvoidedCmc, avoided.cmc());
+  metrics_.add(obs::Counter::kQueriesAvoidedPromotion, avoided.promotion());
+  metrics_.add(obs::Counter::kMcDense, stats.dmc);
+  metrics_.add(obs::Counter::kMcCore, stats.cmc);
+  metrics_.add(obs::Counter::kMcSparse, stats.smc);
+  metrics_.add(obs::Counter::kUnionCalls, unions);
+  metrics_.add(obs::Counter::kNoiseProvisional, noise_provisional);
   charge_scratch();
   stats.t_cluster = timer.seconds();
 }
@@ -230,6 +299,7 @@ void MuDbscanEngine::cluster() {
 //   * wndq additions and the provisional-noise CSR go to per-thread buffers
 //     merged after the join, so the Algorithm 7/8 inputs keep their layout.
 void MuDbscanEngine::cluster_parallel() {
+  obs::Span phase_span(cfg_.tracer, "phase.cluster");
   WallTimer timer;
   const std::size_t n = ds_->size();
   const double eps = params_.eps;
@@ -239,8 +309,10 @@ void MuDbscanEngine::cluster_parallel() {
   const unsigned nt = pool->num_threads();
 
   // --- Algorithm 4 (parallel over MCs) ----------------------------------
+  obs::Span alg4_span(cfg_.tracer, "alg4.process_mcs");
   struct alignas(64) McAccum {
     std::uint64_t dmc = 0, cmc = 0, smc = 0;
+    std::uint64_t unions = 0;
     std::vector<PointId> wndq;
   };
   std::vector<McAccum> mc_acc(nt);
@@ -264,7 +336,7 @@ void MuDbscanEngine::cluster_parallel() {
                 continue;
               // q is exclusive to this MC (hence this thread): plain writes.
               if (!wndq_[q]) {
-                wndq_[q] = 1;
+                wndq_[q] = kWndqDmc;
                 is_core_[q] = 1;
                 acc.wndq.push_back(q);
               }
@@ -272,7 +344,7 @@ void MuDbscanEngine::cluster_parallel() {
           } else {  // Core MC
             ++acc.cmc;
             if (!wndq_[mc.center]) {
-              wndq_[mc.center] = 1;
+              wndq_[mc.center] = kWndqCmc;
               is_core_[mc.center] = 1;
               acc.wndq.push_back(mc.center);
             }
@@ -281,19 +353,26 @@ void MuDbscanEngine::cluster_parallel() {
             uf_.union_sets(mc.center, q);
             assigned_[q] = 1;
           }
+          acc.unions += mc.members.size();
         }
       },
       guard_);
+  std::uint64_t unions = 0;
   for (const McAccum& acc : mc_acc) {
     stats.dmc += acc.dmc;
     stats.cmc += acc.cmc;
     stats.smc += acc.smc;
+    unions += acc.unions;
     wndq_list_.insert(wndq_list_.end(), acc.wndq.begin(), acc.wndq.end());
   }
+  alg4_span.end();
 
   // --- Algorithm 6 (parallel over points) -------------------------------
+  obs::Span alg6_span(cfg_.tracer, "alg6.process_rem_points");
   struct alignas(64) PtAccum {
     std::uint64_t queries = 0;
+    std::uint64_t unions = 0;
+    AvoidedLedger avoided;
     std::vector<PointId> wndq;
     std::vector<PointId> noise_pts;
     std::vector<std::uint32_t> noise_len;  // neighbors stored per noise point
@@ -310,8 +389,14 @@ void MuDbscanEngine::cluster_parallel() {
           const PointId p = static_cast<PointId>(i);
           // A concurrent promotion may land after this check — p then runs a
           // redundant (but harmless) query, exactly like a sequential run
-          // that promoted p after its turn.
-          if (flag(wndq_, p).load(std::memory_order_relaxed)) continue;
+          // that promoted p after its turn. The skip site runs exactly once
+          // per point, so the per-reason ledger sums with `queries` to n.
+          const std::uint8_t reason =
+              flag(wndq_, p).load(std::memory_order_relaxed);
+          if (reason) {
+            acc.avoided.count(reason);
+            continue;
+          }
           ++acc.queries;
 
           nbhd.clear();
@@ -328,6 +413,7 @@ void MuDbscanEngine::cluster_parallel() {
                   });
             }
           }
+          metrics_.observe(obs::Hist::kNeighborCount, nbhd.size());
 
           if (nbhd.size() < min_pts) {
             bool attached =
@@ -340,8 +426,10 @@ void MuDbscanEngine::cluster_parallel() {
                   // load/union/store here would let both unions run and
                   // bridge two clusters through non-core p.
                   if (!flag(assigned_, p)
-                           .exchange(1, std::memory_order_acq_rel))
+                           .exchange(1, std::memory_order_acq_rel)) {
                     uf_.union_sets(q, p);
+                    ++acc.unions;
+                  }
                   attached = true;
                   break;
                 }
@@ -377,9 +465,17 @@ void MuDbscanEngine::cluster_parallel() {
                 if (d2 >= half2) continue;
                 const bool was_core =
                     flag(is_core_, q).exchange(1, std::memory_order_seq_cst);
-                if (!was_core &&
-                    !flag(wndq_, q).exchange(1, std::memory_order_relaxed))
-                  acc.wndq.push_back(q);
+                if (!was_core) {
+                  // Claim the tag only if untagged (compare-exchange from 0,
+                  // not a blind exchange): an Algorithm 4 DMC/CMC reason is
+                  // never overwritten, keeping the dmc/cmc ledger counts
+                  // deterministic at every thread count.
+                  std::uint8_t expected = kWndqNone;
+                  if (flag(wndq_, q).compare_exchange_strong(
+                          expected, kWndqPromotion,
+                          std::memory_order_relaxed))
+                    acc.wndq.push_back(q);
+                }
               }
             }
           }
@@ -387,6 +483,7 @@ void MuDbscanEngine::cluster_parallel() {
           for (const auto& [q, d2] : nbhd) {
             if (flag(is_core_, q).load(std::memory_order_seq_cst)) {
               uf_.union_sets(p, q);
+              ++acc.unions;
               flag(assigned_, q).store(1, std::memory_order_release);
             } else if (!flag(assigned_, q)
                             .exchange(1, std::memory_order_acq_rel)) {
@@ -394,11 +491,13 @@ void MuDbscanEngine::cluster_parallel() {
               // one core wins this exchange (the parallel-DBSCAN border
               // race), mirroring the sequential first-claimer rule.
               uf_.union_sets(p, q);
+              ++acc.unions;
             }
           }
         }
       },
       guard_);
+  alg6_span.end();
 
   // Per-thread scratch is the phase's hidden allocation: charge its actual
   // footprint while it coexists with the merged engine buffers, then let it
@@ -414,8 +513,13 @@ void MuDbscanEngine::cluster_parallel() {
                                  "per-thread scratch buffers");
   }
 
+  AvoidedLedger avoided;
+  std::uint64_t noise_provisional = 0;
   for (PtAccum& acc : pt_acc) {
     stats.queries_performed += acc.queries;
+    avoided.merge(acc.avoided);
+    unions += acc.unions;
+    noise_provisional += acc.noise_pts.size();
     wndq_list_.insert(wndq_list_.end(), acc.wndq.begin(), acc.wndq.end());
     noise_pts_.insert(noise_pts_.end(), acc.noise_pts.begin(),
                       acc.noise_pts.end());
@@ -425,6 +529,20 @@ void MuDbscanEngine::cluster_parallel() {
       noise_off_.push_back(noise_off_.back() + len);
   }
   stats.wndq_core_points = wndq_list_.size();
+  stats.avoided_dmc = avoided.dmc();
+  stats.avoided_cmc = avoided.cmc();
+  stats.avoided_promotion = avoided.promotion();
+  // Single post-join publish: the registry merge order is the deterministic
+  // accumulator order above, not worker scheduling.
+  metrics_.add(obs::Counter::kQueriesPerformed, stats.queries_performed);
+  metrics_.add(obs::Counter::kQueriesAvoidedDmc, avoided.dmc());
+  metrics_.add(obs::Counter::kQueriesAvoidedCmc, avoided.cmc());
+  metrics_.add(obs::Counter::kQueriesAvoidedPromotion, avoided.promotion());
+  metrics_.add(obs::Counter::kMcDense, stats.dmc);
+  metrics_.add(obs::Counter::kMcCore, stats.cmc);
+  metrics_.add(obs::Counter::kMcSparse, stats.smc);
+  metrics_.add(obs::Counter::kUnionCalls, unions);
+  metrics_.add(obs::Counter::kNoiseProvisional, noise_provisional);
   charge_scratch();
   stats.t_cluster = timer.seconds();
 }
@@ -438,13 +556,30 @@ void MuDbscanEngine::charge_scratch() {
       "engine worklists + noise CSR");
 }
 
+void MuDbscanEngine::finalize_metrics() {
+  metrics_.add(obs::Counter::kWndqCorePoints, wndq_list_.size());
+  metrics_.add(obs::Counter::kMcDeferredPoints, tree_->deferred_points());
+  metrics_.add(obs::Counter::kAuxTreesSearched, tree_->aux_trees_searched());
+  const MuRTree::IndexCounters ic = tree_->index_counters();
+  metrics_.add(obs::Counter::kRtreeNodeVisits, ic.node_visits);
+  metrics_.add(obs::Counter::kRtreeDistanceEvals, ic.distance_evals);
+  for (McId z = 0; z < tree_->num_mcs(); ++z) {
+    const MicroCluster& mc = tree_->mc(z);
+    metrics_.observe(obs::Hist::kMcSize, mc.members.size());
+    metrics_.observe(obs::Hist::kReachableLen, mc.reach.size());
+  }
+}
+
 void MuDbscanEngine::post_process() {
   if (pool_) {
     post_process_parallel();
     return;
   }
+  obs::Span phase_span(cfg_.tracer, "phase.post_process");
   WallTimer timer;
   const double eps2 = params_.eps * params_.eps;
+  std::uint64_t unions = 0;
+  std::uint64_t repaired = 0;
 
   // --- Algorithm 7: POST-PROCESSING-CORE --------------------------------
   // wndq-core points never ran a query, so their unions with core points of
@@ -452,6 +587,7 @@ void MuDbscanEngine::post_process() {
   // MCs and unite with any core point strictly within eps that is not yet in
   // the same set. (Distance is only computed for cores in a different set —
   // far cheaper than a neighborhood query.)
+  obs::Span alg7_span(cfg_.tracer, "alg7.post_core");
   for (std::size_t wi = 0; wi < wndq_list_.size(); ++wi) {
     if (guard_ && wi % kSeqCheckStride == 0)
       guard_->check_throw("algorithm 7");
@@ -466,16 +602,20 @@ void MuDbscanEngine::post_process() {
         if (!is_core_[q]) continue;
         if (uf_.find(q) == uf_.find(p)) continue;
         ++stats.post_core_distance_evals;
-        if (sq_dist(pt.data(), ds_->ptr(q), ds_->dim()) < eps2)
+        if (sq_dist(pt.data(), ds_->ptr(q), ds_->dim()) < eps2) {
           uf_.union_sets(p, q);
+          ++unions;
+        }
       }
     }
   }
+  alg7_span.end();
 
   // --- Algorithm 8: POST-PROCESSING-NOISE -------------------------------
   // A provisional noise point whose stored neighborhood now contains a core
   // point (one promoted to wndq-core after the noise point was processed)
   // is in fact a border point.
+  obs::Span alg8_span(cfg_.tracer, "alg8.post_noise");
   for (std::size_t i = 0; i < noise_pts_.size(); ++i) {
     if (guard_ && i % kSeqCheckStride == 0)
       guard_->check_throw("algorithm 8");
@@ -485,11 +625,19 @@ void MuDbscanEngine::post_process() {
       const PointId q = noise_nbrs_[j];
       if (is_core_[q]) {
         uf_.union_sets(q, p);
+        ++unions;
+        ++repaired;
         assigned_[p] = 1;
         break;
       }
     }
   }
+  alg8_span.end();
+  metrics_.add(obs::Counter::kPostCoreDistanceEvals,
+               stats.post_core_distance_evals);
+  metrics_.add(obs::Counter::kUnionCalls, unions);
+  metrics_.add(obs::Counter::kBorderRepaired, repaired);
+  finalize_metrics();
   stats.t_post = timer.seconds();
 }
 
@@ -498,13 +646,17 @@ void MuDbscanEngine::post_process() {
 // Algorithm 8 touches assigned_[p] only for its own (unique) noise point, so
 // both loops are data-parallel as-is.
 void MuDbscanEngine::post_process_parallel() {
+  obs::Span phase_span(cfg_.tracer, "phase.post_process");
   WallTimer timer;
   const double eps2 = params_.eps * params_.eps;
   ThreadPool* pool = pool_.get();
   const unsigned nt = pool->num_threads();
 
+  obs::Span alg7_span(cfg_.tracer, "alg7.post_core");
   struct alignas(64) EvalAccum {
     std::uint64_t v = 0;
+    std::uint64_t unions = 0;
+    std::uint64_t repaired = 0;
   };
   std::vector<EvalAccum> evals(nt);
   parallel_for_chunked(
@@ -524,18 +676,21 @@ void MuDbscanEngine::post_process_parallel() {
               // worst case is a redundant distance eval + no-op union.
               if (uf_.find(q) == uf_.find(p)) continue;
               ++evals[tid].v;
-              if (sq_dist(pt.data(), ds_->ptr(q), ds_->dim()) < eps2)
+              if (sq_dist(pt.data(), ds_->ptr(q), ds_->dim()) < eps2) {
                 uf_.union_sets(p, q);
+                ++evals[tid].unions;
+              }
             }
           }
         }
       },
       guard_);
-  for (const EvalAccum& e : evals) stats.post_core_distance_evals += e.v;
+  alg7_span.end();
 
+  obs::Span alg8_span(cfg_.tracer, "alg8.post_noise");
   parallel_for_chunked(
       pool, noise_pts_.size(), 64,
-      [&](std::size_t begin, std::size_t end, unsigned) {
+      [&](std::size_t begin, std::size_t end, unsigned tid) {
         for (std::size_t i = begin; i < end; ++i) {
           const PointId p = noise_pts_[i];
           if (assigned_[p]) continue;
@@ -543,6 +698,8 @@ void MuDbscanEngine::post_process_parallel() {
             const PointId q = noise_nbrs_[j];
             if (is_core_[q]) {
               uf_.union_sets(q, p);
+              ++evals[tid].unions;
+              ++evals[tid].repaired;
               assigned_[p] = 1;
               break;
             }
@@ -550,6 +707,19 @@ void MuDbscanEngine::post_process_parallel() {
         }
       },
       guard_);
+  alg8_span.end();
+
+  std::uint64_t unions = 0, repaired = 0;
+  for (const EvalAccum& e : evals) {
+    stats.post_core_distance_evals += e.v;
+    unions += e.unions;
+    repaired += e.repaired;
+  }
+  metrics_.add(obs::Counter::kPostCoreDistanceEvals,
+               stats.post_core_distance_evals);
+  metrics_.add(obs::Counter::kUnionCalls, unions);
+  metrics_.add(obs::Counter::kBorderRepaired, repaired);
+  finalize_metrics();
   stats.t_post = timer.seconds();
 }
 

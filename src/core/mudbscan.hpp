@@ -16,6 +16,11 @@
 
 namespace udb {
 
+namespace obs {
+class MetricsRegistry;
+class Tracer;
+}
+
 struct MuDbscanConfig {
   // Ablation switches (all true = the paper's algorithm).
   bool two_eps_rule = true;        // Algorithm 3's MC-count limiting rule
@@ -28,9 +33,32 @@ struct MuDbscanConfig {
   // builds, inner-circle/reachable computation, the Algorithm 6 query loop,
   // and both post-processing passes on a thread pool of this size, with a
   // lock-free union-find; the clustering stays exactly equal to sequential
-  // DBSCAN at every thread count (see docs/PARALLEL.md). Stats that count
-  // saved queries can differ run-to-run when > 1 (promotion races are benign).
+  // DBSCAN at every thread count (see docs/PARALLEL.md).
+  //
+  // Stats determinism at num_threads > 1: num_mcs, dmc/cmc/smc, avoided_dmc
+  // and avoided_cmc are identical at every thread count (Algorithm 4 writes
+  // are thread-exclusive and a promotion can never overwrite a DMC/CMC tag —
+  // it claims the tag byte with a compare-exchange from 0). Only
+  // queries_performed and avoided_promotion may differ run-to-run, trading
+  // exactly one-for-one: a point promoted concurrently with its own
+  // Algorithm 6 turn either sees the tag in time (counted avoided) or runs a
+  // redundant query (counted performed). The redundant query is harmless —
+  // it returns the same neighborhood and re-derives the same unions — and
+  // the ledger identity queries_performed + avoided_total == n holds at
+  // every thread count. Downstream of that same race, wndq_core_points,
+  // post_core_distance_evals and the provisional-noise/border-repair counts
+  // also vary with promotion timing; the clustering never does.
   unsigned num_threads = 1;
+
+  // ---- observability (docs/OBSERVABILITY.md) -----------------------------
+  // Optional parent metrics registry (not owned). The engine always collects
+  // into its own per-thread sharded registry; on destruction it merges its
+  // snapshot into `metrics` when one is supplied (thread-safe: concurrent
+  // rank engines may merge into one run-level registry).
+  obs::MetricsRegistry* metrics = nullptr;
+  // Optional tracer (not owned): the engine emits phase.* spans and the
+  // µR-tree build.* spans when set; null costs one branch per span site.
+  obs::Tracer* tracer = nullptr;
 
   // ---- run-guard limits (docs/ROBUSTNESS.md) -----------------------------
   // When a limit is set (or `guard` is supplied) the engine runs cooperative
@@ -48,10 +76,18 @@ struct MuDbscanConfig {
   RunGuard* guard = nullptr;
 };
 
+// Thin scalar view over the engine's metrics registry (the counters below
+// are filled from the same per-thread shards the obs run report snapshots;
+// see Counter in obs/metrics.hpp for the full catalog).
 struct MuDbscanStats {
   std::size_t num_mcs = 0;
   std::size_t dmc = 0, cmc = 0, smc = 0;
   std::uint64_t queries_performed = 0;
+  // Query-avoidance ledger by reason (Algorithm 6 skip site):
+  // queries_performed + avoided_dmc + avoided_cmc + avoided_promotion == n.
+  std::uint64_t avoided_dmc = 0;        // tagged by a dense MC (Lemma 1)
+  std::uint64_t avoided_cmc = 0;        // tagged as a core-MC centre (Lemma 2)
+  std::uint64_t avoided_promotion = 0;  // tagged by dynamic wndq promotion
   std::uint64_t wndq_core_points = 0;  // cores identified without a query
   std::uint64_t post_core_distance_evals = 0;
 

@@ -15,6 +15,7 @@
 #include "common/runguard.hpp"
 #include "core/mudbscan.hpp"
 #include "core/murtree.hpp"
+#include "obs/metrics.hpp"
 #include "unionfind/union_find.hpp"
 
 namespace udb {
@@ -23,6 +24,10 @@ class MuDbscanEngine {
  public:
   MuDbscanEngine(const Dataset& ds, const DbscanParams& params,
                  MuDbscanConfig cfg = {});
+  // Merges the engine's metrics into cfg.metrics (when supplied), so a
+  // run-level registry accumulates across engines — e.g. one per simulated
+  // rank — without any caller bookkeeping.
+  ~MuDbscanEngine();
 
   // Phase 1+2 (Algorithm 3): micro-cluster formation, µR-tree construction,
   // inner-circle counts. Fills stats.t_tree.
@@ -71,6 +76,20 @@ class MuDbscanEngine {
   // supplied, the engine-owned guard when cfg limits are set, else null.
   [[nodiscard]] RunGuard* guard() const noexcept { return guard_; }
 
+  // Merged view of the engine's per-thread metric shards (obs/metrics.hpp):
+  // the query-avoidance ledger, µR-tree internals, histograms. Complete
+  // after post_process(); safe to call between phases for a partial view.
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const {
+    return metrics_.snapshot();
+  }
+
+  // Per-worker busy/jobs totals of the engine's pool; empty for the
+  // sequential engine (num_threads == 1).
+  [[nodiscard]] std::vector<ThreadPool::WorkerStats> worker_stats() const {
+    return pool_ ? pool_->worker_stats()
+                 : std::vector<ThreadPool::WorkerStats>{};
+  }
+
   MuDbscanStats stats;
 
  private:
@@ -84,6 +103,11 @@ class MuDbscanEngine {
   // provisional-noise CSR) after the clustering phase sized them.
   void charge_scratch();
 
+  // Dumps the phase-end counters that live outside the registry (µR-tree
+  // index counters, MC-size / reachable-length histograms) into metrics_.
+  // Called once at the end of post_process().
+  void finalize_metrics();
+
   const Dataset* ds_;
   DbscanParams params_;
   MuDbscanConfig cfg_;
@@ -92,6 +116,9 @@ class MuDbscanEngine {
   ScopedCharge flags_charge_;              // flag vectors + union-find
   ScopedCharge scratch_charge_;            // noise CSR + worklists (trued up)
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads == 1
+  // Engine-owned metrics registry: always collected (the cost is per-thread
+  // relaxed stores), merged into cfg_.metrics on destruction when set.
+  obs::MetricsRegistry metrics_;
   std::unique_ptr<MuRTree> tree_;
   UnionFind uf_;
   std::vector<std::uint8_t> is_core_;

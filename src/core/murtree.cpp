@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/distance.hpp"
+#include "obs/trace.hpp"
 
 namespace udb {
 
@@ -30,6 +31,7 @@ MuRTree::MuRTree(const Dataset& ds, double eps, Config cfg, ThreadPool* pool)
 
   // Pass 1 (Algorithm 3, BUILD-MICRO-CLUSTERS): assign within eps, defer
   // within 2*eps, otherwise found a new MC.
+  obs::Span assign_span(cfg_.tracer, "build.assign");
   std::vector<PointId> unassigned;
   for (std::size_t i = 0; i < n; ++i) {
     if (guard && i % kBuildCheckStride == 0)
@@ -66,11 +68,14 @@ MuRTree::MuRTree(const Dataset& ds, double eps, Config cfg, ThreadPool* pool)
     }
   }
 
+  assign_span.end();
+
   // AuxR-trees: one small R-tree per MC over its members (STR-packed by
   // default; the members are all known at this point). Each MC's tree is
   // independent, so the builds run in parallel when a pool is supplied; the
   // result is identical for any thread count. With a guard, every 32-MC
   // chunk is a cooperative checkpoint (see parallel_for_chunked).
+  obs::Span aux_span(cfg_.tracer, "build.aux_trees");
   aux_.reserve(mcs_.size());
   for (std::size_t z = 0; z < mcs_.size(); ++z)
     aux_.emplace_back(ds.dim(), cfg_.aux);
@@ -119,6 +124,7 @@ McId MuRTree::create_mc(PointId center) {
 }
 
 void MuRTree::compute_inner_circles(ThreadPool* pool) {
+  obs::Span span(cfg_.tracer, "build.inner_circles");
   const double half2 = (eps_ / 2.0) * (eps_ / 2.0);
   // Each iteration reads shared immutable coordinates and writes only its own
   // MC's ic_count — embarrassingly parallel, identical for any thread count.
@@ -140,6 +146,7 @@ void MuRTree::compute_inner_circles(ThreadPool* pool) {
 }
 
 void MuRTree::compute_reachable(ThreadPool* pool) {
+  obs::Span span(cfg_.tracer, "build.reachable");
   // Lemma 3: a query from any member of MC(p) can only reach members of MCs
   // whose centre is within 3*eps of p (<=, not <: the lemma's bound is
   // attained when the query point sits on the MC boundary). The level-1 tree
@@ -193,6 +200,17 @@ void MuRTree::query_neighborhood(
     std::vector<std::pair<PointId, double>>& out) const {
   query_neighborhood(p, radius,
                      [&out](PointId id, double d2) { out.emplace_back(id, d2); });
+}
+
+MuRTree::IndexCounters MuRTree::index_counters() const {
+  IndexCounters c;
+  c.node_visits = level1_.node_visits();
+  c.distance_evals = level1_.distance_evals();
+  for (const RTree& t : aux_) {
+    c.node_visits += t.node_visits();
+    c.distance_evals += t.distance_evals();
+  }
+  return c;
 }
 
 void MuRTree::check_invariants() const {

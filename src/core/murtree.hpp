@@ -28,6 +28,10 @@
 
 namespace udb {
 
+namespace obs {
+class Tracer;
+}
+
 class MuRTree {
  public:
   struct Config {
@@ -47,6 +51,10 @@ class MuRTree {
     // budget (docs/ROBUSTNESS.md). A trip aborts construction via
     // StatusError; partial state is reclaimed on unwind.
     RunGuard* guard = nullptr;
+    // Optional tracer (not owned): construction and the derived phases emit
+    // build.assign / build.aux_trees / build.inner_circles / build.reachable
+    // spans (docs/OBSERVABILITY.md).
+    obs::Tracer* tracer = nullptr;
   };
 
   // `pool` (optional) parallelizes the embarrassingly parallel build stages:
@@ -97,6 +105,16 @@ class MuRTree {
   [[nodiscard]] std::uint64_t aux_trees_searched() const noexcept {
     return aux_searched_.load(std::memory_order_relaxed);
   }
+
+  // Aggregated R-tree instrumentation over the level-1 tree and every
+  // AuxR-tree: nodes visited and point-distance evaluations across all
+  // queries since construction. O(num_mcs) — call at phase boundaries, not
+  // per query.
+  struct IndexCounters {
+    std::uint64_t node_visits = 0;
+    std::uint64_t distance_evals = 0;
+  };
+  [[nodiscard]] IndexCounters index_counters() const;
 
   // Test hook: structural invariants — every point in exactly one MC, member
   // distances < eps from the centre, level-1 / aux R-tree invariants.

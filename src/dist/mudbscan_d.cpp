@@ -6,6 +6,7 @@
 #include "core/mudbscan_engine.hpp"
 #include "dist/driver_common.hpp"
 #include "dist/merge.hpp"
+#include "obs/trace.hpp"
 
 namespace udb {
 
@@ -25,6 +26,9 @@ ClusteringResult mudbscan_d(const Dataset& global, const DbscanParams& params,
   WallTimer wall;
 
   rt.run([&](mpi::Comm& comm) {
+    // Spans emitted by this rank's engine carry the rank as their trace pid,
+    // so Perfetto renders one process lane per simulated rank.
+    const int prev_pid = obs::set_trace_pid(comm.rank());
     LocalSetup setup = prepare_local(comm, global, params.eps);
 
     // Local µDBSCAN on local + halo points. Halo points participate fully:
@@ -64,6 +68,24 @@ ClusteringResult mudbscan_d(const Dataset& global, const DbscanParams& params,
     scatter_result(setup, local.label, local.is_core, result.label,
                    result.is_core);
 
+    // Per-rank record, comm totals snapshotted before the reporting traffic
+    // below so they reflect only algorithm communication.
+    MuDbscanDRank mine;
+    mine.rank = comm.rank();
+    mine.n_local = setup.n_local;
+    mine.n_halo = setup.gids.size() - setup.n_local;
+    mine.t_partition = setup.t_partition;
+    mine.t_halo = setup.t_halo;
+    mine.t_tree = t_tree;
+    mine.t_reach = t_reach;
+    mine.t_cluster = t_cluster;
+    mine.t_post = t_post;
+    mine.t_merge = t_merge;
+    mine.queries_performed = engine.stats.queries_performed;
+    mine.comm = comm.comm_stats();
+    std::vector<MuDbscanDRank> all_ranks =
+        comm.allgatherv(std::vector<MuDbscanDRank>{mine});
+
     // Phase makespans + summed counters.
     const double m_partition = comm.allreduce_max(setup.t_partition);
     const double m_halo = comm.allreduce_max(setup.t_halo);
@@ -92,7 +114,9 @@ ClusteringResult mudbscan_d(const Dataset& global, const DbscanParams& params,
       agg.cross_edges = static_cast<std::uint64_t>(edges_total);
       agg.union_pairs = merge_stats.union_pairs;  // identical on every rank
       agg.queries_performed = static_cast<std::uint64_t>(queries_total);
+      agg.ranks = std::move(all_ranks);
     }
+    obs::set_trace_pid(prev_pid);
   });
 
   agg.wall_seconds = wall.seconds();

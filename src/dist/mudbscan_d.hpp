@@ -19,6 +19,29 @@
 
 namespace udb {
 
+// Per-rank observability record. Trivially copyable by construction so the
+// ranks can allgatherv the records through minimpi at the end of the run;
+// rank 0 deposits the gathered vector in MuDbscanDStats::ranks (obs run
+// report `ranks` section, Table 7 per-rank splits).
+struct MuDbscanDRank {
+  int rank = 0;
+  std::uint64_t n_local = 0;
+  std::uint64_t n_halo = 0;
+  // This rank's own virtual-time delta per phase (not the makespan).
+  double t_partition = 0.0;
+  double t_halo = 0.0;
+  double t_tree = 0.0;
+  double t_reach = 0.0;
+  double t_cluster = 0.0;
+  double t_post = 0.0;
+  double t_merge = 0.0;
+  std::uint64_t queries_performed = 0;
+  // Whole-run comm totals, snapshotted before the stats-gather traffic so
+  // the numbers reflect the algorithm, not the reporting.
+  mpi::CommStats comm;
+};
+static_assert(std::is_trivially_copyable_v<MuDbscanDRank>);
+
 struct MuDbscanDStats {
   // Virtual-time makespans per phase (paper Tables VII/VIII).
   double t_partition = 0.0;
@@ -34,6 +57,9 @@ struct MuDbscanDStats {
   std::uint64_t cross_edges = 0;
   std::uint64_t union_pairs = 0;
   std::uint64_t queries_performed = 0;  // summed over ranks
+
+  // One record per rank, in rank order (empty only if the run aborted).
+  std::vector<MuDbscanDRank> ranks;
 
   // The paper's comparable "execution time": everything after partitioning.
   [[nodiscard]] double total() const noexcept {

@@ -35,16 +35,17 @@ RTree::RTree(std::size_t dim, Config cfg) : dim_(dim), cfg_(cfg) {
 
 RTree::~RTree() = default;
 
-// Hand-written moves: the atomic instrumentation counter is not movable.
+// Hand-written moves: the atomic instrumentation counters are not movable.
 // Moving a tree while queries run on it is a caller bug, so relaxed
-// load/store of the counter is sufficient.
+// load/store of the counters is sufficient.
 RTree::RTree(RTree&& other) noexcept
     : dim_(other.dim_),
       cfg_(other.cfg_),
       root_(std::move(other.root_)),
       count_(other.count_),
       enforce_min_fill_(other.enforce_min_fill_),
-      dist_evals_(other.dist_evals_.load(std::memory_order_relaxed)) {
+      dist_evals_(other.dist_evals_.load(std::memory_order_relaxed)),
+      node_visits_(other.node_visits_.load(std::memory_order_relaxed)) {
   other.count_ = 0;
 }
 
@@ -57,6 +58,8 @@ RTree& RTree::operator=(RTree&& other) noexcept {
     enforce_min_fill_ = other.enforce_min_fill_;
     dist_evals_.store(other.dist_evals_.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
+    node_visits_.store(other.node_visits_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
     other.count_ = 0;
   }
   return *this;
@@ -296,14 +299,19 @@ PointId RTree::first_within(std::span<const double> center, double radius,
 
 namespace {
 
-// Accumulates a query's distance evaluations locally and publishes them with
-// one relaxed add on scope exit (every early return included) — keeps the
-// leaf scan free of atomics while staying exact and race-free under
-// concurrent queries.
+// Accumulates a query's distance evaluations and node visits locally and
+// publishes them with one relaxed add each on scope exit (every early return
+// included) — keeps the scan free of atomics while staying exact and
+// race-free under concurrent queries.
 struct EvalCounter {
   std::atomic<std::uint64_t>& sink;
+  std::atomic<std::uint64_t>& node_sink;
   std::uint64_t local = 0;
-  ~EvalCounter() { sink.fetch_add(local, std::memory_order_relaxed); }
+  std::uint64_t nodes = 0;
+  ~EvalCounter() {
+    if (local != 0) sink.fetch_add(local, std::memory_order_relaxed);
+    if (nodes != 0) node_sink.fetch_add(nodes, std::memory_order_relaxed);
+  }
 };
 
 }  // namespace
@@ -313,7 +321,7 @@ void RTree::visit_ball(std::span<const double> center, double radius,
                        bool strict) const {
   if (count_ == 0) return;
   const double r2 = radius * radius;
-  EvalCounter evals{dist_evals_};
+  EvalCounter evals{dist_evals_, node_visits_};
 
   // Explicit stack to avoid recursion overhead on deep trees.
   std::vector<const Node*> stack;
@@ -321,6 +329,7 @@ void RTree::visit_ball(std::span<const double> center, double radius,
   while (!stack.empty()) {
     const Node* node = stack.back();
     stack.pop_back();
+    ++evals.nodes;
     if (node->mbr.min_sq_dist(center) > r2) continue;
     if (node->is_leaf) {
       for (std::size_t i = 0; i < node->ids.size(); ++i) {
@@ -411,7 +420,7 @@ void RTree::query_knn(std::span<const double> center, std::size_t k,
                       std::vector<std::pair<PointId, double>>& out) const {
   out.clear();
   if (k == 0 || count_ == 0) return;
-  EvalCounter evals{dist_evals_};
+  EvalCounter evals{dist_evals_, node_visits_};
 
   // Best-first search: a min-heap of (distance lower bound, node) frontier
   // entries plus a max-heap of the current k best points.
@@ -435,6 +444,7 @@ void RTree::query_knn(std::span<const double> center, std::size_t k,
   while (!frontier.empty()) {
     const auto [bound, node] = frontier.top();
     frontier.pop();
+    ++evals.nodes;
     if (out.size() == k && bound >= worst()) break;  // cannot improve
     if (node->is_leaf) {
       for (std::size_t i = 0; i < node->ids.size(); ++i) {

@@ -88,16 +88,21 @@ class RTree {
   [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
   [[nodiscard]] const Box& root_mbr() const;
 
-  // Instrumentation: number of point-point distance evaluations performed by
-  // queries since construction (used by the ablation benches). The counter is
-  // atomic so concurrent read-only queries (the thread-parallel µDBSCAN
-  // phases) stay race-free; each query accumulates locally and publishes one
-  // relaxed add on exit, keeping the leaf scan itself atomic-free.
+  // Instrumentation: number of point-point distance evaluations and tree
+  // nodes visited (popped from the search stack/frontier) by queries since
+  // construction (used by the ablation benches and the obs run report). The
+  // counters are atomic so concurrent read-only queries (the thread-parallel
+  // µDBSCAN phases) stay race-free; each query accumulates locally and
+  // publishes one relaxed add on exit, keeping the scans themselves
+  // atomic-free.
   [[nodiscard]] std::uint64_t distance_evals() const noexcept {
     return dist_evals_.load(std::memory_order_relaxed);
   }
   void reset_distance_evals() noexcept {
     dist_evals_.store(0, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t node_visits() const noexcept {
+    return node_visits_.load(std::memory_order_relaxed);
   }
 
   struct Stats {
@@ -131,6 +136,7 @@ class RTree {
   std::size_t count_ = 0;
   bool enforce_min_fill_ = true;  // false for STR bulk-loaded trees
   mutable std::atomic<std::uint64_t> dist_evals_{0};
+  mutable std::atomic<std::uint64_t> node_visits_{0};
 };
 
 }  // namespace udb

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/timer.hpp"
+#include "obs/log.hpp"
 
 namespace udb::mpi {
 
@@ -243,6 +244,8 @@ void Comm::abort_attempt() {
 
 void Comm::send_bytes(int dst, Tag tag, std::vector<std::byte> bytes) {
   settle_cpu();
+  ++stats_.msgs_sent;
+  stats_.bytes_sent += bytes.size();
   const FaultPlan* plan = rt_->plan_ ? &*rt_->plan_ : nullptr;
   Runtime::Mailbox& box = *rt_->mailboxes_[static_cast<std::size_t>(dst)];
   auto& ctr = rt_->counters_;
@@ -278,8 +281,13 @@ void Comm::send_bytes(int dst, Tag tag, std::vector<std::byte> bytes) {
     double rto = plan->rto_initial;
     int attempt = 0;
     for (;; ++attempt) {
-      if (attempt > plan->max_retries)
+      if (attempt > plan->max_retries) {
+        obs::LogLine(obs::LogLevel::kWarn, "minimpi", "send_failed")
+            .kv("rank", rank_)
+            .kv("dst", dst)
+            .kv("attempts", attempt);
         throw SendFailedError(dst, attempt);
+      }
       const bool lost =
           mf.drop_rate > 0.0 && roll(100 + 2 * static_cast<std::uint64_t>(attempt)) < mf.drop_rate;
       const bool garbled =
@@ -291,6 +299,13 @@ void Comm::send_bytes(int dst, Tag tag, std::vector<std::byte> bytes) {
       else
         ++ctr.corrupted;
       ++ctr.retries;
+      ++stats_.retries;
+      obs::LogLine(obs::LogLevel::kDebug, "minimpi", "retransmit")
+          .kv("rank", rank_)
+          .kv("dst", dst)
+          .kv("attempt", attempt + 1)
+          .kv("cause", lost ? "drop" : "corrupt")
+          .kv("rto_s", rto);
       vtime_ += rto;
       rto = std::min(rto * 2.0, plan->rto_max);
     }
@@ -345,6 +360,8 @@ std::vector<std::byte> Comm::recv_bytes(int src, Tag tag) {
     // condvar is not CPU time, so it is never charged).
     vtime_ = std::max(vtime_, msg.arrival_vtime);
     cpu_mark_ = ThreadCpuTimer::now();
+    ++stats_.msgs_recv;
+    stats_.bytes_recv += msg.bytes.size();
     return msg.bytes;
   }
 
@@ -357,6 +374,8 @@ std::vector<std::byte> Comm::recv_bytes(int src, Tag tag) {
   switch (status) {
     case Runtime::Mailbox::PopStatus::Ok:
       vtime_ = std::max(vtime_, msg.arrival_vtime);
+      ++stats_.msgs_recv;
+      stats_.bytes_recv += msg.bytes.size();
       return std::move(msg.bytes);
     case Runtime::Mailbox::PopStatus::Poisoned:
       throw std::runtime_error("minimpi: peer rank failed");
@@ -366,6 +385,13 @@ std::vector<std::byte> Comm::recv_bytes(int src, Tag tag) {
     case Runtime::Mailbox::PopStatus::Timeout:
       vtime_ += plan->recv_timeout_vtime;
       ++rt_->counters_.timeouts;
+      ++stats_.timeouts;
+      obs::LogLine(obs::LogLevel::kDebug, "minimpi", "recv_timeout")
+          .kv("rank", rank_)
+          .kv("src", src)
+          .kv("tag", tag)
+          .kv("peer_gone",
+              status == Runtime::Mailbox::PopStatus::PeerGone ? 1 : 0);
       throw TimeoutError(src, tag);
   }
   throw std::logic_error("minimpi: unreachable recv status");

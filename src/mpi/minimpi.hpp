@@ -46,6 +46,36 @@ struct CostModel {
 using Tag = std::uint32_t;
 constexpr Tag kMaxUserTag = 1u << 20;  // tags above are reserved internally
 
+// Per-rank communication totals, accumulated by the rank's own Comm (each
+// Comm is confined to its rank thread, so these are plain counters). Drivers
+// snapshot before/after a phase and subtract to attribute traffic per phase
+// (obs run report, Table 7 per-rank splits). Collectives count as their
+// constituent point-to-point messages — what the simulated transport moves.
+struct CommStats {
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t msgs_recv = 0;
+  std::uint64_t bytes_recv = 0;
+  std::uint64_t retries = 0;   // ARQ retransmissions (reliable fault mode)
+  std::uint64_t timeouts = 0;  // recv timeouts observed by this rank
+};
+
+inline CommStats operator-(const CommStats& a, const CommStats& b) {
+  return {a.msgs_sent - b.msgs_sent,   a.bytes_sent - b.bytes_sent,
+          a.msgs_recv - b.msgs_recv,   a.bytes_recv - b.bytes_recv,
+          a.retries - b.retries,       a.timeouts - b.timeouts};
+}
+
+inline CommStats& operator+=(CommStats& a, const CommStats& b) {
+  a.msgs_sent += b.msgs_sent;
+  a.bytes_sent += b.bytes_sent;
+  a.msgs_recv += b.msgs_recv;
+  a.bytes_recv += b.bytes_recv;
+  a.retries += b.retries;
+  a.timeouts += b.timeouts;
+  return a;
+}
+
 class Comm;
 
 class Runtime {
@@ -168,6 +198,11 @@ class Comm {
   std::vector<std::vector<T>> alltoallv(
       const std::vector<std::vector<T>>& out);
 
+  // ---- communication accounting ----------------------------------------
+  // Running totals since the Comm was created. Snapshot-and-subtract with
+  // CommStats::operator- for per-phase attribution.
+  [[nodiscard]] const CommStats& comm_stats() const noexcept { return stats_; }
+
   // ---- virtual time ----------------------------------------------------
   // Current virtual time of this rank (charges accumulated CPU first).
   [[nodiscard]] double vtime();
@@ -199,6 +234,7 @@ class Comm {
   int rank_;
   double vtime_ = 0.0;
   double cpu_mark_ = 0.0;
+  CommStats stats_;  // rank-thread-confined, see CommStats
   // Fault state (all unused without a plan).
   double slow_factor_ = 1.0;
   double crash_at_vtime_ = -1.0;

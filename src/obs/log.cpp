@@ -1,0 +1,90 @@
+#include "obs/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace udb::obs {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+
+namespace {
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: break;
+  }
+  return "?????";
+}
+
+double process_seconds() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+// Force the epoch to initialize at static-init time so the prefix measures
+// from (roughly) process start, not from the first log line.
+[[maybe_unused]] const double g_epoch_init = process_seconds();
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+StatusOr<LogLevel> parse_log_level(const std::string& s) {
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  if (s == "off") return LogLevel::kOff;
+  return InvalidArgumentError(
+      "log level must be debug|info|warn|error|off (got '" + s + "')");
+}
+
+LogLine::LogLine(LogLevel level, const char* component, const char* event)
+    : active_(level != LogLevel::kOff && log_enabled(level)) {
+  if (!active_) return;
+  char head[160];
+  std::snprintf(head, sizeof head, "[%10.3fs] %s %s %s", process_seconds(),
+                level_tag(level), component, event);
+  line_.assign(head);
+}
+
+LogLine::~LogLine() {
+  if (!active_) return;
+  line_.push_back('\n');
+  // Single write: concurrent log lines never interleave mid-line.
+  std::fputs(line_.c_str(), stderr);
+}
+
+void LogLine::append(const char* key, const char* value) {
+  line_.push_back(' ');
+  line_.append(key);
+  line_.push_back('=');
+  line_.append(value);
+}
+
+void LogLine::append_i64(const char* key, long long value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", value);
+  append(key, buf);
+}
+
+LogLine& LogLine::kv(const char* key, double value) {
+  if (!active_) return *this;
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%g", value);
+  append(key, buf);
+  return *this;
+}
+
+}  // namespace udb::obs

@@ -1,0 +1,74 @@
+// Minimal structured logger: level + component + event + key=value pairs on a
+// single stderr line (docs/OBSERVABILITY.md).
+//
+//   obs::LogLine(obs::LogLevel::kWarn, "runguard", "deadline_exceeded")
+//       .kv("elapsed_s", 12.3).kv("deadline_s", 10.0);
+//   // stderr: [   12.345s] WARN  runguard deadline_exceeded elapsed_s=12.3
+//   //         deadline_s=10
+//
+// The line is emitted by the LogLine destructor with a single fprintf, so
+// concurrent threads never interleave within a line. A LogLine below the
+// global threshold allocates nothing and formats nothing (verified by
+// tests/obs/test_obs.cpp); the check is one relaxed atomic load.
+//
+// NOT async-signal-safe — never log from signal handlers (RunGuard's
+// request_cancel stays silent for exactly this reason).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+#include "common/status.hpp"
+
+namespace udb::obs {
+
+enum class LogLevel : int { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+// Global threshold; messages below it are suppressed. Default kWarn so
+// library users only hear about trouble. Thread-safe (relaxed atomic).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Parses "debug|info|warn|error|off" (case-sensitive).
+StatusOr<LogLevel> parse_log_level(const std::string& s);
+
+inline bool log_enabled(LogLevel level) {
+  extern std::atomic<int> g_log_level;
+  return static_cast<int>(level) >= g_log_level.load(std::memory_order_relaxed);
+}
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* component, const char* event);
+  ~LogLine();
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  LogLine& kv(const char* key, const std::string& value) {
+    if (active_) append(key, value.c_str());
+    return *this;
+  }
+  LogLine& kv(const char* key, const char* value) {
+    if (active_) append(key, value);
+    return *this;
+  }
+  LogLine& kv(const char* key, double value);
+  template <typename Int>
+    requires std::is_integral_v<Int>
+  LogLine& kv(const char* key, Int value) {
+    if (active_) append_i64(key, static_cast<long long>(value));
+    return *this;
+  }
+
+ private:
+  void append(const char* key, const char* value);
+  void append_i64(const char* key, long long value);
+
+  bool active_;
+  std::string line_;
+};
+
+}  // namespace udb::obs

@@ -1,0 +1,163 @@
+// Structured run report: one machine-readable JSON document per run
+// (--metrics-out=report.json). Schema documented in docs/OBSERVABILITY.md and
+// pinned by tests/obs/test_obs.cpp (golden key set, schema_version bump
+// required for breaking changes).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+#include "obs/metrics.hpp"
+
+namespace udb::obs {
+
+// Minimal JSON writer: explicit begin/end with automatic comma placement.
+// Produces compact one-line-per-call output; not a general serializer, just
+// enough for the run report and the bench metrics embeds.
+class JsonWriter {
+ public:
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  void key(const char* k) {
+    comma();
+    append_escaped(k);
+    out_.push_back(':');
+    pending_value_ = true;
+  }
+
+  void value(const char* v) {
+    sep();
+    append_escaped(v);
+    mark_written();
+  }
+  void value(const std::string& v) { value(v.c_str()); }
+  void value(bool v) {
+    sep();
+    out_.append(v ? "true" : "false");
+    mark_written();
+  }
+  void value(double v);
+  template <typename Int>
+    requires(std::is_integral_v<Int> && !std::is_same_v<Int, bool>)
+  void value(Int v) {
+    if constexpr (std::is_signed_v<Int>)
+      value_i64(static_cast<std::int64_t>(v));
+    else
+      value_u64(static_cast<std::uint64_t>(v));
+  }
+
+  template <typename T>
+  void kv(const char* k, T v) {
+    key(k);
+    value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void value_u64(std::uint64_t v);
+  void value_i64(std::int64_t v);
+  void open(char c) {
+    sep();
+    out_.push_back(c);
+    need_comma_.push_back(false);
+  }
+  void close(char c) {
+    out_.push_back(c);
+    need_comma_.pop_back();
+    mark_written();
+  }
+  // Separator before a value/open: consumes a pending key or places a comma.
+  void sep() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    comma();
+  }
+  void comma() {
+    if (!need_comma_.empty() && need_comma_.back()) out_.push_back(',');
+  }
+  void mark_written() {
+    if (!need_comma_.empty()) need_comma_.back() = true;
+  }
+  void append_escaped(const char* s);
+
+  std::string out_;
+  std::vector<bool> need_comma_;
+  bool pending_value_ = false;
+};
+
+// Everything the report serializer needs, decoupled from engine/dist types so
+// obs/ depends only on common/. Callers (CLI, guarded_run, benches) fill in
+// what they have; empty sections are omitted from the JSON.
+struct RunReportInputs {
+  std::string tool = "udbscan";
+  std::string algo;
+  std::size_t n = 0;
+  std::size_t dim = 0;
+  double eps = 0.0;
+  std::uint32_t min_pts = 0;
+  unsigned threads = 1;
+  int ranks = 1;
+  double seconds = 0.0;
+  bool approximate = false;
+
+  // Phase wall-clock seconds in execution order.
+  std::vector<std::pair<std::string, double>> phases;
+
+  MetricsSnapshot metrics;
+
+  struct Worker {
+    double busy_seconds = 0.0;
+    std::uint64_t jobs = 0;
+  };
+  std::vector<Worker> workers;  // ThreadPool per-worker totals (tid order)
+
+  bool has_guard = false;
+  std::size_t mem_peak_bytes = 0;
+  std::size_t mem_budget_bytes = 0;   // 0 = unlimited
+  double deadline_seconds = 0.0;      // 0 = none
+  std::uint64_t guard_checkpoints = 0;
+
+  struct Rank {
+    int rank = 0;
+    std::size_t n_local = 0;
+    std::size_t n_halo = 0;
+    double t_partition = 0.0;
+    double t_halo = 0.0;
+    double t_local = 0.0;
+    double t_merge = 0.0;
+    double t_scatter = 0.0;
+    std::uint64_t queries_performed = 0;
+    std::uint64_t msgs_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t msgs_recv = 0;
+    std::uint64_t bytes_recv = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t timeouts = 0;
+  };
+  std::vector<Rank> rank_stats;  // per simulated rank (mudbscan-d only)
+};
+
+// Serializes the metrics snapshot as a JSON object value (counters, ledger,
+// histograms) into `w`. Shared by the run report and the bench JSON embeds.
+// `points` sizes the ledger's query_savings denominator (0 = omit savings).
+void write_metrics_snapshot(JsonWriter& w, const MetricsSnapshot& snap,
+                            std::uint64_t points);
+
+// Full run report; returns the serialized document.
+std::string run_report_json(const RunReportInputs& in);
+
+// Convenience: serialize and write to a file.
+Status write_run_report(const RunReportInputs& in, const std::string& path);
+
+}  // namespace udb::obs

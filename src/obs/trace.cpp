@@ -1,0 +1,88 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace udb::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_tracer_id{1};
+
+thread_local int t_trace_pid = 0;
+
+}  // namespace
+
+int set_trace_pid(int pid) {
+  const int prev = t_trace_pid;
+  t_trace_pid = pid;
+  return prev;
+}
+
+int trace_pid() { return t_trace_pid; }
+
+Tracer::Tracer()
+    : id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t Tracer::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+Tracer::ThreadBuf& Tracer::buf() {
+  struct Cache {
+    std::uint64_t id = 0;
+    ThreadBuf* buf = nullptr;
+  };
+  thread_local Cache cache;
+  if (cache.id == id_) return *cache.buf;
+  ThreadBuf& b = register_buf();
+  cache.id = id_;
+  cache.buf = &b;
+  return b;
+}
+
+Tracer::ThreadBuf& Tracer::register_buf() {
+  std::lock_guard<std::mutex> lk(reg_mu_);
+  ThreadBuf& b = bufs_.emplace_back();
+  b.tid = static_cast<std::uint32_t>(bufs_.size() - 1);
+  return b;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lk(reg_mu_);
+  for (const ThreadBuf& b : bufs_)
+    out.insert(out.end(), b.events.begin(), b.events.end());
+  return out;
+}
+
+Status Tracer::write_chrome_trace(const std::string& path) const {
+  const std::vector<TraceEvent> evs = events();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    return InvalidArgumentError("cannot open trace output file: " + path);
+  std::fputs("[", f);
+  bool first = true;
+  for (const TraceEvent& e : evs) {
+    // Chrome trace_event complete event; ts/dur are microseconds (double).
+    std::fprintf(
+        f,
+        "%s\n{\"name\":\"%s\",\"cat\":\"udbscan\",\"ph\":\"X\","
+        "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%u,"
+        "\"args\":{\"thread_cpu_ms\":%.3f}}",
+        first ? "" : ",", e.name, static_cast<double>(e.start_ns) / 1000.0,
+        static_cast<double>(e.dur_ns) / 1000.0, e.pid, e.tid,
+        e.cpu_seconds * 1000.0);
+    first = false;
+  }
+  std::fputs("\n]\n", f);
+  if (std::fclose(f) != 0)
+    return InternalError("error writing trace output file: " + path);
+  return Status::Ok();
+}
+
+}  // namespace udb::obs

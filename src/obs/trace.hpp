@@ -1,0 +1,122 @@
+// Span-based tracer exporting Chrome trace_event JSON (docs/OBSERVABILITY.md).
+//
+// Usage:
+//   obs::Tracer tracer;                 // or nullptr to disable
+//   { obs::Span s(&tracer, "cluster"); ...work... }   // RAII: ends on scope exit
+//   tracer.write_chrome_trace("trace.json");          // after workers joined
+//
+// Each completed span records steady-clock start/duration, the per-thread CPU
+// time consumed inside the span, a small sequential thread id, and the
+// thread's trace pid (the simulated MPI rank for distributed runs — see
+// set_trace_pid). Events are buffered per thread in TLS-cached buffers so
+// recording a span never takes a lock; export merges the buffers.
+//
+// A Span constructed with a null tracer is fully inert: no clock reads, no
+// allocation, nothing (verified by tests/obs/test_obs.cpp).
+//
+// write_chrome_trace emits the Chrome trace_event "X" (complete-event) array
+// format, loadable in chrome://tracing and https://ui.perfetto.dev. Call it
+// only after the threads that recorded spans have quiesced (joined or
+// barriered) — the exporter takes the registration lock but does not stop
+// concurrent writers mid-span.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/timer.hpp"
+
+namespace udb::obs {
+
+// Trace "process" id for the calling thread; distributed drivers set it to
+// the simulated rank so Perfetto groups tracks per rank. Returns the previous
+// value so scoped callers can restore it. Default 0.
+int set_trace_pid(int pid);
+int trace_pid();
+
+struct TraceEvent {
+  const char* name;        // static string (span names are literals)
+  std::uint64_t start_ns;  // steady clock, relative to tracer construction
+  std::uint64_t dur_ns;
+  double cpu_seconds;      // thread CPU time spent inside the span
+  std::uint32_t tid;       // sequential tracer-local thread id
+  std::int32_t pid;        // trace pid at record time (simulated rank)
+};
+
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Snapshot of all completed spans, ordered by (registration order, record
+  // order within a thread). Call after writers quiesce for a complete view.
+  std::vector<TraceEvent> events() const;
+
+  // Writes the Chrome trace_event JSON array format. Returns a Status so CLI
+  // callers can surface I/O failures.
+  Status write_chrome_trace(const std::string& path) const;
+
+  std::uint64_t now_ns() const;  // steady ns since tracer construction
+
+ private:
+  friend class Span;
+
+  struct alignas(64) ThreadBuf {
+    std::vector<TraceEvent> events;
+    std::uint32_t tid = 0;
+  };
+
+  ThreadBuf& buf();
+  ThreadBuf& register_buf();
+
+  void record(const char* name, std::uint64_t start_ns, double cpu0) {
+    const std::uint64_t end = now_ns();
+    ThreadBuf& b = buf();
+    b.events.push_back(TraceEvent{name, start_ns, end - start_ns,
+                                  ThreadCpuTimer::now() - cpu0, b.tid,
+                                  trace_pid()});
+  }
+
+  const std::uint64_t id_;  // process-unique, never reused (TLS cache key)
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex reg_mu_;
+  std::deque<ThreadBuf> bufs_;
+};
+
+// RAII span. Null tracer => every member is a no-op (and the constructor
+// touches no clock), so instrumentation sites cost one branch when tracing
+// is off.
+class Span {
+ public:
+  Span(Tracer* tracer, const char* name)
+      : tracer_(tracer), name_(name) {
+    if (tracer_ != nullptr) {
+      start_ns_ = tracer_->now_ns();
+      cpu0_ = ThreadCpuTimer::now();
+    }
+  }
+  ~Span() { end(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Ends the span early (idempotent).
+  void end() {
+    if (tracer_ == nullptr) return;
+    tracer_->record(name_, start_ns_, cpu0_);
+    tracer_ = nullptr;
+  }
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+  double cpu0_ = 0.0;
+};
+
+}  // namespace udb::obs

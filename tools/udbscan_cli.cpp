@@ -22,6 +22,12 @@
 // and exits with code 4 (a second Ctrl-C force-kills). --quarantine skips
 // malformed input rows (reported) instead of failing on the first one.
 //
+// Observability (docs/OBSERVABILITY.md): --trace-out writes a Chrome
+// trace_event JSON of the run's spans (load into Perfetto), --metrics-out
+// writes the structured run report (query-avoidance ledger, µR-tree
+// internals, histograms, per-rank comm stats), --log-level raises/lowers the
+// stderr structured-log threshold (default warn).
+//
 // Exit codes: 0 ok (including a degraded/approximate result), 1 usage or
 // input error, 2 missing required flags, 3 deadline/budget exceeded under
 // --on-budget fail, 4 cancelled.
@@ -45,6 +51,10 @@
 #include "core/kdist.hpp"
 #include "core/mudbscan.hpp"
 #include "dist/mudbscan_d.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 
 using namespace udb;
 
@@ -92,7 +102,18 @@ int main(int argc, char** argv) {
     const std::int64_t budget_mb =
         cli.get_int_at_least("mem-budget-mb", 0, 0);
     const std::string on_budget_str = cli.get_string("on-budget", "fail");
+    const std::string trace_out = cli.get_string("trace-out", "");
+    const std::string metrics_out = cli.get_string("metrics-out", "");
+    const std::string log_level_str = cli.get_string("log-level", "");
     cli.check_unused();
+
+    if (!log_level_str.empty()) {
+      auto lvl = obs::parse_log_level(log_level_str);
+      if (!lvl.ok())
+        throw std::invalid_argument("--log-level: " +
+                                    lvl.status().to_string());
+      obs::set_log_level(lvl.value());
+    }
 
     if (threads_raw > 1 && algo != "mudbscan")
       throw std::invalid_argument(
@@ -117,6 +138,8 @@ int main(int argc, char** argv) {
                    "[--eps E] [--minpts M] [--threads T] [--ranks P] "
                    "[--deadline-ms MS] [--mem-budget-mb MB] "
                    "[--on-budget fail|degrade] [--quarantine] "
+                   "[--trace-out trace.json] [--metrics-out report.json] "
+                   "[--log-level debug|info|warn|error|off] "
                    "[--out labels.csv]\n");
       return 2;
     }
@@ -150,9 +173,23 @@ int main(int argc, char** argv) {
     // interruptible.
     install_sigint_cancel(&guard);
 
+    // Observability sinks: spans go to `tracer` (null = fully inert), and
+    // the run report is assembled in `report` as the run unfolds.
+    obs::Tracer tracer;
+    obs::Tracer* tracer_ptr = trace_out.empty() ? nullptr : &tracer;
+    obs::RunReportInputs report;
+    report.algo = algo;
+    report.n = data.size();
+    report.dim = data.dim();
+    report.eps = eps;
+    report.min_pts = min_pts;
+    report.threads = static_cast<unsigned>(threads_raw);
+    report.ranks = algo == "mudbscan-d" ? ranks : 1;
+
     WallTimer timer;
     ClusteringResult result;
     MuDbscanStats mu_stats;
+    obs::MetricsRegistry baseline_metrics;  // for the non-guarded algorithms
     bool approximate = false;
     if (algo == "mudbscan" || algo == "mudbscan-d") {
       GuardedRunOptions opts;
@@ -162,6 +199,7 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(budget_mb) * 1024 * 1024;
       opts.on_budget = on_budget;
       opts.mu.num_threads = static_cast<unsigned>(threads_raw);
+      opts.mu.tracer = tracer_ptr;
       opts.ranks = algo == "mudbscan-d" ? ranks : 1;
       auto run = run_guarded(data, params, opts, &guard);
       if (!run.ok()) {
@@ -183,18 +221,60 @@ int main(int argc, char** argv) {
         std::printf("guarded memory peak: %.1f MB of %lld MB budget\n",
                     static_cast<double>(rep.mem_peak_bytes) / (1024.0 * 1024.0),
                     static_cast<long long>(budget_mb));
+      report.approximate = rep.approximate;
+      report.metrics = std::move(rep.metrics);
+      for (const auto& w : rep.workers)
+        report.workers.push_back({w.busy_seconds, w.jobs});
+      report.has_guard = true;
+      report.mem_peak_bytes = rep.mem_peak_bytes;
+      report.mem_budget_bytes = opts.limits.memory_budget_bytes;
+      report.deadline_seconds = opts.limits.deadline_seconds;
+      report.guard_checkpoints = rep.guard_checkpoints;
+      if (algo == "mudbscan-d") {
+        const MuDbscanDStats& d = rep.dist_stats;
+        report.phases = {{"partition", d.t_partition}, {"halo", d.t_halo},
+                         {"build_tree", d.t_tree},     {"find_reachable", d.t_reach},
+                         {"cluster", d.t_cluster},     {"post_process", d.t_post},
+                         {"merge", d.t_merge}};
+        for (const MuDbscanDRank& r : d.ranks) {
+          obs::RunReportInputs::Rank out;
+          out.rank = r.rank;
+          out.n_local = r.n_local;
+          out.n_halo = r.n_halo;
+          out.t_partition = r.t_partition;
+          out.t_halo = r.t_halo;
+          out.t_local = r.t_tree + r.t_reach + r.t_cluster + r.t_post;
+          out.t_merge = r.t_merge;
+          out.queries_performed = r.queries_performed;
+          out.msgs_sent = r.comm.msgs_sent;
+          out.bytes_sent = r.comm.bytes_sent;
+          out.msgs_recv = r.comm.msgs_recv;
+          out.bytes_recv = r.comm.bytes_recv;
+          out.retries = r.comm.retries;
+          out.timeouts = r.comm.timeouts;
+          report.rank_stats.push_back(out);
+        }
+      } else if (!approximate) {
+        report.phases = {{"build_tree", mu_stats.t_tree},
+                         {"find_reachable", mu_stats.t_reach},
+                         {"cluster", mu_stats.t_cluster},
+                         {"post_process", mu_stats.t_post}};
+      }
     } else if (algo == "rdbscan") {
-      result = r_dbscan(data, params);
+      result = r_dbscan(data, params, nullptr, &baseline_metrics);
     } else if (algo == "gdbscan") {
-      result = g_dbscan(data, params);
+      result = g_dbscan(data, params, nullptr, &baseline_metrics);
     } else if (algo == "griddbscan") {
-      result = grid_dbscan(data, params);
+      result = grid_dbscan(data, params, nullptr, &baseline_metrics);
     } else if (algo == "brute") {
-      result = brute_dbscan(data, params);
+      result = brute_dbscan(data, params, &baseline_metrics);
     } else {
       throw std::invalid_argument("unknown --algo " + algo);
     }
     const double elapsed = timer.seconds();
+    if (algo != "mudbscan" && algo != "mudbscan-d")
+      report.metrics = baseline_metrics.snapshot();
+    report.seconds = elapsed;
 
     std::printf("%s: %.3f s — %zu clusters, %zu core, %zu border, %zu noise\n",
                 algo.c_str(), elapsed, result.num_clusters(),
@@ -203,6 +283,23 @@ int main(int argc, char** argv) {
       std::printf("micro-clusters: %zu, queries saved: %.1f%%\n",
                   mu_stats.num_mcs,
                   100.0 * mu_stats.query_save_fraction(data.size()));
+    }
+    if (!trace_out.empty()) {
+      Status ts = tracer.write_chrome_trace(trace_out);
+      if (!ts.ok()) {
+        std::fprintf(stderr, "udbscan: error: %s\n", ts.to_string().c_str());
+        return 1;
+      }
+      std::printf("trace written to %s (%zu spans)\n", trace_out.c_str(),
+                  tracer.events().size());
+    }
+    if (!metrics_out.empty()) {
+      Status ms = obs::write_run_report(report, metrics_out);
+      if (!ms.ok()) {
+        std::fprintf(stderr, "udbscan: error: %s\n", ms.to_string().c_str());
+        return 1;
+      }
+      std::printf("run report written to %s\n", metrics_out.c_str());
     }
 
     if (!out_path.empty()) {
