@@ -1,0 +1,302 @@
+// Serving bench (docs/SERVING.md): sustained classify throughput and latency
+// of udbscan_serve's engine, measured end to end through the real loopback
+// TCP stack — in-process QueryServer, N concurrent client threads, each with
+// its own connection, hammering classify batches drawn from a mixed pool
+// (50% verbatim dataset points exercising the exact-match fast path, 50%
+// perturbed/new points exercising the µR-tree search path).
+//
+// Before any timing, the bench proves exactness under serving: the full
+// training set is classified through the server and every answer must equal
+// the batch clustering's label and kind. Afterwards it asserts the serve
+// classify ledger (performed + avoided_exact == classify_points) on the
+// server's own metrics snapshot — the same invariant CI's smoke job checks.
+//
+// Numbers are machine-dependent; the container this repo is developed in has
+// a single hardware thread, so client threads and server workers time-share
+// one core (hardware_threads is recorded in the JSON for interpretation).
+// Emits BENCH_serve.json with per-phase qps, p50/p99 latency, and the
+// embedded metrics snapshot. --quick shrinks everything for CI.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <random>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "core/mudbscan.hpp"
+#include "data/generators.hpp"
+#include "serve/classify_csv.hpp"
+#include "serve/client.hpp"
+#include "serve/model.hpp"
+#include "serve/server.hpp"
+
+using namespace udb;
+
+namespace {
+
+struct PhaseResult {
+  std::string name;
+  std::size_t batch = 0;
+  std::size_t clients = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t points = 0;
+  double seconds = 0.0;
+  double qps = 0.0;          // requests per second
+  double points_per_s = 0.0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p99_us = 0;
+};
+
+std::uint64_t percentile(std::vector<std::uint64_t>& v, double p) {
+  if (v.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(idx),
+                   v.end());
+  return v[idx];
+}
+
+// One timed phase: `clients` threads, each its own connection, classify
+// batches of `batch` points from the query pool for `seconds` wall.
+PhaseResult run_phase(const char* name, std::uint16_t port,
+                      const std::vector<double>& pool, std::size_t dim,
+                      std::size_t clients, std::size_t batch, double seconds) {
+  const std::size_t pool_points = pool.size() / dim;
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<std::uint64_t>> lat(clients);
+  std::vector<std::uint64_t> reqs(clients, 0), pts(clients, 0);
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = serve::Client::connect(port, 30.0);
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      // Stagger starting offsets so clients do not serve identical batches
+      // in lockstep.
+      std::size_t cursor = (c * 9973) % pool_points;
+      std::vector<double> buf(batch * dim);
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (std::size_t i = 0; i < batch; ++i) {
+          const std::size_t q = (cursor + i) % pool_points;
+          std::copy_n(pool.data() + q * dim, dim, buf.data() + i * dim);
+        }
+        cursor = (cursor + batch) % pool_points;
+        WallTimer t;
+        auto r = client->classify(buf, static_cast<std::uint32_t>(dim));
+        if (!r.ok() || r->size() != batch) {
+          failures.fetch_add(1);
+          return;
+        }
+        lat[c].push_back(static_cast<std::uint64_t>(t.seconds() * 1e6));
+        ++reqs[c];
+        pts[c] += batch;
+      }
+    });
+  }
+
+  WallTimer wall;
+  while (wall.seconds() < seconds && failures.load() == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  if (failures.load() != 0)
+    throw std::runtime_error(std::string("client failure in phase ") + name);
+
+  PhaseResult res;
+  res.name = name;
+  res.batch = batch;
+  res.clients = clients;
+  res.seconds = wall.seconds();
+  std::vector<std::uint64_t> all;
+  for (std::size_t c = 0; c < clients; ++c) {
+    res.requests += reqs[c];
+    res.points += pts[c];
+    all.insert(all.end(), lat[c].begin(), lat[c].end());
+  }
+  res.qps = static_cast<double>(res.requests) / res.seconds;
+  res.points_per_s = static_cast<double>(res.points) / res.seconds;
+  res.p50_us = percentile(all, 0.50);
+  res.p99_us = percentile(all, 0.99);
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Cli cli(argc, argv);
+    const bool quick = cli.get_bool("quick", false);
+    const auto n = static_cast<std::size_t>(
+        cli.get_int_at_least("n", quick ? 4000 : 20000, 100));
+    const auto clients = static_cast<std::size_t>(
+        cli.get_int_in_range("clients", 4, 1, 64));
+    const double seconds =
+        cli.get_positive_double("seconds", quick ? 0.5 : 3.0);
+    const double eps = cli.get_positive_double("eps", 1.5);
+    const auto min_pts = static_cast<std::uint32_t>(
+        cli.get_int_in_range("minpts", 5, 1, 1000));
+    const std::string out_path =
+        cli.get_string("out", "BENCH_serve.json");
+    cli.check_unused();
+
+    bench::header("serve_throughput — concurrent classify qps and latency",
+                  "extension: serving layer over the paper's exact model",
+                  "loopback TCP, mixed exact-match/search workload");
+
+    // ---- fit + serve ----------------------------------------------------
+    const std::size_t dim = 2;
+    const Dataset data = gen_blobs(n, dim, 24, 100.0, 1.0, 0.08, 42);
+    const DbscanParams params{eps, min_pts};
+    ClusteringResult fitted = mu_dbscan(data, params);
+    serve::ModelSnapshot snap;
+    snap.data = data;
+    snap.params = params;
+    snap.result = fitted;
+    auto model = serve::ClusterModel::build(std::move(snap));
+    if (!model.ok()) throw StatusError(model.status());
+
+    serve::ServerConfig scfg;
+    scfg.pool_threads = 2;
+    serve::QueryServer server(*model, scfg);
+    if (Status st = server.start(); !st.ok()) throw StatusError(st);
+    bench::row("model: n = %zu, %zu clusters; serving on 127.0.0.1:%u",
+               data.size(), (*model)->num_clusters(),
+               static_cast<unsigned>(server.port()));
+
+    // ---- exactness under serving ---------------------------------------
+    // Every dataset point classified through the server must reproduce the
+    // batch clustering bit-for-bit (label AND kind).
+    {
+      auto client = serve::Client::connect(server.port(), 30.0);
+      if (!client.ok()) throw StatusError(client.status());
+      const std::size_t chunk = 1000;
+      std::size_t checked = 0;
+      for (std::size_t base = 0; base < n; base += chunk) {
+        const std::size_t cnt = std::min(chunk, n - base);
+        auto r = client->classify(
+            {data.raw().data() + base * dim, cnt * dim},
+            static_cast<std::uint32_t>(dim));
+        if (!r.ok()) throw StatusError(r.status());
+        for (std::size_t i = 0; i < cnt; ++i) {
+          const auto id = static_cast<PointId>(base + i);
+          if ((*r)[i].label != fitted.label[id] ||
+              (*r)[i].kind != fitted.kind(id))
+            throw std::runtime_error(
+                "EXACTNESS VIOLATION: served classify of dataset point " +
+                std::to_string(id) + " diverged from the batch clustering");
+          ++checked;
+        }
+      }
+      bench::row("exactness: %zu/%zu served self-classifications match the "
+                 "batch clustering",
+                 checked, n);
+    }
+
+    // ---- query pool: 50%% verbatim points, 50%% perturbed/new ----------
+    std::vector<double> pool;
+    {
+      std::mt19937_64 rng(7);
+      std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+      std::normal_distribution<double> jitter(0.0, eps);
+      const std::size_t pool_points = 4096;
+      pool.reserve(pool_points * dim);
+      for (std::size_t i = 0; i < pool_points; ++i) {
+        const double* p = data.ptr(static_cast<PointId>(pick(rng)));
+        for (std::size_t a = 0; a < dim; ++a) {
+          const double v = p[a];
+          pool.push_back(i % 2 == 0 ? v : v + jitter(rng));
+        }
+      }
+    }
+
+    // ---- timed phases ---------------------------------------------------
+    std::vector<PhaseResult> phases;
+    bench::row("%16s | %7s %6s | %9s %12s %9s %9s", "phase", "clients",
+               "batch", "req/s", "points/s", "p50(us)", "p99(us)");
+    bench::rule();
+    const struct {
+      const char* name;
+      std::size_t batch;
+    } kPhases[] = {
+        {"single_point", 1},
+        {"batch_64", 64},
+        {"batch_1024_pool", 1024},  // over the pool threshold: pooled fanout
+    };
+    for (const auto& ph : kPhases) {
+      PhaseResult r = run_phase(ph.name, server.port(), pool, dim, clients,
+                                ph.batch, seconds);
+      bench::row("%16s | %7zu %6zu | %9.0f %12.0f %9llu %9llu",
+                 r.name.c_str(), r.clients, r.batch, r.qps, r.points_per_s,
+                 static_cast<unsigned long long>(r.p50_us),
+                 static_cast<unsigned long long>(r.p99_us));
+      phases.push_back(std::move(r));
+    }
+    bench::rule();
+
+    // ---- ledger invariant ----------------------------------------------
+    const obs::MetricsSnapshot ms = server.metrics().snapshot();
+    const std::uint64_t cls =
+        ms.counter(obs::Counter::kServeClassifyPoints);
+    const std::uint64_t performed =
+        ms.counter(obs::Counter::kServeClassifyPerformed);
+    const std::uint64_t avoided =
+        ms.counter(obs::Counter::kServeClassifyAvoidedExact);
+    const bool ledger_ok = performed + avoided == cls;
+    bench::row("serve ledger: %llu classified = %llu performed + %llu "
+               "avoided_exact — %s",
+               static_cast<unsigned long long>(cls),
+               static_cast<unsigned long long>(performed),
+               static_cast<unsigned long long>(avoided),
+               ledger_ok ? "holds" : "VIOLATED");
+    server.stop();
+    if (!ledger_ok) return 1;
+
+    // ---- JSON -----------------------------------------------------------
+    std::ofstream out(out_path);
+    if (!out) throw std::runtime_error("cannot open " + out_path);
+    out << "{\n"
+        << "  \"bench\": \"serve_throughput\",\n"
+        << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+        << ",\n"
+        << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+        << "  \"n\": " << n << ",\n"
+        << "  \"dim\": " << dim << ",\n"
+        << "  \"eps\": " << eps << ",\n"
+        << "  \"min_pts\": " << min_pts << ",\n"
+        << "  \"clients\": " << clients << ",\n"
+        << "  \"exactness_checked_points\": " << n << ",\n"
+        << "  \"phases\": [\n";
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+      const PhaseResult& r = phases[i];
+      out << "    {\"name\": \"" << r.name << "\", \"clients\": " << r.clients
+          << ", \"batch\": " << r.batch << ", \"requests\": " << r.requests
+          << ", \"points\": " << r.points << ", \"seconds\": " << r.seconds
+          << ", \"qps\": " << r.qps << ", \"points_per_s\": " << r.points_per_s
+          << ", \"p50_us\": " << r.p50_us << ", \"p99_us\": " << r.p99_us
+          << "}" << (i + 1 < phases.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n"
+        << "  \"serve_ledger\": {\"classify_points\": " << cls
+        << ", \"performed\": " << performed << ", \"avoided_exact\": "
+        << avoided << ", \"holds\": " << (ledger_ok ? "true" : "false")
+        << "},\n"
+        << "  \"metrics\": " << bench::metrics_json_object(ms, 0) << "\n"
+        << "}\n";
+    bench::row("json written to %s", out_path.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve_throughput: error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,182 @@
+#!/usr/bin/env bash
+# Serving-pipeline smoke, meant to run under ASan/LSan (see
+# .github/workflows/ci.yml). Drives the whole model-serving story through
+# the real binaries: fit -> snapshot -> serve over loopback TCP -> mixed
+# queries from the CLI client (deliberate protocol garbage included) ->
+# byte-level diff of served vs offline answers -> stats document validation,
+# including the serving classify ledger (docs/SERVING.md):
+#
+#   serve_classify_performed + serve_classify_avoided_exact
+#       == serve_classify_points
+#
+# The contract: exact answers, clean errors, no crash, no leak, no hang.
+#
+# Usage: ci/serving_smoke.sh <build-dir>
+set -u
+
+BUILD=${1:?usage: serving_smoke.sh <build-dir>}
+CLI="$BUILD/tools/udbscan"
+SERVE="$BUILD/tools/udbscan_serve"
+QUERY="$BUILD/tools/udbscan_query"
+MKDATA="$BUILD/tools/make_dataset"
+TMP=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+  [ -n "$SERVER_PID" ] && wait "$SERVER_PID" 2>/dev/null
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+FAILURES=0
+
+expect_ok() {
+  local name=$1
+  shift
+  timeout 120 "$@" >"$TMP/out" 2>&1
+  local got=$?
+  if [ "$got" -ne 0 ]; then
+    echo "FAIL [$name]: expected exit 0, got $got"
+    sed 's/^/    /' "$TMP/out"
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok   [$name]"
+  fi
+}
+
+expect_fail() {
+  local name=$1 want=$2
+  shift 2
+  timeout 60 "$@" >"$TMP/out" 2>&1
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL [$name]: expected exit $want, got $got"
+    sed 's/^/    /' "$TMP/out"
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok   [$name] (exit $got)"
+  fi
+}
+
+# ---- fit and snapshot -----------------------------------------------------
+expect_ok make-data "$MKDATA" --gen blobs --n 4000 --dim 2 --seed 7 \
+  --out "$TMP/pts.csv"
+expect_ok fit-snapshot "$CLI" --input "$TMP/pts.csv" --eps 3 --minpts 5 \
+  --snapshot-out "$TMP/model.udbm"
+
+# Mixed query set: dataset points (must ride the exact-match fast path) plus
+# hand-written novel points (border-candidate rule).
+head -n 500 "$TMP/pts.csv" > "$TMP/queries.csv"
+printf '%s\n' "0.05,0.05" "123456.0,-98765.0" "50.0,50.0" \
+  >> "$TMP/queries.csv"
+
+# Offline answers straight from the snapshot — the reference for the diff.
+expect_ok offline-classify "$CLI" --snapshot-in "$TMP/model.udbm" \
+  --classify "$TMP/queries.csv" --out "$TMP/offline.csv"
+
+# ---- serve ---------------------------------------------------------------
+"$SERVE" --snapshot "$TMP/model.udbm" --max-seconds 300 \
+  --stats-out "$TMP/stats.json" > "$TMP/serve.out" 2>&1 &
+SERVER_PID=$!
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(grep -oE '127\.0\.0\.1:[0-9]+' "$TMP/serve.out" 2>/dev/null |
+    head -n1 | cut -d: -f2)
+  [ -n "$PORT" ] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "FAIL [serve-start]: server died before binding"
+    sed 's/^/    /' "$TMP/serve.out"
+    exit 1
+  fi
+  sleep 0.2
+done
+if [ -z "$PORT" ]; then
+  echo "FAIL [serve-start]: no port line within 20s"
+  sed 's/^/    /' "$TMP/serve.out"
+  exit 1
+fi
+echo "ok   [serve-start] (port $PORT)"
+
+expect_ok ping "$QUERY" --port "$PORT" --ping
+expect_ok model-info "$QUERY" --port "$PORT" --model-info
+expect_ok point-info "$QUERY" --port "$PORT" --point-info 0
+expect_ok neighbors "$QUERY" --port "$PORT" --neighbors 0.5,0.5 --radius 3
+
+# Served answers must be byte-identical to the offline ones.
+expect_ok served-classify "$QUERY" --port "$PORT" \
+  --classify "$TMP/queries.csv" --out "$TMP/served.csv"
+if diff -q "$TMP/offline.csv" "$TMP/served.csv" >/dev/null 2>&1; then
+  echo "ok   [served-vs-offline-diff]"
+else
+  echo "FAIL [served-vs-offline-diff]: served answers differ from offline"
+  diff "$TMP/offline.csv" "$TMP/served.csv" | head -20 | sed 's/^/    /'
+  FAILURES=$((FAILURES + 1))
+fi
+
+# The whole training set must classify as exact matches.
+timeout 120 "$QUERY" --port "$PORT" --classify "$TMP/pts.csv" \
+  >"$TMP/self.out" 2>&1
+if grep -q "(4000 exact matches)" "$TMP/self.out"; then
+  echo "ok   [self-classify-exact]"
+else
+  echo "FAIL [self-classify-exact]: not every dataset point matched exactly"
+  tail -3 "$TMP/self.out" | sed 's/^/    /'
+  FAILURES=$((FAILURES + 1))
+fi
+
+# Protocol abuse: malformed frames get clean errors and the server survives.
+expect_ok garbage "$QUERY" --port "$PORT" --garbage 12
+
+# A clean request must still work after the abuse.
+expect_ok ping-after-garbage "$QUERY" --port "$PORT" --ping
+
+# Live stats must be valid JSON with a balanced classify ledger.
+expect_ok stats-fetch "$QUERY" --port "$PORT" --stats \
+  --out "$TMP/live_stats.json"
+if python3 - "$TMP/live_stats.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema_version"] == 1, doc
+ledger = doc["serve_ledger"]
+assert ledger["performed"] + ledger["avoided_exact"] \
+    == ledger["classify_points"], ledger
+assert ledger["classify_points"] > 0, ledger
+assert doc["model"]["n"] == 4000, doc["model"]
+EOF
+then
+  echo "ok   [stats-ledger]"
+else
+  echo "FAIL [stats-ledger]: invalid stats document or unbalanced ledger"
+  FAILURES=$((FAILURES + 1))
+fi
+
+# ---- graceful shutdown ----------------------------------------------------
+kill -TERM "$SERVER_PID"
+if wait "$SERVER_PID"; then
+  echo "ok   [graceful-shutdown]"
+else
+  echo "FAIL [graceful-shutdown]: server exited non-zero on SIGTERM"
+  sed 's/^/    /' "$TMP/serve.out"
+  FAILURES=$((FAILURES + 1))
+fi
+SERVER_PID=""
+expect_ok shutdown-stats python3 -m json.tool "$TMP/stats.json"
+
+# ---- corrupted snapshots must be refused, not served ----------------------
+head -c 100 "$TMP/model.udbm" > "$TMP/truncated.udbm"
+expect_fail serve-truncated-snapshot 1 "$SERVE" \
+  --snapshot "$TMP/truncated.udbm"
+printf 'XXXX' | cat - "$TMP/model.udbm" | head -c "$(stat -c%s \
+  "$TMP/model.udbm")" > "$TMP/badmagic.udbm"
+expect_fail serve-badmagic-snapshot 1 "$SERVE" \
+  --snapshot "$TMP/badmagic.udbm"
+expect_fail serve-missing-snapshot 1 "$SERVE" \
+  --snapshot "$TMP/nonexistent.udbm"
+expect_fail offline-truncated-snapshot 1 "$CLI" \
+  --snapshot-in "$TMP/truncated.udbm" --classify "$TMP/queries.csv"
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES serving smoke failure(s)"
+  exit 1
+fi
+echo "serving smoke: all checks passed"

@@ -202,6 +202,35 @@ void MuRTree::query_neighborhood(
                      [&out](PointId id, double d2) { out.emplace_back(id, d2); });
 }
 
+void MuRTree::query_neighborhood(
+    std::span<const double> q, double radius,
+    const std::function<void(PointId, double)>& fn) const {
+  if (q.size() != ds_->dim())
+    throw std::invalid_argument("MuRTree::query_neighborhood: wrong dimension");
+  // Candidate MCs: centres within radius + eps (<=, so a member exactly at
+  // `radius` whose centre sits at the bound is never missed).
+  std::vector<PointId> centers;
+  level1_.query_ball(q, radius + eps_, centers, /*strict=*/false);
+  for (PointId r : centers) {
+    if (!aux_[r].root_mbr().overlaps_ball(q, radius)) continue;
+    aux_searched_.fetch_add(1, std::memory_order_relaxed);
+    aux_[r].visit_ball(
+        q, radius,
+        [&fn](PointId id, double d2) {
+          fn(id, d2);
+          return true;
+        },
+        /*strict=*/true);
+  }
+}
+
+void MuRTree::query_neighborhood(
+    std::span<const double> q, double radius,
+    std::vector<std::pair<PointId, double>>& out) const {
+  query_neighborhood(q, radius,
+                     [&out](PointId id, double d2) { out.emplace_back(id, d2); });
+}
+
 MuRTree::IndexCounters MuRTree::index_counters() const {
   IndexCounters c;
   c.node_visits = level1_.node_visits();

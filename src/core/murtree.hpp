@@ -99,6 +99,18 @@ class MuRTree {
   void query_neighborhood(PointId p, double radius,
                           std::vector<std::pair<PointId, double>>& out) const;
 
+  // Exact radius-neighborhood of an *arbitrary* query position (not
+  // necessarily a dataset point) — the serving layer's entry point
+  // (src/serve/). Every member within `radius` of q belongs to an MC whose
+  // centre lies within radius + eps of q (member-to-centre distance is
+  // strictly < eps), so searching the AuxR-trees of those centres — with the
+  // same MBR filtration as the by-id query — is exact for any radius.
+  // Thread-safe: reads immutable structure, touches only atomic counters.
+  void query_neighborhood(std::span<const double> q, double radius,
+                          const std::function<void(PointId, double)>& fn) const;
+  void query_neighborhood(std::span<const double> q, double radius,
+                          std::vector<std::pair<PointId, double>>& out) const;
+
   // Number of MCs whose AuxR-tree was actually searched across all
   // query_neighborhood calls (for the filtration ablation). Atomic so
   // concurrent queries from the parallel engine stay race-free.

@@ -79,18 +79,35 @@ std::size_t StreamingMuDbscan::guaranteed_core_lower_bound() const noexcept {
   return cores;
 }
 
+void StreamingMuDbscan::materialize() {
+  if (!materialized_) materialized_.emplace(Dataset::empty(dim_));
+  if (materialized_count_ == count_) return;
+  // Append only the points ingested since the previous materialization,
+  // chunk-contiguous run by run (the prefix already in the buffer is
+  // immutable: chunks are append-only and insertion order never changes).
+  materialized_->reserve(count_);
+  std::size_t i = materialized_count_;
+  while (i < count_) {
+    const std::size_t run_end =
+        std::min(count_, (i / kChunkPoints + 1) * kChunkPoints);
+    materialized_->append_raw(
+        {stored_ptr(static_cast<PointId>(i)), (run_end - i) * dim_});
+    i = run_end;
+  }
+  materialized_count_ = count_;
+}
+
+const Dataset& StreamingMuDbscan::dataset() {
+  materialize();
+  return *materialized_;
+}
+
 const ClusteringResult& StreamingMuDbscan::result() {
   if (!cached_) {
-    // Materialize the ingested points in insertion order and run the exact
-    // batch algorithm (offline phase). Reusing the online MC partition here
-    // would be possible but buys little: phases 2-4 dominate.
-    std::vector<double> coords;
-    coords.reserve(count_ * dim_);
-    for (PointId i = 0; i < count_; ++i) {
-      const double* p = stored_ptr(i);
-      coords.insert(coords.end(), p, p + dim_);
-    }
-    materialized_.emplace(dim_, std::move(coords));
+    // Bring the contiguous view up to date and run the exact batch algorithm
+    // (offline phase). Reusing the online MC partition here would be
+    // possible but buys little: phases 2-4 dominate.
+    materialize();
     cached_.emplace(mu_dbscan(*materialized_, params_, &stats_, cfg_));
   }
   return *cached_;

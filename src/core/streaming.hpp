@@ -40,6 +40,8 @@ class StreamingMuDbscan {
 
   [[nodiscard]] std::size_t size() const noexcept { return count_; }
   [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] const DbscanParams& params() const noexcept { return params_; }
+  [[nodiscard]] const MuDbscanConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] std::size_t num_mcs() const noexcept {
     return mc_sizes_.size();
   }
@@ -57,8 +59,15 @@ class StreamingMuDbscan {
   const ClusteringResult& result();
   [[nodiscard]] const MuDbscanStats& last_stats() const { return stats_; }
 
+  // The ingested points as one contiguous Dataset in insertion order —
+  // the point set result() clustered. Materializes (incrementally: only
+  // points ingested since the previous materialization are appended to the
+  // cached buffer) but does not trigger the offline clustering.
+  const Dataset& dataset();
+
  private:
   [[nodiscard]] const double* stored_ptr(PointId id) const noexcept;
+  void materialize();
 
   std::size_t dim_;
   DbscanParams params_;
@@ -75,9 +84,12 @@ class StreamingMuDbscan {
   std::vector<std::uint32_t> mc_ic_;     // strict inner-circle counts
   std::vector<PointId> mc_center_;       // centre point id per MC
 
-  // Offline cache.
+  // Offline cache. materialized_ holds the first materialized_count_ ingested
+  // points and only ever grows — a recompute appends the chunks added since
+  // the previous materialization instead of rebuilding the whole buffer.
   std::optional<ClusteringResult> cached_;
   std::optional<Dataset> materialized_;
+  std::size_t materialized_count_ = 0;
   MuDbscanStats stats_;
 };
 

@@ -31,6 +31,16 @@ const char* counter_name(Counter c) {
     case Counter::kAuxTreesSearched: return "aux_trees_searched";
     case Counter::kRtreeNodeVisits: return "rtree_node_visits";
     case Counter::kRtreeDistanceEvals: return "rtree_distance_evals";
+    case Counter::kServeRequests: return "serve_requests";
+    case Counter::kServeErrors: return "serve_errors";
+    case Counter::kServeDeadlineExceeded: return "serve_deadline_exceeded";
+    case Counter::kServeClassifyPoints: return "serve_classify_points";
+    case Counter::kServeClassifyPerformed: return "serve_classify_performed";
+    case Counter::kServeClassifyAvoidedExact:
+      return "serve_classify_avoided_exact";
+    case Counter::kServeNeighborQueries: return "serve_neighbor_queries";
+    case Counter::kServePointInfoLookups: return "serve_point_info_lookups";
+    case Counter::kServeModelRefreshes: return "serve_model_refreshes";
     case Counter::kNumCounters: break;
   }
   return "unknown";
@@ -60,6 +70,17 @@ const char* counter_unit(Counter c) {
     case Counter::kUnionCalls: return "calls";
     case Counter::kAuxTreesSearched: return "descents";
     case Counter::kRtreeNodeVisits: return "nodes";
+    case Counter::kServeRequests:
+    case Counter::kServeErrors:
+    case Counter::kServeDeadlineExceeded:
+      return "requests";
+    case Counter::kServeClassifyPoints:
+    case Counter::kServeClassifyPerformed:
+    case Counter::kServeClassifyAvoidedExact:
+    case Counter::kServePointInfoLookups:
+      return "points";
+    case Counter::kServeNeighborQueries: return "queries";
+    case Counter::kServeModelRefreshes: return "swaps";
     case Counter::kNumCounters: break;
   }
   return "";
@@ -71,6 +92,8 @@ const char* hist_name(Hist h) {
     case Hist::kReachableLen: return "reachable_list_len";
     case Hist::kMcSize: return "mc_size";
     case Hist::kCheckpointGapUs: return "checkpoint_gap_us";
+    case Hist::kServeRequestUs: return "serve_request_us";
+    case Hist::kServeBatchSize: return "serve_batch_size";
     case Hist::kNumHists: break;
   }
   return "unknown";
@@ -82,6 +105,8 @@ const char* hist_unit(Hist h) {
     case Hist::kReachableLen: return "micro-clusters";
     case Hist::kMcSize: return "points";
     case Hist::kCheckpointGapUs: return "microseconds";
+    case Hist::kServeRequestUs: return "microseconds";
+    case Hist::kServeBatchSize: return "points";
     case Hist::kNumHists: break;
   }
   return "";

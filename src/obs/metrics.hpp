@@ -71,6 +71,22 @@ enum class Counter : std::uint32_t {
   kRtreeNodeVisits,            // R-tree nodes popped (level-1 + aux combined)
   kRtreeDistanceEvals,         // leaf point-distance evaluations
 
+  // Serving layer (src/serve/, docs/SERVING.md). The classify ledger mirrors
+  // the engine's query-avoidance ledger: every classify answer is produced
+  // either by a muR-tree neighborhood search (performed) or by the
+  // exact-match fast path (avoided), so at any quiesced snapshot
+  //   kServeClassifyPerformed + kServeClassifyAvoidedExact
+  //     == kServeClassifyPoints.
+  kServeRequests,              // protocol requests handled (all types)
+  kServeErrors,                // requests answered with a non-OK status
+  kServeDeadlineExceeded,      // requests aborted by the per-request deadline
+  kServeClassifyPoints,        // classify answers produced
+  kServeClassifyPerformed,     // ... via a muR-tree neighborhood search
+  kServeClassifyAvoidedExact,  // ... via the exact-match fast path
+  kServeNeighborQueries,       // neighbors() searches run
+  kServePointInfoLookups,      // point_info answers produced
+  kServeModelRefreshes,        // served-model swaps (refresh())
+
   kNumCounters,
 };
 
@@ -79,6 +95,8 @@ enum class Hist : std::uint32_t {
   kReachableLen,       // reachable-MC list length per micro-cluster
   kMcSize,             // micro-cluster population
   kCheckpointGapUs,    // microseconds between RunGuard cooperative checkpoints
+  kServeRequestUs,     // serving: wall microseconds per protocol request
+  kServeBatchSize,     // serving: points per classify batch request
   kNumHists,
 };
 

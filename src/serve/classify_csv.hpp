@@ -1,0 +1,37 @@
+// The one canonical text rendering of a classify answer, shared by
+// `udbscan --snapshot-in --classify` (offline) and `udbscan_query --classify`
+// (served) — CI diffs the two outputs byte-for-byte, so the format lives in
+// exactly one place.
+
+#pragma once
+
+#include <string>
+
+#include "serve/model.hpp"
+
+namespace udb::serve {
+
+[[nodiscard]] inline const char* kind_name(PointKind k) {
+  switch (k) {
+    case PointKind::Core: return "core";
+    case PointKind::Border: return "border";
+    case PointKind::Noise: return "noise";
+  }
+  return "unknown";
+}
+
+inline constexpr const char* kClassifyCsvHeader =
+    "# label,kind,exact_match,would_be_core,neighbors";
+
+[[nodiscard]] inline std::string classify_csv_row(const Classify& c) {
+  std::string row = std::to_string(c.label);
+  row += ',';
+  row += kind_name(c.kind);
+  row += c.exact_match ? ",1," : ",0,";
+  row += c.would_be_core ? '1' : '0';
+  row += ',';
+  row += std::to_string(c.neighbors);
+  return row;
+}
+
+}  // namespace udb::serve

@@ -1,0 +1,57 @@
+// Client — the typed counterpart of QueryServer: one blocking TCP connection
+// to 127.0.0.1:<port>, one request/response frame pair per call. Safe to use
+// from one thread at a time (the bench opens one Client per worker thread).
+// send_raw() bypasses the codec so tests and the CI smoke job can feed the
+// server deliberately garbage frames.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
+
+namespace udb::serve {
+
+class Client {
+ public:
+  // `timeout_seconds` bounds connect and every subsequent send/recv.
+  [[nodiscard]] static StatusOr<Client> connect(std::uint16_t port,
+                                                double timeout_seconds = 5.0);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  // One frame out, one frame back. A transport failure comes back as the
+  // Status; a server-side error comes back as an OK StatusOr whose Response
+  // carries code != kOk (call resp.to_status()).
+  [[nodiscard]] StatusOr<Response> roundtrip(const Request& req);
+
+  // Typed conveniences. These fold the server-side error into the Status, so
+  // callers see exactly one failure channel.
+  [[nodiscard]] Status ping();
+  [[nodiscard]] StatusOr<std::vector<Classify>> classify(
+      std::span<const double> coords, std::uint32_t dim);
+  [[nodiscard]] StatusOr<std::vector<std::pair<std::uint64_t, double>>>
+  neighbors(std::span<const double> q, double radius);
+  [[nodiscard]] StatusOr<PointInfo> point_info(std::uint64_t id);
+  [[nodiscard]] StatusOr<std::string> stats_json();
+  [[nodiscard]] StatusOr<ModelInfo> model_info();
+
+  // Test hook: ships an arbitrary frame body and returns the server's raw
+  // answer (decoded if possible).
+  [[nodiscard]] StatusOr<Response> raw_roundtrip(
+      std::span<const std::uint8_t> body);
+
+ private:
+  explicit Client(Socket s) : sock_(std::move(s)) {}
+
+  Socket sock_;
+};
+
+}  // namespace udb::serve

@@ -1,0 +1,182 @@
+#include "serve/net.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include "serve/protocol.hpp"
+
+namespace udb::serve {
+
+namespace {
+
+Status errno_status(const char* what) {
+  return UnavailableError(std::string(what) + ": " + std::strerror(errno));
+}
+
+// Full-buffer send, EINTR-safe. MSG_NOSIGNAL: a peer that hung up yields
+// EPIPE (a Status) instead of killing the process with SIGPIPE.
+Status write_all(int fd, const std::uint8_t* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("send failed");
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return Status::Ok();
+}
+
+// Full-buffer recv. `eof_ok` distinguishes a clean close at a frame boundary
+// (UNAVAILABLE "connection closed") from truncation mid-frame (DATA_LOSS).
+Status read_all(int fd, std::uint8_t* p, std::size_t n, bool eof_ok) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("recv failed");
+    }
+    if (r == 0) {
+      if (eof_ok && got == 0)
+        return UnavailableError("connection closed");
+      return DataLossError("connection closed mid-frame (" +
+                           std::to_string(got) + " of " + std::to_string(n) +
+                           " bytes)");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+StatusOr<Socket> listen_loopback(std::uint16_t port,
+                                 std::uint16_t& bound_port) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) return errno_status("socket failed");
+  const int one = 1;
+  (void)::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0)
+    return errno_status("bind failed");
+  if (::listen(s.fd(), SOMAXCONN) != 0) return errno_status("listen failed");
+
+  socklen_t len = sizeof addr;
+  if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    return errno_status("getsockname failed");
+  bound_port = ntohs(addr.sin_port);
+  return s;
+}
+
+StatusOr<Socket> accept_connection(const Socket& listener) {
+  for (;;) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket s(fd);
+      const int one = 1;
+      (void)::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return s;
+    }
+    if (errno == EINTR) continue;
+    return errno_status("accept failed");
+  }
+}
+
+StatusOr<Socket> connect_loopback(std::uint16_t port, double timeout_seconds) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) return errno_status("socket failed");
+
+  if (timeout_seconds > 0.0 && std::isfinite(timeout_seconds)) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout_seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (timeout_seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    (void)::setsockopt(s.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    (void)::setsockopt(s.fd(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  int rc;
+  do {
+    rc = ::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0)
+    return UnavailableError("connect to 127.0.0.1:" + std::to_string(port) +
+                            " failed: " + std::strerror(errno));
+  const int one = 1;
+  (void)::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return s;
+}
+
+Status write_frame(const Socket& s, std::span<const std::uint8_t> body) {
+  if (body.size() > kMaxFrameBytes)
+    return InvalidArgumentError("write_frame: body of " +
+                                std::to_string(body.size()) +
+                                " bytes exceeds the frame limit");
+  const auto len = static_cast<std::uint32_t>(body.size());
+  std::uint8_t prefix[4];
+  std::memcpy(prefix, &len, sizeof prefix);
+  if (Status st = write_all(s.fd(), prefix, sizeof prefix); !st.ok())
+    return st;
+  return write_all(s.fd(), body.data(), body.size());
+}
+
+StatusOr<std::vector<std::uint8_t>> read_frame(const Socket& s) {
+  std::uint8_t prefix[4];
+  if (Status st = read_all(s.fd(), prefix, sizeof prefix, /*eof_ok=*/true);
+      !st.ok())
+    return st;
+  std::uint32_t len = 0;
+  std::memcpy(&len, prefix, sizeof len);
+  if (len > kMaxFrameBytes)
+    return DataLossError("read_frame: length prefix of " +
+                         std::to_string(len) +
+                         " bytes exceeds the frame limit of " +
+                         std::to_string(kMaxFrameBytes));
+  std::vector<std::uint8_t> body(len);
+  if (len > 0)
+    if (Status st = read_all(s.fd(), body.data(), len, /*eof_ok=*/false);
+        !st.ok())
+      return st;
+  return body;
+}
+
+}  // namespace udb::serve

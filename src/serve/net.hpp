@@ -1,0 +1,64 @@
+// Minimal POSIX TCP plumbing for the loopback query server: bind/accept/
+// connect plus length-prefixed frame I/O. Loopback only by design — the
+// server binds 127.0.0.1 and nothing else; exposing it beyond the host is an
+// explicit non-goal (docs/SERVING.md, operational limits).
+//
+// All calls handle EINTR and partial reads/writes; read_frame enforces
+// kMaxFrameBytes *before* allocating, so a hostile 4 GiB length prefix costs
+// nothing. Errors surface as Status (UNAVAILABLE for transport failures,
+// DATA_LOSS for oversized/short frames), never exceptions or errno leaks.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace udb::serve {
+
+// RAII socket fd (move-only).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+  // shutdown(SHUT_RDWR): unblocks any thread sitting in recv on this fd
+  // (stop path) without racing the close.
+  void shutdown_both() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+// Binds and listens on 127.0.0.1:port (port 0 = kernel-assigned ephemeral).
+// On success fills `bound_port` with the actual port.
+[[nodiscard]] StatusOr<Socket> listen_loopback(std::uint16_t port,
+                                               std::uint16_t& bound_port);
+
+// Blocking accept; UNAVAILABLE when the listener was shut down.
+[[nodiscard]] StatusOr<Socket> accept_connection(const Socket& listener);
+
+// Connects to 127.0.0.1:port; `timeout_seconds` also becomes the socket's
+// send/receive timeout (0 = no timeout).
+[[nodiscard]] StatusOr<Socket> connect_loopback(std::uint16_t port,
+                                                double timeout_seconds);
+
+// One frame = u32 length prefix + body.
+[[nodiscard]] Status write_frame(const Socket& s,
+                                 std::span<const std::uint8_t> body);
+// Reads one frame body. UNAVAILABLE with message "connection closed" on a
+// clean EOF at a frame boundary; DATA_LOSS on truncation mid-frame or a
+// length prefix above kMaxFrameBytes (see protocol.hpp).
+[[nodiscard]] StatusOr<std::vector<std::uint8_t>> read_frame(const Socket& s);
+
+}  // namespace udb::serve

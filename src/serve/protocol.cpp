@@ -1,0 +1,231 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+
+#include "serve/wire.hpp"
+
+namespace udb::serve {
+
+namespace {
+
+bool known_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(MsgType::kPing) &&
+         t <= static_cast<std::uint8_t>(MsgType::kModelInfo);
+}
+
+Status malformed(const char* what) {
+  return DataLossError(std::string("protocol: malformed frame: ") + what);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_request(const Request& req) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(req.type));
+  switch (req.type) {
+    case MsgType::kClassify:
+      w.u32(req.dim == 0
+                ? 0
+                : static_cast<std::uint32_t>(req.coords.size() / req.dim));
+      w.u32(req.dim);
+      w.raw(req.coords.data(), req.coords.size() * sizeof(double));
+      break;
+    case MsgType::kNeighbors:
+      w.f64(req.radius);
+      w.u32(req.dim);
+      w.raw(req.coords.data(), req.coords.size() * sizeof(double));
+      break;
+    case MsgType::kPointInfo:
+      w.u64(req.point_id);
+      break;
+    case MsgType::kPing:
+    case MsgType::kStats:
+    case MsgType::kModelInfo:
+      break;
+  }
+  return w.take();
+}
+
+Status decode_request(std::span<const std::uint8_t> body, Request& out) {
+  ByteReader r(body);
+  std::uint8_t type = 0;
+  if (!r.u8(type)) return malformed("empty body");
+  if (!known_type(type))
+    return malformed("unknown request type");
+  out = Request{};
+  out.type = static_cast<MsgType>(type);
+  switch (out.type) {
+    case MsgType::kClassify: {
+      std::uint32_t count = 0;
+      if (!r.u32(count) || !r.u32(out.dim))
+        return malformed("truncated classify header");
+      if (count > kMaxBatchPoints)
+        return InvalidArgumentError(
+            "protocol: classify batch of " + std::to_string(count) +
+            " points exceeds the per-request limit of " +
+            std::to_string(kMaxBatchPoints));
+      if (out.dim == 0) return malformed("classify dim 0");
+      if (!r.array(out.coords,
+                   static_cast<std::size_t>(count) * out.dim))
+        return malformed("truncated classify coordinates");
+      break;
+    }
+    case MsgType::kNeighbors:
+      if (!r.f64(out.radius) || !r.u32(out.dim))
+        return malformed("truncated neighbors header");
+      if (out.dim == 0) return malformed("neighbors dim 0");
+      if (!std::isfinite(out.radius))
+        return InvalidArgumentError("protocol: non-finite neighbors radius");
+      if (!r.array(out.coords, out.dim))
+        return malformed("truncated neighbors coordinates");
+      break;
+    case MsgType::kPointInfo:
+      if (!r.u64(out.point_id)) return malformed("truncated point_info id");
+      break;
+    case MsgType::kPing:
+    case MsgType::kStats:
+    case MsgType::kModelInfo:
+      break;
+  }
+  if (!r.done()) return malformed("trailing bytes after request");
+  for (double v : out.coords)
+    if (!std::isfinite(v))
+      return InvalidArgumentError("protocol: non-finite query coordinate");
+  return Status::Ok();
+}
+
+std::vector<std::uint8_t> encode_response(const Response& resp) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(resp.type));
+  w.u8(static_cast<std::uint8_t>(resp.code));
+  if (resp.code != StatusCode::kOk) {
+    w.u32(static_cast<std::uint32_t>(resp.error.size()));
+    w.raw(resp.error.data(), resp.error.size());
+    return w.take();
+  }
+  switch (resp.type) {
+    case MsgType::kClassify:
+      w.u32(static_cast<std::uint32_t>(resp.classify.size()));
+      for (const Classify& c : resp.classify) {
+        w.i64(c.label);
+        w.u8(static_cast<std::uint8_t>(c.kind));
+        w.u8(c.exact_match ? 1 : 0);
+        w.u8(c.would_be_core ? 1 : 0);
+        w.u32(c.neighbors);
+      }
+      break;
+    case MsgType::kNeighbors:
+      w.u32(static_cast<std::uint32_t>(resp.neighbors.size()));
+      for (const auto& [id, d2] : resp.neighbors) {
+        w.u64(id);
+        w.f64(d2);
+      }
+      break;
+    case MsgType::kPointInfo:
+      w.i64(resp.point.label);
+      w.u8(static_cast<std::uint8_t>(resp.point.kind));
+      w.u8(resp.point.is_core ? 1 : 0);
+      break;
+    case MsgType::kStats:
+      w.u32(static_cast<std::uint32_t>(resp.json.size()));
+      w.raw(resp.json.data(), resp.json.size());
+      break;
+    case MsgType::kModelInfo:
+      w.u64(resp.model.n);
+      w.u32(resp.model.dim);
+      w.f64(resp.model.eps);
+      w.u32(resp.model.min_pts);
+      w.u64(resp.model.num_clusters);
+      break;
+    case MsgType::kPing:
+      break;
+  }
+  return w.take();
+}
+
+Status decode_response(std::span<const std::uint8_t> body, Response& out) {
+  ByteReader r(body);
+  std::uint8_t type = 0, code = 0;
+  if (!r.u8(type) || !r.u8(code)) return malformed("truncated response head");
+  if (!known_type(type)) return malformed("unknown response type");
+  if (code > static_cast<std::uint8_t>(StatusCode::kInternal))
+    return malformed("unknown response status code");
+  out = Response{};
+  out.type = static_cast<MsgType>(type);
+  out.code = static_cast<StatusCode>(code);
+  if (out.code != StatusCode::kOk) {
+    std::uint32_t len = 0;
+    if (!r.u32(len) || !r.str(out.error, len))
+      return malformed("truncated error message");
+    if (!r.done()) return malformed("trailing bytes after error");
+    return Status::Ok();
+  }
+  switch (out.type) {
+    case MsgType::kClassify: {
+      std::uint32_t count = 0;
+      if (!r.u32(count)) return malformed("truncated classify count");
+      if (count > kMaxBatchPoints) return malformed("absurd classify count");
+      out.classify.resize(count);
+      for (Classify& c : out.classify) {
+        std::uint8_t kind = 0, exact = 0, core = 0;
+        if (!r.i64(c.label) || !r.u8(kind) || !r.u8(exact) || !r.u8(core) ||
+            !r.u32(c.neighbors))
+          return malformed("truncated classify answer");
+        if (kind > static_cast<std::uint8_t>(PointKind::Noise) || exact > 1 ||
+            core > 1)
+          return malformed("classify answer out of range");
+        c.kind = static_cast<PointKind>(kind);
+        c.exact_match = exact != 0;
+        c.would_be_core = core != 0;
+      }
+      break;
+    }
+    case MsgType::kNeighbors: {
+      std::uint32_t count = 0;
+      if (!r.u32(count)) return malformed("truncated neighbor count");
+      if (static_cast<std::uint64_t>(count) * 16 > kMaxFrameBytes)
+        return malformed("absurd neighbor count");
+      out.neighbors.resize(count);
+      for (auto& [id, d2] : out.neighbors)
+        if (!r.u64(id) || !r.f64(d2))
+          return malformed("truncated neighbor entry");
+      break;
+    }
+    case MsgType::kPointInfo: {
+      std::uint8_t kind = 0, core = 0;
+      if (!r.i64(out.point.label) || !r.u8(kind) || !r.u8(core))
+        return malformed("truncated point_info answer");
+      if (kind > static_cast<std::uint8_t>(PointKind::Noise) || core > 1)
+        return malformed("point_info answer out of range");
+      out.point.kind = static_cast<PointKind>(kind);
+      out.point.is_core = core != 0;
+      break;
+    }
+    case MsgType::kStats: {
+      std::uint32_t len = 0;
+      if (!r.u32(len) || !r.str(out.json, len))
+        return malformed("truncated stats json");
+      break;
+    }
+    case MsgType::kModelInfo:
+      if (!r.u64(out.model.n) || !r.u32(out.model.dim) ||
+          !r.f64(out.model.eps) || !r.u32(out.model.min_pts) ||
+          !r.u64(out.model.num_clusters))
+        return malformed("truncated model info");
+      break;
+    case MsgType::kPing:
+      break;
+  }
+  if (!r.done()) return malformed("trailing bytes after response");
+  return Status::Ok();
+}
+
+Response error_response(MsgType type, const Status& s) {
+  Response resp;
+  resp.type = type;
+  resp.code = s.code();
+  resp.error = s.message();
+  return resp;
+}
+
+}  // namespace udb::serve

@@ -1,0 +1,87 @@
+// Wire protocol for udbscan_serve (docs/SERVING.md): length-prefixed binary
+// frames over a loopback TCP stream. Every frame is
+//
+//   u32 frame_bytes | frame body
+//
+// where the body starts with a u8 message type. Responses echo the request
+// type and carry a u8 status code (StatusCode numeric value); a non-OK
+// response replaces the payload with a u32-length error message. Decoding is
+// quarantine-style: any malformed body — unknown type, truncation, trailing
+// bytes, non-finite floats, absurd counts — comes back as a clean
+// INVALID_ARGUMENT / DATA_LOSS Status, never UB (the server answers with an
+// error frame and closes the connection; it does not die).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+#include "serve/model.hpp"
+
+namespace udb::serve {
+
+// Frames larger than this are rejected on read (both sides) before any
+// allocation proportional to the claimed length happens.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;  // 64 MiB
+
+// Points per classify request are additionally capped so a single frame
+// cannot ask for unbounded work (docs/SERVING.md, operational limits).
+inline constexpr std::uint32_t kMaxBatchPoints = 1u << 20;
+
+enum class MsgType : std::uint8_t {
+  kPing = 1,       // liveness probe, empty payload both ways
+  kClassify = 2,   // req: u32 count | u32 dim | f64 coords[count*dim]
+  kNeighbors = 3,  // req: f64 radius | u32 dim | f64 coords[dim]
+  kPointInfo = 4,  // req: u64 id
+  kStats = 5,      // req: empty; resp: u32 len | metrics JSON
+  kModelInfo = 6,  // req: empty; resp: n, dim, eps, min_pts, num_clusters
+};
+
+struct Request {
+  MsgType type = MsgType::kPing;
+  std::uint32_t dim = 0;            // classify / neighbors
+  std::vector<double> coords;       // classify: count*dim; neighbors: dim
+  double radius = 0.0;              // neighbors
+  std::uint64_t point_id = 0;       // point_info
+};
+
+struct ModelInfo {
+  std::uint64_t n = 0;
+  std::uint32_t dim = 0;
+  double eps = 0.0;
+  std::uint32_t min_pts = 0;
+  std::uint64_t num_clusters = 0;
+};
+
+struct Response {
+  MsgType type = MsgType::kPing;
+  StatusCode code = StatusCode::kOk;
+  std::string error;  // set iff code != kOk
+
+  std::vector<Classify> classify;                         // kClassify
+  std::vector<std::pair<std::uint64_t, double>> neighbors;  // (id, sq dist)
+  PointInfo point;                                        // kPointInfo
+  std::string json;                                       // kStats
+  ModelInfo model;                                        // kModelInfo
+
+  [[nodiscard]] Status to_status() const {
+    return Status(code, error);
+  }
+};
+
+// Body codecs (the u32 frame length itself lives in net.*).
+[[nodiscard]] std::vector<std::uint8_t> encode_request(const Request& req);
+[[nodiscard]] Status decode_request(std::span<const std::uint8_t> body,
+                                    Request& out);
+[[nodiscard]] std::vector<std::uint8_t> encode_response(const Response& resp);
+[[nodiscard]] Status decode_response(std::span<const std::uint8_t> body,
+                                     Response& out);
+
+// Builds the error frame the server answers a failed request with.
+[[nodiscard]] Response error_response(MsgType type, const Status& s);
+
+}  // namespace udb::serve

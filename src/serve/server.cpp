@@ -1,0 +1,267 @@
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+
+#include <chrono>
+
+#include "obs/log.hpp"
+#include "obs/report.hpp"
+
+namespace udb::serve {
+
+namespace {
+
+const char* span_name(MsgType t) {
+  switch (t) {
+    case MsgType::kPing: return "serve.ping";
+    case MsgType::kClassify: return "serve.classify";
+    case MsgType::kNeighbors: return "serve.neighbors";
+    case MsgType::kPointInfo: return "serve.point_info";
+    case MsgType::kStats: return "serve.stats";
+    case MsgType::kModelInfo: return "serve.model_info";
+  }
+  return "serve.request";
+}
+
+}  // namespace
+
+QueryServer::QueryServer(std::shared_ptr<const ClusterModel> model,
+                         ServerConfig cfg)
+    : served_(std::move(model)), cfg_(cfg) {
+  if (cfg_.pool_threads > 1)
+    pool_ = std::make_unique<ThreadPool>(cfg_.pool_threads);
+}
+
+QueryServer::~QueryServer() { stop(); }
+
+Status QueryServer::start() {
+  if (running_) return InvalidArgumentError("QueryServer::start: already running");
+  StatusOr<Socket> listener = listen_loopback(cfg_.port, port_);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(*listener);
+  stopping_ = false;
+  running_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  obs::LogLine(obs::LogLevel::kInfo, "serve", "listening")
+      .kv("port", static_cast<std::uint64_t>(port_))
+      .kv("points", model()->size());
+  return Status::Ok();
+}
+
+void QueryServer::stop() {
+  if (!running_) return;
+  stopping_ = true;
+  // Unblock accept(), then every connection worker sitting in recv().
+  listener_.shutdown_both();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  // Workers unregister their fd and exit at the next frame boundary; the
+  // thread list only grows under conn_mu_, and the accept loop is already
+  // dead, so this join sweep sees every worker.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads)
+    if (t.joinable()) t.join();
+  listener_.close();
+  running_ = false;
+}
+
+void QueryServer::refresh(std::shared_ptr<const ClusterModel> m) {
+  served_.refresh(std::move(m), &metrics_);
+}
+
+void QueryServer::accept_loop() {
+  while (!stopping_) {
+    StatusOr<Socket> conn = accept_connection(listener_);
+    if (!conn.ok()) {
+      if (!stopping_)
+        obs::LogLine(obs::LogLevel::kWarn, "serve", "accept_failed")
+            .kv("status", conn.status().to_string());
+      break;
+    }
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    if (stopping_) break;  // raced with stop(): drop the connection
+    conn_fds_.insert(conn->fd());
+    conn_threads_.emplace_back(
+        [this, c = std::move(*conn)]() mutable {
+          serve_connection(std::move(c));
+        });
+  }
+}
+
+void QueryServer::serve_connection(Socket conn) {
+  const int fd = conn.fd();
+  for (;;) {
+    StatusOr<std::vector<std::uint8_t>> frame = read_frame(conn);
+    if (!frame.ok()) {
+      // Clean close (or stop()) ends the loop silently; a malformed frame
+      // (oversized prefix, truncation mid-frame) gets one error answer, then
+      // the connection is dropped — the stream offset is unrecoverable.
+      if (frame.status().code() == StatusCode::kDataLoss && !stopping_) {
+        metrics_.add(obs::Counter::kServeRequests);
+        metrics_.add(obs::Counter::kServeErrors);
+        (void)write_frame(conn, encode_response(error_response(
+                                    MsgType::kPing, frame.status())));
+      }
+      break;
+    }
+
+    Request req;
+    Response resp;
+    const auto t0 = std::chrono::steady_clock::now();
+    if (Status st = decode_request(std::span<const std::uint8_t>(*frame), req);
+        !st.ok()) {
+      metrics_.add(obs::Counter::kServeRequests);
+      metrics_.add(obs::Counter::kServeErrors);
+      resp = error_response(MsgType::kPing, st);
+      // Garbage in the body is answerable (the frame boundary is intact):
+      // report and keep the connection — unless the type byte itself was
+      // unreadable garbage, where the safest move is to answer and drop.
+    } else {
+      resp = handle(req);
+    }
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    metrics_.observe(obs::Hist::kServeRequestUs,
+                     static_cast<std::uint64_t>(us));
+    if (!write_frame(conn, encode_response(resp)).ok()) break;
+  }
+  std::lock_guard<std::mutex> lk(conn_mu_);
+  conn_fds_.erase(fd);
+}
+
+Response QueryServer::handle(const Request& req) {
+  obs::Span span(cfg_.tracer, span_name(req.type));
+  metrics_.add(obs::Counter::kServeRequests);
+  const std::shared_ptr<const ClusterModel> model = served_.get();
+
+  Response resp;
+  resp.type = req.type;
+  Status st = Status::Ok();
+  switch (req.type) {
+    case MsgType::kPing:
+      break;
+    case MsgType::kClassify:
+      return handle_classify(req, model);
+    case MsgType::kNeighbors: {
+      if (req.dim != model->dim()) {
+        st = InvalidArgumentError(
+            "neighbors: query dim " + std::to_string(req.dim) +
+            " does not match model dim " + std::to_string(model->dim()));
+        break;
+      }
+      auto r = model->neighbors(req.coords, req.radius, &metrics_);
+      if (!r.ok()) {
+        st = r.status();
+        break;
+      }
+      resp.neighbors.reserve(r->size());
+      for (const auto& [id, d2] : *r) resp.neighbors.emplace_back(id, d2);
+      break;
+    }
+    case MsgType::kPointInfo: {
+      auto r = model->point_info(req.point_id, &metrics_);
+      if (!r.ok()) {
+        st = r.status();
+        break;
+      }
+      resp.point = *r;
+      break;
+    }
+    case MsgType::kStats:
+      resp.json = stats_json();
+      break;
+    case MsgType::kModelInfo:
+      resp.model.n = model->size();
+      resp.model.dim = static_cast<std::uint32_t>(model->dim());
+      resp.model.eps = model->params().eps;
+      resp.model.min_pts = model->params().min_pts;
+      resp.model.num_clusters = model->num_clusters();
+      break;
+  }
+  if (!st.ok()) {
+    metrics_.add(obs::Counter::kServeErrors);
+    return error_response(req.type, st);
+  }
+  return resp;
+}
+
+Response QueryServer::handle_classify(
+    const Request& req, const std::shared_ptr<const ClusterModel>& model) {
+  if (req.dim != model->dim()) {
+    metrics_.add(obs::Counter::kServeErrors);
+    return error_response(
+        req.type,
+        InvalidArgumentError("classify: query dim " + std::to_string(req.dim) +
+                             " does not match model dim " +
+                             std::to_string(model->dim())));
+  }
+  const std::size_t count = req.coords.size() / model->dim();
+  metrics_.observe(obs::Hist::kServeBatchSize, count);
+
+  RunGuard guard(RunLimits{cfg_.request_deadline_seconds, 0});
+  RunGuard* guard_ptr =
+      cfg_.request_deadline_seconds > 0.0 ? &guard : nullptr;
+
+  StatusOr<std::vector<Classify>> r = InternalError("unreached");
+  if (pool_ != nullptr && count >= cfg_.parallel_batch_threshold) {
+    // The pool runs one job at a time; concurrent connections take turns.
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    r = model->classify_batch(req.coords, count, &metrics_, pool_.get(),
+                              guard_ptr);
+  } else {
+    r = model->classify_batch(req.coords, count, &metrics_, nullptr,
+                              guard_ptr);
+  }
+  if (!r.ok()) {
+    metrics_.add(obs::Counter::kServeErrors);
+    if (r.status().code() == StatusCode::kDeadlineExceeded)
+      metrics_.add(obs::Counter::kServeDeadlineExceeded);
+    return error_response(req.type, r.status());
+  }
+  Response resp;
+  resp.type = req.type;
+  resp.classify = std::move(*r);
+  return resp;
+}
+
+std::string QueryServer::stats_json() const {
+  const std::shared_ptr<const ClusterModel> model = served_.get();
+  const obs::MetricsSnapshot snap = metrics_.snapshot();
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("schema_version", 1);
+  w.kv("tool", "udbscan_serve");
+  w.key("model");
+  w.begin_object();
+  w.kv("n", model->size());
+  w.kv("dim", model->dim());
+  w.kv("eps", model->params().eps);
+  w.kv("min_pts", model->params().min_pts);
+  w.kv("num_clusters", model->num_clusters());
+  w.end_object();
+  // The serve classify ledger, spelled out the way the engine's query ledger
+  // is: every classify answer is either a performed muR-tree search or an
+  // exact-match skip, so performed + avoided_exact == points at any
+  // quiesced snapshot (asserted by bench/serve_throughput and CI smoke).
+  w.key("serve_ledger");
+  w.begin_object();
+  w.kv("classify_points",
+       snap.counter(obs::Counter::kServeClassifyPoints));
+  w.kv("performed", snap.counter(obs::Counter::kServeClassifyPerformed));
+  w.kv("avoided_exact",
+       snap.counter(obs::Counter::kServeClassifyAvoidedExact));
+  w.end_object();
+  write_metrics_snapshot(w, snap, 0);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace udb::serve

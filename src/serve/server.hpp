@@ -1,0 +1,108 @@
+// QueryServer — the loopback TCP front end over a ServedModel
+// (docs/SERVING.md): one accept thread, one worker thread per connection,
+// length-prefixed binary frames (protocol.hpp). Designed for the repo's
+// operational envelope — a handful of trusted local clients — not the open
+// internet: loopback-only bind, hard frame/batch caps, per-request deadline.
+//
+// Concurrency model:
+//   * Readers never lock: a request handler loads the current model with one
+//     atomic shared_ptr load and keeps it alive for the whole request, so
+//     refresh() can swap in a successor at any time without quiescing.
+//   * The optional ThreadPool accelerates large classify batches. The pool
+//     runs one job at a time (common/parallel.hpp), so concurrent connections
+//     take pool_mu_ before fanning out; small batches classify inline and
+//     skip the lock entirely.
+//   * Every request is metered (serve_requests / serve_errors counters,
+//     serve_request_us histogram) into the server's MetricsRegistry, which
+//     the kStats request serializes — that JSON is what the bench and the CI
+//     smoke job assert the classify ledger invariant on.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/model.hpp"
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
+
+namespace udb::serve {
+
+struct ServerConfig {
+  std::uint16_t port = 0;  // 0 = kernel-assigned ephemeral port
+  // Per-request wall-clock deadline enforced via a RunGuard on the classify
+  // path (cooperative per-chunk checkpoints); 0 = none. A tripped deadline
+  // answers DEADLINE_EXCEEDED and bumps serve_deadline_exceeded.
+  double request_deadline_seconds = 0.0;
+  // Worker pool for large classify batches; <= 1 = classify inline.
+  unsigned pool_threads = 0;
+  // Batches with at least this many points fan out over the pool.
+  std::size_t parallel_batch_threshold = 512;
+  obs::Tracer* tracer = nullptr;  // optional, not owned
+};
+
+class QueryServer {
+ public:
+  explicit QueryServer(std::shared_ptr<const ClusterModel> model,
+                       ServerConfig cfg = {});
+  ~QueryServer();  // stop()s if still running
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  // Binds, listens, and spawns the accept thread. Fails cleanly if the port
+  // is taken.
+  [[nodiscard]] Status start();
+  // Idempotent: unblocks the accept thread and every in-flight connection,
+  // then joins them all.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  // Swaps the served model; in-flight requests finish on the old one.
+  void refresh(std::shared_ptr<const ClusterModel> m);
+  [[nodiscard]] std::shared_ptr<const ClusterModel> model() const {
+    return served_.get();
+  }
+
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  // The kStats response document: model facts + full metrics snapshot
+  // (schema_version 1; validated by ci/serving_smoke.sh with json.tool).
+  [[nodiscard]] std::string stats_json() const;
+
+  // Exposed for in-process tests: handles one decoded request exactly as a
+  // connection worker would.
+  [[nodiscard]] Response handle(const Request& req);
+
+ private:
+  void accept_loop();
+  void serve_connection(Socket conn);
+  Response handle_classify(const Request& req,
+                           const std::shared_ptr<const ClusterModel>& model);
+
+  ServedModel served_;
+  ServerConfig cfg_;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::mutex pool_mu_;  // ThreadPool::run is single-job; serialize callers
+
+  Socket listener_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::unordered_set<int> conn_fds_;  // open connection fds, for stop()
+};
+
+}  // namespace udb::serve

@@ -1,0 +1,211 @@
+#include "serve/snapshot.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+#include "serve/wire.hpp"
+
+namespace udb::serve {
+
+namespace {
+
+// Layout (little-endian; see docs/SERVING.md):
+//   magic[4] "UDBM" | u32 version | u64 payload_bytes
+//   payload:
+//     u64 dim | u64 n | f64 eps | u32 min_pts | u32 flags | u64 num_clusters
+//     f64 coords[n*dim] | i64 labels[n] | u8 is_core[n]
+//     u32 report_len | report_json bytes
+//   u64 fnv1a64(payload)
+// The file size must equal 16 + payload_bytes + 8 exactly: a truncated tail
+// or trailing garbage is rejected before any parsing happens.
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8;
+constexpr std::size_t kFooterBytes = 8;
+
+constexpr std::uint32_t kFlagTwoEpsRule = 1u << 0;
+constexpr std::uint32_t kFlagBulkAux = 1u << 1;
+
+}  // namespace
+
+Status save_model(const ModelSnapshot& snap, const std::string& path) {
+  const std::size_t n = snap.data.size();
+  if (snap.result.label.size() != n || snap.result.is_core.size() != n)
+    return InvalidArgumentError(
+        "save_model: result arrays not sized to the dataset (labels " +
+        std::to_string(snap.result.label.size()) + ", core flags " +
+        std::to_string(snap.result.is_core.size()) + ", points " +
+        std::to_string(n) + ")");
+  if (snap.data.dim() == 0)
+    return InvalidArgumentError("save_model: empty model (dim 0)");
+  if (!(snap.params.eps > 0.0) || !std::isfinite(snap.params.eps) ||
+      snap.params.min_pts == 0)
+    return InvalidArgumentError("save_model: invalid params (eps " +
+                                std::to_string(snap.params.eps) + ", minpts " +
+                                std::to_string(snap.params.min_pts) + ")");
+  if (snap.report_json.size() > std::numeric_limits<std::uint32_t>::max())
+    return InvalidArgumentError("save_model: report_json too large");
+
+  ByteWriter payload;
+  payload.u64(snap.data.dim());
+  payload.u64(n);
+  payload.f64(snap.params.eps);
+  payload.u32(snap.params.min_pts);
+  std::uint32_t flags = 0;
+  if (snap.two_eps_rule) flags |= kFlagTwoEpsRule;
+  if (snap.bulk_aux) flags |= kFlagBulkAux;
+  payload.u32(flags);
+  payload.u64(snap.result.num_clusters());
+  payload.raw(snap.data.raw().data(), snap.data.raw().size() * sizeof(double));
+  payload.raw(snap.result.label.data(),
+              snap.result.label.size() * sizeof(std::int64_t));
+  payload.raw(snap.result.is_core.data(), snap.result.is_core.size());
+  payload.u32(static_cast<std::uint32_t>(snap.report_json.size()));
+  payload.raw(snap.report_json.data(), snap.report_json.size());
+
+  ByteWriter out;
+  out.raw(kSnapshotMagic, sizeof kSnapshotMagic);
+  out.u32(kSnapshotVersion);
+  out.u64(payload.size());
+  out.raw(payload.data().data(), payload.size());
+  out.u64(fnv1a64(payload.data().data(), payload.size()));
+
+  // Write-then-rename so a crash or full disk mid-save can never leave a
+  // truncated file under the final name (the loader would reject it anyway,
+  // but a previously good snapshot at `path` must survive a failed re-save).
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) return InternalError("save_model: cannot open " + tmp);
+    f.write(reinterpret_cast<const char*>(out.data().data()),
+            static_cast<std::streamsize>(out.size()));
+    f.flush();
+    if (!f) {
+      std::remove(tmp.c_str());
+      return InternalError("save_model: write failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return InternalError("save_model: cannot rename " + tmp + " to " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<ModelSnapshot> load_model(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return NotFoundError("load_model: cannot open " + path);
+  f.seekg(0, std::ios::end);
+  const auto end = f.tellg();
+  f.seekg(0);
+  if (end < 0) return DataLossError("load_model: unseekable stream " + path);
+  const auto file_size = static_cast<std::uint64_t>(end);
+  if (file_size < kHeaderBytes + kFooterBytes)
+    return DataLossError("load_model: file too small to be a snapshot: " +
+                         path);
+
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(file_size));
+  f.read(reinterpret_cast<char*>(bytes.data()),
+         static_cast<std::streamsize>(bytes.size()));
+  if (!f) return DataLossError("load_model: short read from " + path);
+
+  ByteReader header(std::span(bytes.data(), kHeaderBytes));
+  char magic[4];
+  std::uint32_t version = 0;
+  std::uint64_t payload_bytes = 0;
+  if (!header.raw(magic, sizeof magic) || !header.u32(version) ||
+      !header.u64(payload_bytes))
+    return DataLossError("load_model: unreadable header in " + path);
+  if (std::memcmp(magic, kSnapshotMagic, sizeof magic) != 0)
+    return DataLossError("load_model: bad magic in " + path +
+                         " (not a model snapshot)");
+  if (version != kSnapshotVersion)
+    return DataLossError("load_model: unsupported snapshot version " +
+                         std::to_string(version) + " in " + path +
+                         " (this build reads version " +
+                         std::to_string(kSnapshotVersion) + ")");
+  if (payload_bytes != file_size - kHeaderBytes - kFooterBytes)
+    return DataLossError(
+        "load_model: size mismatch in " + path + " (header claims " +
+        std::to_string(payload_bytes) + " payload bytes, file holds " +
+        std::to_string(file_size - kHeaderBytes - kFooterBytes) +
+        ") — truncated or corrupted");
+
+  const std::uint8_t* payload = bytes.data() + kHeaderBytes;
+  std::uint64_t stored_sum = 0;
+  std::memcpy(&stored_sum, payload + payload_bytes, sizeof stored_sum);
+  const std::uint64_t computed =
+      fnv1a64(payload, static_cast<std::size_t>(payload_bytes));
+  if (stored_sum != computed)
+    return DataLossError("load_model: checksum mismatch in " + path +
+                         " — corrupted snapshot");
+
+  ByteReader r(std::span(payload, static_cast<std::size_t>(payload_bytes)));
+  std::uint64_t dim = 0, n = 0, num_clusters = 0;
+  double eps = 0.0;
+  std::uint32_t min_pts = 0, flags = 0;
+  if (!r.u64(dim) || !r.u64(n) || !r.f64(eps) || !r.u32(min_pts) ||
+      !r.u32(flags) || !r.u64(num_clusters))
+    return DataLossError("load_model: truncated fixed header in " + path);
+
+  if (dim == 0)
+    return DataLossError("load_model: dim 0 in " + path);
+  if (!(eps > 0.0) || !std::isfinite(eps) || min_pts == 0)
+    return DataLossError("load_model: invalid params in " + path + " (eps " +
+                         std::to_string(eps) + ", minpts " +
+                         std::to_string(min_pts) + ")");
+  constexpr std::uint64_t kMaxElems =
+      std::numeric_limits<std::size_t>::max() / sizeof(double);
+  if (n != 0 && dim > kMaxElems / n)
+    return DataLossError("load_model: header overflows size_t in " + path);
+  if (n > std::numeric_limits<PointId>::max())
+    return DataLossError("load_model: point count exceeds PointId range in " +
+                         path);
+
+  std::vector<double> coords;
+  std::vector<std::int64_t> labels;
+  std::vector<std::uint8_t> is_core;
+  if (!r.array(coords, static_cast<std::size_t>(dim * n)) ||
+      !r.array(labels, static_cast<std::size_t>(n)) ||
+      !r.array(is_core, static_cast<std::size_t>(n)))
+    return DataLossError("load_model: truncated arrays in " + path);
+
+  std::uint32_t report_len = 0;
+  std::string report;
+  if (!r.u32(report_len) || !r.str(report, report_len))
+    return DataLossError("load_model: truncated report section in " + path);
+  if (!r.done())
+    return DataLossError("load_model: trailing bytes inside payload of " +
+                         path);
+
+  for (double v : coords)
+    if (!std::isfinite(v))
+      return DataLossError("load_model: non-finite coordinate in " + path);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const std::int64_t lab = labels[i];
+    if (lab < kNoise || (num_clusters != 0 &&
+                         lab >= static_cast<std::int64_t>(num_clusters)) ||
+        (num_clusters == 0 && lab != kNoise))
+      return DataLossError("load_model: label out of range at point " +
+                           std::to_string(i) + " in " + path);
+    if (is_core[i] > 1)
+      return DataLossError("load_model: core flag not 0/1 at point " +
+                           std::to_string(i) + " in " + path);
+    if (is_core[i] == 1 && lab == kNoise)
+      return DataLossError("load_model: core point labeled noise at point " +
+                           std::to_string(i) + " in " + path);
+  }
+
+  ModelSnapshot snap;
+  snap.data = Dataset(static_cast<std::size_t>(dim), std::move(coords));
+  snap.params = DbscanParams{eps, min_pts};
+  snap.result.label = std::move(labels);
+  snap.result.is_core = std::move(is_core);
+  snap.two_eps_rule = (flags & kFlagTwoEpsRule) != 0;
+  snap.bulk_aux = (flags & kFlagBulkAux) != 0;
+  snap.report_json = std::move(report);
+  return snap;
+}
+
+}  // namespace udb::serve

@@ -28,6 +28,19 @@
 // internals, histograms, per-rank comm stats), --log-level raises/lowers the
 // stderr structured-log threshold (default warn).
 //
+// Serving handoff (docs/SERVING.md): --snapshot-out persists the fitted
+// model (dataset + params + exact labels/core flags + run report) as a
+// checksummed UDBM snapshot that udbscan_serve / --snapshot-in can reload
+// without re-clustering. --snapshot-in answers classify queries offline from
+// such a snapshot:
+//
+//   $ udbscan --input pts.bin --eps 2 --minpts 5 --snapshot-out model.udbm
+//   $ udbscan --snapshot-in model.udbm --classify queries.csv --out ans.csv
+//
+// The classify output format ("label,kind,exact_match,would_be_core,
+// neighbors") is byte-identical to udbscan_query's, so CI diffs served
+// answers against this offline recompute.
+//
 // Exit codes: 0 ok (including a degraded/approximate result), 1 usage or
 // input error, 2 missing required flags, 3 deadline/budget exceeded under
 // --on-budget fail, 4 cancelled.
@@ -55,6 +68,9 @@
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "serve/classify_csv.hpp"
+#include "serve/model.hpp"
+#include "serve/snapshot.hpp"
 
 using namespace udb;
 
@@ -105,6 +121,9 @@ int main(int argc, char** argv) {
     const std::string trace_out = cli.get_string("trace-out", "");
     const std::string metrics_out = cli.get_string("metrics-out", "");
     const std::string log_level_str = cli.get_string("log-level", "");
+    const std::string snapshot_out = cli.get_string("snapshot-out", "");
+    const std::string snapshot_in = cli.get_string("snapshot-in", "");
+    const std::string classify_path = cli.get_string("classify", "");
     cli.check_unused();
 
     if (!log_level_str.empty()) {
@@ -114,6 +133,70 @@ int main(int argc, char** argv) {
                                     lvl.status().to_string());
       obs::set_log_level(lvl.value());
     }
+
+    // ---- snapshot serving path: no clustering, answers come from the
+    // persisted model (docs/SERVING.md).
+    if (!snapshot_in.empty()) {
+      if (!snapshot_out.empty())
+        throw std::invalid_argument(
+            "--snapshot-in and --snapshot-out are mutually exclusive");
+      auto loaded_snap = serve::load_model(snapshot_in);
+      if (!loaded_snap.ok()) {
+        std::fprintf(stderr, "udbscan: error: %s\n",
+                     loaded_snap.status().to_string().c_str());
+        return 1;
+      }
+      auto model = serve::ClusterModel::build(std::move(*loaded_snap));
+      if (!model.ok()) {
+        std::fprintf(stderr, "udbscan: error: %s\n",
+                     model.status().to_string().c_str());
+        return 1;
+      }
+      const serve::ClusterModel& m = **model;
+      std::printf(
+          "model %s: %zu points, %zu dims, eps %g, minpts %u, %zu clusters\n",
+          snapshot_in.c_str(), m.size(), m.dim(), m.params().eps,
+          m.params().min_pts, m.num_clusters());
+      if (classify_path.empty()) return 0;
+
+      ReadOptions qopts;
+      qopts.quarantine = quarantine;
+      ReadReport qrep;
+      auto queries = ends_with(classify_path, ".bin")
+                         ? load_binary(classify_path, qopts, &qrep)
+                         : load_csv(classify_path, qopts, &qrep);
+      if (!queries.ok()) {
+        std::fprintf(stderr, "udbscan: error: %s\n",
+                     queries.status().to_string().c_str());
+        return 1;
+      }
+      if (queries->dim() != m.dim())
+        throw std::invalid_argument(
+            "--classify: query dim " + std::to_string(queries->dim()) +
+            " does not match model dim " + std::to_string(m.dim()));
+      auto answers = m.classify_batch(queries->raw(), queries->size());
+      if (!answers.ok()) {
+        std::fprintf(stderr, "udbscan: error: %s\n",
+                     answers.status().to_string().c_str());
+        return 1;
+      }
+      std::size_t exact = 0;
+      for (const serve::Classify& c : *answers) exact += c.exact_match ? 1 : 0;
+      std::printf("classified %zu queries (%zu exact matches) without "
+                  "re-clustering\n",
+                  answers->size(), exact);
+      if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        if (!out) throw std::runtime_error("cannot open " + out_path);
+        out << serve::kClassifyCsvHeader << '\n';
+        for (const serve::Classify& c : *answers)
+          out << serve::classify_csv_row(c) << '\n';
+        std::printf("answers written to %s\n", out_path.c_str());
+      }
+      return 0;
+    }
+    if (!classify_path.empty())
+      throw std::invalid_argument("--classify requires --snapshot-in");
 
     if (threads_raw > 1 && algo != "mudbscan")
       throw std::invalid_argument(
@@ -140,7 +223,9 @@ int main(int argc, char** argv) {
                    "[--on-budget fail|degrade] [--quarantine] "
                    "[--trace-out trace.json] [--metrics-out report.json] "
                    "[--log-level debug|info|warn|error|off] "
-                   "[--out labels.csv]\n");
+                   "[--snapshot-out model.udbm] [--out labels.csv]\n"
+                   "       udbscan --snapshot-in model.udbm "
+                   "[--classify queries.csv --out answers.csv]\n");
       return 2;
     }
 
@@ -300,6 +385,29 @@ int main(int argc, char** argv) {
         return 1;
       }
       std::printf("run report written to %s\n", metrics_out.c_str());
+    }
+
+    if (!snapshot_out.empty()) {
+      if (approximate) {
+        // A sampled fallback is not the exact clustering; persisting it
+        // would let a serving layer answer with approximate labels that
+        // claim exactness. Refuse loudly.
+        std::fprintf(stderr,
+                     "udbscan: error: refusing --snapshot-out for an "
+                     "APPROXIMATE (degraded) result\n");
+        return 1;
+      }
+      serve::ModelSnapshot snap;
+      snap.data = data;
+      snap.params = params;
+      snap.result = result;
+      snap.report_json = obs::run_report_json(report);
+      Status ss = serve::save_model(snap, snapshot_out);
+      if (!ss.ok()) {
+        std::fprintf(stderr, "udbscan: error: %s\n", ss.to_string().c_str());
+        return 1;
+      }
+      std::printf("model snapshot written to %s\n", snapshot_out.c_str());
     }
 
     if (!out_path.empty()) {

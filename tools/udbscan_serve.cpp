@@ -1,0 +1,132 @@
+// udbscan_serve — serves a persisted cluster model over loopback TCP
+// (docs/SERVING.md):
+//
+//   $ udbscan --input pts.bin --eps 2 --minpts 5 --snapshot-out model.udbm
+//   $ udbscan_serve --snapshot model.udbm --port 0 &
+//   serving on 127.0.0.1:41233 (2000 points, 2 dims, 3 clusters)
+//   $ udbscan_query --port 41233 --classify queries.csv
+//
+// Prints exactly one "serving on 127.0.0.1:<port>" line to stdout (flushed)
+// once the listener is live, so scripts can scrape the ephemeral port.
+// Runs until SIGINT/SIGTERM (graceful: in-flight requests finish, the final
+// stats document is written to --stats-out if given) or --max-seconds.
+//
+// Exit codes: 0 clean shutdown, 1 bad snapshot or startup failure, 2 missing
+// required flags.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "common/cli.hpp"
+#include "obs/log.hpp"
+#include "serve/client.hpp"
+#include "serve/model.hpp"
+#include "serve/server.hpp"
+#include "serve/snapshot.hpp"
+
+using namespace udb;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Cli cli(argc, argv);
+    const std::string snapshot = cli.get_string("snapshot", "");
+    const auto port = static_cast<std::uint16_t>(
+        cli.get_int_in_range("port", 0, 0, 65535));
+    const std::int64_t deadline_ms =
+        cli.get_int_at_least("deadline-ms", 0, 0);
+    const auto threads = static_cast<unsigned>(
+        cli.get_int_in_range("threads", 1, 1, 1024));
+    const double max_seconds = cli.get_double("max-seconds", 0.0);
+    const std::string stats_out = cli.get_string("stats-out", "");
+    const std::string log_level_str = cli.get_string("log-level", "");
+    cli.check_unused();
+
+    if (!log_level_str.empty()) {
+      auto lvl = obs::parse_log_level(log_level_str);
+      if (!lvl.ok())
+        throw std::invalid_argument("--log-level: " +
+                                    lvl.status().to_string());
+      obs::set_log_level(lvl.value());
+    }
+    if (snapshot.empty()) {
+      std::fprintf(stderr,
+                   "usage: udbscan_serve --snapshot model.udbm [--port P] "
+                   "[--deadline-ms MS] [--threads T] [--max-seconds S] "
+                   "[--stats-out stats.json] "
+                   "[--log-level debug|info|warn|error|off]\n");
+      return 2;
+    }
+
+    auto snap = serve::load_model(snapshot);
+    if (!snap.ok()) {
+      std::fprintf(stderr, "udbscan_serve: error: %s\n",
+                   snap.status().to_string().c_str());
+      return 1;
+    }
+    ThreadPool pool(threads);
+    auto model = serve::ClusterModel::build(std::move(*snap),
+                                            threads > 1 ? &pool : nullptr);
+    if (!model.ok()) {
+      std::fprintf(stderr, "udbscan_serve: error: %s\n",
+                   model.status().to_string().c_str());
+      return 1;
+    }
+
+    serve::ServerConfig cfg;
+    cfg.port = port;
+    cfg.request_deadline_seconds = static_cast<double>(deadline_ms) / 1000.0;
+    cfg.pool_threads = threads;
+    serve::QueryServer server(*model, cfg);
+    if (Status st = server.start(); !st.ok()) {
+      std::fprintf(stderr, "udbscan_serve: error: %s\n",
+                   st.to_string().c_str());
+      return 1;
+    }
+    std::printf("serving on 127.0.0.1:%u (%zu points, %zu dims, %zu "
+                "clusters)\n",
+                static_cast<unsigned>(server.port()), (*model)->size(),
+                (*model)->dim(), (*model)->num_clusters());
+    std::fflush(stdout);
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    const auto t0 = std::chrono::steady_clock::now();
+    while (!g_stop.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      if (max_seconds > 0.0 &&
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                  .count() >= max_seconds)
+        break;
+    }
+    server.stop();
+
+    if (!stats_out.empty()) {
+      std::ofstream out(stats_out);
+      if (!out) throw std::runtime_error("cannot open " + stats_out);
+      out << server.stats_json() << '\n';
+      std::printf("stats written to %s\n", stats_out.c_str());
+    }
+    std::printf("shutdown: %llu requests served\n",
+                static_cast<unsigned long long>(
+                    server.metrics().snapshot().counter(
+                        obs::Counter::kServeRequests)));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "udbscan_serve: error: %s\n", e.what());
+    return 1;
+  }
+}
