@@ -1,0 +1,144 @@
+#!/usr/bin/env bash
+# Serving-tier fault smoke, meant to run under ASan/LSan (see
+# .github/workflows/ci.yml). Complements ci/serving_smoke.sh (the happy
+# path plus protocol garbage) with the failure-mode matrix from
+# docs/SERVING.md:
+#
+#   * servefaultharness — in-process scenario sweep over the seeded
+#     NetFaultPlan: corrupt frames (CRC must catch every bit-flip before a
+#     wrong answer can surface), dropped connections mid-exchange,
+#     truncated writes, replica killed mid-batch (failover must lose
+#     nothing), and an in-flight budget of 1 under concurrent clients
+#     (sheds retried until every request succeeds exactly).
+#   * udbscan_serve --replicas N — every replica binds, serves the same
+#     answers, and the process shuts down cleanly on SIGTERM.
+#   * udbscan_query exit-code contract — 2 for bad arguments, 3 for an
+#     unreachable server, so scripts can tell "retry elsewhere" from
+#     "fix your invocation".
+#
+# The contract everywhere: a request either returns the exact offline
+# answer or a clean retryable error — no wrong answers, no hang, no leak.
+#
+# Usage: ci/serving_fault_smoke.sh <build-dir>
+set -u
+
+BUILD=${1:?usage: serving_fault_smoke.sh <build-dir>}
+CLI="$BUILD/tools/udbscan"
+SERVE="$BUILD/tools/udbscan_serve"
+QUERY="$BUILD/tools/udbscan_query"
+MKDATA="$BUILD/tools/make_dataset"
+HARNESS="$BUILD/tools/servefaultharness"
+TMP=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+  [ -n "$SERVER_PID" ] && wait "$SERVER_PID" 2>/dev/null
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+FAILURES=0
+
+expect_ok() {
+  local name=$1
+  shift
+  timeout 300 "$@" >"$TMP/out" 2>&1
+  local got=$?
+  if [ "$got" -ne 0 ]; then
+    echo "FAIL [$name]: expected exit 0, got $got"
+    sed 's/^/    /' "$TMP/out"
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok   [$name]"
+  fi
+}
+
+expect_exit() {
+  local name=$1 want=$2
+  shift 2
+  timeout 60 "$@" >"$TMP/out" 2>&1
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL [$name]: expected exit $want, got $got"
+    sed 's/^/    /' "$TMP/out"
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok   [$name] (exit $got)"
+  fi
+}
+
+# ---- in-process fault matrix ----------------------------------------------
+# Corrupt / drop / truncate / kill-replica / overload, all seeded. The
+# harness exits non-zero on a single wrong answer or lost request.
+expect_ok fault-matrix "$HARNESS" --quick --n 400 --queries 24 --seed 7
+
+# ---- replica serving e2e ---------------------------------------------------
+expect_ok make-data "$MKDATA" --gen blobs --n 2000 --dim 2 --seed 11 \
+  --out "$TMP/pts.csv"
+expect_ok fit-snapshot "$CLI" --input "$TMP/pts.csv" --eps 3 --minpts 5 \
+  --snapshot-out "$TMP/model.udbm"
+
+"$SERVE" --snapshot "$TMP/model.udbm" --replicas 2 --max-seconds 300 \
+  > "$TMP/serve.out" 2>&1 &
+SERVER_PID=$!
+
+PORTS=""
+for _ in $(seq 1 100); do
+  PORTS=$(grep -oE '127\.0\.0\.1:[0-9]+' "$TMP/serve.out" 2>/dev/null |
+    cut -d: -f2 | sort -u)
+  [ "$(echo "$PORTS" | grep -c .)" -ge 2 ] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "FAIL [replica-start]: server died before binding both replicas"
+    sed 's/^/    /' "$TMP/serve.out"
+    exit 1
+  fi
+  sleep 0.2
+done
+if [ "$(echo "$PORTS" | grep -c .)" -lt 2 ]; then
+  echo "FAIL [replica-start]: expected 2 replica port lines within 20s"
+  sed 's/^/    /' "$TMP/serve.out"
+  exit 1
+fi
+PORT_A=$(echo "$PORTS" | sed -n 1p)
+PORT_B=$(echo "$PORTS" | sed -n 2p)
+echo "ok   [replica-start] (ports $PORT_A $PORT_B)"
+
+expect_ok ping-replica-a "$QUERY" --port "$PORT_A" --ping
+expect_ok ping-replica-b "$QUERY" --port "$PORT_B" --ping
+
+# Both replicas serve the same snapshot, so answers must be byte-identical.
+head -n 200 "$TMP/pts.csv" > "$TMP/queries.csv"
+expect_ok classify-replica-a "$QUERY" --port "$PORT_A" \
+  --classify "$TMP/queries.csv" --out "$TMP/a.csv"
+expect_ok classify-replica-b "$QUERY" --port "$PORT_B" \
+  --classify "$TMP/queries.csv" --out "$TMP/b.csv"
+if diff -q "$TMP/a.csv" "$TMP/b.csv" >/dev/null 2>&1; then
+  echo "ok   [replica-answers-identical]"
+else
+  echo "FAIL [replica-answers-identical]: replicas disagree"
+  diff "$TMP/a.csv" "$TMP/b.csv" | head -10 | sed 's/^/    /'
+  FAILURES=$((FAILURES + 1))
+fi
+
+# One SIGTERM stops every replica; the process must exit zero.
+kill -TERM "$SERVER_PID"
+if wait "$SERVER_PID"; then
+  echo "ok   [replica-graceful-shutdown]"
+else
+  echo "FAIL [replica-graceful-shutdown]: non-zero exit on SIGTERM"
+  sed 's/^/    /' "$TMP/serve.out"
+  FAILURES=$((FAILURES + 1))
+fi
+SERVER_PID=""
+
+# ---- client exit-code contract ---------------------------------------------
+# 3 = server unreachable (the port the replicas just vacated), 2 = bad
+# arguments, distinguishable by scripts and process supervisors.
+expect_exit query-unreachable 3 "$QUERY" --port "$PORT_A" --ping
+expect_exit query-bad-port 2 "$QUERY" --port notanumber --ping
+expect_exit query-missing-port 2 "$QUERY" --ping
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES serving fault smoke failure(s)"
+  exit 1
+fi
+echo "serving fault smoke: all checks passed"

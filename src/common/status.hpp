@@ -34,6 +34,7 @@ enum class StatusCode : int {
   kCancelled,          // cancellation token tripped (e.g. SIGINT)
   kUnavailable,        // transient distributed failure (rank death, timeout)
   kInternal,           // invariant violation / unexpected exception
+  kUnimplemented,      // peer asked for a protocol/feature this build lacks
 };
 
 [[nodiscard]] constexpr const char* status_code_name(StatusCode c) noexcept {
@@ -47,6 +48,7 @@ enum class StatusCode : int {
     case StatusCode::kCancelled: return "CANCELLED";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
   }
   return "UNKNOWN";
 }
@@ -101,6 +103,9 @@ class [[nodiscard]] Status {
 }
 [[nodiscard]] inline Status InternalError(std::string msg) {
   return {StatusCode::kInternal, std::move(msg)};
+}
+[[nodiscard]] inline Status UnimplementedError(std::string msg) {
+  return {StatusCode::kUnimplemented, std::move(msg)};
 }
 
 // Exception bridge: thrown by library code at failure sites, caught at the

@@ -41,6 +41,15 @@ const char* counter_name(Counter c) {
     case Counter::kServeNeighborQueries: return "serve_neighbor_queries";
     case Counter::kServePointInfoLookups: return "serve_point_info_lookups";
     case Counter::kServeModelRefreshes: return "serve_model_refreshes";
+    case Counter::kServeCorruptFrames: return "serve_corrupt_frames";
+    case Counter::kServeLegacyClients: return "serve_legacy_clients";
+    case Counter::kServeShedLoad: return "serve_shed_load";
+    case Counter::kServeShedConnections: return "serve_shed_connections";
+    case Counter::kServeIdleDisconnects: return "serve_idle_disconnects";
+    case Counter::kServeAcceptRetries: return "serve_accept_retries";
+    case Counter::kServeClientRetries: return "serve_client_retries";
+    case Counter::kServeClientFailovers: return "serve_client_failovers";
+    case Counter::kServeClientGiveUps: return "serve_client_give_ups";
     case Counter::kNumCounters: break;
   }
   return "unknown";
@@ -81,6 +90,18 @@ const char* counter_unit(Counter c) {
       return "points";
     case Counter::kServeNeighborQueries: return "queries";
     case Counter::kServeModelRefreshes: return "swaps";
+    case Counter::kServeCorruptFrames: return "frames";
+    case Counter::kServeLegacyClients:
+    case Counter::kServeShedConnections:
+    case Counter::kServeIdleDisconnects:
+      return "connections";
+    case Counter::kServeShedLoad:
+    case Counter::kServeClientGiveUps:
+      return "requests";
+    case Counter::kServeAcceptRetries:
+    case Counter::kServeClientRetries:
+      return "retries";
+    case Counter::kServeClientFailovers: return "failovers";
     case Counter::kNumCounters: break;
   }
   return "";

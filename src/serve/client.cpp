@@ -9,14 +9,32 @@ StatusOr<Client> Client::connect(std::uint16_t port, double timeout_seconds) {
 }
 
 StatusOr<Response> Client::roundtrip(const Request& req) {
-  const std::vector<std::uint8_t> body = encode_request(req);
-  if (Status st = write_frame(sock_, body); !st.ok()) return st;
-  StatusOr<std::vector<std::uint8_t>> frame = read_frame(sock_);
-  if (!frame.ok()) return frame.status();
-  Response resp;
-  if (Status st = decode_response(std::span<const std::uint8_t>(*frame), resp);
+  return roundtrip_with_id(allocate_request_id(), req);
+}
+
+StatusOr<Response> Client::roundtrip_with_id(std::uint64_t request_id,
+                                             const Request& req) {
+  if (Status st = write_frame(sock_, frame_v2(request_id, encode_request(req)));
       !st.ok())
     return st;
+  StatusOr<std::vector<std::uint8_t>> frame = read_frame(sock_);
+  if (!frame.ok()) return frame.status();
+  FrameV2 env;
+  if (Status st = parse_frame_v2(std::span<const std::uint8_t>(*frame), env);
+      !st.ok())
+    return st;
+  Response resp;
+  if (Status st = decode_response(env.payload, resp); !st.ok()) return st;
+  // Echo check: the answer must be for the request we sent. Request id 0 is
+  // the server's unattributed-error channel (connection shed before our
+  // request, or our envelope arrived corrupted) and is only valid as an
+  // error.
+  if (env.request_id != request_id &&
+      !(env.request_id == 0 && resp.code != StatusCode::kOk))
+    return DataLossError(
+        "client: response echoes request id " +
+        std::to_string(env.request_id) + ", expected " +
+        std::to_string(request_id));
   return resp;
 }
 
@@ -99,10 +117,13 @@ StatusOr<Response> Client::raw_roundtrip(std::span<const std::uint8_t> body) {
   if (Status st = write_frame(sock_, body); !st.ok()) return st;
   StatusOr<std::vector<std::uint8_t>> frame = read_frame(sock_);
   if (!frame.ok()) return frame.status();
+  // The server answers v2-framed, except to a frame it classified as v1 —
+  // that answer comes back bare so a legacy client can decode it.
+  std::span<const std::uint8_t> payload(*frame);
+  FrameV2 env;
+  if (parse_frame_v2(payload, env).ok()) payload = env.payload;
   Response resp;
-  if (Status st = decode_response(std::span<const std::uint8_t>(*frame), resp);
-      !st.ok())
-    return st;
+  if (Status st = decode_response(payload, resp); !st.ok()) return st;
   return resp;
 }
 

@@ -27,10 +27,20 @@ class Client {
   Client(Client&&) = default;
   Client& operator=(Client&&) = default;
 
-  // One frame out, one frame back. A transport failure comes back as the
+  // One v2 frame out, one back. A transport failure comes back as the
   // Status; a server-side error comes back as an OK StatusOr whose Response
-  // carries code != kOk (call resp.to_status()).
+  // carries code != kOk (call resp.to_status()). The response envelope must
+  // echo the request id — except id 0, the server's "could not attribute"
+  // channel (connection shed, corrupt request envelope), which only ever
+  // carries an error.
   [[nodiscard]] StatusOr<Response> roundtrip(const Request& req);
+  // Same, but with a caller-chosen request id — the retrying client reuses
+  // one id across attempts so a retry is recognizably the *same* request.
+  [[nodiscard]] StatusOr<Response> roundtrip_with_id(std::uint64_t request_id,
+                                                     const Request& req);
+  [[nodiscard]] std::uint64_t allocate_request_id() noexcept {
+    return next_request_id_++;
+  }
 
   // Typed conveniences. These fold the server-side error into the Status, so
   // callers see exactly one failure channel.
@@ -52,6 +62,7 @@ class Client {
   explicit Client(Socket s) : sock_(std::move(s)) {}
 
   Socket sock_;
+  std::uint64_t next_request_id_ = 1;  // 0 is reserved for the server
 };
 
 }  // namespace udb::serve

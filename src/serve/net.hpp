@@ -24,7 +24,10 @@ class Socket {
   Socket() = default;
   explicit Socket(int fd) : fd_(fd) {}
   ~Socket() { close(); }
-  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket(Socket&& o) noexcept
+      : fd_(o.fd_), fault_id_(o.fault_id_), fault_seq_(o.fault_seq_) {
+    o.fd_ = -1;
+  }
   Socket& operator=(Socket&& o) noexcept;
   Socket(const Socket&) = delete;
   Socket& operator=(const Socket&) = delete;
@@ -33,11 +36,21 @@ class Socket {
   [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
   void close() noexcept;
   // shutdown(SHUT_RDWR): unblocks any thread sitting in recv on this fd
-  // (stop path) without racing the close.
-  void shutdown_both() noexcept;
+  // (stop path) without racing the close. const: the fd itself is untouched,
+  // so frame I/O (which takes const Socket&) can sever a faulted connection.
+  void shutdown_both() const noexcept;
 
  private:
+  friend struct SocketFaultAccess;  // net.cpp: fault-injection bookkeeping
+
   int fd_ = -1;
+  // Fault-injection identity (serve/netfault.hpp): connection ordinal,
+  // assigned lazily on the first frame operation while a plan is installed,
+  // and the per-connection operation sequence the decision stream hashes.
+  // Mutable because frame I/O takes const Socket&; untouched (and unread)
+  // when no plan is installed.
+  mutable std::int64_t fault_id_ = -1;
+  mutable std::uint64_t fault_seq_ = 0;
 };
 
 // Binds and listens on 127.0.0.1:port (port 0 = kernel-assigned ephemeral).
@@ -45,20 +58,32 @@ class Socket {
 [[nodiscard]] StatusOr<Socket> listen_loopback(std::uint16_t port,
                                                std::uint16_t& bound_port);
 
-// Blocking accept; UNAVAILABLE when the listener was shut down.
+// Blocking accept. RESOURCE_EXHAUSTED when the process is out of descriptors
+// or kernel buffers (EMFILE/ENFILE/ENOBUFS/ENOMEM — retryable after a
+// backoff, the accept loop's contract); UNAVAILABLE when the listener was
+// shut down or otherwise failed.
 [[nodiscard]] StatusOr<Socket> accept_connection(const Socket& listener);
+
+// (Re)arms SO_RCVTIMEO/SO_SNDTIMEO on the socket: the per-connection idle
+// timeout (server side) and the per-attempt request timeout (client side).
+// 0 or non-finite disables the timeouts.
+void set_socket_timeouts(const Socket& s, double timeout_seconds) noexcept;
 
 // Connects to 127.0.0.1:port; `timeout_seconds` also becomes the socket's
 // send/receive timeout (0 = no timeout).
 [[nodiscard]] StatusOr<Socket> connect_loopback(std::uint16_t port,
                                                 double timeout_seconds);
 
-// One frame = u32 length prefix + body.
+// One frame = u32 length prefix + body. With a NetFaultPlan installed
+// (serve/netfault.hpp) the write may be deterministically delayed, the body
+// corrupted or truncated in flight, or the connection shut down first.
 [[nodiscard]] Status write_frame(const Socket& s,
                                  std::span<const std::uint8_t> body);
 // Reads one frame body. UNAVAILABLE with message "connection closed" on a
 // clean EOF at a frame boundary; DATA_LOSS on truncation mid-frame or a
-// length prefix above kMaxFrameBytes (see protocol.hpp).
+// length prefix above kMaxFrameBytes (see protocol.hpp);
+// DEADLINE_EXCEEDED when a socket timeout (set_socket_timeouts) elapsed
+// before a frame arrived — the idle-timeout signal.
 [[nodiscard]] StatusOr<std::vector<std::uint8_t>> read_frame(const Socket& s);
 
 }  // namespace udb::serve

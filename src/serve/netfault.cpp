@@ -1,0 +1,68 @@
+#include "serve/netfault.hpp"
+
+#include <atomic>
+
+namespace udb::serve {
+
+namespace {
+
+std::atomic<const NetFaultPlan*> g_plan{nullptr};
+std::atomic<std::int64_t> g_next_conn{0};
+
+struct Tallies {
+  std::atomic<std::uint64_t> ops{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint64_t> corrupted{0};
+  std::atomic<std::uint64_t> truncated{0};
+  std::atomic<std::uint64_t> delayed{0};
+  std::atomic<std::uint64_t> crashed{0};
+};
+Tallies g_tallies;
+
+}  // namespace
+
+void install_net_fault_plan(const NetFaultPlan* plan) noexcept {
+  g_plan.store(plan, std::memory_order_release);
+}
+
+const NetFaultPlan* net_fault_plan() noexcept {
+  return g_plan.load(std::memory_order_acquire);
+}
+
+NetFaultCounts net_fault_counts() noexcept {
+  NetFaultCounts c;
+  c.ops = g_tallies.ops.load(std::memory_order_relaxed);
+  c.dropped = g_tallies.dropped.load(std::memory_order_relaxed);
+  c.corrupted = g_tallies.corrupted.load(std::memory_order_relaxed);
+  c.truncated = g_tallies.truncated.load(std::memory_order_relaxed);
+  c.delayed = g_tallies.delayed.load(std::memory_order_relaxed);
+  c.crashed = g_tallies.crashed.load(std::memory_order_relaxed);
+  return c;
+}
+
+void reset_net_fault_state() noexcept {
+  g_next_conn.store(0, std::memory_order_relaxed);
+  g_tallies.ops.store(0, std::memory_order_relaxed);
+  g_tallies.dropped.store(0, std::memory_order_relaxed);
+  g_tallies.corrupted.store(0, std::memory_order_relaxed);
+  g_tallies.truncated.store(0, std::memory_order_relaxed);
+  g_tallies.delayed.store(0, std::memory_order_relaxed);
+  g_tallies.crashed.store(0, std::memory_order_relaxed);
+}
+
+std::int64_t next_net_fault_conn_id() noexcept {
+  return g_next_conn.fetch_add(1, std::memory_order_relaxed);
+}
+
+void count_net_fault(NetFaultKind kind) noexcept {
+  switch (kind) {
+    case NetFaultKind::kOp: g_tallies.ops.fetch_add(1); break;
+    case NetFaultKind::kDrop: g_tallies.dropped.fetch_add(1); break;
+    case NetFaultKind::kCorrupt: g_tallies.corrupted.fetch_add(1); break;
+    case NetFaultKind::kTruncate: g_tallies.truncated.fetch_add(1); break;
+    case NetFaultKind::kDelay: g_tallies.delayed.fetch_add(1); break;
+    case NetFaultKind::kCrash: g_tallies.crashed.fetch_add(1); break;
+  }
+}
+
+}  // namespace udb::serve

@@ -1,7 +1,9 @@
 #include "serve/protocol.hpp"
 
 #include <cmath>
+#include <cstring>
 
+#include "serve/crc32.hpp"
 #include "serve/wire.hpp"
 
 namespace udb::serve {
@@ -148,7 +150,7 @@ Status decode_response(std::span<const std::uint8_t> body, Response& out) {
   std::uint8_t type = 0, code = 0;
   if (!r.u8(type) || !r.u8(code)) return malformed("truncated response head");
   if (!known_type(type)) return malformed("unknown response type");
-  if (code > static_cast<std::uint8_t>(StatusCode::kInternal))
+  if (code > static_cast<std::uint8_t>(StatusCode::kUnimplemented))
     return malformed("unknown response status code");
   out = Response{};
   out.type = static_cast<MsgType>(type);
@@ -217,6 +219,58 @@ Status decode_response(std::span<const std::uint8_t> body, Response& out) {
       break;
   }
   if (!r.done()) return malformed("trailing bytes after response");
+  return Status::Ok();
+}
+
+std::vector<std::uint8_t> frame_v2(std::uint64_t request_id,
+                                   std::span<const std::uint8_t> payload) {
+  std::uint8_t id_bytes[8];
+  std::memcpy(id_bytes, &request_id, sizeof id_bytes);
+  std::uint32_t crc = crc32(id_bytes, sizeof id_bytes);
+  crc = crc32_update(crc, payload.data(), payload.size());
+
+  ByteWriter w;
+  w.u8(kProtocolV2Marker);
+  w.u64(request_id);
+  w.u32(crc);
+  w.raw(payload.data(), payload.size());
+  return w.take();
+}
+
+Status parse_frame_v2(std::span<const std::uint8_t> body, FrameV2& out) {
+  if (body.empty()) return DataLossError("protocol: empty frame");
+  if (body[0] != kProtocolV2Marker) {
+    if (known_type(body[0]))
+      return UnimplementedError(
+          "protocol: v1 frame from a legacy client — this server speaks "
+          "protocol v2 (versioned, CRC-framed); upgrade the client");
+    return DataLossError("protocol: unknown protocol marker byte " +
+                         std::to_string(body[0]));
+  }
+  if (body.size() < kFrameV2HeaderBytes)
+    return DataLossError("protocol: truncated v2 envelope (" +
+                         std::to_string(body.size()) + " bytes)");
+
+  ByteReader r(body);
+  std::uint8_t marker = 0;
+  std::uint64_t request_id = 0;
+  std::uint32_t stored_crc = 0;
+  if (!r.u8(marker) || !r.u64(request_id) || !r.u32(stored_crc))
+    return DataLossError("protocol: truncated v2 envelope header");
+
+  const std::span<const std::uint8_t> payload =
+      body.subspan(kFrameV2HeaderBytes);
+  std::uint8_t id_bytes[8];
+  std::memcpy(id_bytes, &request_id, sizeof id_bytes);
+  std::uint32_t crc = crc32(id_bytes, sizeof id_bytes);
+  crc = crc32_update(crc, payload.data(), payload.size());
+  if (crc != stored_crc)
+    return DataLossError(
+        "protocol: frame CRC mismatch (corrupted in transit) — request id " +
+        std::to_string(request_id));
+
+  out.request_id = request_id;
+  out.payload = payload;
   return Status::Ok();
 }
 

@@ -3,13 +3,27 @@
 //
 //   u32 frame_bytes | frame body
 //
-// where the body starts with a u8 message type. Responses echo the request
-// type and carry a u8 status code (StatusCode numeric value); a non-OK
-// response replaces the payload with a u32-length error message. Decoding is
-// quarantine-style: any malformed body — unknown type, truncation, trailing
-// bytes, non-finite floats, absurd counts — comes back as a clean
-// INVALID_ARGUMENT / DATA_LOSS Status, never UB (the server answers with an
-// error frame and closes the connection; it does not die).
+// and since protocol v2 every body is an integrity-checked envelope:
+//
+//   u8 0xB2 (v2 marker) | u64 request_id | u32 crc32 | payload
+//
+// The CRC (IEEE CRC-32 over request_id bytes ++ payload) is verified before
+// any payload parsing, so a frame corrupted in flight is *detected at the
+// transport* and answered with a clean DATA_LOSS — never parsed, never
+// answered with garbage. The request id is chosen by the client and echoed
+// verbatim by the server: it keys idempotent retries (classify is read-only,
+// so at-least-once delivery is safe) and catches a desynced stream (an echo
+// mismatch is DATA_LOSS). A v1 body (one that starts with a bare message
+// type byte) is recognized and refused with a clean UNIMPLEMENTED error in
+// v1 framing, so legacy clients fail loudly, not mysteriously.
+//
+// Inside the envelope the payload starts with a u8 message type. Responses
+// echo the request type and carry a u8 status code (StatusCode numeric
+// value); a non-OK response replaces the payload with a u32-length error
+// message. Decoding is quarantine-style: any malformed payload — unknown
+// type, truncation, trailing bytes, non-finite floats, absurd counts —
+// comes back as a clean INVALID_ARGUMENT / DATA_LOSS Status, never UB (the
+// server answers with an error frame; it does not die).
 
 #pragma once
 
@@ -31,6 +45,13 @@ inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;  // 64 MiB
 // Points per classify request are additionally capped so a single frame
 // cannot ask for unbounded work (docs/SERVING.md, operational limits).
 inline constexpr std::uint32_t kMaxBatchPoints = 1u << 20;
+
+// Protocol v2 envelope. The marker byte deliberately collides with no v1
+// message type (v1 bodies start with 1..6), so the two generations are
+// distinguishable from the first byte of the body.
+inline constexpr std::uint8_t kProtocolV2Marker = 0xB2;
+inline constexpr std::size_t kFrameV2HeaderBytes =
+    1 /*marker*/ + 8 /*request_id*/ + 4 /*crc32*/;
 
 enum class MsgType : std::uint8_t {
   kPing = 1,       // liveness probe, empty payload both ways
@@ -80,6 +101,27 @@ struct Response {
 [[nodiscard]] std::vector<std::uint8_t> encode_response(const Response& resp);
 [[nodiscard]] Status decode_response(std::span<const std::uint8_t> body,
                                      Response& out);
+
+// ---- protocol v2 envelope ------------------------------------------------
+
+// A parsed v2 frame. `payload` aliases the buffer handed to parse_frame_v2.
+struct FrameV2 {
+  std::uint64_t request_id = 0;
+  std::span<const std::uint8_t> payload;
+};
+
+// Wraps a payload in the v2 envelope (marker, request id, CRC32 over
+// request_id bytes ++ payload).
+[[nodiscard]] std::vector<std::uint8_t> frame_v2(
+    std::uint64_t request_id, std::span<const std::uint8_t> payload);
+
+// Verifies and unwraps a v2 frame body. DATA_LOSS on a truncated envelope or
+// a CRC mismatch (corruption detected at the transport — the payload is
+// never parsed); UNIMPLEMENTED when the body is a legacy v1 frame (first
+// byte is a known v1 message type), so the caller can refuse it cleanly in
+// v1 framing; DATA_LOSS on any other first byte.
+[[nodiscard]] Status parse_frame_v2(std::span<const std::uint8_t> body,
+                                    FrameV2& out);
 
 // Builds the error frame the server answers a failed request with.
 [[nodiscard]] Response error_response(MsgType type, const Status& s);

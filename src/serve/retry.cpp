@@ -1,0 +1,185 @@
+#include "serve/retry.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace udb::serve {
+
+namespace {
+
+// Folds transport and server-side failure into one Status; on success checks
+// the response type matches what was asked (same contract as Client's).
+Status unwrap(const StatusOr<Response>& r, MsgType want, Response& out) {
+  if (!r.ok()) return r.status();
+  if (r->code != StatusCode::kOk) return r->to_status();
+  if (r->type != want)
+    return DataLossError("client: response type does not match request");
+  out = *r;
+  return Status::Ok();
+}
+
+}  // namespace
+
+bool retryable_status(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kDataLoss:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+RetryingClient::RetryingClient(std::vector<std::uint16_t> ports,
+                               RetryPolicy policy,
+                               obs::MetricsRegistry* metrics)
+    : ports_(std::move(ports)),
+      policy_(policy),
+      metrics_(metrics),
+      jitter_state_(policy.jitter_seed | 1u) {}
+
+void RetryingClient::advance_endpoint() {
+  if (ports_.size() < 2) return;
+  endpoint_ = (endpoint_ + 1) % ports_.size();
+  if (metrics_ != nullptr)
+    metrics_->add(obs::Counter::kServeClientFailovers);
+}
+
+void RetryingClient::backoff_sleep(int retry_number) {
+  double backoff = policy_.initial_backoff_seconds;
+  for (int i = 1; i < retry_number; ++i) backoff *= 2.0;
+  if (backoff > policy_.max_backoff_seconds)
+    backoff = policy_.max_backoff_seconds;
+  // LCG jitter in [0.5, 1.0): desynchronizes clients hammering a shedding
+  // server, deterministically given the seed.
+  jitter_state_ = jitter_state_ * 6364136223846793005ull + 1442695040888963407ull;
+  const double unit =
+      static_cast<double>(jitter_state_ >> 11) / 9007199254740992.0;  // 2^53
+  const double sleep_s = backoff * (0.5 + 0.5 * unit);
+  if (sleep_s > 0.0)
+    std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+}
+
+Status RetryingClient::ensure_connected() {
+  if (client_.has_value()) return Status::Ok();
+  if (ports_.empty())
+    return InvalidArgumentError("RetryingClient: no endpoints configured");
+  Status last = UnavailableError("RetryingClient: no endpoint reachable");
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    StatusOr<Client> c =
+        Client::connect(ports_[endpoint_], policy_.timeout_seconds);
+    if (c.ok()) {
+      client_.emplace(std::move(*c));
+      return Status::Ok();
+    }
+    last = c.status();
+    advance_endpoint();
+  }
+  return last;
+}
+
+StatusOr<Response> RetryingClient::roundtrip(const Request& req) {
+  const std::uint64_t id = next_id_++;
+  Status last = UnavailableError("RetryingClient: no attempt made");
+  for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      if (metrics_ != nullptr)
+        metrics_->add(obs::Counter::kServeClientRetries);
+      backoff_sleep(attempt - 1);
+    }
+    if (Status st = ensure_connected(); !st.ok()) {
+      last = st;
+      continue;
+    }
+    StatusOr<Response> r = client_->roundtrip_with_id(id, req);
+    if (!r.ok()) {
+      last = r.status();
+      // Transport fault: the stream can no longer be trusted (a timed-out
+      // response may still be in flight; a dropped connection is gone).
+      // Reconnect — preferring the next replica — and retry the same id.
+      client_.reset();
+      advance_endpoint();
+      if (!retryable_status(last.code())) break;
+      continue;
+    }
+    if (r->code != StatusCode::kOk && retryable_status(r->code)) {
+      // The server answered, but with a transient failure: it shed us
+      // (RESOURCE_EXHAUSTED — load, connection budget, or memory), our
+      // request arrived corrupted (DATA_LOSS from the frame CRC), or the
+      // per-request deadline tripped. The connection may already be closed
+      // (connection shed), so drop it either way and prefer another replica
+      // after backing off.
+      last = r->to_status();
+      client_.reset();
+      advance_endpoint();
+      continue;
+    }
+    return r;  // OK, or a non-retryable server-side answer for the caller
+  }
+  if (metrics_ != nullptr) metrics_->add(obs::Counter::kServeClientGiveUps);
+  return last;
+}
+
+Status RetryingClient::ping() {
+  Request req;
+  req.type = MsgType::kPing;
+  Response resp;
+  return unwrap(roundtrip(req), MsgType::kPing, resp);
+}
+
+StatusOr<std::vector<Classify>> RetryingClient::classify(
+    std::span<const double> coords, std::uint32_t dim) {
+  Request req;
+  req.type = MsgType::kClassify;
+  req.dim = dim;
+  req.coords.assign(coords.begin(), coords.end());
+  Response resp;
+  if (Status st = unwrap(roundtrip(req), MsgType::kClassify, resp); !st.ok())
+    return st;
+  return std::move(resp.classify);
+}
+
+StatusOr<std::vector<std::pair<std::uint64_t, double>>>
+RetryingClient::neighbors(std::span<const double> q, double radius) {
+  Request req;
+  req.type = MsgType::kNeighbors;
+  req.dim = static_cast<std::uint32_t>(q.size());
+  req.coords.assign(q.begin(), q.end());
+  req.radius = radius;
+  Response resp;
+  if (Status st = unwrap(roundtrip(req), MsgType::kNeighbors, resp); !st.ok())
+    return st;
+  return std::move(resp.neighbors);
+}
+
+StatusOr<PointInfo> RetryingClient::point_info(std::uint64_t id) {
+  Request req;
+  req.type = MsgType::kPointInfo;
+  req.point_id = id;
+  Response resp;
+  if (Status st = unwrap(roundtrip(req), MsgType::kPointInfo, resp); !st.ok())
+    return st;
+  return resp.point;
+}
+
+StatusOr<std::string> RetryingClient::stats_json() {
+  Request req;
+  req.type = MsgType::kStats;
+  Response resp;
+  if (Status st = unwrap(roundtrip(req), MsgType::kStats, resp); !st.ok())
+    return st;
+  return std::move(resp.json);
+}
+
+StatusOr<ModelInfo> RetryingClient::model_info() {
+  Request req;
+  req.type = MsgType::kModelInfo;
+  Response resp;
+  if (Status st = unwrap(roundtrip(req), MsgType::kModelInfo, resp); !st.ok())
+    return st;
+  return resp.model;
+}
+
+}  // namespace udb::serve

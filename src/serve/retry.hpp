@@ -1,0 +1,92 @@
+// RetryingClient — the production-facing client wrapper: per-request
+// deadlines, exponential backoff with deterministic jitter, automatic
+// reconnect, and replica failover (docs/SERVING.md, failure-mode matrix).
+//
+// Retry safety: every protocol request is read-only against an immutable
+// ClusterModel snapshot, so at-least-once delivery is harmless — a retried
+// classify returns the same answer. Retries reuse the original request id,
+// so a retry is recognizably the *same* request end to end (and shows up
+// that way in traces and packet captures).
+//
+// Retryable failures, and only these:
+//   UNAVAILABLE        transport drop / refused connect   -> reconnect+retry
+//   DEADLINE_EXCEEDED  socket recv timeout                -> reconnect+retry
+//   DATA_LOSS          frame corrupted in either direction-> retry (the CRC
+//                      caught it before any wrong answer could surface)
+//   RESOURCE_EXHAUSTED server shed the request/connection -> back off, prefer
+//                      another replica
+// Everything else (INVALID_ARGUMENT, NOT_FOUND, UNIMPLEMENTED, ...) is the
+// caller's answer and is returned on the first attempt.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+#include "obs/metrics.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+
+namespace udb::serve {
+
+struct RetryPolicy {
+  int max_attempts = 4;                   // total tries, not re-tries
+  double initial_backoff_seconds = 0.05;  // doubles per retry ...
+  double max_backoff_seconds = 2.0;       // ... capped here
+  // Deterministic jitter stream: each sleep is scaled by a factor in
+  // [0.5, 1.0) drawn from an LCG seeded here, so tests replay exactly.
+  std::uint64_t jitter_seed = 1;
+  double timeout_seconds = 5.0;  // per-attempt connect/send/recv bound
+};
+
+// True for the status codes the policy above may retry.
+[[nodiscard]] bool retryable_status(StatusCode code) noexcept;
+
+class RetryingClient {
+ public:
+  // `ports` are replicas serving the same model snapshot, tried in order
+  // starting from the first; on failure the client rotates to the next.
+  explicit RetryingClient(std::vector<std::uint16_t> ports,
+                          RetryPolicy policy = {},
+                          obs::MetricsRegistry* metrics = nullptr);
+
+  // Core retry loop. A non-retryable server-side error comes back as an OK
+  // StatusOr whose Response carries code != kOk, exactly like Client.
+  [[nodiscard]] StatusOr<Response> roundtrip(const Request& req);
+
+  // Typed conveniences mirroring Client; one failure channel.
+  [[nodiscard]] Status ping();
+  [[nodiscard]] StatusOr<std::vector<Classify>> classify(
+      std::span<const double> coords, std::uint32_t dim);
+  [[nodiscard]] StatusOr<std::vector<std::pair<std::uint64_t, double>>>
+  neighbors(std::span<const double> q, double radius);
+  [[nodiscard]] StatusOr<PointInfo> point_info(std::uint64_t id);
+  [[nodiscard]] StatusOr<std::string> stats_json();
+  [[nodiscard]] StatusOr<ModelInfo> model_info();
+
+  // Observability for tests and the fault harness.
+  [[nodiscard]] std::size_t endpoint_index() const noexcept {
+    return endpoint_;
+  }
+  [[nodiscard]] bool connected() const noexcept { return client_.has_value(); }
+
+ private:
+  Status ensure_connected();
+  void advance_endpoint();
+  void backoff_sleep(int retry_number);
+
+  std::vector<std::uint16_t> ports_;
+  RetryPolicy policy_;
+  obs::MetricsRegistry* metrics_;  // optional, not owned
+  std::optional<Client> client_;
+  std::size_t endpoint_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t jitter_state_;
+};
+
+}  // namespace udb::serve

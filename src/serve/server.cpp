@@ -2,7 +2,9 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "obs/log.hpp"
 #include "obs/report.hpp"
@@ -30,6 +32,10 @@ QueryServer::QueryServer(std::shared_ptr<const ClusterModel> model,
     : served_(std::move(model)), cfg_(cfg) {
   if (cfg_.pool_threads > 1)
     pool_ = std::make_unique<ThreadPool>(cfg_.pool_threads);
+  // Request-buffer accounting only: no deadline, and check() is never called
+  // on this guard, so its exhaustion latch is irrelevant — try_charge keeps
+  // enforcing the budget for the life of the server.
+  buffer_guard_.arm(RunLimits{0.0, cfg_.memory_budget_bytes});
 }
 
 QueryServer::~QueryServer() { stop(); }
@@ -77,52 +83,143 @@ void QueryServer::refresh(std::shared_ptr<const ClusterModel> m) {
 }
 
 void QueryServer::accept_loop() {
+  double backoff_s = 0.010;
   while (!stopping_) {
     StatusOr<Socket> conn = accept_connection(listener_);
     if (!conn.ok()) {
-      if (!stopping_)
-        obs::LogLine(obs::LogLevel::kWarn, "serve", "accept_failed")
-            .kv("status", conn.status().to_string());
+      if (stopping_) break;
+      if (conn.status().code() == StatusCode::kResourceExhausted) {
+        // fd / buffer exhaustion (EMFILE, ENFILE, ENOBUFS) is transient — it
+        // clears when a connection closes. Back off exponentially instead of
+        // spinning on accept() or killing the server.
+        metrics_.add(obs::Counter::kServeAcceptRetries);
+        obs::LogLine(obs::LogLevel::kWarn, "serve", "accept_backoff")
+            .kv("status", conn.status().to_string())
+            .kv("sleep_ms", backoff_s * 1e3);
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff_s));
+        backoff_s = std::min(backoff_s * 2.0, 1.0);
+        continue;
+      }
+      obs::LogLine(obs::LogLevel::kWarn, "serve", "accept_failed")
+          .kv("status", conn.status().to_string());
       break;
     }
-    std::lock_guard<std::mutex> lk(conn_mu_);
-    if (stopping_) break;  // raced with stop(): drop the connection
-    conn_fds_.insert(conn->fd());
-    conn_threads_.emplace_back(
-        [this, c = std::move(*conn)]() mutable {
+    backoff_s = 0.010;
+
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lk(conn_mu_);
+      if (stopping_) break;  // raced with stop(): drop the connection
+      shed = cfg_.max_connections > 0 &&
+             conn_fds_.size() >= cfg_.max_connections;
+      if (!shed) {
+        conn_fds_.insert(conn->fd());
+        conn_threads_.emplace_back([this, c = std::move(*conn)]() mutable {
           serve_connection(std::move(c));
         });
+      }
+    }
+    if (shed) {
+      // Connection budget full: one RESOURCE_EXHAUSTED shed frame (request
+      // id 0 — the peer has not sent anything yet), then close. The retrying
+      // client backs off or fails over on it.
+      metrics_.add(obs::Counter::kServeShedConnections);
+      (void)write_frame(
+          *conn, frame_v2(0, encode_response(error_response(
+                                 MsgType::kPing,
+                                 ResourceExhaustedError(
+                                     "server connection budget full — back "
+                                     "off or try another replica")))));
+    }
   }
 }
 
 void QueryServer::serve_connection(Socket conn) {
   const int fd = conn.fd();
+  if (cfg_.idle_timeout_seconds > 0.0)
+    set_socket_timeouts(conn, cfg_.idle_timeout_seconds);
   for (;;) {
     StatusOr<std::vector<std::uint8_t>> frame = read_frame(conn);
     if (!frame.ok()) {
-      // Clean close (or stop()) ends the loop silently; a malformed frame
-      // (oversized prefix, truncation mid-frame) gets one error answer, then
-      // the connection is dropped — the stream offset is unrecoverable.
-      if (frame.status().code() == StatusCode::kDataLoss && !stopping_) {
+      // Clean close (or stop()) ends the loop silently.
+      if (stopping_) break;
+      const StatusCode code = frame.status().code();
+      if (code == StatusCode::kDeadlineExceeded) {
+        // Idle peer: reclaim the worker thread; a live client reconnects.
+        metrics_.add(obs::Counter::kServeIdleDisconnects);
+        obs::LogLine(obs::LogLevel::kInfo, "serve", "idle_disconnect")
+            .kv("idle_timeout_s", cfg_.idle_timeout_seconds);
+      } else if (code == StatusCode::kDataLoss) {
+        // A malformed frame (oversized prefix, truncation mid-frame) gets
+        // one error answer, then the connection is dropped — the stream
+        // offset is unrecoverable.
         metrics_.add(obs::Counter::kServeRequests);
         metrics_.add(obs::Counter::kServeErrors);
-        (void)write_frame(conn, encode_response(error_response(
-                                    MsgType::kPing, frame.status())));
+        metrics_.add(obs::Counter::kServeCorruptFrames);
+        (void)write_frame(conn, frame_v2(0, encode_response(error_response(
+                                               MsgType::kPing,
+                                               frame.status()))));
       }
       break;
     }
 
-    Request req;
-    Response resp;
-    const auto t0 = std::chrono::steady_clock::now();
-    if (Status st = decode_request(std::span<const std::uint8_t>(*frame), req);
+    FrameV2 env;
+    if (Status st = parse_frame_v2(std::span<const std::uint8_t>(*frame), env);
         !st.ok()) {
       metrics_.add(obs::Counter::kServeRequests);
       metrics_.add(obs::Counter::kServeErrors);
-      resp = error_response(MsgType::kPing, st);
+      if (st.code() == StatusCode::kUnimplemented) {
+        // v1 frame from a legacy client: answer in v1 framing — the only
+        // framing it can decode — and keep the connection.
+        metrics_.add(obs::Counter::kServeLegacyClients);
+        if (!write_frame(conn,
+                         encode_response(error_response(MsgType::kPing, st)))
+                 .ok())
+          break;
+        continue;
+      }
+      // CRC mismatch or unknown marker: the length prefix was intact, so the
+      // stream stays in sync — answer (request id 0: the envelope's id is
+      // exactly what the CRC failed to vouch for) and keep the connection.
+      metrics_.add(obs::Counter::kServeCorruptFrames);
+      if (!write_frame(conn, frame_v2(0, encode_response(error_response(
+                                             MsgType::kPing, st))))
+               .ok())
+        break;
+      continue;
+    }
+
+    // Admission: global in-flight budget and request-buffer byte budget,
+    // checked before any model work. A shed request costs the server one
+    // error frame; the client treats RESOURCE_EXHAUSTED as retryable after
+    // backoff (or fails over to another replica).
+    const std::size_t inflight =
+        inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+    ScopedCharge charge;
+    Status admit = Status::Ok();
+    if (cfg_.max_inflight > 0 && inflight > cfg_.max_inflight)
+      admit = ResourceExhaustedError(
+          "server overloaded: in-flight budget of " +
+          std::to_string(cfg_.max_inflight) +
+          " requests exhausted — back off and retry");
+    if (admit.ok() && cfg_.memory_budget_bytes > 0)
+      admit = charge.acquire(&buffer_guard_, frame->size(),
+                             "serve request buffer");
+
+    Request req;
+    Response resp;
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!admit.ok()) {
+      metrics_.add(obs::Counter::kServeRequests);
+      metrics_.add(obs::Counter::kServeErrors);
+      metrics_.add(obs::Counter::kServeShedLoad);
+      resp = error_response(MsgType::kPing, admit);
+    } else if (Status st = decode_request(env.payload, req); !st.ok()) {
+      metrics_.add(obs::Counter::kServeRequests);
+      metrics_.add(obs::Counter::kServeErrors);
       // Garbage in the body is answerable (the frame boundary is intact):
-      // report and keep the connection — unless the type byte itself was
-      // unreadable garbage, where the safest move is to answer and drop.
+      // report and keep the connection.
+      resp = error_response(MsgType::kPing, st);
     } else {
       resp = handle(req);
     }
@@ -131,7 +228,11 @@ void QueryServer::serve_connection(Socket conn) {
                         .count();
     metrics_.observe(obs::Hist::kServeRequestUs,
                      static_cast<std::uint64_t>(us));
-    if (!write_frame(conn, encode_response(resp)).ok()) break;
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    charge.reset();
+    if (!write_frame(conn, frame_v2(env.request_id, encode_response(resp)))
+             .ok())
+      break;
   }
   std::lock_guard<std::mutex> lk(conn_mu_);
   conn_fds_.erase(fd);
@@ -239,6 +340,7 @@ std::string QueryServer::stats_json() const {
   w.begin_object();
   w.kv("schema_version", 1);
   w.kv("tool", "udbscan_serve");
+  w.kv("protocol_version", 2);
   w.key("model");
   w.begin_object();
   w.kv("n", model->size());

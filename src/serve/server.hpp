@@ -47,6 +47,24 @@ struct ServerConfig {
   // Batches with at least this many points fan out over the pool.
   std::size_t parallel_batch_threshold = 512;
   obs::Tracer* tracer = nullptr;  // optional, not owned
+
+  // ---- overload protection (docs/SERVING.md failure-mode matrix) ---------
+  // Connection budget: a connection accepted while this many are already
+  // open is answered with one RESOURCE_EXHAUSTED shed frame and closed
+  // (serve_shed_connections). 0 = unlimited.
+  std::size_t max_connections = 0;
+  // In-flight request budget across all connections: a request that would
+  // exceed it is answered RESOURCE_EXHAUSTED without any model work
+  // (serve_shed_load) — the client's cue to back off. 0 = unlimited.
+  std::size_t max_inflight = 0;
+  // Per-connection idle timeout: a peer that sends no frame for this long
+  // is disconnected (serve_idle_disconnects), so half-open or stalled
+  // clients cannot pin worker threads forever. 0 = none.
+  double idle_timeout_seconds = 0.0;
+  // Request-buffer memory budget, charged to the server's RunGuard per
+  // in-flight frame; a frame whose bytes would exceed it is shed
+  // RESOURCE_EXHAUSTED (serve_shed_load). 0 = unlimited.
+  std::size_t memory_budget_bytes = 0;
 };
 
 class QueryServer {
@@ -103,6 +121,12 @@ class QueryServer {
   std::mutex conn_mu_;
   std::vector<std::thread> conn_threads_;
   std::unordered_set<int> conn_fds_;  // open connection fds, for stop()
+
+  // Overload accounting: in-flight requests across all connections, and the
+  // request-buffer byte budget (RunGuard used purely for its thread-safe
+  // try_charge/release arithmetic — no deadline, never check()ed).
+  std::atomic<std::size_t> inflight_{0};
+  RunGuard buffer_guard_;
 };
 
 }  // namespace udb::serve

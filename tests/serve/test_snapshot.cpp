@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <string>
@@ -233,6 +234,61 @@ TEST_F(SnapshotTest, UnwritablePathFailsCleanly) {
                               "/nonexistent_dir_udb/model.udbm");
   ASSERT_FALSE(st.ok());
   EXPECT_EQ(st.code(), StatusCode::kInternal);
+}
+
+TEST_F(SnapshotTest, StaleTmpFromACrashedSaveIsOverwritten) {
+  // A process that died between write and rename leaves `<path>.tmp` behind.
+  // The next save must clobber it, succeed, and leave no tmp residue.
+  const auto snap = make_snapshot();
+  const std::string p = path("staletmp.udbm");
+  write_file(p + ".tmp", {0xDE, 0xAD, 0xBE, 0xEF});
+
+  ASSERT_TRUE(serve::save_model(snap, p).ok());
+  auto loaded = serve::load_model(p);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  std::ifstream residue(p + ".tmp", std::ios::binary);
+  EXPECT_FALSE(residue.good());  // consumed by the rename
+}
+
+TEST_F(SnapshotTest, BlockedTmpWriteLeavesPreviousModelServing) {
+  // Force the tmp-file write itself to fail (its path is a directory): the
+  // save reports INTERNAL and the previously saved model under the final
+  // name is untouched and still loads.
+  const auto snap = make_snapshot();
+  const std::string p = path("blockedtmp.udbm");
+  ASSERT_TRUE(serve::save_model(snap, p).ok());
+  const auto before = read_file(p);
+
+  ASSERT_TRUE(std::filesystem::create_directory(p + ".tmp"));
+  auto st = serve::save_model(snap, p);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_EQ(read_file(p), before);
+  EXPECT_TRUE(serve::load_model(p).ok());
+  std::filesystem::remove(p + ".tmp");
+}
+
+TEST_F(SnapshotTest, ShortWriteNeverSurfacesUnderTheFinalName) {
+  // Simulated crash mid-write: only a prefix of the snapshot made it to the
+  // tmp file before the process died. The final name still serves the old
+  // model; the short tmp is itself rejected cleanly if someone loads it.
+  const auto snap = make_snapshot();
+  const std::string p = path("shortwrite.udbm");
+  ASSERT_TRUE(serve::save_model(snap, p).ok());
+  const auto good = read_file(p);
+
+  std::vector<std::uint8_t> prefix(good.begin(),
+                                   good.begin() +
+                                       static_cast<std::ptrdiff_t>(
+                                           good.size() / 3));
+  write_file(p + ".tmp", prefix);
+
+  EXPECT_EQ(read_file(p), good);
+  ASSERT_TRUE(serve::load_model(p).ok());
+  auto short_load = serve::load_model(p + ".tmp");
+  ASSERT_FALSE(short_load.ok());
+  EXPECT_EQ(short_load.status().code(), StatusCode::kDataLoss);
+  std::remove((p + ".tmp").c_str());
 }
 
 }  // namespace

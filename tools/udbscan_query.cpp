@@ -19,7 +19,12 @@
 // every garbage frame got a clean error (or a clean connection drop) and the
 // server survived.
 //
-// Exit codes: 0 ok, 1 transport/server error, 2 missing required flags.
+// Exit codes are distinct per failure class so scripts can branch without
+// parsing stderr:
+//   0  success
+//   1  the server answered with an error (or failed mid-request)
+//   2  bad arguments (missing/invalid flags, malformed coordinates)
+//   3  server unreachable (connect failed / refused)
 
 #include <cstdio>
 #include <fstream>
@@ -116,7 +121,7 @@ int main(int argc, char** argv) {
     if (!client.ok()) {
       std::fprintf(stderr, "udbscan_query: error: %s\n",
                    client.status().to_string().c_str());
-      return 1;
+      return 3;
     }
 
     if (ping) {
@@ -230,7 +235,7 @@ int main(int argc, char** argv) {
                        "garbage frame %lld: %s\n",
                        static_cast<long long>(i),
                        gc.status().to_string().c_str());
-          return 1;
+          return 3;
         }
         auto resp = gc->raw_roundtrip(garbage_frame(static_cast<int>(i)));
         if (resp.ok()) {
@@ -260,6 +265,9 @@ int main(int argc, char** argv) {
     }
 
     return 0;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "udbscan_query: error: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "udbscan_query: error: %s\n", e.what());
     return 1;

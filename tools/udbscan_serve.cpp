@@ -6,10 +6,18 @@
 //   serving on 127.0.0.1:41233 (2000 points, 2 dims, 3 clusters)
 //   $ udbscan_query --port 41233 --classify queries.csv
 //
-// Prints exactly one "serving on 127.0.0.1:<port>" line to stdout (flushed)
-// once the listener is live, so scripts can scrape the ephemeral port.
-// Runs until SIGINT/SIGTERM (graceful: in-flight requests finish, the final
-// stats document is written to --stats-out if given) or --max-seconds.
+// Prints exactly one "serving on 127.0.0.1:<port>" line per replica to
+// stdout (flushed) once each listener is live, so scripts can scrape the
+// ephemeral ports. Runs until SIGINT/SIGTERM (graceful: in-flight requests
+// finish, the final stats document is written to --stats-out if given) or
+// --max-seconds.
+//
+// --replicas N starts N QueryServers over ONE shared immutable model (one
+// line of output each); the retrying client fails over between them, so
+// killing one replica mid-batch loses no requests (tests/serve/test_retry).
+// Overload protection (docs/SERVING.md): --max-connections, --max-inflight,
+// --idle-timeout-ms, and --memory-budget-mb bound what one replica accepts;
+// excess load is shed with RESOURCE_EXHAUSTED rather than queued.
 //
 // Exit codes: 0 clean shutdown, 1 bad snapshot or startup failure, 2 missing
 // required flags.
@@ -19,9 +27,11 @@
 #include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "obs/log.hpp"
@@ -53,6 +63,16 @@ int main(int argc, char** argv) {
     const double max_seconds = cli.get_double("max-seconds", 0.0);
     const std::string stats_out = cli.get_string("stats-out", "");
     const std::string log_level_str = cli.get_string("log-level", "");
+    const auto replicas = static_cast<std::size_t>(
+        cli.get_int_in_range("replicas", 1, 1, 64));
+    const auto max_connections = static_cast<std::size_t>(
+        cli.get_int_at_least("max-connections", 0, 0));
+    const auto max_inflight = static_cast<std::size_t>(
+        cli.get_int_at_least("max-inflight", 0, 0));
+    const std::int64_t idle_timeout_ms =
+        cli.get_int_at_least("idle-timeout-ms", 0, 0);
+    const std::int64_t memory_budget_mb =
+        cli.get_int_at_least("memory-budget-mb", 0, 0);
     cli.check_unused();
 
     if (!log_level_str.empty()) {
@@ -66,6 +86,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: udbscan_serve --snapshot model.udbm [--port P] "
                    "[--deadline-ms MS] [--threads T] [--max-seconds S] "
+                   "[--replicas N] [--max-connections C] [--max-inflight R] "
+                   "[--idle-timeout-ms MS] [--memory-budget-mb MB] "
                    "[--stats-out stats.json] "
                    "[--log-level debug|info|warn|error|off]\n");
       return 2;
@@ -87,19 +109,32 @@ int main(int argc, char** argv) {
     }
 
     serve::ServerConfig cfg;
-    cfg.port = port;
     cfg.request_deadline_seconds = static_cast<double>(deadline_ms) / 1000.0;
     cfg.pool_threads = threads;
-    serve::QueryServer server(*model, cfg);
-    if (Status st = server.start(); !st.ok()) {
-      std::fprintf(stderr, "udbscan_serve: error: %s\n",
-                   st.to_string().c_str());
-      return 1;
+    cfg.max_connections = max_connections;
+    cfg.max_inflight = max_inflight;
+    cfg.idle_timeout_seconds = static_cast<double>(idle_timeout_ms) / 1000.0;
+    cfg.memory_budget_bytes =
+        static_cast<std::size_t>(memory_budget_mb) * 1024 * 1024;
+
+    // All replicas serve the same immutable model snapshot — one build, N
+    // listeners. With an explicit --port only replica 0 can have it; the
+    // rest take kernel-assigned ephemeral ports.
+    std::vector<std::unique_ptr<serve::QueryServer>> servers;
+    for (std::size_t k = 0; k < replicas; ++k) {
+      cfg.port = k == 0 ? port : 0;
+      servers.push_back(std::make_unique<serve::QueryServer>(*model, cfg));
+      if (Status st = servers.back()->start(); !st.ok()) {
+        std::fprintf(stderr, "udbscan_serve: error: %s\n",
+                     st.to_string().c_str());
+        return 1;
+      }
+      std::printf("serving on 127.0.0.1:%u (%zu points, %zu dims, %zu "
+                  "clusters)\n",
+                  static_cast<unsigned>(servers.back()->port()),
+                  (*model)->size(), (*model)->dim(),
+                  (*model)->num_clusters());
     }
-    std::printf("serving on 127.0.0.1:%u (%zu points, %zu dims, %zu "
-                "clusters)\n",
-                static_cast<unsigned>(server.port()), (*model)->size(),
-                (*model)->dim(), (*model)->num_clusters());
     std::fflush(stdout);
 
     std::signal(SIGINT, on_signal);
@@ -112,18 +147,22 @@ int main(int argc, char** argv) {
                   .count() >= max_seconds)
         break;
     }
-    server.stop();
+    for (auto& s : servers) s->stop();
 
     if (!stats_out.empty()) {
+      // Replica 0's document; under --replicas the others contribute only to
+      // the summed shutdown line below.
       std::ofstream out(stats_out);
       if (!out) throw std::runtime_error("cannot open " + stats_out);
-      out << server.stats_json() << '\n';
+      out << servers.front()->stats_json() << '\n';
       std::printf("stats written to %s\n", stats_out.c_str());
     }
+    std::uint64_t total_requests = 0;
+    for (auto& s : servers)
+      total_requests +=
+          s->metrics().snapshot().counter(obs::Counter::kServeRequests);
     std::printf("shutdown: %llu requests served\n",
-                static_cast<unsigned long long>(
-                    server.metrics().snapshot().counter(
-                        obs::Counter::kServeRequests)));
+                static_cast<unsigned long long>(total_requests));
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "udbscan_serve: error: %s\n", e.what());
