@@ -21,6 +21,7 @@
 
 #include "bench_util.hpp"
 #include "common/cli.hpp"
+#include "common/simd.hpp"
 #include "common/timer.hpp"
 #include "core/mudbscan.hpp"
 #include "data/named.hpp"
@@ -76,6 +77,8 @@ void write_json(const std::string& path, double scale, bool quick, int reps,
       << "  \"bench\": \"ext_multicore\",\n"
       << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
       << ",\n"
+      << "  \"simd_target\": \"" << simd_target_name(active_simd_target())
+      << "\",\n"
       << "  \"scale\": " << scale << ",\n"
       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
       << "  \"reps\": " << reps << ",\n"

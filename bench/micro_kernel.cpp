@@ -1,0 +1,168 @@
+// Micro-bench for the SIMD distance-kernel family (common/simd.hpp,
+// docs/KERNELS.md): one query vs a dim-major SoA block of candidates,
+// scalar reference against every runnable dispatch target, across the
+// dimensionalities and block sizes the spatial-index leaves actually see.
+//
+// Every target is first verified BITWISE against the scalar reference on the
+// bench inputs (the exactness contract), then timed. Emits machine-readable
+// JSON with --out (default BENCH_kernel.json) including the target the
+// startup dispatch selected on this host.
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/simd.hpp"
+#include "common/timer.hpp"
+
+using namespace udb;
+
+namespace {
+
+struct TargetResult {
+  SimdTarget target;
+  double ns_per_point = 0.0;
+  double speedup = 1.0;  // scalar_ns / target_ns
+};
+
+struct CaseResult {
+  std::size_t dim = 0;
+  std::size_t block = 0;
+  std::vector<TargetResult> targets;  // scalar first
+};
+
+// Times `fn` over the block, repeating until ~`budget_points` points have
+// been scanned; returns nanoseconds per point. The volatile sink keeps the
+// result live without perturbing the loop.
+double time_kernel(SqDistBlockSoaFn fn, const double* q, const double* block,
+                   std::size_t count, std::size_t dim, double* out,
+                   std::uint64_t budget_points) {
+  const std::uint64_t iters =
+      std::max<std::uint64_t>(1, budget_points / count);
+  volatile double sink = 0.0;
+  WallTimer timer;
+  for (std::uint64_t it = 0; it < iters; ++it) {
+    fn(q, block, count, count, dim, out);
+    sink = sink + out[count - 1];
+  }
+  const double s = timer.seconds();
+  (void)sink;
+  return s * 1e9 / (static_cast<double>(iters) * static_cast<double>(count));
+}
+
+void write_json(const std::string& path, const std::vector<CaseResult>& cases,
+                std::uint64_t budget_points) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << "{\n"
+      << "  \"bench\": \"micro_kernel\",\n"
+      << "  \"selected_target\": \"" << simd_target_name(active_simd_target())
+      << "\",\n"
+      << "  \"budget_points\": " << budget_points << ",\n"
+      << "  \"targets\": [";
+  const auto targets = runnable_simd_targets();
+  for (std::size_t i = 0; i < targets.size(); ++i)
+    out << "\"" << simd_target_name(targets[i]) << "\""
+        << (i + 1 < targets.size() ? ", " : "");
+  out << "],\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const CaseResult& c = cases[i];
+    out << "    {\"dim\": " << c.dim << ", \"block\": " << c.block
+        << ", \"targets\": {";
+    for (std::size_t j = 0; j < c.targets.size(); ++j) {
+      const TargetResult& t = c.targets[j];
+      out << "\"" << simd_target_name(t.target)
+          << "\": {\"ns_per_point\": " << t.ns_per_point
+          << ", \"speedup\": " << t.speedup << "}"
+          << (j + 1 < c.targets.size() ? ", " : "");
+    }
+    out << "}}" << (i + 1 < cases.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const bool quick = cli.get_bool("quick", false);
+  const auto budget_points = static_cast<std::uint64_t>(
+      cli.get_int("points", quick ? 400000 : 8000000));
+  const std::string out_path = cli.get_string("out", "BENCH_kernel.json");
+  cli.check_unused();
+
+  bench::header(
+      "Micro-bench — SoA block distance kernels, scalar vs SIMD targets",
+      "µDBSCAN leaf-scan hot path (not a paper table); docs/KERNELS.md",
+      "all targets verified bitwise against the scalar reference before "
+      "timing");
+  bench::row("selected target at startup: %s (%zu lanes); UDB_SIMD overrides",
+             simd_target_name(active_simd_target()), active_simd_lanes());
+
+  const std::size_t dims[] = {2, 3, 8, 16};
+  const std::size_t blocks[] = {16, 64, 256, 2048};
+  const auto targets = runnable_simd_targets();
+
+  Rng rng(7);
+  std::vector<CaseResult> cases;
+  for (std::size_t dim : dims) {
+    bench::row("");
+    bench::row("%4s %6s | %10s per-target ns/point (speedup vs scalar)",
+               "dim", "block", "");
+    bench::rule();
+    for (std::size_t block : blocks) {
+      std::vector<double> data(block * dim), q(dim), ref(block), out(block);
+      for (auto& v : data) v = rng.uniform(-100.0, 100.0);
+      for (auto& v : q) v = rng.uniform(-100.0, 100.0);
+
+      // Exactness gate: a target that diverges from scalar on the bench
+      // inputs invalidates the whole comparison — fail loudly.
+      sq_dist_block_soa_scalar(q.data(), data.data(), block, block, dim,
+                               ref.data());
+      for (SimdTarget t : targets) {
+        simd_kernel_for(t)(q.data(), data.data(), block, block, dim,
+                           out.data());
+        if (std::memcmp(ref.data(), out.data(), block * sizeof(double)) != 0) {
+          bench::row("EXACTNESS VIOLATION: %s differs from scalar at dim=%zu "
+                     "block=%zu",
+                     simd_target_name(t), dim, block);
+          return 1;
+        }
+      }
+
+      CaseResult cr;
+      cr.dim = dim;
+      cr.block = block;
+      std::string line;
+      double scalar_ns = 0.0;
+      for (SimdTarget t : targets) {
+        TargetResult tr;
+        tr.target = t;
+        tr.ns_per_point = time_kernel(simd_kernel_for(t), q.data(),
+                                      data.data(), block, dim, out.data(),
+                                      budget_points);
+        if (t == SimdTarget::kScalar) scalar_ns = tr.ns_per_point;
+        tr.speedup = scalar_ns / std::max(tr.ns_per_point, 1e-12);
+        char buf[96];
+        std::snprintf(buf, sizeof buf, "  %s %.2f (%.2fx)",
+                      simd_target_name(t), tr.ns_per_point, tr.speedup);
+        line += buf;
+        cr.targets.push_back(tr);
+      }
+      bench::row("%4zu %6zu |%s", dim, block, line.c_str());
+      cases.push_back(std::move(cr));
+    }
+  }
+  bench::rule();
+
+  if (!out_path.empty()) {
+    write_json(out_path, cases, budget_points);
+    bench::row("json written to %s", out_path.c_str());
+  }
+  return 0;
+}

@@ -1,7 +1,10 @@
 #include "baselines/g_dbscan.hpp"
 
+#include <algorithm>
+
 #include "baselines/uf_labels.hpp"
 #include "common/distance.hpp"
+#include "common/simd.hpp"
 #include "common/timer.hpp"
 
 namespace udb {
@@ -69,18 +72,50 @@ ClusteringResult g_dbscan(const Dataset& ds, const DbscanParams& params,
     }
   }
 
+  // SoA blocks for phase 2: one dim-major block over all group masters (the
+  // filter scan) plus one per-group block over the members (the refine
+  // scan), so both inner loops run through the dispatched SIMD kernel.
+  const std::size_t ngroups = groups.size();
+  std::vector<double> master_block(ngroups * dim);
+  std::vector<std::size_t> group_off(ngroups + 1, 0);
+  std::size_t max_group = 0;
+  for (std::size_t g = 0; g < ngroups; ++g) {
+    const double* mp = ds.ptr(groups[g].master);
+    for (std::size_t d = 0; d < dim; ++d)
+      master_block[d * ngroups + g] = mp[d];
+    group_off[g + 1] = group_off[g] + groups[g].members.size();
+    max_group = std::max(max_group, groups[g].members.size());
+  }
+  std::vector<double> group_blocks(n * dim);
+  for (std::size_t g = 0; g < ngroups; ++g) {
+    const auto& members = groups[g].members;
+    const std::size_t cnt = members.size();
+    double* seg = group_blocks.data() + group_off[g] * dim;
+    for (std::size_t i = 0; i < cnt; ++i) {
+      const double* pt = ds.ptr(members[i]);
+      for (std::size_t d = 0; d < dim; ++d) seg[d * cnt + i] = pt[d];
+    }
+  }
+
   // Phase 2: per-point neighborhood via group filtering + union-find
   // clustering (same exact scheme as brute_dbscan).
   std::vector<PointId> nbhd;
+  std::vector<double> mbuf(ngroups);
+  std::vector<double> gbuf(max_group);
   for (std::size_t i = 0; i < n; ++i) {
     const PointId p = static_cast<PointId>(i);
     const double* pp = ds.ptr(p);
     nbhd.clear();
-    for (const Group& g : groups) {
-      if (sq_dist(pp, ds.ptr(g.master), dim) > filter2) continue;
-      for (PointId q : g.members) {
-        if (sq_dist(pp, ds.ptr(q), dim) < eps2) nbhd.push_back(q);
-      }
+    sq_dist_block_soa(pp, master_block.data(), ngroups, ngroups, dim,
+                      mbuf.data());
+    for (std::size_t g = 0; g < ngroups; ++g) {
+      if (mbuf[g] > filter2) continue;
+      const auto& members = groups[g].members;
+      const std::size_t cnt = members.size();
+      sq_dist_block_soa(pp, group_blocks.data() + group_off[g] * dim, cnt, cnt,
+                        dim, gbuf.data());
+      for (std::size_t j = 0; j < cnt; ++j)
+        if (gbuf[j] < eps2) nbhd.push_back(members[j]);
     }
     if (metrics) metrics->observe(obs::Hist::kNeighborCount, nbhd.size());
     if (nbhd.size() < params.min_pts) {

@@ -1,9 +1,11 @@
 #include "baselines/grid_dbscan.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "baselines/uf_labels.hpp"
 #include "common/distance.hpp"
+#include "common/simd.hpp"
 #include "common/timer.hpp"
 #include "index/grid.hpp"
 
@@ -34,6 +36,25 @@ ClusteringResult grid_dbscan(const Dataset& ds, const DbscanParams& params,
     grid.neighbors_within(c, k, nbr_cells[c]);
     nbr_entries += nbr_cells[c].size();
   }
+
+  // Per-cell SoA coordinate blocks (dim-major, stride = cell population) so
+  // the per-point candidate scans below go through the dispatched SIMD
+  // kernel instead of one sq_dist call per candidate.
+  std::vector<std::size_t> cell_off(ncells + 1, 0);
+  for (Grid::CellId c = 0; c < ncells; ++c)
+    cell_off[c + 1] = cell_off[c] + grid.points_in(c).size();
+  std::vector<double> cell_blocks(n * dim);
+  std::size_t max_cell = 0;
+  for (Grid::CellId c = 0; c < ncells; ++c) {
+    const auto& pts = grid.points_in(c);
+    const std::size_t cnt = pts.size();
+    max_cell = std::max(max_cell, cnt);
+    double* seg = cell_blocks.data() + cell_off[c] * dim;
+    for (std::size_t i = 0; i < cnt; ++i) {
+      const double* pt = ds.ptr(pts[i]);
+      for (std::size_t d = 0; d < dim; ++d) seg[d * cnt + i] = pt[d];
+    }
+  }
   const double build_s = timer.seconds();
 
   timer.reset();
@@ -61,6 +82,7 @@ ClusteringResult grid_dbscan(const Dataset& ds, const DbscanParams& params,
   // precomputed cell lists, union-find clustering.
   std::uint64_t queries = 0;
   std::vector<PointId> nbhd;
+  std::vector<double> d2buf(max_cell);
   for (std::size_t i = 0; i < n; ++i) {
     const PointId p = static_cast<PointId>(i);
     const Grid::CellId c = grid.cell_of_point(p);
@@ -69,9 +91,13 @@ ClusteringResult grid_dbscan(const Dataset& ds, const DbscanParams& params,
     const double* pp = ds.ptr(p);
     nbhd.clear();
     for (Grid::CellId nc : nbr_cells[c]) {
-      for (PointId q : grid.points_in(nc)) {
-        if (sq_dist(pp, ds.ptr(q), dim) < eps2) nbhd.push_back(q);
-      }
+      const auto& cpts = grid.points_in(nc);
+      const std::size_t cnt = cpts.size();
+      if (cnt == 0) continue;
+      sq_dist_block_soa(pp, cell_blocks.data() + cell_off[nc] * dim, cnt, cnt,
+                        dim, d2buf.data());
+      for (std::size_t j = 0; j < cnt; ++j)
+        if (d2buf[j] < eps2) nbhd.push_back(cpts[j]);
     }
     if (metrics) metrics->observe(obs::Hist::kNeighborCount, nbhd.size());
     if (nbhd.size() < params.min_pts) {

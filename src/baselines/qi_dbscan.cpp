@@ -4,7 +4,7 @@
 #include <deque>
 #include <limits>
 
-#include "common/distance.hpp"
+#include "common/simd.hpp"
 #include "index/rtree.hpp"
 
 namespace udb {
@@ -19,22 +19,33 @@ void pick_representatives(const Dataset& ds, PointId p,
                           std::vector<PointId>& out) {
   const std::size_t dim = ds.dim();
   const double* pp = ds.ptr(p);
-  std::vector<double> target(dim);
+
+  // Gather the neighborhood (minus p itself, preserving order) into a SoA
+  // block once; each of the 2d axis targets then scans it with a single
+  // dispatched SIMD kernel call. The first strictly-smaller distance wins,
+  // exactly like the old per-candidate loop.
+  std::vector<PointId> cand;
+  cand.reserve(nbhd.size());
+  for (PointId q : nbhd)
+    if (q != p) cand.push_back(q);
+  const std::size_t cnt = cand.size();
+  if (cnt == 0) return;
+  std::vector<double> block(cnt * dim);
+  for (std::size_t i = 0; i < cnt; ++i) {
+    const double* pt = ds.ptr(cand[i]);
+    for (std::size_t k = 0; k < dim; ++k) block[k * cnt + i] = pt[k];
+  }
+
+  std::vector<double> target(dim), d2(cnt);
   for (std::size_t axis = 0; axis < dim; ++axis) {
     for (double sign : {1.0, -1.0}) {
       for (std::size_t k = 0; k < dim; ++k) target[k] = pp[k];
       target[axis] += sign * eps;
-      PointId best = kInvalidPoint;
-      double best_d2 = std::numeric_limits<double>::infinity();
-      for (PointId q : nbhd) {
-        if (q == p) continue;
-        const double d2 = sq_dist(target.data(), ds.ptr(q), dim);
-        if (d2 < best_d2) {
-          best_d2 = d2;
-          best = q;
-        }
-      }
-      if (best != kInvalidPoint) out.push_back(best);
+      sq_dist_block_soa(target.data(), block.data(), cnt, cnt, dim, d2.data());
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < cnt; ++i)
+        if (d2[i] < d2[best]) best = i;
+      out.push_back(cand[best]);
     }
   }
 }

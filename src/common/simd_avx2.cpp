@@ -1,0 +1,43 @@
+// AVX2 one-query-vs-SoA-block kernel: 4 doubles per vector, each lane one
+// point. Per lane the accumulation chain is exactly the scalar reference's
+//   acc += (q[k] - p[k]) * (q[k] - p[k])
+// in ascending k — explicit sub/mul/add intrinsics, no FMA (this TU is also
+// built with -ffp-contract=off), so results are bit-identical to
+// sq_dist_block_soa_scalar. Only compiled when CMake detects -mavx2 support;
+// only dispatched when CPUID reports AVX2.
+
+#if defined(UDB_SIMD_COMPILED_AVX2)
+
+#include <immintrin.h>
+
+#include "common/simd_kernels.hpp"
+
+namespace udb::detail {
+
+void sq_dist_block_soa_avx2(const double* q, const double* block,
+                            std::size_t count, std::size_t stride,
+                            std::size_t dim, double* out) noexcept {
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    __m256d acc = _mm256_setzero_pd();
+    for (std::size_t k = 0; k < dim; ++k) {
+      const __m256d p = _mm256_loadu_pd(block + k * stride + i);
+      const __m256d d = _mm256_sub_pd(_mm256_set1_pd(q[k]), p);
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+    }
+    _mm256_storeu_pd(out + i, acc);
+  }
+  // Tail points: the scalar reference chain, same operations and order.
+  for (; i < count; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < dim; ++k) {
+      const double diff = q[k] - block[k * stride + i];
+      acc += diff * diff;
+    }
+    out[i] = acc;
+  }
+}
+
+}  // namespace udb::detail
+
+#endif  // UDB_SIMD_COMPILED_AVX2

@@ -1,0 +1,41 @@
+// AVX-512F one-query-vs-SoA-block kernel: 8 doubles per vector, each lane one
+// point. Same per-lane operation chain as the scalar reference (sub, mul,
+// add in ascending k; no FMA, -ffp-contract=off), so results are
+// bit-identical to sq_dist_block_soa_scalar. Uses only AVX-512 Foundation
+// instructions; compiled when CMake detects -mavx512f, dispatched when CPUID
+// reports avx512f.
+
+#if defined(UDB_SIMD_COMPILED_AVX512)
+
+#include <immintrin.h>
+
+#include "common/simd_kernels.hpp"
+
+namespace udb::detail {
+
+void sq_dist_block_soa_avx512(const double* q, const double* block,
+                              std::size_t count, std::size_t stride,
+                              std::size_t dim, double* out) noexcept {
+  std::size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    __m512d acc = _mm512_setzero_pd();
+    for (std::size_t k = 0; k < dim; ++k) {
+      const __m512d p = _mm512_loadu_pd(block + k * stride + i);
+      const __m512d d = _mm512_sub_pd(_mm512_set1_pd(q[k]), p);
+      acc = _mm512_add_pd(acc, _mm512_mul_pd(d, d));
+    }
+    _mm512_storeu_pd(out + i, acc);
+  }
+  for (; i < count; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < dim; ++k) {
+      const double diff = q[k] - block[k * stride + i];
+      acc += diff * diff;
+    }
+    out[i] = acc;
+  }
+}
+
+}  // namespace udb::detail
+
+#endif  // UDB_SIMD_COMPILED_AVX512

@@ -1,0 +1,40 @@
+// NEON (AArch64 AdvSIMD) one-query-vs-SoA-block kernel: 2 doubles per vector,
+// each lane one point. Same per-lane operation chain as the scalar reference
+// (vsubq/vmulq/vaddq in ascending k; deliberately NOT vfmaq — fusing would
+// change results), so output is bit-identical to sq_dist_block_soa_scalar.
+// AdvSIMD is baseline on AArch64, so compiled implies runnable.
+
+#if defined(UDB_SIMD_COMPILED_NEON)
+
+#include <arm_neon.h>
+
+#include "common/simd_kernels.hpp"
+
+namespace udb::detail {
+
+void sq_dist_block_soa_neon(const double* q, const double* block,
+                            std::size_t count, std::size_t stride,
+                            std::size_t dim, double* out) noexcept {
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    float64x2_t acc = vdupq_n_f64(0.0);
+    for (std::size_t k = 0; k < dim; ++k) {
+      const float64x2_t p = vld1q_f64(block + k * stride + i);
+      const float64x2_t d = vsubq_f64(vdupq_n_f64(q[k]), p);
+      acc = vaddq_f64(acc, vmulq_f64(d, d));
+    }
+    vst1q_f64(out + i, acc);
+  }
+  for (; i < count; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < dim; ++k) {
+      const double diff = q[k] - block[k * stride + i];
+      acc += diff * diff;
+    }
+    out[i] = acc;
+  }
+}
+
+}  // namespace udb::detail
+
+#endif  // UDB_SIMD_COMPILED_NEON

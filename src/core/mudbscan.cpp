@@ -563,6 +563,8 @@ void MuDbscanEngine::finalize_metrics() {
   const MuRTree::IndexCounters ic = tree_->index_counters();
   metrics_.add(obs::Counter::kRtreeNodeVisits, ic.node_visits);
   metrics_.add(obs::Counter::kRtreeDistanceEvals, ic.distance_evals);
+  metrics_.add(obs::Counter::kKernelBlocks, ic.kernel_blocks);
+  metrics_.add(obs::Counter::kKernelTailPoints, ic.kernel_tail_points);
   for (McId z = 0; z < tree_->num_mcs(); ++z) {
     const MicroCluster& mc = tree_->mc(z);
     metrics_.observe(obs::Hist::kMcSize, mc.members.size());

@@ -235,9 +235,13 @@ MuRTree::IndexCounters MuRTree::index_counters() const {
   IndexCounters c;
   c.node_visits = level1_.node_visits();
   c.distance_evals = level1_.distance_evals();
+  c.kernel_blocks = level1_.kernel_blocks();
+  c.kernel_tail_points = level1_.kernel_tail_points();
   for (const RTree& t : aux_) {
     c.node_visits += t.node_visits();
     c.distance_evals += t.distance_evals();
+    c.kernel_blocks += t.kernel_blocks();
+    c.kernel_tail_points += t.kernel_tail_points();
   }
   return c;
 }

@@ -125,6 +125,8 @@ class MuRTree {
   struct IndexCounters {
     std::uint64_t node_visits = 0;
     std::uint64_t distance_evals = 0;
+    std::uint64_t kernel_blocks = 0;       // leaf SoA blocks SIMD-scanned
+    std::uint64_t kernel_tail_points = 0;  // points in blocks' scalar tails
   };
   [[nodiscard]] IndexCounters index_counters() const;
 

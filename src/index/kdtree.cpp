@@ -4,9 +4,17 @@
 #include <limits>
 #include <stdexcept>
 
-#include "common/distance.hpp"
+#include "common/simd.hpp"
 
 namespace udb {
+
+namespace {
+
+// Stack buffer for per-leaf squared distances; leaves larger than this
+// (unusually large Config::leaf_size) use a heap buffer.
+constexpr std::size_t kLeafScanBuf = 512;
+
+}  // namespace
 
 KdTree::KdTree(const Dataset& ds, Config cfg) : ds_(&ds), cfg_(cfg) {
   if (cfg_.leaf_size == 0)
@@ -14,7 +22,24 @@ KdTree::KdTree(const Dataset& ds, Config cfg) : ds_(&ds), cfg_(cfg) {
   ids_.resize(ds.size());
   for (std::size_t i = 0; i < ds.size(); ++i)
     ids_[i] = static_cast<PointId>(i);
-  if (!ids_.empty()) root_ = build(0, static_cast<std::uint32_t>(ids_.size()));
+  if (!ids_.empty()) {
+    root_ = build(0, static_cast<std::uint32_t>(ids_.size()));
+    pack_leaf_blocks();
+  }
+}
+
+void KdTree::pack_leaf_blocks() {
+  const std::size_t dim = ds_->dim();
+  blocks_.resize(ids_.size() * dim);
+  for (const Node& node : nodes_) {
+    if (node.axis >= 0) continue;
+    const std::size_t cnt = node.end - node.begin;
+    double* seg = blocks_.data() + static_cast<std::size_t>(node.begin) * dim;
+    for (std::size_t i = 0; i < cnt; ++i) {
+      const double* pt = ds_->ptr(ids_[node.begin + i]);
+      for (std::size_t k = 0; k < dim; ++k) seg[k * cnt + i] = pt[k];
+    }
+  }
 }
 
 std::uint32_t KdTree::build(std::uint32_t begin, std::uint32_t end) {
@@ -78,6 +103,10 @@ void KdTree::visit_ball(std::span<const double> center, double radius,
                         bool strict) const {
   if (ids_.empty()) return;
   const double r2 = radius * radius;
+  const std::size_t dim = ds_->dim();
+  const std::size_t lanes = active_simd_lanes();
+  double stackbuf[kLeafScanBuf];
+  std::vector<double> heapbuf;
 
   // Iterative traversal with per-axis plane pruning: descend a child only if
   // the ball crosses (or lies on the child's side of) the split plane.
@@ -86,12 +115,26 @@ void KdTree::visit_ball(std::span<const double> center, double radius,
     const Node& node = nodes_[stack.back()];
     stack.pop_back();
     if (node.axis < 0) {
-      for (std::uint32_t i = node.begin; i < node.end; ++i) {
-        ++dist_evals_;
-        const double d2 = sq_dist(center.data(), ds_->ptr(ids_[i]),
-                                  ds_->dim());
-        const bool in = strict ? (d2 < r2) : (d2 <= r2);
-        if (in && !fn(ids_[i], d2)) return;
+      const std::size_t cnt = node.end - node.begin;
+      if (cnt == 0) continue;
+      double* buf = stackbuf;
+      if (cnt > kLeafScanBuf) {
+        heapbuf.resize(cnt);
+        buf = heapbuf.data();
+      }
+      // Whole-leaf block scan through the dispatched SIMD kernel; the filter
+      // below applies the same eps comparison as the old per-point loop (the
+      // kernels are bit-exact vs scalar).
+      sq_dist_block_soa(center.data(),
+                        blocks_.data() + static_cast<std::size_t>(node.begin) *
+                                             dim,
+                        cnt, cnt, dim, buf);
+      dist_evals_ += cnt;
+      ++kernel_blocks_;
+      kernel_tail_points_ += cnt % lanes;
+      for (std::size_t i = 0; i < cnt; ++i) {
+        const bool in = strict ? (buf[i] < r2) : (buf[i] <= r2);
+        if (in && !fn(ids_[node.begin + i], buf[i])) return;
       }
       continue;
     }

@@ -42,6 +42,17 @@ class KdTree {
     return dist_evals_;
   }
 
+  // SIMD kernel instrumentation (see docs/KERNELS.md): leaf blocks handed to
+  // the dispatched distance kernel and points that fell in a block's scalar
+  // tail. Non-atomic like dist_evals_ — the kd-tree is queried
+  // single-threaded.
+  [[nodiscard]] std::uint64_t kernel_blocks() const noexcept {
+    return kernel_blocks_;
+  }
+  [[nodiscard]] std::uint64_t kernel_tail_points() const noexcept {
+    return kernel_tail_points_;
+  }
+
   // Test hook: checks the split invariants (left subtree coordinates <=
   // split value <= right subtree coordinates on the split axis).
   void check_invariants() const;
@@ -57,14 +68,22 @@ class KdTree {
   };
 
   std::uint32_t build(std::uint32_t begin, std::uint32_t end);
+  void pack_leaf_blocks();
   void check_node(std::uint32_t idx, std::vector<std::uint8_t>& seen) const;
 
   const Dataset* ds_;
   Config cfg_;
   std::vector<PointId> ids_;   // permuted point ids; leaves own ranges
   std::vector<Node> nodes_;
+  // SoA leaf coordinate storage: leaf [begin, end) owns the segment at
+  // offset begin*dim, laid out dim-major with stride end-begin (coordinate k
+  // of the i-th leaf entry at segment[k*(end-begin) + i]), entries in ids_
+  // order. Packed once after build; fed to the dispatched SIMD kernel.
+  std::vector<double> blocks_;
   std::uint32_t root_ = 0;
   mutable std::uint64_t dist_evals_ = 0;
+  mutable std::uint64_t kernel_blocks_ = 0;
+  mutable std::uint64_t kernel_tail_points_ = 0;
 };
 
 }  // namespace udb

@@ -6,17 +6,29 @@
 #include <queue>
 #include <stdexcept>
 
-#include "common/distance.hpp"
+#include "common/simd.hpp"
 
 namespace udb {
+
+namespace {
+
+// Leaf scans compute the whole block of squared distances into a stack
+// buffer before filtering; leaves larger than this (possible only with
+// unusually large Config::max_entries) fall back to a heap buffer.
+constexpr std::size_t kLeafScanBuf = 512;
+
+}  // namespace
 
 struct RTree::Node {
   explicit Node(std::size_t dim, bool leaf) : mbr(dim), is_leaf(leaf) {}
 
   Box mbr;
   bool is_leaf;
-  // Leaf payload: parallel arrays of coordinate pointers and ids.
-  std::vector<const double*> pts;
+  // Leaf payload: a dim-major SoA coordinate block (coordinate k of entry i
+  // at block[k * stride + i], stride = block.size() / dim) plus a parallel
+  // id array. ids.size() is the live entry count; the block may have spare
+  // capacity (fixed-stride incremental leaves).
+  std::vector<double> block;
   std::vector<PointId> ids;
   // Internal payload.
   std::vector<std::unique_ptr<Node>> children;
@@ -24,13 +36,32 @@ struct RTree::Node {
   [[nodiscard]] std::size_t entry_count() const noexcept {
     return is_leaf ? ids.size() : children.size();
   }
+  [[nodiscard]] std::size_t stride(std::size_t dim) const noexcept {
+    return block.size() / dim;
+  }
+  void set_coords(std::size_t i, const double* pt, std::size_t dim) noexcept {
+    const std::size_t s = stride(dim);
+    for (std::size_t k = 0; k < dim; ++k) block[k * s + i] = pt[k];
+  }
+  void get_coords(std::size_t i, std::size_t dim, double* out) const noexcept {
+    const std::size_t s = stride(dim);
+    for (std::size_t k = 0; k < dim; ++k) out[k] = block[k * s + i];
+  }
 };
+
+std::unique_ptr<RTree::Node> RTree::make_leaf() const {
+  auto leaf = std::make_unique<Node>(dim_, /*leaf=*/true);
+  const std::size_t cap = static_cast<std::size_t>(cfg_.max_entries) + 1;
+  leaf->block.resize(cap * dim_);
+  leaf->ids.reserve(cap);
+  return leaf;
+}
 
 RTree::RTree(std::size_t dim, Config cfg) : dim_(dim), cfg_(cfg) {
   if (dim_ == 0) throw std::invalid_argument("RTree: dim must be > 0");
   if (cfg_.min_entries < 2 || cfg_.max_entries < 2 * cfg_.min_entries)
     throw std::invalid_argument("RTree: need max_entries >= 2*min_entries");
-  root_ = std::make_unique<Node>(dim_, /*leaf=*/true);
+  root_ = make_leaf();
 }
 
 RTree::~RTree() = default;
@@ -45,7 +76,10 @@ RTree::RTree(RTree&& other) noexcept
       count_(other.count_),
       enforce_min_fill_(other.enforce_min_fill_),
       dist_evals_(other.dist_evals_.load(std::memory_order_relaxed)),
-      node_visits_(other.node_visits_.load(std::memory_order_relaxed)) {
+      node_visits_(other.node_visits_.load(std::memory_order_relaxed)),
+      kernel_blocks_(other.kernel_blocks_.load(std::memory_order_relaxed)),
+      kernel_tail_points_(
+          other.kernel_tail_points_.load(std::memory_order_relaxed)) {
   other.count_ = 0;
 }
 
@@ -60,6 +94,11 @@ RTree& RTree::operator=(RTree&& other) noexcept {
                       std::memory_order_relaxed);
     node_visits_.store(other.node_visits_.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
+    kernel_blocks_.store(other.kernel_blocks_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    kernel_tail_points_.store(
+        other.kernel_tail_points_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
     other.count_ = 0;
   }
   return *this;
@@ -87,7 +126,7 @@ void RTree::insert_recursive(Node& node, const double* pt, PointId id,
   const std::span<const double> p{pt, dim_};
   node.mbr.expand(p);
   if (node.is_leaf) {
-    node.pts.push_back(pt);
+    node.set_coords(node.ids.size(), pt, dim_);
     node.ids.push_back(id);
     if (node.entry_count() > cfg_.max_entries) split_leaf(node, split_out);
     return;
@@ -144,23 +183,34 @@ std::pair<std::size_t, std::size_t> pick_seeds(const std::vector<Box>& boxes) {
 
 void RTree::split_leaf(Node& node, std::unique_ptr<Node>& out) {
   const std::size_t n = node.ids.size();
+  const std::size_t take_stride = node.stride(dim_);
+  auto take_block = std::move(node.block);
+  auto take_ids = std::move(node.ids);
+
+  std::vector<double> tmp(dim_);
   std::vector<Box> boxes;
   boxes.reserve(n);
-  for (std::size_t i = 0; i < n; ++i)
-    boxes.push_back(Box::from_point({node.pts[i], dim_}));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < dim_; ++k)
+      tmp[k] = take_block[k * take_stride + i];
+    boxes.push_back(Box::from_point(tmp));
+  }
 
   auto [s1, s2] = pick_seeds(boxes);
 
-  auto take_pts = std::move(node.pts);
-  auto take_ids = std::move(node.ids);
-  node.pts.clear();
+  const std::size_t cap = static_cast<std::size_t>(cfg_.max_entries) + 1;
+  node.block.assign(cap * dim_, 0.0);
   node.ids.clear();
+  node.ids.reserve(cap);
   node.mbr = Box(dim_);
-  out = std::make_unique<Node>(dim_, /*leaf=*/true);
+  out = make_leaf();
 
   Box b1(dim_), b2(dim_);
   auto add_to = [&](Node& dst, Box& dbox, std::size_t i) {
-    dst.pts.push_back(take_pts[i]);
+    const std::size_t idx = dst.ids.size();
+    const std::size_t dst_stride = dst.stride(dim_);
+    for (std::size_t k = 0; k < dim_; ++k)
+      dst.block[k * dst_stride + idx] = take_block[k * take_stride + i];
     dst.ids.push_back(take_ids[i]);
     dbox.expand(boxes[i]);
     dst.mbr = dbox;
@@ -299,18 +349,24 @@ PointId RTree::first_within(std::span<const double> center, double radius,
 
 namespace {
 
-// Accumulates a query's distance evaluations and node visits locally and
-// publishes them with one relaxed add each on scope exit (every early return
-// included) — keeps the scan free of atomics while staying exact and
-// race-free under concurrent queries.
+// Accumulates a query's distance evaluations, node visits, and kernel block
+// stats locally and publishes them with one relaxed add each on scope exit
+// (every early return included) — keeps the scan free of atomics while
+// staying exact and race-free under concurrent queries.
 struct EvalCounter {
   std::atomic<std::uint64_t>& sink;
   std::atomic<std::uint64_t>& node_sink;
+  std::atomic<std::uint64_t>& block_sink;
+  std::atomic<std::uint64_t>& tail_sink;
   std::uint64_t local = 0;
   std::uint64_t nodes = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t tail = 0;
   ~EvalCounter() {
     if (local != 0) sink.fetch_add(local, std::memory_order_relaxed);
     if (nodes != 0) node_sink.fetch_add(nodes, std::memory_order_relaxed);
+    if (blocks != 0) block_sink.fetch_add(blocks, std::memory_order_relaxed);
+    if (tail != 0) tail_sink.fetch_add(tail, std::memory_order_relaxed);
   }
 };
 
@@ -321,7 +377,15 @@ void RTree::visit_ball(std::span<const double> center, double radius,
                        bool strict) const {
   if (count_ == 0) return;
   const double r2 = radius * radius;
-  EvalCounter evals{dist_evals_, node_visits_};
+  const std::size_t lanes = active_simd_lanes();
+  EvalCounter evals{dist_evals_, node_visits_, kernel_blocks_,
+                    kernel_tail_points_};
+
+  // Per-leaf squared distances land here; the filter pass then applies the
+  // eps comparison and the visitor. Comparison results are identical to the
+  // old point-at-a-time scan because the kernels are bit-exact vs scalar.
+  double stackbuf[kLeafScanBuf];
+  std::vector<double> heapbuf;
 
   // Explicit stack to avoid recursion overhead on deep trees.
   std::vector<const Node*> stack;
@@ -332,11 +396,21 @@ void RTree::visit_ball(std::span<const double> center, double radius,
     ++evals.nodes;
     if (node->mbr.min_sq_dist(center) > r2) continue;
     if (node->is_leaf) {
-      for (std::size_t i = 0; i < node->ids.size(); ++i) {
-        ++evals.local;
-        const double d2 = sq_dist(center.data(), node->pts[i], dim_);
-        const bool in = strict ? (d2 < r2) : (d2 <= r2);
-        if (in && !fn(node->ids[i], d2)) return;
+      const std::size_t cnt = node->ids.size();
+      if (cnt == 0) continue;
+      double* buf = stackbuf;
+      if (cnt > kLeafScanBuf) {
+        heapbuf.resize(cnt);
+        buf = heapbuf.data();
+      }
+      sq_dist_block_soa(center.data(), node->block.data(), cnt,
+                        node->stride(dim_), dim_, buf);
+      evals.local += cnt;
+      ++evals.blocks;
+      evals.tail += cnt % lanes;
+      for (std::size_t i = 0; i < cnt; ++i) {
+        const bool in = strict ? (buf[i] < r2) : (buf[i] <= r2);
+        if (in && !fn(node->ids[i], buf[i])) return;
       }
     } else {
       for (const auto& c : node->children) stack.push_back(c.get());
@@ -382,13 +456,18 @@ RTree RTree::bulk_load_str(
   const std::size_t cap = cfg.max_entries;
   str_tile(items, 0, items.size(), 0, dim, cap);
 
-  // Pack leaves in tiled order.
+  // Pack leaves in tiled order. Bulk leaves are immutable, so their SoA
+  // blocks are allocated tight: stride == leaf entry count.
   std::vector<std::unique_ptr<Node>> level;
   for (std::size_t i = 0; i < items.size(); i += cap) {
     auto leaf = std::make_unique<Node>(dim, /*leaf=*/true);
     const std::size_t end = std::min(items.size(), i + cap);
+    const std::size_t cnt = end - i;
+    leaf->block.resize(cnt * dim);
+    leaf->ids.reserve(cnt);
     for (std::size_t j = i; j < end; ++j) {
-      leaf->pts.push_back(items[j].first);
+      for (std::size_t k = 0; k < dim; ++k)
+        leaf->block[k * cnt + (j - i)] = items[j].first[k];
       leaf->ids.push_back(items[j].second);
       leaf->mbr.expand(std::span<const double>{items[j].first, dim});
     }
@@ -420,7 +499,12 @@ void RTree::query_knn(std::span<const double> center, std::size_t k,
                       std::vector<std::pair<PointId, double>>& out) const {
   out.clear();
   if (k == 0 || count_ == 0) return;
-  EvalCounter evals{dist_evals_, node_visits_};
+  const std::size_t lanes = active_simd_lanes();
+  EvalCounter evals{dist_evals_, node_visits_, kernel_blocks_,
+                    kernel_tail_points_};
+
+  double stackbuf[kLeafScanBuf];
+  std::vector<double> heapbuf;
 
   // Best-first search: a min-heap of (distance lower bound, node) frontier
   // entries plus a max-heap of the current k best points.
@@ -447,9 +531,20 @@ void RTree::query_knn(std::span<const double> center, std::size_t k,
     ++evals.nodes;
     if (out.size() == k && bound >= worst()) break;  // cannot improve
     if (node->is_leaf) {
-      for (std::size_t i = 0; i < node->ids.size(); ++i) {
-        ++evals.local;
-        const double d2 = sq_dist(center.data(), node->pts[i], dim_);
+      const std::size_t cnt = node->ids.size();
+      if (cnt == 0) continue;
+      double* buf = stackbuf;
+      if (cnt > kLeafScanBuf) {
+        heapbuf.resize(cnt);
+        buf = heapbuf.data();
+      }
+      sq_dist_block_soa(center.data(), node->block.data(), cnt,
+                        node->stride(dim_), dim_, buf);
+      evals.local += cnt;
+      ++evals.blocks;
+      evals.tail += cnt % lanes;
+      for (std::size_t i = 0; i < cnt; ++i) {
+        const double d2 = buf[i];
         if (out.size() < k) {
           out.emplace_back(node->ids[i], d2);
           std::push_heap(out.begin(), out.end(), cmp);
@@ -494,7 +589,7 @@ std::size_t RTree::memory_bytes() const {
     const Node* node = stack.back();
     stack.pop_back();
     bytes += sizeof(Node) + 2 * node->mbr.dim() * sizeof(double) +
-             node->pts.capacity() * sizeof(const double*) +
+             node->block.capacity() * sizeof(double) +
              node->ids.capacity() * sizeof(PointId) +
              node->children.capacity() * sizeof(std::unique_ptr<Node>);
     for (const auto& c : node->children) stack.push_back(c.get());
@@ -511,6 +606,7 @@ void RTree::check_invariants() const {
   std::size_t leaf_depth = 0;
   bool leaf_depth_set = false;
   std::size_t seen = 0;
+  std::vector<double> tmp(dim_);
 
   std::vector<Frame> stack{{root_.get(), true, 1}};
   while (!stack.empty()) {
@@ -535,8 +631,12 @@ void RTree::check_invariants() const {
       } else if (leaf_depth != depth) {
         throw std::logic_error("RTree: leaves at different depths");
       }
+      if (node->block.size() % dim_ != 0 ||
+          node->stride(dim_) < node->ids.size())
+        throw std::logic_error("RTree: leaf SoA block smaller than id array");
       for (std::size_t i = 0; i < node->ids.size(); ++i) {
-        if (!node->mbr.contains({node->pts[i], dim_}))
+        node->get_coords(i, dim_, tmp.data());
+        if (!node->mbr.contains(tmp))
           throw std::logic_error("RTree: leaf MBR does not contain point");
         ++seen;
       }

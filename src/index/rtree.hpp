@@ -6,9 +6,15 @@
 //   * the first level of the µR-tree indexes micro-cluster centres;
 //   * each micro-cluster's auxiliary R-tree (AuxR-tree) indexes its members.
 //
-// Entries reference coordinates by pointer into an immutable, externally
-// owned buffer (the Dataset or a micro-cluster's centre store), so the tree
-// itself stores no coordinate copies for leaf entries.
+// Leaves store their entries as structure-of-arrays coordinate blocks:
+// a leaf-local packed `double` buffer laid out dim-major (coordinate k of
+// entry i lives at block[k * stride + i]) with a parallel PointId array.
+// Queries hand a whole leaf to the runtime-dispatched SIMD distance kernel
+// (common/simd.hpp, docs/KERNELS.md) — each vector lane is one point and
+// every per-dimension load is unit-stride, so the hot eps-scan needs no
+// gathers in any dimensionality. Coordinates are copied into the leaf at
+// insert/bulk-load time; the `pt` pointers handed to insert() only need to
+// stay valid for the duration of the call.
 //
 // Enlargement heuristics use margin (perimeter) rather than volume: with
 // d up to 74, products of side lengths over/underflow doubles, while sums
@@ -43,8 +49,8 @@ class RTree {
   RTree(const RTree&) = delete;
   RTree& operator=(const RTree&) = delete;
 
-  // Inserts a point with the given id. `pt` must stay valid for the lifetime
-  // of the tree (it points into the dataset's buffer).
+  // Inserts a point with the given id. The coordinates are copied into the
+  // target leaf's SoA block, so `pt` only needs to stay valid for this call.
   void insert(const double* pt, PointId id);
 
   // Sort-Tile-Recursive (STR, Leutenegger et al.) bulk load: packs the items
@@ -105,6 +111,17 @@ class RTree {
     return node_visits_.load(std::memory_order_relaxed);
   }
 
+  // SIMD kernel instrumentation: number of leaf blocks handed to the
+  // dispatched distance kernel, and how many of the scanned points fell in a
+  // block's scalar tail (count % active lanes) — together they show how much
+  // of the scan work was actually vectorized.
+  [[nodiscard]] std::uint64_t kernel_blocks() const noexcept {
+    return kernel_blocks_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t kernel_tail_points() const noexcept {
+    return kernel_tail_points_.load(std::memory_order_relaxed);
+  }
+
   struct Stats {
     std::size_t height = 0;
     std::size_t internal_nodes = 0;
@@ -113,8 +130,8 @@ class RTree {
   };
   [[nodiscard]] Stats stats() const;
 
-  // Heap bytes held by the tree structure (nodes, MBRs, entry arrays; leaf
-  // coordinates are external). Used by the run-guard memory accounting.
+  // Heap bytes held by the tree structure (nodes, MBRs, id arrays, and the
+  // leaf SoA coordinate blocks). Used by the run-guard memory accounting.
   [[nodiscard]] std::size_t memory_bytes() const;
 
   // Test hook: verifies the structural invariants (MBR containment, entry
@@ -124,6 +141,11 @@ class RTree {
 
  private:
   struct Node;
+
+  // Allocates a leaf with a fixed-capacity SoA block of max_entries+1 points
+  // (one slot of overflow headroom before the split triggers), so the block's
+  // stride stays constant while entries accumulate.
+  [[nodiscard]] std::unique_ptr<Node> make_leaf() const;
 
   void insert_recursive(Node& node, const double* pt, PointId id,
                         std::unique_ptr<Node>& split_out);
@@ -137,6 +159,8 @@ class RTree {
   bool enforce_min_fill_ = true;  // false for STR bulk-loaded trees
   mutable std::atomic<std::uint64_t> dist_evals_{0};
   mutable std::atomic<std::uint64_t> node_visits_{0};
+  mutable std::atomic<std::uint64_t> kernel_blocks_{0};
+  mutable std::atomic<std::uint64_t> kernel_tail_points_{0};
 };
 
 }  // namespace udb

@@ -31,6 +31,8 @@ const char* counter_name(Counter c) {
     case Counter::kAuxTreesSearched: return "aux_trees_searched";
     case Counter::kRtreeNodeVisits: return "rtree_node_visits";
     case Counter::kRtreeDistanceEvals: return "rtree_distance_evals";
+    case Counter::kKernelBlocks: return "kernel_blocks";
+    case Counter::kKernelTailPoints: return "kernel_tail_points";
     case Counter::kServeRequests: return "serve_requests";
     case Counter::kServeErrors: return "serve_errors";
     case Counter::kServeDeadlineExceeded: return "serve_deadline_exceeded";
@@ -79,6 +81,8 @@ const char* counter_unit(Counter c) {
     case Counter::kUnionCalls: return "calls";
     case Counter::kAuxTreesSearched: return "descents";
     case Counter::kRtreeNodeVisits: return "nodes";
+    case Counter::kKernelBlocks: return "blocks";
+    case Counter::kKernelTailPoints: return "points";
     case Counter::kServeRequests:
     case Counter::kServeErrors:
     case Counter::kServeDeadlineExceeded:

@@ -70,6 +70,8 @@ enum class Counter : std::uint32_t {
   kAuxTreesSearched,           // AuxR-tree descents during neighborhood queries
   kRtreeNodeVisits,            // R-tree nodes popped (level-1 + aux combined)
   kRtreeDistanceEvals,         // leaf point-distance evaluations
+  kKernelBlocks,               // leaf SoA blocks handed to the SIMD kernel
+  kKernelTailPoints,           // scanned points in a block's scalar tail
 
   // Serving layer (src/serve/, docs/SERVING.md). The classify ledger mirrors
   // the engine's query-avoidance ledger: every classify answer is produced

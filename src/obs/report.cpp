@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/simd.hpp"
+
 namespace udb::obs {
 
 void JsonWriter::value(double v) {
@@ -123,6 +125,8 @@ void write_metrics_snapshot(JsonWriter& w, const MetricsSnapshot& snap,
   w.kv("aux_trees_searched", snap.counter(Counter::kAuxTreesSearched));
   w.kv("rtree_node_visits", snap.counter(Counter::kRtreeNodeVisits));
   w.kv("rtree_distance_evals", snap.counter(Counter::kRtreeDistanceEvals));
+  w.kv("kernel_blocks", snap.counter(Counter::kKernelBlocks));
+  w.kv("kernel_tail_points", snap.counter(Counter::kKernelTailPoints));
   w.end_object();
 
   w.key("unionfind");
@@ -165,6 +169,7 @@ std::string run_report_json(const RunReportInputs& in) {
   w.kv("ranks", in.ranks);
   w.kv("seconds", in.seconds);
   w.kv("approximate", in.approximate);
+  w.kv("simd_target", simd_target_name(active_simd_target()));
   w.end_object();
 
   w.key("phases");

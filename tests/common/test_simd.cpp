@@ -1,0 +1,173 @@
+// Exactness property suite for the SIMD distance-kernel family
+// (common/simd.hpp, docs/KERNELS.md). The contract under test: every
+// dispatch target produces BIT-IDENTICAL squared distances to the portable
+// scalar reference — including duplicates, signed zeros, denormals, and
+// points exactly on the eps boundary — so forcing any UDB_SIMD target can
+// never change a clustering.
+
+#include "common/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace udb {
+namespace {
+
+// Restores the startup dispatch choice when a test forces targets.
+struct TargetGuard {
+  SimdTarget prev = active_simd_target();
+  ~TargetGuard() { force_simd_target(prev); }
+};
+
+std::vector<double> scalar_ref(const double* q, const double* block,
+                               std::size_t count, std::size_t stride,
+                               std::size_t dim) {
+  std::vector<double> out(count);
+  sq_dist_block_soa_scalar(q, block, count, stride, dim, out.data());
+  return out;
+}
+
+void expect_bitwise_equal(const std::vector<double>& ref,
+                          const std::vector<double>& got, SimdTarget t,
+                          std::size_t dim, std::size_t count) {
+  ASSERT_EQ(ref.size(), got.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    // memcmp-level comparison: NaN-safe and catches -0.0 vs 0.0.
+    EXPECT_EQ(std::memcmp(&ref[i], &got[i], sizeof(double)), 0)
+        << simd_target_name(t) << " dim=" << dim << " count=" << count
+        << " i=" << i << " ref=" << ref[i] << " got=" << got[i];
+  }
+}
+
+TEST(SimdKernel, AllTargetsBitExactOnRandomBlocks) {
+  Rng rng(20260808);
+  const std::size_t counts[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 33, 64, 100};
+  const std::size_t dims[] = {1, 2, 3, 4, 7, 8, 16, 33};
+  for (std::size_t dim : dims) {
+    for (std::size_t count : counts) {
+      const std::size_t stride = count + (count % 3);  // spare slots too
+      std::vector<double> block(std::max<std::size_t>(1, stride * dim));
+      std::vector<double> q(dim);
+      for (auto& v : block) v = rng.uniform(-1e3, 1e3);
+      for (auto& v : q) v = rng.uniform(-1e3, 1e3);
+      if (count >= 4) {
+        // Duplicates of the query (distance exactly 0) and -0.0 twins.
+        const std::size_t dup = count / 2;
+        for (std::size_t k = 0; k < dim; ++k) {
+          block[k * stride + dup] = q[k];
+          block[k * stride + dup - 1] = -0.0;
+        }
+      }
+      const auto ref = scalar_ref(q.data(), block.data(), count, stride, dim);
+      for (SimdTarget t : runnable_simd_targets()) {
+        std::vector<double> got(count);
+        simd_kernel_for(t)(q.data(), block.data(), count, stride, dim,
+                           got.data());
+        expect_bitwise_equal(ref, got, t, dim, count);
+      }
+    }
+  }
+}
+
+TEST(SimdKernel, DenormalsAndExtremesBitExact) {
+  const std::size_t dim = 3, count = 9, stride = 9;
+  const double denorm = std::numeric_limits<double>::denorm_min();
+  const double tiny = 1e-310;  // subnormal
+  const double huge = 1e150;   // squares to ~1e300, still finite
+  std::vector<double> block(stride * dim, 0.0);
+  std::vector<double> q = {tiny, -tiny, denorm};
+  const double vals[] = {0.0, -0.0, denorm, -denorm, tiny, -tiny, huge, -huge, 1.0};
+  for (std::size_t i = 0; i < count; ++i)
+    for (std::size_t k = 0; k < dim; ++k)
+      block[k * stride + i] = vals[(i + k) % count];
+  const auto ref = scalar_ref(q.data(), block.data(), count, stride, dim);
+  for (SimdTarget t : runnable_simd_targets()) {
+    std::vector<double> got(count);
+    simd_kernel_for(t)(q.data(), block.data(), count, stride, dim, got.data());
+    expect_bitwise_equal(ref, got, t, dim, count);
+  }
+}
+
+TEST(SimdKernel, ExactEpsBoundaryIsExactForEveryTarget) {
+  // q at the origin, candidates on a 3-4-5 triangle: squared distance is
+  // exactly 25.0 in IEEE double, so the strict/non-strict eps comparison
+  // flips on bit-equality. Every target must produce exactly 25.0.
+  const std::size_t dim = 2, count = 8, stride = 8;
+  std::vector<double> q = {0.0, 0.0};
+  std::vector<double> block(stride * dim);
+  for (std::size_t i = 0; i < count; ++i) {
+    block[0 * stride + i] = (i % 2 == 0) ? 3.0 : -3.0;
+    block[1 * stride + i] = (i % 4 < 2) ? 4.0 : -4.0;
+  }
+  for (SimdTarget t : runnable_simd_targets()) {
+    std::vector<double> got(count);
+    simd_kernel_for(t)(q.data(), block.data(), count, stride, dim, got.data());
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(got[i], 25.0) << simd_target_name(t) << " i=" << i;
+      EXPECT_FALSE(got[i] < 25.0);  // strict eps=5 excludes
+      EXPECT_TRUE(got[i] <= 25.0);  // non-strict eps=5 includes
+    }
+  }
+}
+
+TEST(SimdDispatch, NamesParseRoundTrip) {
+  for (SimdTarget t : {SimdTarget::kScalar, SimdTarget::kAvx2,
+                       SimdTarget::kAvx512, SimdTarget::kNeon}) {
+    SimdTarget parsed;
+    ASSERT_TRUE(parse_simd_target(simd_target_name(t), parsed));
+    EXPECT_EQ(parsed, t);
+  }
+  SimdTarget ignored;
+  EXPECT_FALSE(parse_simd_target("bogus", ignored));
+  EXPECT_FALSE(parse_simd_target("", ignored));
+}
+
+TEST(SimdDispatch, ScalarAlwaysRunnableAndListedFirst) {
+  const auto targets = runnable_simd_targets();
+  ASSERT_FALSE(targets.empty());
+  EXPECT_EQ(targets.front(), SimdTarget::kScalar);
+  EXPECT_TRUE(simd_target_runnable(SimdTarget::kScalar));
+  for (SimdTarget t : targets) {
+    EXPECT_TRUE(simd_target_runnable(t));
+    EXPECT_NE(simd_kernel_for(t), nullptr);
+    EXPECT_GE(simd_lanes(t), 1u);
+  }
+}
+
+TEST(SimdDispatch, ForceSwitchesActiveTargetAndLanes) {
+  TargetGuard guard;
+  for (SimdTarget t : runnable_simd_targets()) {
+    force_simd_target(t);
+    EXPECT_EQ(active_simd_target(), t);
+    EXPECT_EQ(active_simd_lanes(), simd_lanes(t));
+    // The hot entry point must route through the forced target and still be
+    // bit-exact vs scalar.
+    const double q[2] = {1.5, -2.5};
+    const double block[6] = {0.25, 1.0, 2.0, -0.5, 3.0, 4.0};  // stride 3
+    double ref[3], got[3];
+    sq_dist_block_soa_scalar(q, block, 3, 3, 2, ref);
+    sq_dist_block_soa(q, block, 3, 3, 2, got);
+    EXPECT_EQ(std::memcmp(ref, got, sizeof ref), 0) << simd_target_name(t);
+  }
+}
+
+TEST(SimdDispatch, ForcingUnrunnableTargetThrows) {
+  TargetGuard guard;
+  for (SimdTarget t : {SimdTarget::kAvx2, SimdTarget::kAvx512,
+                       SimdTarget::kNeon}) {
+    if (simd_target_runnable(t)) continue;
+    EXPECT_THROW(force_simd_target(t), std::invalid_argument);
+  }
+  // Whatever happened above, scalar is always forceable.
+  force_simd_target(SimdTarget::kScalar);
+  EXPECT_EQ(active_simd_target(), SimdTarget::kScalar);
+}
+
+}  // namespace
+}  // namespace udb

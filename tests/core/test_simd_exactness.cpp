@@ -1,0 +1,98 @@
+// Full-engine exactness under every runnable SIMD dispatch target
+// (docs/KERNELS.md): forcing UDB_SIMD to any target must leave µDBSCAN's
+// output exactly equal to brute-force DBSCAN — and, because the kernels are
+// bit-exact vs scalar, the label vectors themselves must be identical across
+// targets, not merely cluster-isomorphic.
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_dbscan.hpp"
+#include "common/simd.hpp"
+#include "core/mudbscan.hpp"
+#include "data/generators.hpp"
+#include "metrics/exactness.hpp"
+
+namespace udb {
+namespace {
+
+struct TargetGuard {
+  SimdTarget prev = active_simd_target();
+  ~TargetGuard() { force_simd_target(prev); }
+};
+
+struct Case {
+  const char* name;
+  Dataset ds;
+  DbscanParams prm;
+};
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  cases.push_back({"blobs", gen_blobs(800, 3, 5, 100.0, 3.0, 0.15, 41),
+                   DbscanParams{2.5, 5}});
+  cases.push_back({"uniform", gen_uniform(500, 2, 0.0, 25.0, 42),
+                   DbscanParams{1.0, 4}});
+  // Exact integer lattice: many pairwise distances land exactly on eps, so
+  // any tie-breaking drift between kernels would flip the clustering.
+  Dataset lattice = Dataset::empty(2);
+  for (int x = 0; x < 20; ++x)
+    for (int y = 0; y < 20; ++y)
+      lattice.push_back(
+          std::vector<double>{static_cast<double>(x), static_cast<double>(y)});
+  cases.push_back({"lattice", std::move(lattice), DbscanParams{1.0, 4}});
+  // Heavy duplication: distance-0 pairs in every leaf block.
+  Dataset base = gen_blobs(100, 2, 3, 20.0, 1.0, 0.1, 43);
+  Dataset dupes = Dataset::empty(2);
+  for (std::size_t i = 0; i < base.size(); ++i)
+    for (int rep = 0; rep < 4; ++rep)
+      dupes.push_back(base.point(static_cast<PointId>(i)));
+  cases.push_back({"dupes", std::move(dupes), DbscanParams{0.8, 5}});
+  return cases;
+}
+
+TEST(SimdEngineExactness, EveryForcedTargetMatchesBruteAndScalar) {
+  TargetGuard guard;
+  for (const Case& c : make_cases()) {
+    const auto truth = brute_dbscan(c.ds, c.prm);
+
+    force_simd_target(SimdTarget::kScalar);
+    const auto scalar_res = mu_dbscan(c.ds, c.prm);
+    {
+      const auto rep = compare_exact(truth, scalar_res);
+      EXPECT_TRUE(rep.exact()) << c.name << " scalar: " << rep.detail;
+    }
+
+    for (SimdTarget t : runnable_simd_targets()) {
+      if (t == SimdTarget::kScalar) continue;
+      force_simd_target(t);
+      const auto got = mu_dbscan(c.ds, c.prm);
+      const auto rep = compare_exact(truth, got);
+      EXPECT_TRUE(rep.exact())
+          << c.name << " " << simd_target_name(t) << ": " << rep.detail;
+      // Bit-exact kernels imply a bit-identical execution: same labels, same
+      // core flags, element for element.
+      EXPECT_EQ(got.label, scalar_res.label)
+          << c.name << " " << simd_target_name(t);
+      EXPECT_EQ(got.is_core, scalar_res.is_core)
+          << c.name << " " << simd_target_name(t);
+    }
+  }
+}
+
+TEST(SimdEngineExactness, QueryLedgerHoldsUnderEveryTarget) {
+  TargetGuard guard;
+  Dataset ds = gen_blobs(600, 3, 4, 80.0, 3.0, 0.2, 44);
+  const DbscanParams prm{2.5, 5};
+  for (SimdTarget t : runnable_simd_targets()) {
+    force_simd_target(t);
+    MuDbscanStats st;
+    (void)mu_dbscan(ds, prm, &st);
+    EXPECT_EQ(st.queries_performed + st.avoided_dmc + st.avoided_cmc +
+                  st.avoided_promotion,
+              ds.size())
+        << simd_target_name(t);
+  }
+}
+
+}  // namespace
+}  // namespace udb

@@ -448,6 +448,8 @@ TEST(Report, RunReportSchemaGoldenKeys) {
       "\"eps\":",             "\"min_pts\":",
       "\"threads\":",         "\"ranks\":",
       "\"seconds\":",         "\"approximate\":",
+      "\"simd_target\":",     "\"kernel_blocks\":",
+      "\"kernel_tail_points\":",
       "\"phases\":",          "\"build_tree\":0.5",
       "\"query_ledger\":",    "\"points\":",
       "\"queries_performed\":", "\"avoided\":",
