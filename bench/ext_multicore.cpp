@@ -15,12 +15,13 @@
 // Emits machine-readable JSON with --out (default BENCH_multicore.json).
 
 #include <algorithm>
-#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 
 #include "bench_util.hpp"
 #include "common/cli.hpp"
+#include "common/vfs.hpp"
 #include "common/simd.hpp"
 #include "common/timer.hpp"
 #include "core/mudbscan.hpp"
@@ -71,8 +72,7 @@ double time_run(const NamedDataset& nd, unsigned threads, int reps,
 
 void write_json(const std::string& path, double scale, bool quick, int reps,
                 const std::vector<DatasetReport>& reports) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open " + path);
+  std::ostringstream out;
   out << "{\n"
       << "  \"bench\": \"ext_multicore\",\n"
       << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
@@ -104,6 +104,8 @@ void write_json(const std::string& path, double scale, bool quick, int reps,
     out << "      ]\n    }" << (i + 1 < reports.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
+  const Status st = vfs::write_text_file(path, out.str());
+  if (!st.ok()) throw std::runtime_error(st.to_string());
 }
 
 }  // namespace

@@ -9,12 +9,13 @@
 // startup dispatch selected on this host.
 
 #include <cstring>
-#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/cli.hpp"
+#include "common/vfs.hpp"
 #include "common/rng.hpp"
 #include "common/simd.hpp"
 #include "common/timer.hpp"
@@ -56,8 +57,7 @@ double time_kernel(SqDistBlockSoaFn fn, const double* q, const double* block,
 
 void write_json(const std::string& path, const std::vector<CaseResult>& cases,
                 std::uint64_t budget_points) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open " + path);
+  std::ostringstream out;
   out << "{\n"
       << "  \"bench\": \"micro_kernel\",\n"
       << "  \"selected_target\": \"" << simd_target_name(active_simd_target())
@@ -84,6 +84,8 @@ void write_json(const std::string& path, const std::vector<CaseResult>& cases,
     out << "}}" << (i + 1 < cases.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
+  const Status st = vfs::write_text_file(path, out.str());
+  if (!st.ok()) throw std::runtime_error(st.to_string());
 }
 
 }  // namespace

@@ -20,7 +20,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <fstream>
+#include <sstream>
 #include <random>
 #include <stdexcept>
 #include <thread>
@@ -28,6 +28,7 @@
 
 #include "bench_util.hpp"
 #include "common/cli.hpp"
+#include "common/vfs.hpp"
 #include "common/timer.hpp"
 #include "core/mudbscan.hpp"
 #include "data/generators.hpp"
@@ -263,8 +264,7 @@ int main(int argc, char** argv) {
     if (!ledger_ok) return 1;
 
     // ---- JSON -----------------------------------------------------------
-    std::ofstream out(out_path);
-    if (!out) throw std::runtime_error("cannot open " + out_path);
+    std::ostringstream out;
     out << "{\n"
         << "  \"bench\": \"serve_throughput\",\n"
         << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
@@ -293,6 +293,8 @@ int main(int argc, char** argv) {
         << "},\n"
         << "  \"metrics\": " << bench::metrics_json_object(ms, 0) << "\n"
         << "}\n";
+    const Status st = vfs::write_text_file(out_path, out.str());
+    if (!st.ok()) throw std::runtime_error(st.to_string());
     bench::row("json written to %s", out_path.c_str());
     return 0;
   } catch (const std::exception& e) {

@@ -7,7 +7,7 @@
 // GridDBSCAN struggles at higher dimensionality; query saves span a wide
 // range with FOF/KDDB/3DSRN at the top and DGB at the bottom.
 
-#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "baselines/g_dbscan.hpp"
@@ -15,6 +15,7 @@
 #include "baselines/r_dbscan.hpp"
 #include "bench_util.hpp"
 #include "common/cli.hpp"
+#include "common/vfs.hpp"
 #include "common/timer.hpp"
 #include "core/mudbscan.hpp"
 #include "data/named.hpp"
@@ -39,8 +40,7 @@ struct Table2Row {
 
 void write_json(const std::string& path, double scale,
                 const std::vector<Table2Row>& rows) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open " + path);
+  std::ostringstream out;
   out << "{\n  \"bench\": \"table2_sequential\",\n  \"scale\": " << scale
       << ",\n  \"datasets\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -59,6 +59,8 @@ void write_json(const std::string& path, double scale,
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
+  const Status st = vfs::write_text_file(path, out.str());
+  if (!st.ok()) throw std::runtime_error(st.to_string());
 }
 
 }  // namespace

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Storage-tier fault smoke, meant to run under ASan/LSan (see
+# .github/workflows/ci.yml). Drives the durable storage stack
+# (docs/ROBUSTNESS.md §Durability) end to end:
+#
+#   * crashharness — the kill-and-recover matrix over the seeded VFS fault
+#     layer: forked children _Exit()ed at sampled I/O operations (power
+#     loss between syscalls), injected ENOSPC / fsync failures / EINTR /
+#     short reads and writes / read-side bit rot, plus a real on-disk
+#     corruption of the newest snapshot generation. After every scenario,
+#     recovery (snapshot generation + WAL replay) must be a byte-exact
+#     prefix of the ingestion sequence, clustered byte-identically to
+#     fit-from-scratch, and no failed or killed save may damage a
+#     previously published generation.
+#   * writer exit-code contract — artifact writers that cannot persist
+#     (missing directory) must fail the process with a non-zero exit and a
+#     message, never exit 0 with silently missing output.
+#
+# Usage: ci/storage_fault_smoke.sh <build-dir>
+set -u
+
+BUILD=${1:?usage: storage_fault_smoke.sh <build-dir>}
+CLI="$BUILD/tools/udbscan"
+MKDATA="$BUILD/tools/make_dataset"
+HARNESS="$BUILD/tools/crashharness"
+TMP=$(mktemp -d)
+cleanup() { rm -rf "$TMP"; }
+trap cleanup EXIT
+FAILURES=0
+
+expect_ok() {
+  local name=$1
+  shift
+  timeout 500 "$@" >"$TMP/out" 2>&1
+  local got=$?
+  if [ "$got" -ne 0 ]; then
+    echo "FAIL [$name]: expected exit 0, got $got"
+    sed 's/^/    /' "$TMP/out"
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok   [$name]"
+  fi
+}
+
+expect_fail() {
+  local name=$1
+  shift
+  timeout 60 "$@" >"$TMP/out" 2>&1
+  local got=$?
+  if [ "$got" -eq 0 ]; then
+    echo "FAIL [$name]: expected a non-zero exit, got 0"
+    sed 's/^/    /' "$TMP/out"
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok   [$name] (exit $got)"
+  fi
+}
+
+# ---- crash / fault matrix ---------------------------------------------------
+# Two seeds so the sampled crash ordinals and fault patterns differ; the
+# harness exits non-zero on any recovery mismatch or damaged generation.
+expect_ok crash-matrix-seed7  "$HARNESS" --quick --seed 7  --dir "$TMP/ch7"
+expect_ok crash-matrix-seed23 "$HARNESS" --quick --seed 23 --dir "$TMP/ch23"
+
+# ---- writer exit-code contract ----------------------------------------------
+# Every artifact writer goes through the VFS and must propagate failure as a
+# non-zero exit: an unwritable --out/--trace-out/--metrics-out/--snapshot-out
+# is an error the pipeline has to see, not a silent no-op.
+expect_ok make-data "$MKDATA" --gen blobs --n 500 --dim 2 --seed 3 \
+  --out "$TMP/pts.csv"
+expect_fail cli-unwritable-trace "$CLI" --input "$TMP/pts.csv" \
+  --eps 3 --minpts 5 --trace-out "$TMP/no_such_dir/trace.json"
+expect_fail cli-unwritable-metrics "$CLI" --input "$TMP/pts.csv" \
+  --eps 3 --minpts 5 --metrics-out "$TMP/no_such_dir/report.json"
+expect_fail cli-unwritable-snapshot "$CLI" --input "$TMP/pts.csv" \
+  --eps 3 --minpts 5 --snapshot-out "$TMP/no_such_dir/model.udbm"
+expect_fail mkdata-unwritable-out "$MKDATA" --gen blobs --n 100 --dim 2 \
+  --out "$TMP/no_such_dir/pts.csv"
+
+# The happy path still works after all that: fit, snapshot, classify from
+# the snapshot offline.
+expect_ok fit-snapshot "$CLI" --input "$TMP/pts.csv" --eps 3 --minpts 5 \
+  --snapshot-out "$TMP/model.udbm"
+expect_ok snapshot-classify "$CLI" --snapshot-in "$TMP/model.udbm" \
+  --classify "$TMP/pts.csv" --out "$TMP/classified.csv"
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES storage fault smoke failure(s)"
+  exit 1
+fi
+echo "storage fault smoke: all checks passed"

@@ -6,10 +6,11 @@
 //   $ ./road_network [--n 40000] [--eps 0.8] [--minpts 5] [--out labels.csv]
 
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 
 #include "common/cli.hpp"
 #include "common/timer.hpp"
+#include "common/vfs.hpp"
 #include "core/mudbscan.hpp"
 #include "data/generators.hpp"
 
@@ -37,12 +38,17 @@ int main(int argc, char** argv) {
               100.0 * stats.query_save_fraction(data.size()));
 
   if (!out_path.empty()) {
-    std::ofstream out(out_path);
+    std::ostringstream out;
     out << "# x,y,z,label,is_core\n";
     for (std::size_t i = 0; i < data.size(); ++i) {
       const auto p = data.point(static_cast<udb::PointId>(i));
       out << p[0] << ',' << p[1] << ',' << p[2] << ',' << result.label[i]
           << ',' << static_cast<int>(result.is_core[i]) << '\n';
+    }
+    const udb::Status ws = udb::vfs::write_text_file(out_path, out.str());
+    if (!ws.ok()) {
+      std::fprintf(stderr, "road_network: %s\n", ws.to_string().c_str());
+      return 1;
     }
     std::printf("labeled points written to %s\n", out_path.c_str());
   }

@@ -9,6 +9,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/vfs.hpp"
+
 namespace udb {
 
 namespace {
@@ -108,8 +110,18 @@ Dataset read_binary(const std::string& path) {
 
 StatusOr<Dataset> load_csv(const std::string& path, const ReadOptions& opts,
                            ReadReport* report) {
-  std::ifstream in(path);
-  if (!in) return NotFoundError("load_csv: cannot open " + path);
+  // Through the VFS: the read is chunked and fault-injectable, and an
+  // injected hard truncation shows up here as a short buffer — which the
+  // row-wise validation below then quarantines or rejects, never mis-parses.
+  auto bytes = vfs::read_file(path);
+  if (!bytes.ok()) {
+    if (bytes.status().code() == StatusCode::kNotFound)
+      return NotFoundError("load_csv: cannot open " + path);
+    return bytes.status();
+  }
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(bytes->data()),
+                  bytes->size()));
   std::vector<double> coords;
   std::vector<double> row;
   std::size_t dim = 0;
@@ -159,29 +171,32 @@ StatusOr<Dataset> load_csv(const std::string& path, const ReadOptions& opts,
 
 StatusOr<Dataset> load_binary(const std::string& path, const ReadOptions& opts,
                               ReadReport* report) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return NotFoundError("load_binary: cannot open " + path);
-  std::array<char, 4> magic{};
-  in.read(magic.data(), magic.size());
-  if (!in || magic != kMagic)
+  // Through the VFS: an injected hard truncation (or real torn write) hands
+  // this codec a short buffer, and the row accounting below turns the missing
+  // tail into quarantined rows instead of a mis-parse.
+  auto file = vfs::read_file(path);
+  if (!file.ok()) {
+    if (file.status().code() == StatusCode::kNotFound)
+      return NotFoundError("load_binary: cannot open " + path);
+    return file.status();
+  }
+  const std::uint8_t* p = file->data();
+  const std::size_t file_bytes = file->size();
+  constexpr std::size_t kHeaderBytes = 4 + 8 + 8;
+  if (file_bytes < 4 || std::memcmp(p, kMagic.data(), kMagic.size()) != 0)
     return DataLossError("load_binary: bad magic in " + path);
-  std::uint64_t dim = 0, count = 0;
-  in.read(reinterpret_cast<char*>(&dim), sizeof dim);
-  in.read(reinterpret_cast<char*>(&count), sizeof count);
-  if (!in || dim == 0)
+  if (file_bytes < kHeaderBytes)
     return DataLossError("load_binary: bad header in " + path);
+  std::uint64_t dim = 0, count = 0;
+  std::memcpy(&dim, p + 4, sizeof dim);
+  std::memcpy(&count, p + 12, sizeof count);
+  if (dim == 0) return DataLossError("load_binary: bad header in " + path);
   constexpr std::uint64_t kMaxElems =
       std::numeric_limits<std::size_t>::max() / sizeof(double);
   if (count != 0 && dim > kMaxElems / count)
     return DataLossError("load_binary: header overflows size_t in " + path);
 
-  const auto data_pos = in.tellg();
-  in.seekg(0, std::ios::end);
-  const auto end_pos = in.tellg();
-  in.seekg(data_pos);
-  if (data_pos < 0 || end_pos < data_pos)
-    return DataLossError("load_binary: unseekable stream for " + path);
-  const std::uint64_t avail = static_cast<std::uint64_t>(end_pos - data_pos);
+  const std::uint64_t avail = file_bytes - kHeaderBytes;
   const std::uint64_t row_bytes = dim * sizeof(double);
   std::uint64_t readable = count;
   ReadReport rep;
@@ -199,9 +214,8 @@ StatusOr<Dataset> load_binary(const std::string& path, const ReadOptions& opts,
   coords.reserve(static_cast<std::size_t>(readable * dim));
   std::vector<double> row(static_cast<std::size_t>(dim));
   for (std::uint64_t i = 0; i < readable; ++i) {
-    in.read(reinterpret_cast<char*>(row.data()),
-            static_cast<std::streamsize>(row_bytes));
-    if (!in) return DataLossError("load_binary: truncated file " + path);
+    std::memcpy(row.data(), p + kHeaderBytes + i * row_bytes,
+                static_cast<std::size_t>(row_bytes));
     bool bad = false;
     for (double v : row)
       if (!std::isfinite(v)) bad = true;

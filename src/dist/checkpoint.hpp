@@ -13,9 +13,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/dataset.hpp"
+#include "common/status.hpp"
 
 namespace udb {
 
@@ -84,6 +86,21 @@ class CheckpointStore {
     for (auto& c : halo_) c = {};
     for (auto& c : local_) c = {};
   }
+
+  [[nodiscard]] int nranks() const noexcept {
+    return static_cast<int>(partition_.size());
+  }
+
+  // Durable spill (dist/checkpoint.cpp): the in-memory store stands in for
+  // stable storage within one driver process, but a driver restart loses it.
+  // save_to serializes every slot (CRC-framed, versioned) and writes through
+  // the VFS with the full write-fsync-rename-fsync(dir) discipline — ENOSPC
+  // -> RESOURCE_EXHAUSTED, fsync failure -> DATA_LOSS, and a failed save
+  // never damages a previous spill at `path`. load_from verifies the CRC and
+  // every per-slot length before constructing (DATA_LOSS on any corruption).
+  [[nodiscard]] Status save_to(const std::string& path) const;
+  [[nodiscard]] static StatusOr<CheckpointStore> load_from(
+      const std::string& path);
 
  private:
   std::vector<PartitionCkpt> partition_;

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/simd.hpp"
+#include "common/vfs.hpp"
 
 namespace udb::obs {
 
@@ -239,14 +240,10 @@ std::string run_report_json(const RunReportInputs& in) {
 }
 
 Status write_run_report(const RunReportInputs& in, const std::string& path) {
-  const std::string doc = run_report_json(in);
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr)
-    return InvalidArgumentError("cannot open metrics output file: " + path);
-  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
-  if (std::fclose(f) != 0 || !ok)
-    return InternalError("error writing metrics output file: " + path);
-  return Status::Ok();
+  // Through the VFS: open/write/close errors (including injected ENOSPC)
+  // all surface as a Status — a metrics file is either complete or reported
+  // failed, never silently truncated.
+  return vfs::write_text_file(path, run_report_json(in));
 }
 
 }  // namespace udb::obs

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdio>
 
+#include "common/vfs.hpp"
+
 namespace udb::obs {
 
 namespace {
@@ -62,27 +64,27 @@ std::vector<TraceEvent> Tracer::events() const {
 
 Status Tracer::write_chrome_trace(const std::string& path) const {
   const std::vector<TraceEvent> evs = events();
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr)
-    return InvalidArgumentError("cannot open trace output file: " + path);
-  std::fputs("[", f);
+  // Rendered in memory, then written through the VFS in one call: every I/O
+  // error (open, ENOSPC mid-write, close) comes back as a Status instead of
+  // a silently truncated trace file.
+  std::string doc = "[";
+  char line[512];
   bool first = true;
   for (const TraceEvent& e : evs) {
     // Chrome trace_event complete event; ts/dur are microseconds (double).
-    std::fprintf(
-        f,
+    std::snprintf(
+        line, sizeof line,
         "%s\n{\"name\":\"%s\",\"cat\":\"udbscan\",\"ph\":\"X\","
         "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%u,"
         "\"args\":{\"thread_cpu_ms\":%.3f}}",
         first ? "" : ",", e.name, static_cast<double>(e.start_ns) / 1000.0,
         static_cast<double>(e.dur_ns) / 1000.0, e.pid, e.tid,
         e.cpu_seconds * 1000.0);
+    doc += line;
     first = false;
   }
-  std::fputs("\n]\n", f);
-  if (std::fclose(f) != 0)
-    return InternalError("error writing trace output file: " + path);
-  return Status::Ok();
+  doc += "\n]\n";
+  return vfs::write_text_file(path, doc);
 }
 
 }  // namespace udb::obs

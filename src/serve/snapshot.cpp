@@ -1,11 +1,10 @@
 #include "serve/snapshot.hpp"
 
 #include <cmath>
-#include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <limits>
 
+#include "common/vfs.hpp"
 #include "serve/wire.hpp"
 
 namespace udb::serve {
@@ -29,7 +28,7 @@ constexpr std::uint32_t kFlagBulkAux = 1u << 1;
 
 }  // namespace
 
-Status save_model(const ModelSnapshot& snap, const std::string& path) {
+StatusOr<std::vector<std::uint8_t>> serialize_model(const ModelSnapshot& snap) {
   const std::size_t n = snap.data.size();
   if (snap.result.label.size() != n || snap.result.is_core.size() != n)
     return InvalidArgumentError(
@@ -70,45 +69,35 @@ Status save_model(const ModelSnapshot& snap, const std::string& path) {
   out.u64(payload.size());
   out.raw(payload.data().data(), payload.size());
   out.u64(fnv1a64(payload.data().data(), payload.size()));
+  return out.take();
+}
 
-  // Write-then-rename so a crash or full disk mid-save can never leave a
-  // truncated file under the final name (the loader would reject it anyway,
-  // but a previously good snapshot at `path` must survive a failed re-save).
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-    if (!f) return InternalError("save_model: cannot open " + tmp);
-    f.write(reinterpret_cast<const char*>(out.data().data()),
-            static_cast<std::streamsize>(out.size()));
-    f.flush();
-    if (!f) {
-      std::remove(tmp.c_str());
-      return InternalError("save_model: write failed for " + tmp);
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return InternalError("save_model: cannot rename " + tmp + " to " + path);
-  }
-  return Status::Ok();
+Status save_model(const ModelSnapshot& snap, const std::string& path) {
+  auto bytes = serialize_model(snap);
+  if (!bytes.ok()) return bytes.status();
+  // Full crash-safe discipline (write tmp, fsync, rename, fsync dir): a
+  // crash or full disk mid-save can never leave a truncated file under the
+  // final name, and a previously good snapshot at `path` survives a failed
+  // re-save — vfs::write_file_atomic removes the tmp on every failure path.
+  return vfs::write_file_atomic(path, bytes->data(), bytes->size());
 }
 
 StatusOr<ModelSnapshot> load_model(const std::string& path) {
-  std::ifstream f(path, std::ios::binary);
-  if (!f) return NotFoundError("load_model: cannot open " + path);
-  f.seekg(0, std::ios::end);
-  const auto end = f.tellg();
-  f.seekg(0);
-  if (end < 0) return DataLossError("load_model: unseekable stream " + path);
-  const auto file_size = static_cast<std::uint64_t>(end);
+  auto bytes = vfs::read_file(path);
+  if (!bytes.ok()) {
+    if (bytes.status().code() == StatusCode::kNotFound)
+      return NotFoundError("load_model: cannot open " + path);
+    return bytes.status();
+  }
+  return parse_model(std::span<const std::uint8_t>(*bytes), path);
+}
+
+StatusOr<ModelSnapshot> parse_model(std::span<const std::uint8_t> bytes,
+                                    const std::string& path) {
+  const std::uint64_t file_size = bytes.size();
   if (file_size < kHeaderBytes + kFooterBytes)
     return DataLossError("load_model: file too small to be a snapshot: " +
                          path);
-
-  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(file_size));
-  f.read(reinterpret_cast<char*>(bytes.data()),
-         static_cast<std::streamsize>(bytes.size()));
-  if (!f) return DataLossError("load_model: short read from " + path);
 
   ByteReader header(std::span(bytes.data(), kHeaderBytes));
   char magic[4];

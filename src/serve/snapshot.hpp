@@ -18,7 +18,10 @@
 
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "common/dataset.hpp"
 #include "common/status.hpp"
@@ -46,10 +49,22 @@ struct ModelSnapshot {
   std::string report_json;
 };
 
-// Serializes and writes the snapshot. Fails with INVALID_ARGUMENT on an
-// inconsistent snapshot (label/core arrays not sized to the dataset) and
-// INTERNAL on I/O errors; a failed save never leaves a half-written file at
-// `path` (write to path + ".tmp", then rename).
+// In-memory codec halves, shared by save/load and by the generation store
+// (serve/snapstore.*) which owns its own file naming and fsync discipline.
+// serialize_model fails with INVALID_ARGUMENT on an inconsistent snapshot
+// (label/core arrays not sized to the dataset); parse_model fails with
+// DATA_LOSS for anything malformed (`origin` names the source in messages).
+[[nodiscard]] StatusOr<std::vector<std::uint8_t>> serialize_model(
+    const ModelSnapshot& snap);
+[[nodiscard]] StatusOr<ModelSnapshot> parse_model(
+    std::span<const std::uint8_t> bytes, const std::string& origin);
+
+// Serializes and writes the snapshot through the VFS with the full crash-safe
+// discipline: write `path`.tmp, fsync, rename over `path`, fsync the parent
+// directory (common/vfs.*). Fails with INVALID_ARGUMENT on an inconsistent
+// snapshot, RESOURCE_EXHAUSTED on ENOSPC, DATA_LOSS on fsync failure and
+// INTERNAL on other I/O errors; a failed save never leaves a half-written
+// file at `path` and never damages a previous snapshot there.
 [[nodiscard]] Status save_model(const ModelSnapshot& snap,
                                 const std::string& path);
 

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/vfs.hpp"
+
 #include <cstdio>
 #include <fstream>
 #include <iterator>
@@ -171,6 +173,52 @@ TEST_F(IoQuarantineTest, BinaryNonFiniteRowQuarantines) {
   ASSERT_TRUE(r.ok()) << r.status().to_string();
   EXPECT_EQ(r->size(), 49u);
   EXPECT_EQ(rep.rows_skipped, 1u);
+}
+
+TEST_F(IoQuarantineTest, InjectedShortReadIsInvisibleToTheLoaders) {
+  // The loaders go through the VFS, which retries short reads — a flaky disk
+  // that returns partial chunks must not change what gets loaded.
+  const std::string pb = path("shortread.bin");
+  const std::string pc = path("shortread.csv");
+  Dataset ds(2, {1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
+  write_binary(ds, pb);
+  write_file(pc, "1,2\n3,4\n5,6\n");
+
+  vfs::IoFaultPlan plan;
+  plan.short_read_rate = 1.0;
+  plan.seed = 5;
+  vfs::reset_io_fault_state();
+  vfs::install_io_fault_plan(&plan);
+  auto rb = load_binary(pb);
+  auto rc = load_csv(pc);
+  vfs::install_io_fault_plan(nullptr);
+  vfs::reset_io_fault_state();
+
+  ASSERT_TRUE(rb.ok()) << rb.status().to_string();
+  EXPECT_EQ(rb->raw(), ds.raw());
+  ASSERT_TRUE(rc.ok()) << rc.status().to_string();
+  EXPECT_EQ(rc->raw(), ds.raw());
+}
+
+TEST_F(IoQuarantineTest, InjectedHardTruncationIsCleanDataLoss) {
+  // A hard truncation (the file "ends" mid-read) must come back as a clean
+  // Status from both loaders — the short-file regression the quarantine
+  // discipline exists for. Binary promises a row count up front, so a
+  // shortened image is DATA_LOSS; it must never crash or return bogus rows.
+  const std::string pb = path("hardtrunc.bin");
+  Dataset ds(2, {1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
+  write_binary(ds, pb);
+
+  vfs::IoFaultPlan plan;
+  plan.read_truncate_rate = 1.0;
+  vfs::reset_io_fault_state();
+  vfs::install_io_fault_plan(&plan);
+  auto rb = load_binary(pb);
+  vfs::install_io_fault_plan(nullptr);
+  vfs::reset_io_fault_state();
+
+  ASSERT_FALSE(rb.ok());
+  EXPECT_EQ(rb.status().code(), StatusCode::kDataLoss);
 }
 
 }  // namespace

@@ -1,0 +1,274 @@
+// VFS (common/vfs.*): error mapping, crash-safe atomic writes, and the seeded
+// I/O fault layer. The mapping table in the header is a contract other tests
+// and the serving tier rely on — this file is where it is asserted:
+//   open-for-read ENOENT -> NOT_FOUND; ENOSPC -> RESOURCE_EXHAUSTED;
+//   fsync failure -> DATA_LOSS; everything else -> INTERNAL.
+
+#include "common/vfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace udb {
+namespace {
+
+class VfsTest : public ::testing::Test {
+ protected:
+  std::string path(const char* name) {
+    return ::testing::TempDir() + "udb_vfs_" + name;
+  }
+
+  // Every fault-plan test uninstalls on teardown, even on early ASSERT exits:
+  // a leaked plan pointer into a dead stack frame would poison the rest of
+  // the binary.
+  void TearDown() override {
+    vfs::install_io_fault_plan(nullptr);
+    vfs::reset_io_fault_state();
+  }
+
+  std::vector<std::uint8_t> pattern(std::size_t n) {
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+      v[i] = static_cast<std::uint8_t>(i * 131 + 7);
+    return v;
+  }
+
+  vfs::IoFaultPlan plan_;  // outlives any install in the test body
+};
+
+TEST_F(VfsTest, WriteReadRoundtrip) {
+  const std::string p = path("roundtrip.bin");
+  const auto data = pattern(100000);  // > kIoChunk: exercises chunking
+  ASSERT_TRUE(vfs::write_file(p, data.data(), data.size()).ok());
+  auto back = vfs::read_file(p);
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(*back, data);
+  auto size = vfs::file_size(p);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, data.size());
+  EXPECT_TRUE(vfs::exists(p));
+}
+
+TEST_F(VfsTest, MissingFileIsNotFound) {
+  auto r = vfs::read_file(path("nope.bin"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  auto f = vfs::File::open_read(path("nope.bin"));
+  ASSERT_FALSE(f.ok());
+  EXPECT_EQ(f.status().code(), StatusCode::kNotFound);
+  auto d = vfs::list_dir(path("nodir"));
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(VfsTest, UnwritablePathIsInternalNotNotFound) {
+  // A missing parent directory is a caller bug / environment problem, not a
+  // "file not found" the degradation paths should swallow.
+  const std::string p = path("no_such_dir") + "/x.bin";
+  const char b[1] = {0};
+  const Status s = vfs::write_file(p, b, 1);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+TEST_F(VfsTest, MakeDirsAndListDir) {
+  const std::string root = path("tree");
+  ASSERT_TRUE(vfs::make_dirs(root + "/a/b").ok());
+  ASSERT_TRUE(vfs::make_dirs(root + "/a/b").ok());  // idempotent
+  const char b[1] = {7};
+  ASSERT_TRUE(vfs::write_file(root + "/a/two.bin", b, 1).ok());
+  ASSERT_TRUE(vfs::write_file(root + "/a/one.bin", b, 1).ok());
+  auto names = vfs::list_dir(root + "/a");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{"b", "one.bin", "two.bin"}));
+}
+
+TEST_F(VfsTest, BasenameDirname) {
+  EXPECT_EQ(vfs::basename("/a/b/c.txt"), "c.txt");
+  EXPECT_EQ(vfs::basename("c.txt"), "c.txt");
+  EXPECT_EQ(vfs::dirname("/a/b/c.txt"), "/a/b");
+  EXPECT_EQ(vfs::dirname("c.txt"), ".");
+  EXPECT_EQ(vfs::dirname("/c.txt"), "/");
+}
+
+TEST_F(VfsTest, AtomicWritePublishesAndLeavesNoTmp) {
+  const std::string p = path("atomic.bin");
+  const auto data = pattern(5000);
+  ASSERT_TRUE(vfs::write_file_atomic(p, data.data(), data.size()).ok());
+  EXPECT_FALSE(vfs::exists(p + ".tmp"));
+  auto back = vfs::read_file(p);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST_F(VfsTest, InjectedEnospcIsResourceExhaustedAndPreservesTarget) {
+  const std::string p = path("enospc.bin");
+  const auto old_data = pattern(300);
+  ASSERT_TRUE(vfs::write_file_atomic(p, old_data.data(), old_data.size()).ok());
+
+  plan_.enospc_rate = 1.0;
+  vfs::reset_io_fault_state();
+  vfs::install_io_fault_plan(&plan_);
+  const auto new_data = pattern(4000);
+  const Status s = vfs::write_file_atomic(p, new_data.data(), new_data.size());
+  vfs::install_io_fault_plan(nullptr);
+
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(vfs::io_fault_counts().enospc, 1u);
+  // The failed replace left no droppings and the old bytes untouched.
+  EXPECT_FALSE(vfs::exists(p + ".tmp"));
+  auto back = vfs::read_file(p);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, old_data);
+}
+
+TEST_F(VfsTest, InjectedFsyncFailureIsDataLossAndPreservesTarget) {
+  const std::string p = path("fsync.bin");
+  const auto old_data = pattern(300);
+  ASSERT_TRUE(vfs::write_file_atomic(p, old_data.data(), old_data.size()).ok());
+
+  plan_.fsync_fail_rate = 1.0;
+  vfs::reset_io_fault_state();
+  vfs::install_io_fault_plan(&plan_);
+  const auto new_data = pattern(400);
+  const Status s = vfs::write_file_atomic(p, new_data.data(), new_data.size());
+  vfs::install_io_fault_plan(nullptr);
+
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_GE(vfs::io_fault_counts().fsync_failures, 1u);
+  EXPECT_FALSE(vfs::exists(p + ".tmp"));
+  auto back = vfs::read_file(p);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, old_data);
+}
+
+TEST_F(VfsTest, RetriedFaultsAreInvisibleToTheCaller) {
+  // EINTR and short reads/writes are transport noise the VFS retries away:
+  // the roundtrip must stay byte-exact no matter how often they fire.
+  const std::string p = path("flaky.bin");
+  const auto data = pattern(200000);
+  plan_.eintr_rate = 0.3;
+  plan_.short_read_rate = 0.5;
+  plan_.short_write_rate = 0.5;
+  plan_.seed = 42;
+  vfs::reset_io_fault_state();
+  vfs::install_io_fault_plan(&plan_);
+  ASSERT_TRUE(vfs::write_file(p, data.data(), data.size()).ok());
+  auto back = vfs::read_file(p);
+  vfs::install_io_fault_plan(nullptr);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+  const vfs::IoFaultCounts c = vfs::io_fault_counts();
+  EXPECT_GE(c.short_writes + c.short_reads + c.eintr, 1u);
+}
+
+TEST_F(VfsTest, InjectedBitRotCorruptsTheBytesRead) {
+  // The rot happens on the read side only — the file is fine, the caller's
+  // checksum must catch the flip. This is the fault the CRC framing on every
+  // persistence format exists for.
+  const std::string p = path("bitrot.bin");
+  const auto data = pattern(1000);
+  ASSERT_TRUE(vfs::write_file(p, data.data(), data.size()).ok());
+
+  plan_.bitrot_rate = 1.0;
+  plan_.seed = 7;
+  vfs::reset_io_fault_state();
+  vfs::install_io_fault_plan(&plan_);
+  auto rotted = vfs::read_file(p);
+  vfs::install_io_fault_plan(nullptr);
+  ASSERT_TRUE(rotted.ok());
+  ASSERT_EQ(rotted->size(), data.size());
+  EXPECT_NE(*rotted, data);
+  EXPECT_GE(vfs::io_fault_counts().bitrots, 1u);
+
+  // With the plan gone the same file reads back clean.
+  auto clean = vfs::read_file(p);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(*clean, data);
+}
+
+TEST_F(VfsTest, InjectedHardTruncationShortensTheRead) {
+  const std::string p = path("trunc.bin");
+  const auto data = pattern(1000);
+  ASSERT_TRUE(vfs::write_file(p, data.data(), data.size()).ok());
+
+  plan_.read_truncate_rate = 1.0;
+  vfs::reset_io_fault_state();
+  vfs::install_io_fault_plan(&plan_);
+  auto r = vfs::read_file(p);
+  vfs::install_io_fault_plan(nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->size(), data.size());
+  EXPECT_GE(vfs::io_fault_counts().truncated_reads, 1u);
+}
+
+TEST_F(VfsTest, NoPlanMeansNoAccounting) {
+  // The zero-cost-when-unset contract: without a plan installed, operations
+  // are not counted (and roll no dice).
+  vfs::reset_io_fault_state();
+  const std::string p = path("uncounted.bin");
+  const auto data = pattern(100);
+  ASSERT_TRUE(vfs::write_file(p, data.data(), data.size()).ok());
+  EXPECT_EQ(vfs::io_fault_next_op(), 0u);
+  EXPECT_EQ(vfs::io_fault_counts().ops, 0u);
+
+  // A zero-rate plan counts ops without injecting — how the crash harness
+  // measures a workload's sweep space.
+  vfs::install_io_fault_plan(&plan_);
+  auto r = vfs::read_file(p);
+  vfs::install_io_fault_plan(nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, data);
+  EXPECT_GT(vfs::io_fault_next_op(), 0u);
+}
+
+TEST_F(VfsTest, DeterministicFaultDecisions) {
+  // Same seed + same operation sequence -> same injected faults. This is
+  // what makes a crash-harness failure reproducible from its seed alone.
+  const std::string p = path("determinism.bin");
+  const auto data = pattern(50000);
+  ASSERT_TRUE(vfs::write_file(p, data.data(), data.size()).ok());
+
+  plan_.bitrot_rate = 0.5;
+  plan_.seed = 1234;
+  vfs::reset_io_fault_state();
+  vfs::install_io_fault_plan(&plan_);
+  auto first = vfs::read_file(p);
+  vfs::reset_io_fault_state();
+  auto second = vfs::read_file(p);
+  vfs::install_io_fault_plan(nullptr);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);  // identical flips, not just identical counts
+}
+
+TEST_F(VfsTest, AppendHandleAppends) {
+  const std::string p = path("append.bin");
+  {
+    auto f = vfs::File::create(p);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE(f->write("abc", 3).ok());
+    ASSERT_TRUE(f->close().ok());
+  }
+  {
+    auto f = vfs::File::open_append(p);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE(f->write("def", 3).ok());
+    ASSERT_TRUE(f->close().ok());
+  }
+  auto back = vfs::read_file(p);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(std::string(back->begin(), back->end()), "abcdef");
+}
+
+TEST_F(VfsTest, RemoveFileToleratesMissing) {
+  EXPECT_TRUE(vfs::remove_file(path("never_existed.bin")).ok());
+}
+
+}  // namespace
+}  // namespace udb

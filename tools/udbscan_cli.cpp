@@ -47,7 +47,7 @@
 
 #include <cmath>
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -60,6 +60,7 @@
 #include "common/runguard.hpp"
 #include "common/status.hpp"
 #include "common/timer.hpp"
+#include "common/vfs.hpp"
 #include "core/guarded_run.hpp"
 #include "core/kdist.hpp"
 #include "core/mudbscan.hpp"
@@ -186,11 +187,12 @@ int main(int argc, char** argv) {
                   "re-clustering\n",
                   answers->size(), exact);
       if (!out_path.empty()) {
-        std::ofstream out(out_path);
-        if (!out) throw std::runtime_error("cannot open " + out_path);
+        std::ostringstream out;
         out << serve::kClassifyCsvHeader << '\n';
         for (const serve::Classify& c : *answers)
           out << serve::classify_csv_row(c) << '\n';
+        Status ws = vfs::write_text_file(out_path, out.str());
+        if (!ws.ok()) throw StatusError(std::move(ws));
         std::printf("answers written to %s\n", out_path.c_str());
       }
       return 0;
@@ -411,13 +413,14 @@ int main(int argc, char** argv) {
     }
 
     if (!out_path.empty()) {
-      std::ofstream out(out_path);
-      if (!out) throw std::runtime_error("cannot open " + out_path);
+      std::ostringstream out;
       out << "# label,is_core (label -1 = noise)"
           << (approximate ? " — APPROXIMATE (sampled fallback)" : "") << '\n';
       for (std::size_t i = 0; i < result.size(); ++i)
         out << result.label[i] << ','
             << static_cast<int>(result.is_core[i]) << '\n';
+      Status ws = vfs::write_text_file(out_path, out.str());
+      if (!ws.ok()) throw StatusError(std::move(ws));
       std::printf("labels written to %s\n", out_path.c_str());
     }
     return 0;

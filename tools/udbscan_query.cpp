@@ -27,7 +27,6 @@
 //   3  server unreachable (connect failed / refused)
 
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -35,6 +34,7 @@
 
 #include "common/cli.hpp"
 #include "common/io.hpp"
+#include "common/vfs.hpp"
 #include "serve/classify_csv.hpp"
 #include "serve/client.hpp"
 #include "serve/wire.hpp"
@@ -168,11 +168,12 @@ int main(int argc, char** argv) {
       std::printf("classified %zu queries (%zu exact matches)\n",
                   answers->size(), exact);
       if (!out_path.empty()) {
-        std::ofstream out(out_path);
-        if (!out) throw std::runtime_error("cannot open " + out_path);
+        std::ostringstream out;
         out << serve::kClassifyCsvHeader << '\n';
         for (const serve::Classify& c : *answers)
           out << serve::classify_csv_row(c) << '\n';
+        const Status ws = vfs::write_text_file(out_path, out.str());
+        if (!ws.ok()) throw std::runtime_error(ws.to_string());
         std::printf("answers written to %s\n", out_path.c_str());
       } else {
         for (const serve::Classify& c : *answers)
@@ -214,9 +215,8 @@ int main(int argc, char** argv) {
         return 1;
       }
       if (!out_path.empty()) {
-        std::ofstream out(out_path);
-        if (!out) throw std::runtime_error("cannot open " + out_path);
-        out << *json << '\n';
+        const Status ws = vfs::write_text_file(out_path, *json + "\n");
+        if (!ws.ok()) throw std::runtime_error(ws.to_string());
         std::printf("stats written to %s\n", out_path.c_str());
       } else {
         std::printf("%s\n", json->c_str());

@@ -26,7 +26,6 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
-#include <fstream>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -34,6 +33,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/vfs.hpp"
 #include "obs/log.hpp"
 #include "serve/client.hpp"
 #include "serve/model.hpp"
@@ -152,9 +152,9 @@ int main(int argc, char** argv) {
     if (!stats_out.empty()) {
       // Replica 0's document; under --replicas the others contribute only to
       // the summed shutdown line below.
-      std::ofstream out(stats_out);
-      if (!out) throw std::runtime_error("cannot open " + stats_out);
-      out << servers.front()->stats_json() << '\n';
+      const Status ws =
+          vfs::write_text_file(stats_out, servers.front()->stats_json() + "\n");
+      if (!ws.ok()) throw std::runtime_error(ws.to_string());
       std::printf("stats written to %s\n", stats_out.c_str());
     }
     std::uint64_t total_requests = 0;
