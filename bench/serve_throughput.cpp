@@ -52,6 +52,11 @@ struct PhaseResult {
   double points_per_s = 0.0;
   std::uint64_t p50_us = 0;
   std::uint64_t p99_us = 0;
+  // Live-telemetry view of the same phase: the server's rolling 10s window
+  // scraped over the wire right as the phase ends (docs/OBSERVABILITY.md).
+  double tel_qps = 0.0;
+  double tel_p50_us = 0.0;
+  double tel_p99_us = 0.0;
 };
 
 std::uint64_t percentile(std::vector<std::uint64_t>& v, double p) {
@@ -234,6 +239,7 @@ int main(int argc, char** argv) {
         {"batch_64", 64},
         {"batch_1024_pool", 1024},  // over the pool threshold: pooled fanout
     };
+    bool first_phase = true;
     for (const auto& ph : kPhases) {
       PhaseResult r = run_phase(ph.name, server.port(), pool, dim, clients,
                                 ph.batch, seconds);
@@ -241,6 +247,35 @@ int main(int argc, char** argv) {
                  r.name.c_str(), r.clients, r.batch, r.qps, r.points_per_s,
                  static_cast<unsigned long long>(r.p50_us),
                  static_cast<unsigned long long>(r.p99_us));
+      // Scrape the TELEMETRY admin RPC while the phase's samples still
+      // dominate the rolling 10s window; the bench and the live window must
+      // agree on the latency distribution they just both watched.
+      {
+        auto tclient = serve::Client::connect(server.port(), 30.0);
+        if (!tclient.ok()) throw StatusError(tclient.status());
+        auto tel = tclient->telemetry();
+        if (!tel.ok()) throw StatusError(tel.status());
+        const serve::TelemetryWindow& w10 = tel->windows[1];  // {1s,10s,60s}
+        r.tel_qps = w10.qps;
+        r.tel_p50_us = w10.p50_us;
+        r.tel_p99_us = w10.p99_us;
+        bench::row("%16s | telemetry 10s window: p50 %.0fus p99 %.0fus",
+                   r.name.c_str(), w10.p50_us, w10.p99_us);
+        // Cross-check only the first phase: later phases share the window
+        // with their predecessor's tail. Client-side p50 includes loopback
+        // and client overhead, so the comparison carries an absolute floor.
+        if (first_phase && r.seconds >= 1.5) {
+          const double p50 = static_cast<double>(r.p50_us);
+          const double tol = std::max(0.20 * p50, 150.0);
+          if (std::abs(w10.p50_us - p50) > tol)
+            throw std::runtime_error(
+                "TELEMETRY DRIFT: live 10s-window p50 " +
+                std::to_string(w10.p50_us) + "us vs bench-measured p50 " +
+                std::to_string(r.p50_us) + "us (tolerance " +
+                std::to_string(tol) + "us)");
+        }
+      }
+      first_phase = false;
       phases.push_back(std::move(r));
     }
     bench::rule();
@@ -284,6 +319,9 @@ int main(int argc, char** argv) {
           << ", \"points\": " << r.points << ", \"seconds\": " << r.seconds
           << ", \"qps\": " << r.qps << ", \"points_per_s\": " << r.points_per_s
           << ", \"p50_us\": " << r.p50_us << ", \"p99_us\": " << r.p99_us
+          << ", \"telemetry_qps_10s\": " << r.tel_qps
+          << ", \"telemetry_p50_us\": " << r.tel_p50_us
+          << ", \"telemetry_p99_us\": " << r.tel_p99_us
           << "}" << (i + 1 < phases.size() ? "," : "") << "\n";
     }
     out << "  ],\n"

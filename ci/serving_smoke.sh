@@ -136,12 +136,13 @@ expect_ok stats-fetch "$QUERY" --port "$PORT" --stats \
 if python3 - "$TMP/live_stats.json" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-assert doc["schema_version"] == 1, doc
+assert doc["schema_version"] == 2, doc
 ledger = doc["serve_ledger"]
 assert ledger["performed"] + ledger["avoided_exact"] \
     == ledger["classify_points"], ledger
 assert ledger["classify_points"] > 0, ledger
 assert doc["model"]["n"] == 4000, doc["model"]
+assert doc["telemetry"]["totals"]["requests"] > 0, doc["telemetry"]
 EOF
 then
   echo "ok   [stats-ledger]"
@@ -149,6 +150,49 @@ else
   echo "FAIL [stats-ledger]: invalid stats document or unbalanced ledger"
   FAILURES=$((FAILURES + 1))
 fi
+
+# ---- live telemetry -------------------------------------------------------
+# The TELEMETRY admin RPC end to end: the JSON report must parse, carry the
+# fixed 1s/10s/60s windows with the traffic we just sent inside them, and
+# keep the serving classify ledger balanced; the Prometheus rendering must
+# expose the counter families and labeled window gauges
+# (docs/OBSERVABILITY.md, "Live telemetry").
+expect_ok telemetry-fetch "$QUERY" --port "$PORT" --telemetry \
+  --out "$TMP/telemetry.json"
+if python3 - "$TMP/telemetry.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema_version"] == 2, doc
+assert doc["kind"] == "telemetry", doc
+assert doc["totals"]["requests"] > 0, doc["totals"]
+assert doc["serve_ledger"]["holds"] is True, doc["serve_ledger"]
+spans = [w["window_seconds"] for w in doc["windows"]]
+assert spans == [1.0, 10.0, 60.0], spans
+w60 = doc["windows"][2]
+assert w60["requests"] > 0 and w60["qps"] > 0, w60
+assert w60["p50_us"] <= w60["p99_us"] <= w60["max_us"] + 1e-9, w60
+EOF
+then
+  echo "ok   [telemetry-json]"
+else
+  echo "FAIL [telemetry-json]: bad telemetry document"
+  FAILURES=$((FAILURES + 1))
+fi
+expect_ok telemetry-prometheus "$QUERY" --port "$PORT" --telemetry \
+  --prometheus --out "$TMP/telemetry.prom"
+if grep -q '^udbscan_serve_requests_total ' "$TMP/telemetry.prom" &&
+   grep -q 'udbscan_window_qps{window="10s"}' "$TMP/telemetry.prom" &&
+   grep -q 'udbscan_serve_request_us_bucket{le="+Inf"}' "$TMP/telemetry.prom"
+then
+  echo "ok   [telemetry-prometheus-families]"
+else
+  echo "FAIL [telemetry-prometheus-families]: missing expected families"
+  sed 's/^/    /' "$TMP/telemetry.prom" | head -10
+  FAILURES=$((FAILURES + 1))
+fi
+# One refresh of the live terminal dashboard against the running server.
+expect_ok top-once "$BUILD/tools/udbscan_top" --ports "$PORT" \
+  --iterations 1 --no-clear
 
 # ---- graceful shutdown ----------------------------------------------------
 kill -TERM "$SERVER_PID"

@@ -1,0 +1,284 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace udb::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Status run(Value& out) {
+    skip_ws();
+    Status s = parse_value(out, 0);
+    if (!s.ok()) return s;
+    skip_ws();
+    if (pos_ != text_.size())
+      return fail("trailing characters after the document");
+    return Status::Ok();
+  }
+
+ private:
+  Status fail(const std::string& what) const {
+    return InvalidArgumentError("json: " + what + " at byte " +
+                                std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Status parse_value(Value& out, std::size_t depth) {
+    if (depth > kMaxDepth) return fail("nesting deeper than the cap");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': {
+        out.kind = Value::Kind::kString;
+        return parse_string(out.string);
+      }
+      case 't':
+        if (!literal("true")) return fail("bad literal");
+        out.kind = Value::Kind::kBool;
+        out.boolean = true;
+        return Status::Ok();
+      case 'f':
+        if (!literal("false")) return fail("bad literal");
+        out.kind = Value::Kind::kBool;
+        out.boolean = false;
+        return Status::Ok();
+      case 'n':
+        if (!literal("null")) return fail("bad literal");
+        out.kind = Value::Kind::kNull;
+        return Status::Ok();
+      default:
+        return parse_number(out);
+    }
+  }
+
+  Status parse_object(Value& out, std::size_t depth) {
+    ++pos_;  // '{'
+    out.kind = Value::Kind::kObject;
+    skip_ws();
+    if (eat('}')) return Status::Ok();
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        return fail("expected a string key");
+      std::string key;
+      Status s = parse_string(key);
+      if (!s.ok()) return s;
+      skip_ws();
+      if (!eat(':')) return fail("expected ':' after a key");
+      skip_ws();
+      Value child;
+      s = parse_value(child, depth + 1);
+      if (!s.ok()) return s;
+      out.object.emplace_back(std::move(key), std::move(child));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) return Status::Ok();
+      return fail("expected ',' or '}' in an object");
+    }
+  }
+
+  Status parse_array(Value& out, std::size_t depth) {
+    ++pos_;  // '['
+    out.kind = Value::Kind::kArray;
+    skip_ws();
+    if (eat(']')) return Status::Ok();
+    while (true) {
+      skip_ws();
+      Value child;
+      Status s = parse_value(child, depth + 1);
+      if (!s.ok()) return s;
+      out.array.push_back(std::move(child));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) return Status::Ok();
+      return fail("expected ',' or ']' in an array");
+    }
+  }
+
+  // Appends `cp` as UTF-8.
+  static void append_utf8(std::string& s, std::uint32_t cp) {
+    if (cp < 0x80) {
+      s.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      s.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      s.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      s.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      s.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      s.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      s.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool hex4(std::uint32_t& out) {
+    if (pos_ + 4 > text_.size()) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      out <<= 4;
+      if (c >= '0' && c <= '9') out |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        out |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        out |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else return false;
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  Status parse_string(std::string& out) {
+    ++pos_;  // '"'
+    out.clear();
+    while (true) {
+      if (pos_ >= text_.size()) return fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("unescaped control character in a string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!hex4(cp)) return fail("bad \\u escape");
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require the paired low surrogate.
+            std::uint32_t lo = 0;
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u')
+              return fail("lone high surrogate");
+            pos_ += 2;
+            if (!hex4(lo) || lo < 0xDC00 || lo > 0xDFFF)
+              return fail("bad low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("lone low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return fail("unknown escape character");
+      }
+    }
+  }
+
+  Status parse_number(Value& out) {
+    const std::size_t start = pos_;
+    if (eat('-')) {}
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(
+                                    text_[pos_])))
+      return fail("expected a value");
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    if (eat('.')) {
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(
+                                      text_[pos_])))
+        return fail("digits required after the decimal point");
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(
+                                      text_[pos_])))
+        return fail("digits required in the exponent");
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    // The token is digits/sign/dot/exp only, so strtod cannot read past it;
+    // copy to guarantee NUL termination for strtod.
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(v))
+      return fail("unparseable number");
+    out.kind = Value::Kind::kNumber;
+    out.number = v;
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const Value* Value::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  // Last wins on duplicate keys, matching common parser behaviour.
+  const Value* found = nullptr;
+  for (const auto& [k, v] : object)
+    if (k == key) found = &v;
+  return found;
+}
+
+const Value* Value::find_path(std::string_view path) const {
+  const Value* cur = this;
+  while (cur != nullptr && !path.empty()) {
+    const std::size_t dot = path.find('.');
+    const std::string_view head =
+        dot == std::string_view::npos ? path : path.substr(0, dot);
+    path = dot == std::string_view::npos ? std::string_view{}
+                                         : path.substr(dot + 1);
+    cur = cur->find(head);
+  }
+  return cur;
+}
+
+Status parse(std::string_view text, Value& out) {
+  out = Value{};
+  return Parser(text).run(out);
+}
+
+}  // namespace udb::json

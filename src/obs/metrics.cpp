@@ -119,6 +119,8 @@ const char* hist_name(Hist h) {
     case Hist::kCheckpointGapUs: return "checkpoint_gap_us";
     case Hist::kServeRequestUs: return "serve_request_us";
     case Hist::kServeBatchSize: return "serve_batch_size";
+    case Hist::kServeIdleWaitUs: return "serve_idle_wait_us";
+    case Hist::kServeAcceptBackoffUs: return "serve_accept_backoff_us";
     case Hist::kNumHists: break;
   }
   return "unknown";
@@ -132,6 +134,8 @@ const char* hist_unit(Hist h) {
     case Hist::kCheckpointGapUs: return "microseconds";
     case Hist::kServeRequestUs: return "microseconds";
     case Hist::kServeBatchSize: return "points";
+    case Hist::kServeIdleWaitUs: return "microseconds";
+    case Hist::kServeAcceptBackoffUs: return "microseconds";
     case Hist::kNumHists: break;
   }
   return "";

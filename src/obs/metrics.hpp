@@ -111,6 +111,8 @@ enum class Hist : std::uint32_t {
   kCheckpointGapUs,    // microseconds between RunGuard cooperative checkpoints
   kServeRequestUs,     // serving: wall microseconds per protocol request
   kServeBatchSize,     // serving: points per classify batch request
+  kServeIdleWaitUs,    // serving: idle microseconds before a timeout disconnect
+  kServeAcceptBackoffUs,  // serving: microseconds slept per accept() backoff
   kNumHists,
 };
 

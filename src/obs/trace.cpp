@@ -72,14 +72,28 @@ Status Tracer::write_chrome_trace(const std::string& path) const {
   bool first = true;
   for (const TraceEvent& e : evs) {
     // Chrome trace_event complete event; ts/dur are microseconds (double).
-    std::snprintf(
-        line, sizeof line,
-        "%s\n{\"name\":\"%s\",\"cat\":\"udbscan\",\"ph\":\"X\","
-        "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%u,"
-        "\"args\":{\"thread_cpu_ms\":%.3f}}",
-        first ? "" : ",", e.name, static_cast<double>(e.start_ns) / 1000.0,
-        static_cast<double>(e.dur_ns) / 1000.0, e.pid, e.tid,
-        e.cpu_seconds * 1000.0);
+    // The trace id is emitted as a hex string arg: a u64 does not fit JSON's
+    // 2^53 integer range, and a string is what trace viewers search on.
+    if (e.trace_id != 0) {
+      std::snprintf(
+          line, sizeof line,
+          "%s\n{\"name\":\"%s\",\"cat\":\"udbscan\",\"ph\":\"X\","
+          "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%u,"
+          "\"args\":{\"thread_cpu_ms\":%.3f,\"trace_id\":\"0x%llx\"}}",
+          first ? "" : ",", e.name, static_cast<double>(e.start_ns) / 1000.0,
+          static_cast<double>(e.dur_ns) / 1000.0, e.pid, e.tid,
+          e.cpu_seconds * 1000.0,
+          static_cast<unsigned long long>(e.trace_id));
+    } else {
+      std::snprintf(
+          line, sizeof line,
+          "%s\n{\"name\":\"%s\",\"cat\":\"udbscan\",\"ph\":\"X\","
+          "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%u,"
+          "\"args\":{\"thread_cpu_ms\":%.3f}}",
+          first ? "" : ",", e.name, static_cast<double>(e.start_ns) / 1000.0,
+          static_cast<double>(e.dur_ns) / 1000.0, e.pid, e.tid,
+          e.cpu_seconds * 1000.0);
+    }
     doc += line;
     first = false;
   }

@@ -46,6 +46,7 @@ struct TraceEvent {
   double cpu_seconds;      // thread CPU time spent inside the span
   std::uint32_t tid;       // sequential tracer-local thread id
   std::int32_t pid;        // trace pid at record time (simulated rank)
+  std::uint64_t trace_id;  // request trace id (0 = untraced span)
 };
 
 class Tracer {
@@ -75,12 +76,13 @@ class Tracer {
   ThreadBuf& buf();
   ThreadBuf& register_buf();
 
-  void record(const char* name, std::uint64_t start_ns, double cpu0) {
+  void record(const char* name, std::uint64_t start_ns, double cpu0,
+              std::uint64_t trace_id) {
     const std::uint64_t end = now_ns();
     ThreadBuf& b = buf();
     b.events.push_back(TraceEvent{name, start_ns, end - start_ns,
                                   ThreadCpuTimer::now() - cpu0, b.tid,
-                                  trace_pid()});
+                                  trace_pid(), trace_id});
   }
 
   const std::uint64_t id_;  // process-unique, never reused (TLS cache key)
@@ -94,8 +96,11 @@ class Tracer {
 // is off.
 class Span {
  public:
-  Span(Tracer* tracer, const char* name)
-      : tracer_(tracer), name_(name) {
+  // `trace_id` tags the recorded event with a request trace id so events
+  // from different processes (client, replicas) can be correlated in a
+  // merged Chrome trace. 0 keeps the span untraced (batch-engine spans).
+  Span(Tracer* tracer, const char* name, std::uint64_t trace_id = 0)
+      : tracer_(tracer), name_(name), trace_id_(trace_id) {
     if (tracer_ != nullptr) {
       start_ns_ = tracer_->now_ns();
       cpu0_ = ThreadCpuTimer::now();
@@ -108,13 +113,14 @@ class Span {
   // Ends the span early (idempotent).
   void end() {
     if (tracer_ == nullptr) return;
-    tracer_->record(name_, start_ns_, cpu0_);
+    tracer_->record(name_, start_ns_, cpu0_, trace_id_);
     tracer_ = nullptr;
   }
 
  private:
   Tracer* tracer_;
   const char* name_;
+  std::uint64_t trace_id_;
   std::uint64_t start_ns_ = 0;
   double cpu0_ = 0.0;
 };

@@ -1,0 +1,115 @@
+#include "obs/window.hpp"
+
+#include <algorithm>
+
+namespace udb::obs {
+namespace {
+
+// Process-unique window ids; never reused, so a stale TLS cache entry from a
+// destroyed window can never alias a new one.
+std::atomic<std::uint64_t> g_next_window_id{1};
+
+}  // namespace
+
+SlidingWindow::SlidingWindow()
+    : id_(g_next_window_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+SlidingWindow::Shard& SlidingWindow::shard() {
+  // One-entry TLS cache, same scheme as MetricsRegistry: keyed by the
+  // process-unique window id so each (thread, window) pair resolves its
+  // shard once and then hits the cache on every record.
+  struct Cache {
+    std::uint64_t id = 0;
+    Shard* shard = nullptr;
+  };
+  thread_local Cache cache;
+  if (cache.id != id_) {
+    cache.shard = &register_shard();
+    cache.id = id_;
+  }
+  return *cache.shard;
+}
+
+SlidingWindow::Shard& SlidingWindow::register_shard() {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  return shards_.emplace_back();
+}
+
+SlidingWindow::Bucket& SlidingWindow::bucket(Shard& s, std::uint64_t sec) {
+  Bucket& b = s.buckets[sec & (kWindowRingSeconds - 1)];
+  const std::uint64_t want = sec + 1;
+  if (b.stamp.load(std::memory_order_relaxed) != want) {
+    // Recycle: mark mid-reset so concurrent snapshots skip this bucket,
+    // clear, then publish the new stamp. Only the owning thread writes here.
+    b.stamp.store(0, std::memory_order_release);
+    for (auto& c : b.counters) c.store(0, std::memory_order_relaxed);
+    for (auto& c : b.cells) c.store(0, std::memory_order_relaxed);
+    b.count.store(0, std::memory_order_relaxed);
+    b.sum.store(0, std::memory_order_relaxed);
+    b.max.store(0, std::memory_order_relaxed);
+    b.stamp.store(want, std::memory_order_release);
+  }
+  return b;
+}
+
+WindowStats SlidingWindow::snapshot(std::uint64_t now_us,
+                                    std::uint64_t window_seconds) const {
+  window_seconds =
+      std::clamp<std::uint64_t>(window_seconds, 1, kWindowRingSeconds - 1);
+  const std::uint64_t now_sec = now_us / 1'000'000;
+  // Buckets stamped in [lo_sec, now_sec] are inside the window. The current
+  // (partial) second is included so a snapshot right after traffic sees it.
+  const std::uint64_t lo_sec =
+      now_sec >= window_seconds - 1 ? now_sec - (window_seconds - 1) : 0;
+
+  WindowStats out;
+  out.window_seconds = static_cast<double>(window_seconds);
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  for (const Shard& s : shards_) {
+    for (const Bucket& b : s.buckets) {
+      const std::uint64_t stamp = b.stamp.load(std::memory_order_acquire);
+      if (stamp == 0) continue;  // empty or mid-recycle
+      const std::uint64_t sec = stamp - 1;
+      if (sec < lo_sec || sec > now_sec) continue;  // outside the window
+      for (std::size_t i = 0; i < kNumWinCounters; ++i)
+        out.counters[i] += b.counters[i].load(std::memory_order_acquire);
+      for (std::size_t i = 0; i < kWindowHistCells; ++i)
+        out.cells[i] += b.cells[i].load(std::memory_order_acquire);
+      out.count += b.count.load(std::memory_order_acquire);
+      out.sum_us += b.sum.load(std::memory_order_acquire);
+      out.max_us =
+          std::max(out.max_us, b.max.load(std::memory_order_acquire));
+    }
+  }
+  return out;
+}
+
+double WindowStats::percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th observation (1-based, nearest-rank with interpolation
+  // inside the covering cell).
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t cell = 0; cell < kWindowHistCells; ++cell) {
+    const std::uint64_t c = cells[cell];
+    if (c == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += c;
+    if (static_cast<double>(seen) >= rank) {
+      // Linear interpolation across the cell's value range by the fraction
+      // of the cell's population below the rank.
+      const double frac =
+          c == 0 ? 0.0
+                 : std::clamp((rank - before) / static_cast<double>(c), 0.0,
+                              1.0);
+      const double lo = window_cell_lo(cell);
+      const double hi = window_cell_hi(cell);
+      const double v = lo + (hi - lo) * frac;
+      return std::min(v, static_cast<double>(max_us));
+    }
+  }
+  return static_cast<double>(max_us);
+}
+
+}  // namespace udb::obs

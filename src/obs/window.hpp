@@ -1,0 +1,184 @@
+// Sliding-window metric aggregation for live telemetry (docs/OBSERVABILITY.md,
+// "Live telemetry"). A SlidingWindow is a lock-free ring of time-bucketed
+// shards: each thread that records into it owns a cache-line padded shard
+// (the same single-writer-cell discipline as MetricsRegistry), and each shard
+// is a ring of 64 one-second buckets holding a small counter set plus a
+// fine-grained log-linear latency histogram. snapshot(now, W) merges the
+// buckets covering the last W seconds across all shards into a plain
+// WindowStats, from which rolling qps and interpolated p50/p90/p99/p999 fall
+// out — the numbers the TELEMETRY RPC serves.
+//
+// Time is an explicit parameter (microseconds on the caller's monotonic
+// clock), never read from a wall clock here, so bucket rotation is exactly
+// testable: tests/obs/test_window.cpp drives boundaries deterministically.
+// The serving layer passes microseconds since server start (steady clock).
+//
+// Concurrency contract: recording threads touch only their own shard's
+// atomics (relaxed load + release store, no RMW); snapshot() takes only the
+// registration mutex and reads cells with acquire loads, so it is safe (and
+// TSan-clean) while writers are active. One benign inaccuracy is accepted:
+// a snapshot racing a bucket that is being recycled for a new second may see
+// that bucket partially cleared. The error is bounded by one bucket (<= 1
+// second of one thread's traffic) and self-heals on the next snapshot —
+// exact totals are the cumulative MetricsRegistry's job, not the window's.
+//
+// Latency resolution: plain log2 buckets (the MetricsRegistry histograms)
+// quantize to a factor of 2 — useless for "p99 within 20%" claims. Here each
+// power-of-two octave is split into 8 linear sub-buckets, so with linear
+// interpolation inside a bucket the quantization error is bounded by 1/8 of
+// the value (12.5%), well inside the 20% acceptance band. Values at or above
+// 2^26 us (~67 s) clamp into the last bucket; a request that slow is an
+// outage, not a latency distribution.
+
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+namespace udb::obs {
+
+// Per-window counters. kRequests drives qps; the rest turn into rolling
+// shed/retry/failover rates. Server-side windows use the first three, the
+// retrying client's window uses requests/errors/retries/failovers.
+enum class WinCounter : std::uint32_t {
+  kRequests = 0,
+  kErrors,
+  kShed,
+  kRetries,
+  kFailovers,
+  kNumWinCounters,
+};
+
+inline constexpr std::size_t kNumWinCounters =
+    static_cast<std::size_t>(WinCounter::kNumWinCounters);
+
+// Ring capacity in one-second buckets; windows up to 63 s are exact. Power of
+// two so the slot index is a mask, not a division.
+inline constexpr std::size_t kWindowRingSeconds = 64;
+
+// Log-linear histogram geometry: 8 linear sub-buckets per power-of-two
+// octave, octaves 0..25 (values 1 .. 2^26-1), plus cell 0 for value 0 and a
+// clamp cell at the top. 209 cells * 8 B keeps a bucket under 2 KB.
+inline constexpr std::size_t kWindowSubBuckets = 8;
+inline constexpr std::size_t kWindowMaxOctave = 26;
+inline constexpr std::size_t kWindowHistCells =
+    1 + kWindowSubBuckets * kWindowMaxOctave;
+
+inline constexpr std::size_t window_bucket(std::uint64_t v) {
+  if (v == 0) return 0;
+  const std::size_t k = static_cast<std::size_t>(std::bit_width(v)) - 1;
+  if (k >= kWindowMaxOctave) return kWindowHistCells - 1;
+  // Linear position of v inside [2^k, 2^(k+1)), scaled to 8 sub-buckets.
+  const std::uint64_t sub = ((v - (std::uint64_t{1} << k)) << 3) >> k;
+  return 1 + k * kWindowSubBuckets + static_cast<std::size_t>(sub);
+}
+
+// Inclusive lower bound of a cell; cell 0 is the exact value 0. The formula
+// extends one past the last cell so window_cell_hi stays closed-form.
+inline double window_cell_lo(std::size_t cell) {
+  if (cell == 0) return 0.0;
+  const std::size_t k = (cell - 1) / kWindowSubBuckets;
+  const std::size_t sub = (cell - 1) % kWindowSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub) / kWindowSubBuckets,
+                    static_cast<int>(k));
+}
+
+inline double window_cell_hi(std::size_t cell) {
+  return cell == 0 ? 1.0 : window_cell_lo(cell + 1);
+}
+
+// Plain merged view of one window. Percentiles interpolate linearly inside
+// the covering cell, which makes them monotone in q by construction and
+// clamps them to the observed max.
+struct WindowStats {
+  double window_seconds = 0.0;
+  std::uint64_t counters[kNumWinCounters] = {};
+  std::uint64_t count = 0;   // latency observations in the window
+  std::uint64_t sum_us = 0;
+  std::uint64_t max_us = 0;
+  std::uint64_t cells[kWindowHistCells] = {};
+
+  std::uint64_t counter(WinCounter c) const {
+    return counters[static_cast<std::size_t>(c)];
+  }
+  double rate(WinCounter c) const {
+    return window_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(counter(c)) / window_seconds;
+  }
+  double qps() const { return rate(WinCounter::kRequests); }
+  double mean_us() const {
+    return count == 0
+               ? 0.0
+               : static_cast<double>(sum_us) / static_cast<double>(count);
+  }
+  // q in [0, 1]. 0 with no observations.
+  double percentile(double q) const;
+};
+
+class SlidingWindow {
+ public:
+  SlidingWindow();
+  SlidingWindow(const SlidingWindow&) = delete;
+  SlidingWindow& operator=(const SlidingWindow&) = delete;
+
+  // Hot path: callable from any thread, each writes only its own shard.
+  // `now_us` is the caller's monotonic clock in microseconds.
+  void add(WinCounter c, std::uint64_t now_us, std::uint64_t n = 1) {
+    Bucket& b = bucket(shard(), now_us / 1'000'000);
+    cell_add(b.counters[static_cast<std::size_t>(c)], n);
+  }
+
+  void record_latency(std::uint64_t now_us, std::uint64_t latency_us) {
+    Bucket& b = bucket(shard(), now_us / 1'000'000);
+    cell_add(b.cells[window_bucket(latency_us)], 1);
+    cell_add(b.count, 1);
+    cell_add(b.sum, latency_us);
+    if (latency_us > b.max.load(std::memory_order_relaxed))
+      b.max.store(latency_us, std::memory_order_relaxed);
+  }
+
+  // Merges the buckets stamped within (now - window, now] across all shards.
+  // `window_seconds` is clamped to the ring capacity minus one so a bucket
+  // about to be recycled is never double-counted.
+  WindowStats snapshot(std::uint64_t now_us,
+                       std::uint64_t window_seconds) const;
+
+ private:
+  struct Bucket {
+    // stamp = second index + 1; 0 means empty or mid-recycle (readers skip).
+    std::atomic<std::uint64_t> stamp{0};
+    std::atomic<std::uint64_t> counters[kNumWinCounters] = {};
+    std::atomic<std::uint64_t> cells[kWindowHistCells] = {};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> max{0};
+  };
+  struct alignas(64) Shard {
+    Bucket buckets[kWindowRingSeconds];
+  };
+
+  // Single-writer accumulate, same protocol as MetricsRegistry::cell_add.
+  static void cell_add(std::atomic<std::uint64_t>& cell, std::uint64_t n) {
+    cell.store(cell.load(std::memory_order_relaxed) + n,
+               std::memory_order_release);
+  }
+
+  // Returns the shard bucket for `sec`, recycling it if it still holds an
+  // older second. Only the shard's owning thread calls this.
+  Bucket& bucket(Shard& s, std::uint64_t sec);
+
+  Shard& shard();
+  Shard& register_shard();  // slow path: takes reg_mu_
+
+  const std::uint64_t id_;  // process-unique, never reused (TLS cache key)
+  mutable std::mutex reg_mu_;
+  std::deque<Shard> shards_;  // deque: stable addresses across registration
+};
+
+}  // namespace udb::obs

@@ -13,8 +13,11 @@ StatusOr<Response> Client::roundtrip(const Request& req) {
 }
 
 StatusOr<Response> Client::roundtrip_with_id(std::uint64_t request_id,
-                                             const Request& req) {
-  if (Status st = write_frame(sock_, frame_v2(request_id, encode_request(req)));
+                                             const Request& req,
+                                             std::uint64_t trace_id,
+                                             std::uint64_t parent_span_id) {
+  if (Status st = write_frame(sock_, frame_v2(request_id, encode_request(req),
+                                              trace_id, parent_span_id));
       !st.ok())
     return st;
   StatusOr<std::vector<std::uint8_t>> frame = read_frame(sock_);
@@ -111,6 +114,30 @@ StatusOr<ModelInfo> Client::model_info() {
   if (Status st = unwrap(roundtrip(req), MsgType::kModelInfo, resp); !st.ok())
     return st;
   return resp.model;
+}
+
+StatusOr<TelemetryReport> Client::telemetry() {
+  Request req;
+  req.type = MsgType::kTelemetry;
+  req.telemetry_format = TelemetryFormat::kBinary;
+  Response resp;
+  if (Status st = unwrap(roundtrip(req), MsgType::kTelemetry, resp); !st.ok())
+    return st;
+  if (resp.telemetry_format != TelemetryFormat::kBinary)
+    return DataLossError("client: telemetry format does not match request");
+  return resp.telemetry;
+}
+
+StatusOr<std::string> Client::telemetry_text(TelemetryFormat format) {
+  Request req;
+  req.type = MsgType::kTelemetry;
+  req.telemetry_format = format;
+  Response resp;
+  if (Status st = unwrap(roundtrip(req), MsgType::kTelemetry, resp); !st.ok())
+    return st;
+  if (resp.telemetry_format != format)
+    return DataLossError("client: telemetry format does not match request");
+  return std::move(resp.json);
 }
 
 StatusOr<Response> Client::raw_roundtrip(std::span<const std::uint8_t> body) {

@@ -36,8 +36,12 @@ class Client {
   [[nodiscard]] StatusOr<Response> roundtrip(const Request& req);
   // Same, but with a caller-chosen request id — the retrying client reuses
   // one id across attempts so a retry is recognizably the *same* request.
-  [[nodiscard]] StatusOr<Response> roundtrip_with_id(std::uint64_t request_id,
-                                                     const Request& req);
+  // Nonzero trace_id / parent_span_id ride the traced (0xB3) envelope so the
+  // server's per-request spans land in the same trace (docs/OBSERVABILITY.md,
+  // "Live telemetry"); both 0 sends the byte-identical untraced frame.
+  [[nodiscard]] StatusOr<Response> roundtrip_with_id(
+      std::uint64_t request_id, const Request& req, std::uint64_t trace_id = 0,
+      std::uint64_t parent_span_id = 0);
   [[nodiscard]] std::uint64_t allocate_request_id() noexcept {
     return next_request_id_++;
   }
@@ -52,6 +56,10 @@ class Client {
   [[nodiscard]] StatusOr<PointInfo> point_info(std::uint64_t id);
   [[nodiscard]] StatusOr<std::string> stats_json();
   [[nodiscard]] StatusOr<ModelInfo> model_info();
+  // Live telemetry: the structured binary report, or one of the rendered
+  // text expositions (kJson / kPrometheus) as a string.
+  [[nodiscard]] StatusOr<TelemetryReport> telemetry();
+  [[nodiscard]] StatusOr<std::string> telemetry_text(TelemetryFormat format);
 
   // Test hook: ships an arbitrary frame body and returns the server's raw
   // answer (decoded if possible).

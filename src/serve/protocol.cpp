@@ -12,11 +12,49 @@ namespace {
 
 bool known_type(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(MsgType::kPing) &&
+         t <= static_cast<std::uint8_t>(MsgType::kTelemetry);
+}
+
+// The v1 generation only ever spoke types 1..6; kTelemetry (7) is v2-only.
+// Legacy-frame detection in parse_frame_v2 must use this narrower set so a
+// garbage body starting with 7 is refused as an unknown marker (DATA_LOSS),
+// not misdiagnosed as a legacy client (UNIMPLEMENTED).
+bool known_type_v1(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(MsgType::kPing) &&
          t <= static_cast<std::uint8_t>(MsgType::kModelInfo);
 }
 
 Status malformed(const char* what) {
   return DataLossError(std::string("protocol: malformed frame: ") + what);
+}
+
+void encode_telemetry_window(ByteWriter& w, const TelemetryWindow& win) {
+  w.f64(win.window_seconds);
+  w.u64(win.requests);
+  w.u64(win.errors);
+  w.u64(win.shed);
+  w.f64(win.qps);
+  w.f64(win.p50_us);
+  w.f64(win.p90_us);
+  w.f64(win.p99_us);
+  w.f64(win.p999_us);
+  w.f64(win.max_us);
+}
+
+bool decode_telemetry_window(ByteReader& r, TelemetryWindow& win) {
+  if (!r.f64(win.window_seconds) || !r.u64(win.requests) ||
+      !r.u64(win.errors) || !r.u64(win.shed) || !r.f64(win.qps) ||
+      !r.f64(win.p50_us) || !r.f64(win.p90_us) || !r.f64(win.p99_us) ||
+      !r.f64(win.p999_us) || !r.f64(win.max_us))
+    return false;
+  // Non-finite rates/percentiles cannot be produced by a correct server;
+  // treat them as corruption, same policy as coordinates.
+  const double doubles[] = {win.window_seconds, win.qps,    win.p50_us,
+                            win.p90_us,         win.p99_us, win.p999_us,
+                            win.max_us};
+  for (double v : doubles)
+    if (!std::isfinite(v)) return false;
+  return true;
 }
 
 }  // namespace
@@ -39,6 +77,9 @@ std::vector<std::uint8_t> encode_request(const Request& req) {
       break;
     case MsgType::kPointInfo:
       w.u64(req.point_id);
+      break;
+    case MsgType::kTelemetry:
+      w.u8(static_cast<std::uint8_t>(req.telemetry_format));
       break;
     case MsgType::kPing:
     case MsgType::kStats:
@@ -84,6 +125,15 @@ Status decode_request(std::span<const std::uint8_t> body, Request& out) {
     case MsgType::kPointInfo:
       if (!r.u64(out.point_id)) return malformed("truncated point_info id");
       break;
+    case MsgType::kTelemetry: {
+      std::uint8_t fmt = 0;
+      if (!r.u8(fmt)) return malformed("truncated telemetry format");
+      if (fmt > static_cast<std::uint8_t>(TelemetryFormat::kPrometheus))
+        return InvalidArgumentError("protocol: unknown telemetry format " +
+                                    std::to_string(fmt));
+      out.telemetry_format = static_cast<TelemetryFormat>(fmt);
+      break;
+    }
     case MsgType::kPing:
     case MsgType::kStats:
     case MsgType::kModelInfo:
@@ -138,6 +188,28 @@ std::vector<std::uint8_t> encode_response(const Response& resp) {
       w.f64(resp.model.eps);
       w.u32(resp.model.min_pts);
       w.u64(resp.model.num_clusters);
+      break;
+    case MsgType::kTelemetry:
+      w.u8(static_cast<std::uint8_t>(resp.telemetry_format));
+      if (resp.telemetry_format == TelemetryFormat::kBinary) {
+        const TelemetryReport& t = resp.telemetry;
+        w.u64(t.uptime_us);
+        w.u64(t.inflight);
+        w.u64(t.requests_total);
+        w.u64(t.errors_total);
+        w.u64(t.shed_load_total);
+        w.u64(t.shed_connections_total);
+        w.u64(t.corrupt_frames_total);
+        w.u64(t.idle_disconnects_total);
+        w.u64(t.classify_points);
+        w.u64(t.classify_performed);
+        w.u64(t.classify_avoided_exact);
+        for (const TelemetryWindow& win : t.windows)
+          encode_telemetry_window(w, win);
+      } else {
+        w.u32(static_cast<std::uint32_t>(resp.json.size()));
+        w.raw(resp.json.data(), resp.json.size());
+      }
       break;
     case MsgType::kPing:
       break;
@@ -215,6 +287,32 @@ Status decode_response(std::span<const std::uint8_t> body, Response& out) {
           !r.u64(out.model.num_clusters))
         return malformed("truncated model info");
       break;
+    case MsgType::kTelemetry: {
+      std::uint8_t fmt = 0;
+      if (!r.u8(fmt)) return malformed("truncated telemetry format");
+      if (fmt > static_cast<std::uint8_t>(TelemetryFormat::kPrometheus))
+        return malformed("unknown telemetry format");
+      out.telemetry_format = static_cast<TelemetryFormat>(fmt);
+      if (out.telemetry_format == TelemetryFormat::kBinary) {
+        TelemetryReport& t = out.telemetry;
+        if (!r.u64(t.uptime_us) || !r.u64(t.inflight) ||
+            !r.u64(t.requests_total) || !r.u64(t.errors_total) ||
+            !r.u64(t.shed_load_total) || !r.u64(t.shed_connections_total) ||
+            !r.u64(t.corrupt_frames_total) ||
+            !r.u64(t.idle_disconnects_total) || !r.u64(t.classify_points) ||
+            !r.u64(t.classify_performed) ||
+            !r.u64(t.classify_avoided_exact))
+          return malformed("truncated telemetry totals");
+        for (TelemetryWindow& win : t.windows)
+          if (!decode_telemetry_window(r, win))
+            return malformed("truncated or non-finite telemetry window");
+      } else {
+        std::uint32_t len = 0;
+        if (!r.u32(len) || !r.str(out.json, len))
+          return malformed("truncated telemetry text");
+      }
+      break;
+    }
     case MsgType::kPing:
       break;
   }
@@ -223,15 +321,39 @@ Status decode_response(std::span<const std::uint8_t> body, Response& out) {
 }
 
 std::vector<std::uint8_t> frame_v2(std::uint64_t request_id,
-                                   std::span<const std::uint8_t> payload) {
-  std::uint8_t id_bytes[8];
-  std::memcpy(id_bytes, &request_id, sizeof id_bytes);
-  std::uint32_t crc = crc32(id_bytes, sizeof id_bytes);
+                                   std::span<const std::uint8_t> payload,
+                                   std::uint64_t trace_id,
+                                   std::uint64_t parent_span_id) {
+  if (trace_id == 0 && parent_span_id == 0) {
+    // Untraced: the original 0xB2 layout, byte for byte.
+    std::uint8_t id_bytes[8];
+    std::memcpy(id_bytes, &request_id, sizeof id_bytes);
+    std::uint32_t crc = crc32(id_bytes, sizeof id_bytes);
+    crc = crc32_update(crc, payload.data(), payload.size());
+
+    ByteWriter w;
+    w.u8(kProtocolV2Marker);
+    w.u64(request_id);
+    w.u32(crc);
+    w.raw(payload.data(), payload.size());
+    return w.take();
+  }
+
+  // Traced: CRC covers request_id ++ trace_id ++ parent_span_id ++ payload,
+  // so a flipped bit anywhere in the trace context is detected like any
+  // other envelope corruption.
+  std::uint8_t head[24];
+  std::memcpy(head, &request_id, 8);
+  std::memcpy(head + 8, &trace_id, 8);
+  std::memcpy(head + 16, &parent_span_id, 8);
+  std::uint32_t crc = crc32(head, sizeof head);
   crc = crc32_update(crc, payload.data(), payload.size());
 
   ByteWriter w;
-  w.u8(kProtocolV2Marker);
+  w.u8(kProtocolV2TracedMarker);
   w.u64(request_id);
+  w.u64(trace_id);
+  w.u64(parent_span_id);
   w.u32(crc);
   w.raw(payload.data(), payload.size());
   return w.take();
@@ -239,30 +361,44 @@ std::vector<std::uint8_t> frame_v2(std::uint64_t request_id,
 
 Status parse_frame_v2(std::span<const std::uint8_t> body, FrameV2& out) {
   if (body.empty()) return DataLossError("protocol: empty frame");
-  if (body[0] != kProtocolV2Marker) {
-    if (known_type(body[0]))
+  if (body[0] != kProtocolV2Marker &&
+      body[0] != kProtocolV2TracedMarker) {
+    if (known_type_v1(body[0]))
       return UnimplementedError(
           "protocol: v1 frame from a legacy client — this server speaks "
           "protocol v2 (versioned, CRC-framed); upgrade the client");
     return DataLossError("protocol: unknown protocol marker byte " +
                          std::to_string(body[0]));
   }
-  if (body.size() < kFrameV2HeaderBytes)
+  const bool traced = body[0] == kProtocolV2TracedMarker;
+  const std::size_t header_bytes =
+      traced ? kFrameV2TracedHeaderBytes : kFrameV2HeaderBytes;
+  if (body.size() < header_bytes)
     return DataLossError("protocol: truncated v2 envelope (" +
                          std::to_string(body.size()) + " bytes)");
 
   ByteReader r(body);
   std::uint8_t marker = 0;
-  std::uint64_t request_id = 0;
+  std::uint64_t request_id = 0, trace_id = 0, parent_span_id = 0;
   std::uint32_t stored_crc = 0;
-  if (!r.u8(marker) || !r.u64(request_id) || !r.u32(stored_crc))
+  if (!r.u8(marker) || !r.u64(request_id) ||
+      (traced && (!r.u64(trace_id) || !r.u64(parent_span_id))) ||
+      !r.u32(stored_crc))
     return DataLossError("protocol: truncated v2 envelope header");
 
-  const std::span<const std::uint8_t> payload =
-      body.subspan(kFrameV2HeaderBytes);
-  std::uint8_t id_bytes[8];
-  std::memcpy(id_bytes, &request_id, sizeof id_bytes);
-  std::uint32_t crc = crc32(id_bytes, sizeof id_bytes);
+  const std::span<const std::uint8_t> payload = body.subspan(header_bytes);
+  std::uint32_t crc = 0;
+  if (traced) {
+    std::uint8_t head[24];
+    std::memcpy(head, &request_id, 8);
+    std::memcpy(head + 8, &trace_id, 8);
+    std::memcpy(head + 16, &parent_span_id, 8);
+    crc = crc32(head, sizeof head);
+  } else {
+    std::uint8_t id_bytes[8];
+    std::memcpy(id_bytes, &request_id, sizeof id_bytes);
+    crc = crc32(id_bytes, sizeof id_bytes);
+  }
   crc = crc32_update(crc, payload.data(), payload.size());
   if (crc != stored_crc)
     return DataLossError(
@@ -270,6 +406,8 @@ Status parse_frame_v2(std::span<const std::uint8_t> body, FrameV2& out) {
         std::to_string(request_id));
 
   out.request_id = request_id;
+  out.trace_id = trace_id;
+  out.parent_span_id = parent_span_id;
   out.payload = payload;
   return Status::Ok();
 }

@@ -53,6 +53,22 @@ inline constexpr std::uint8_t kProtocolV2Marker = 0xB2;
 inline constexpr std::size_t kFrameV2HeaderBytes =
     1 /*marker*/ + 8 /*request_id*/ + 4 /*crc32*/;
 
+// Trace-context extension (docs/OBSERVABILITY.md, "Live telemetry"): a
+// traced frame replaces the 0xB2 marker with 0xB3 and inserts a trace id and
+// parent span id between the request id and the CRC, all CRC-covered:
+//
+//   u8 0xB3 | u64 request_id | u64 trace_id | u64 parent_span_id | u32 crc32
+//          | payload
+//
+// Untraced frames keep the byte-identical 0xB2 layout, so a v2-only peer and
+// a trace-aware peer interoperate: parse_frame_v2 accepts both markers and
+// reports trace_id = 0 for untraced frames. Responses are always untraced
+// (the client already knows the trace id it sent).
+inline constexpr std::uint8_t kProtocolV2TracedMarker = 0xB3;
+inline constexpr std::size_t kFrameV2TracedHeaderBytes =
+    1 /*marker*/ + 8 /*request_id*/ + 8 /*trace_id*/ + 8 /*parent_span_id*/ +
+    4 /*crc32*/;
+
 enum class MsgType : std::uint8_t {
   kPing = 1,       // liveness probe, empty payload both ways
   kClassify = 2,   // req: u32 count | u32 dim | f64 coords[count*dim]
@@ -60,7 +76,50 @@ enum class MsgType : std::uint8_t {
   kPointInfo = 4,  // req: u64 id
   kStats = 5,      // req: empty; resp: u32 len | metrics JSON
   kModelInfo = 6,  // req: empty; resp: n, dim, eps, min_pts, num_clusters
+  kTelemetry = 7,  // req: u8 format; resp: live telemetry (v2-only message)
 };
+
+// Requested exposition for kTelemetry. Binary is the machine form
+// (TelemetryReport fields on the wire); json and prometheus return rendered
+// text in Response::json.
+enum class TelemetryFormat : std::uint8_t {
+  kBinary = 0,
+  kJson = 1,
+  kPrometheus = 2,
+};
+
+// One rolling window of the server's SlidingWindow aggregation.
+struct TelemetryWindow {
+  double window_seconds = 0.0;
+  std::uint64_t requests = 0;  // requests completed inside the window
+  std::uint64_t errors = 0;    // ... answered non-OK
+  std::uint64_t shed = 0;      // ... shed at admission
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double max_us = 0.0;
+};
+
+// Live telemetry snapshot served by kTelemetry. Totals are cumulative since
+// server start (from the MetricsRegistry); windows are rolling 1 s / 10 s /
+// 60 s views (from the SlidingWindow).
+struct TelemetryReport {
+  std::uint64_t uptime_us = 0;
+  std::uint64_t inflight = 0;  // requests currently admitted
+  std::uint64_t requests_total = 0;
+  std::uint64_t errors_total = 0;
+  std::uint64_t shed_load_total = 0;
+  std::uint64_t shed_connections_total = 0;
+  std::uint64_t corrupt_frames_total = 0;
+  std::uint64_t idle_disconnects_total = 0;
+  std::uint64_t classify_points = 0;
+  std::uint64_t classify_performed = 0;
+  std::uint64_t classify_avoided_exact = 0;
+  TelemetryWindow windows[3];  // 1 s, 10 s, 60 s
+};
+inline constexpr std::size_t kTelemetryWindows = 3;
 
 struct Request {
   MsgType type = MsgType::kPing;
@@ -68,6 +127,7 @@ struct Request {
   std::vector<double> coords;       // classify: count*dim; neighbors: dim
   double radius = 0.0;              // neighbors
   std::uint64_t point_id = 0;       // point_info
+  TelemetryFormat telemetry_format = TelemetryFormat::kBinary;  // telemetry
 };
 
 struct ModelInfo {
@@ -86,8 +146,10 @@ struct Response {
   std::vector<Classify> classify;                         // kClassify
   std::vector<std::pair<std::uint64_t, double>> neighbors;  // (id, sq dist)
   PointInfo point;                                        // kPointInfo
-  std::string json;                                       // kStats
+  std::string json;       // kStats; kTelemetry text formats
   ModelInfo model;                                        // kModelInfo
+  TelemetryFormat telemetry_format = TelemetryFormat::kBinary;  // kTelemetry
+  TelemetryReport telemetry;                              // kTelemetry binary
 
   [[nodiscard]] Status to_status() const {
     return Status(code, error);
@@ -105,15 +167,21 @@ struct Response {
 // ---- protocol v2 envelope ------------------------------------------------
 
 // A parsed v2 frame. `payload` aliases the buffer handed to parse_frame_v2.
+// trace_id / parent_span_id are 0 for untraced (0xB2) frames.
 struct FrameV2 {
   std::uint64_t request_id = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
   std::span<const std::uint8_t> payload;
 };
 
-// Wraps a payload in the v2 envelope (marker, request id, CRC32 over
-// request_id bytes ++ payload).
+// Wraps a payload in the v2 envelope. With trace_id == 0 and
+// parent_span_id == 0 this emits the byte-identical untraced 0xB2 frame
+// (CRC32 over request_id bytes ++ payload); otherwise the 0xB3 traced frame
+// (CRC32 over request_id ++ trace_id ++ parent_span_id ++ payload).
 [[nodiscard]] std::vector<std::uint8_t> frame_v2(
-    std::uint64_t request_id, std::span<const std::uint8_t> payload);
+    std::uint64_t request_id, std::span<const std::uint8_t> payload,
+    std::uint64_t trace_id = 0, std::uint64_t parent_span_id = 0);
 
 // Verifies and unwraps a v2 frame body. DATA_LOSS on a truncated envelope or
 // a CRC mismatch (corruption detected at the transport — the payload is

@@ -20,6 +20,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -29,6 +30,8 @@
 
 #include "common/status.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/window.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
 
@@ -51,9 +54,14 @@ class RetryingClient {
  public:
   // `ports` are replicas serving the same model snapshot, tried in order
   // starting from the first; on failure the client rotates to the next.
+  // With a tracer, every logical request derives a deterministic trace id
+  // (from the jitter seed and the request id), records client.attempt /
+  // client.backoff spans under it, and ships it on the traced envelope so
+  // the server's spans for the same request carry the same id.
   explicit RetryingClient(std::vector<std::uint16_t> ports,
                           RetryPolicy policy = {},
-                          obs::MetricsRegistry* metrics = nullptr);
+                          obs::MetricsRegistry* metrics = nullptr,
+                          obs::Tracer* tracer = nullptr);
 
   // Core retry loop. A non-retryable server-side error comes back as an OK
   // StatusOr whose Response carries code != kOk, exactly like Client.
@@ -68,6 +76,14 @@ class RetryingClient {
   [[nodiscard]] StatusOr<PointInfo> point_info(std::uint64_t id);
   [[nodiscard]] StatusOr<std::string> stats_json();
   [[nodiscard]] StatusOr<ModelInfo> model_info();
+  [[nodiscard]] StatusOr<TelemetryReport> telemetry();
+  [[nodiscard]] StatusOr<std::string> telemetry_text(TelemetryFormat format);
+
+  // The client-side stats document (schema_version 2, tool
+  // "udbscan_client"): the shared report schema over this client's metrics
+  // registry plus its own rolling windows (requests / errors / retries /
+  // failovers and end-to-end request latency, attempts included).
+  [[nodiscard]] std::string client_stats_json() const;
 
   // Observability for tests and the fault harness.
   [[nodiscard]] std::size_t endpoint_index() const noexcept {
@@ -78,15 +94,19 @@ class RetryingClient {
  private:
   Status ensure_connected();
   void advance_endpoint();
-  void backoff_sleep(int retry_number);
+  void backoff_sleep(int retry_number, std::uint64_t trace_id);
+  [[nodiscard]] std::uint64_t now_us() const;
 
   std::vector<std::uint16_t> ports_;
   RetryPolicy policy_;
   obs::MetricsRegistry* metrics_;  // optional, not owned
+  obs::Tracer* tracer_;            // optional, not owned
   std::optional<Client> client_;
   std::size_t endpoint_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t jitter_state_;
+  obs::SlidingWindow window_;  // per-logical-request rolling stats
+  std::chrono::steady_clock::time_point epoch_;
 };
 
 }  // namespace udb::serve

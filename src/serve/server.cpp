@@ -8,6 +8,7 @@
 
 #include "obs/log.hpp"
 #include "obs/report.hpp"
+#include "serve/telemetry.hpp"
 
 namespace udb::serve {
 
@@ -21,6 +22,7 @@ const char* span_name(MsgType t) {
     case MsgType::kPointInfo: return "serve.point_info";
     case MsgType::kStats: return "serve.stats";
     case MsgType::kModelInfo: return "serve.model_info";
+    case MsgType::kTelemetry: return "serve.telemetry";
   }
   return "serve.request";
 }
@@ -29,7 +31,9 @@ const char* span_name(MsgType t) {
 
 QueryServer::QueryServer(std::shared_ptr<const ClusterModel> model,
                          ServerConfig cfg)
-    : served_(std::move(model)), cfg_(cfg) {
+    : served_(std::move(model)),
+      cfg_(cfg),
+      epoch_(std::chrono::steady_clock::now()) {
   if (cfg_.pool_threads > 1)
     pool_ = std::make_unique<ThreadPool>(cfg_.pool_threads);
   // Request-buffer accounting only: no deadline, and check() is never called
@@ -82,17 +86,31 @@ void QueryServer::refresh(std::shared_ptr<const ClusterModel> m) {
   served_.refresh(std::move(m), &metrics_);
 }
 
+std::uint64_t QueryServer::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
 void QueryServer::accept_loop() {
+  obs::set_trace_pid(cfg_.trace_pid);
   double backoff_s = 0.010;
   while (!stopping_) {
+    obs::Span accept_span(cfg_.tracer, "serve.accept");
     StatusOr<Socket> conn = accept_connection(listener_);
+    accept_span.end();
     if (!conn.ok()) {
       if (stopping_) break;
       if (conn.status().code() == StatusCode::kResourceExhausted) {
         // fd / buffer exhaustion (EMFILE, ENFILE, ENOBUFS) is transient — it
         // clears when a connection closes. Back off exponentially instead of
-        // spinning on accept() or killing the server.
+        // spinning on accept() or killing the server. The sleep *duration*
+        // is recorded too (serve_accept_backoff_us), so a snapshot shows not
+        // just how often accept degraded but for how long.
         metrics_.add(obs::Counter::kServeAcceptRetries);
+        metrics_.observe(obs::Hist::kServeAcceptBackoffUs,
+                         static_cast<std::uint64_t>(backoff_s * 1e6));
         obs::LogLine(obs::LogLevel::kWarn, "serve", "accept_backoff")
             .kv("status", conn.status().to_string())
             .kv("sleep_ms", backoff_s * 1e3);
@@ -135,9 +153,21 @@ void QueryServer::accept_loop() {
 }
 
 void QueryServer::serve_connection(Socket conn) {
+  obs::set_trace_pid(cfg_.trace_pid);
   const int fd = conn.fd();
   if (cfg_.idle_timeout_seconds > 0.0)
     set_socket_timeouts(conn, cfg_.idle_timeout_seconds);
+  // Wire-path sliding-window accounting: one call per terminal outcome, so
+  // the rolling qps/error/shed rates count each request exactly once (the
+  // cumulative counters are bumped at the individual sites as before).
+  const auto note = [this](bool error, bool shed, std::uint64_t latency_us) {
+    const std::uint64_t now = now_us();
+    window_.add(obs::WinCounter::kRequests, now);
+    if (error) window_.add(obs::WinCounter::kErrors, now);
+    if (shed) window_.add(obs::WinCounter::kShed, now);
+    window_.record_latency(now, latency_us);
+  };
+  std::uint64_t last_frame_us = now_us();
   for (;;) {
     StatusOr<std::vector<std::uint8_t>> frame = read_frame(conn);
     if (!frame.ok()) {
@@ -146,7 +176,12 @@ void QueryServer::serve_connection(Socket conn) {
       const StatusCode code = frame.status().code();
       if (code == StatusCode::kDeadlineExceeded) {
         // Idle peer: reclaim the worker thread; a live client reconnects.
+        // The recorded wait is the gap since the last completed frame (or
+        // since accept), i.e. how long this worker sat pinned by a silent
+        // peer before the timeout fired.
         metrics_.add(obs::Counter::kServeIdleDisconnects);
+        metrics_.observe(obs::Hist::kServeIdleWaitUs,
+                         now_us() - last_frame_us);
         obs::LogLine(obs::LogLevel::kInfo, "serve", "idle_disconnect")
             .kv("idle_timeout_s", cfg_.idle_timeout_seconds);
       } else if (code == StatusCode::kDataLoss) {
@@ -156,6 +191,7 @@ void QueryServer::serve_connection(Socket conn) {
         metrics_.add(obs::Counter::kServeRequests);
         metrics_.add(obs::Counter::kServeErrors);
         metrics_.add(obs::Counter::kServeCorruptFrames);
+        note(/*error=*/true, /*shed=*/false, 0);
         (void)write_frame(conn, frame_v2(0, encode_response(error_response(
                                                MsgType::kPing,
                                                frame.status()))));
@@ -168,6 +204,7 @@ void QueryServer::serve_connection(Socket conn) {
         !st.ok()) {
       metrics_.add(obs::Counter::kServeRequests);
       metrics_.add(obs::Counter::kServeErrors);
+      note(/*error=*/true, /*shed=*/false, 0);
       if (st.code() == StatusCode::kUnimplemented) {
         // v1 frame from a legacy client: answer in v1 framing — the only
         // framing it can decode — and keep the connection.
@@ -176,6 +213,7 @@ void QueryServer::serve_connection(Socket conn) {
                          encode_response(error_response(MsgType::kPing, st)))
                  .ok())
           break;
+        last_frame_us = now_us();
         continue;
       }
       // CRC mismatch or unknown marker: the length prefix was intact, so the
@@ -186,6 +224,7 @@ void QueryServer::serve_connection(Socket conn) {
                                              MsgType::kPing, st))))
                .ok())
         break;
+      last_frame_us = now_us();
       continue;
     }
 
@@ -193,6 +232,8 @@ void QueryServer::serve_connection(Socket conn) {
     // checked before any model work. A shed request costs the server one
     // error frame; the client treats RESOURCE_EXHAUSTED as retryable after
     // backoff (or fails over to another replica).
+    obs::Span admission_span(cfg_.tracer, "serve.req.admission",
+                             env.trace_id);
     const std::size_t inflight =
         inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
     ScopedCharge charge;
@@ -205,41 +246,59 @@ void QueryServer::serve_connection(Socket conn) {
     if (admit.ok() && cfg_.memory_budget_bytes > 0)
       admit = charge.acquire(&buffer_guard_, frame->size(),
                              "serve request buffer");
+    admission_span.end();
 
     Request req;
     Response resp;
+    bool shed = false, error = false;
     const auto t0 = std::chrono::steady_clock::now();
     if (!admit.ok()) {
       metrics_.add(obs::Counter::kServeRequests);
       metrics_.add(obs::Counter::kServeErrors);
       metrics_.add(obs::Counter::kServeShedLoad);
+      shed = error = true;
       resp = error_response(MsgType::kPing, admit);
-    } else if (Status st = decode_request(env.payload, req); !st.ok()) {
-      metrics_.add(obs::Counter::kServeRequests);
-      metrics_.add(obs::Counter::kServeErrors);
-      // Garbage in the body is answerable (the frame boundary is intact):
-      // report and keep the connection.
-      resp = error_response(MsgType::kPing, st);
     } else {
-      resp = handle(req);
+      obs::Span decode_span(cfg_.tracer, "serve.req.decode", env.trace_id);
+      Status st = decode_request(env.payload, req);
+      decode_span.end();
+      if (!st.ok()) {
+        metrics_.add(obs::Counter::kServeRequests);
+        metrics_.add(obs::Counter::kServeErrors);
+        // Garbage in the body is answerable (the frame boundary is intact):
+        // report and keep the connection.
+        error = true;
+        resp = error_response(MsgType::kPing, st);
+      } else {
+        resp = handle(req, env.trace_id);
+        error = resp.code != StatusCode::kOk;
+      }
     }
     const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
                         std::chrono::steady_clock::now() - t0)
                         .count();
     metrics_.observe(obs::Hist::kServeRequestUs,
                      static_cast<std::uint64_t>(us));
+    note(error, shed, static_cast<std::uint64_t>(us));
     inflight_.fetch_sub(1, std::memory_order_relaxed);
     charge.reset();
-    if (!write_frame(conn, frame_v2(env.request_id, encode_response(resp)))
-             .ok())
-      break;
+
+    obs::Span encode_span(cfg_.tracer, "serve.req.encode", env.trace_id);
+    const std::vector<std::uint8_t> out =
+        frame_v2(env.request_id, encode_response(resp));
+    encode_span.end();
+    obs::Span flush_span(cfg_.tracer, "serve.req.flush", env.trace_id);
+    const bool wrote = write_frame(conn, out).ok();
+    flush_span.end();
+    if (!wrote) break;
+    last_frame_us = now_us();
   }
   std::lock_guard<std::mutex> lk(conn_mu_);
   conn_fds_.erase(fd);
 }
 
-Response QueryServer::handle(const Request& req) {
-  obs::Span span(cfg_.tracer, span_name(req.type));
+Response QueryServer::handle(const Request& req, std::uint64_t trace_id) {
+  obs::Span span(cfg_.tracer, span_name(req.type), trace_id);
   metrics_.add(obs::Counter::kServeRequests);
   const std::shared_ptr<const ClusterModel> model = served_.get();
 
@@ -286,6 +345,22 @@ Response QueryServer::handle(const Request& req) {
       resp.model.min_pts = model->params().min_pts;
       resp.model.num_clusters = model->num_clusters();
       break;
+    case MsgType::kTelemetry: {
+      resp.telemetry_format = req.telemetry_format;
+      const TelemetryReport report = telemetry_report();
+      switch (req.telemetry_format) {
+        case TelemetryFormat::kBinary:
+          resp.telemetry = report;
+          break;
+        case TelemetryFormat::kJson:
+          resp.json = telemetry_json(report);
+          break;
+        case TelemetryFormat::kPrometheus:
+          resp.json = telemetry_prometheus(report, metrics_.snapshot());
+          break;
+      }
+      break;
+    }
   }
   if (!st.ok()) {
     metrics_.add(obs::Counter::kServeErrors);
@@ -333,37 +408,46 @@ Response QueryServer::handle_classify(
   return resp;
 }
 
+TelemetryReport QueryServer::telemetry_report() const {
+  const obs::MetricsSnapshot snap = metrics_.snapshot();
+  TelemetryReport t;
+  const std::uint64_t now = now_us();
+  t.uptime_us = now;
+  t.inflight = inflight_.load(std::memory_order_relaxed);
+  t.requests_total = snap.counter(obs::Counter::kServeRequests);
+  t.errors_total = snap.counter(obs::Counter::kServeErrors);
+  t.shed_load_total = snap.counter(obs::Counter::kServeShedLoad);
+  t.shed_connections_total =
+      snap.counter(obs::Counter::kServeShedConnections);
+  t.corrupt_frames_total = snap.counter(obs::Counter::kServeCorruptFrames);
+  t.idle_disconnects_total =
+      snap.counter(obs::Counter::kServeIdleDisconnects);
+  t.classify_points = snap.counter(obs::Counter::kServeClassifyPoints);
+  t.classify_performed =
+      snap.counter(obs::Counter::kServeClassifyPerformed);
+  t.classify_avoided_exact =
+      snap.counter(obs::Counter::kServeClassifyAvoidedExact);
+  const std::uint64_t spans[kTelemetryWindows] = {1, 10, 60};
+  for (std::size_t i = 0; i < kTelemetryWindows; ++i)
+    t.windows[i] = telemetry_window_from(window_.snapshot(now, spans[i]));
+  return t;
+}
+
 std::string QueryServer::stats_json() const {
   const std::shared_ptr<const ClusterModel> model = served_.get();
-  const obs::MetricsSnapshot snap = metrics_.snapshot();
-  obs::JsonWriter w;
-  w.begin_object();
-  w.kv("schema_version", 1);
-  w.kv("tool", "udbscan_serve");
-  w.kv("protocol_version", 2);
-  w.key("model");
-  w.begin_object();
-  w.kv("n", model->size());
-  w.kv("dim", model->dim());
-  w.kv("eps", model->params().eps);
-  w.kv("min_pts", model->params().min_pts);
-  w.kv("num_clusters", model->num_clusters());
-  w.end_object();
-  // The serve classify ledger, spelled out the way the engine's query ledger
-  // is: every classify answer is either a performed muR-tree search or an
-  // exact-match skip, so performed + avoided_exact == points at any
-  // quiesced snapshot (asserted by bench/serve_throughput and CI smoke).
-  w.key("serve_ledger");
-  w.begin_object();
-  w.kv("classify_points",
-       snap.counter(obs::Counter::kServeClassifyPoints));
-  w.kv("performed", snap.counter(obs::Counter::kServeClassifyPerformed));
-  w.kv("avoided_exact",
-       snap.counter(obs::Counter::kServeClassifyAvoidedExact));
-  w.end_object();
-  write_metrics_snapshot(w, snap, 0);
-  w.end_object();
-  return w.str();
+  StatsDocInputs in;
+  in.tool = "udbscan_serve";
+  in.has_model = true;
+  in.model.n = model->size();
+  in.model.dim = static_cast<std::uint32_t>(model->dim());
+  in.model.eps = model->params().eps;
+  in.model.min_pts = model->params().min_pts;
+  in.model.num_clusters = model->num_clusters();
+  in.has_serve_ledger = true;
+  in.has_telemetry = true;
+  in.telemetry = telemetry_report();
+  in.snap = metrics_.snapshot();
+  return stats_document_json(in);
 }
 
 }  // namespace udb::serve

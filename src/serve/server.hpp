@@ -19,6 +19,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -30,6 +31,7 @@
 #include "common/parallel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/window.hpp"
 #include "serve/model.hpp"
 #include "serve/net.hpp"
 #include "serve/protocol.hpp"
@@ -47,6 +49,10 @@ struct ServerConfig {
   // Batches with at least this many points fan out over the pool.
   std::size_t parallel_batch_threshold = 512;
   obs::Tracer* tracer = nullptr;  // optional, not owned
+  // Trace "process" id stamped on this server's spans (obs::set_trace_pid),
+  // so a merged client + replicas Chrome trace renders each replica as its
+  // own process track. 0 = the default (client) track.
+  int trace_pid = 0;
 
   // ---- overload protection (docs/SERVING.md failure-mode matrix) ---------
   // Connection budget: a connection accepted while this many are already
@@ -92,13 +98,21 @@ class QueryServer {
   }
 
   [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
-  // The kStats response document: model facts + full metrics snapshot
-  // (schema_version 1; validated by ci/serving_smoke.sh with json.tool).
+  // The kStats response document: model facts + serve ledger + live
+  // telemetry + full metrics snapshot, rendered through the unified
+  // stats_document_json builder (schema_version 2; validated by
+  // ci/serving_smoke.sh with json.tool).
   [[nodiscard]] std::string stats_json() const;
 
+  // The kTelemetry snapshot: cumulative totals from the registry plus the
+  // rolling 1 s / 10 s / 60 s windows from the sliding-window aggregator.
+  [[nodiscard]] TelemetryReport telemetry_report() const;
+
   // Exposed for in-process tests: handles one decoded request exactly as a
-  // connection worker would.
-  [[nodiscard]] Response handle(const Request& req);
+  // connection worker would. `trace_id` tags the handler span for merged
+  // request traces (0 = untraced).
+  [[nodiscard]] Response handle(const Request& req, std::uint64_t trace_id);
+  [[nodiscard]] Response handle(const Request& req) { return handle(req, 0); }
 
  private:
   void accept_loop();
@@ -106,9 +120,15 @@ class QueryServer {
   Response handle_classify(const Request& req,
                            const std::shared_ptr<const ClusterModel>& model);
 
+  // Microseconds since server construction on the steady clock — the time
+  // base every sliding-window bucket is stamped with.
+  [[nodiscard]] std::uint64_t now_us() const;
+
   ServedModel served_;
   ServerConfig cfg_;
   obs::MetricsRegistry metrics_;
+  obs::SlidingWindow window_;  // wire-path rolling stats (1 s buckets)
+  std::chrono::steady_clock::time_point epoch_;
   std::unique_ptr<ThreadPool> pool_;
   std::mutex pool_mu_;  // ThreadPool::run is single-job; serialize callers
 

@@ -1,0 +1,224 @@
+#include "serve/telemetry.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/report.hpp"
+
+namespace udb::serve {
+
+namespace {
+
+void write_window_object(obs::JsonWriter& w, const TelemetryWindow& win) {
+  w.begin_object();
+  w.kv("window_seconds", win.window_seconds);
+  w.kv("requests", win.requests);
+  w.kv("errors", win.errors);
+  w.kv("shed", win.shed);
+  w.kv("qps", win.qps);
+  w.kv("p50_us", win.p50_us);
+  w.kv("p90_us", win.p90_us);
+  w.kv("p99_us", win.p99_us);
+  w.kv("p999_us", win.p999_us);
+  w.kv("max_us", win.max_us);
+  w.end_object();
+}
+
+void write_serve_ledger(obs::JsonWriter& w, const TelemetryReport& t) {
+  // The serving counterpart of the engine's query-avoidance ledger: every
+  // classify answer is a performed muR-tree search or an exact-match skip.
+  w.key("serve_ledger");
+  w.begin_object();
+  w.kv("classify_points", t.classify_points);
+  w.kv("performed", t.classify_performed);
+  w.kv("avoided_exact", t.classify_avoided_exact);
+  w.kv("holds",
+       t.classify_performed + t.classify_avoided_exact == t.classify_points);
+  w.end_object();
+}
+
+void write_telemetry_body(obs::JsonWriter& w, const TelemetryReport& t) {
+  w.kv("uptime_seconds", static_cast<double>(t.uptime_us) / 1e6);
+  w.kv("inflight", t.inflight);
+  w.key("totals");
+  w.begin_object();
+  w.kv("requests", t.requests_total);
+  w.kv("errors", t.errors_total);
+  w.kv("shed_load", t.shed_load_total);
+  w.kv("shed_connections", t.shed_connections_total);
+  w.kv("corrupt_frames", t.corrupt_frames_total);
+  w.kv("idle_disconnects", t.idle_disconnects_total);
+  w.end_object();
+  write_serve_ledger(w, t);
+  w.key("windows");
+  w.begin_array();
+  for (const TelemetryWindow& win : t.windows) write_window_object(w, win);
+  w.end_array();
+}
+
+void append_metric_header(std::string& out, const char* name,
+                          const char* type, const char* help) {
+  out += "# HELP ";
+  out += name;
+  out += ' ';
+  out += help;
+  out += "\n# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+void append_sample(std::string& out, const char* name, const char* labels,
+                   double value) {
+  char line[256];
+  std::snprintf(line, sizeof line, "%s%s %.17g\n", name, labels, value);
+  out += line;
+}
+
+const char* window_label(double seconds) {
+  if (seconds <= 1.0) return "{window=\"1s\"}";
+  if (seconds <= 10.0) return "{window=\"10s\"}";
+  return "{window=\"60s\"}";
+}
+
+}  // namespace
+
+TelemetryWindow telemetry_window_from(const obs::WindowStats& w) {
+  TelemetryWindow out;
+  out.window_seconds = w.window_seconds;
+  out.requests = w.counter(obs::WinCounter::kRequests);
+  out.errors = w.counter(obs::WinCounter::kErrors);
+  out.shed = w.counter(obs::WinCounter::kShed);
+  out.qps = w.qps();
+  out.p50_us = w.percentile(0.50);
+  out.p90_us = w.percentile(0.90);
+  out.p99_us = w.percentile(0.99);
+  out.p999_us = w.percentile(0.999);
+  out.max_us = static_cast<double>(w.max_us);
+  return out;
+}
+
+std::string telemetry_json(const TelemetryReport& t) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("schema_version", kStatsSchemaVersion);
+  w.kv("tool", "udbscan_serve");
+  w.kv("kind", "telemetry");
+  write_telemetry_body(w, t);
+  w.end_object();
+  return w.str();
+}
+
+std::string telemetry_prometheus(const TelemetryReport& t,
+                                 const obs::MetricsSnapshot& snap) {
+  std::string out;
+  out.reserve(8192);
+
+  // Cumulative counters, one family per catalog entry. The name mapping is
+  // mechanical — udbscan_<catalog name>_total — so the catalog table in
+  // docs/OBSERVABILITY.md doubles as the Prometheus dictionary.
+  for (std::size_t i = 0; i < obs::kNumCounters; ++i) {
+    const auto c = static_cast<obs::Counter>(i);
+    const std::string name =
+        std::string("udbscan_") + obs::counter_name(c) + "_total";
+    append_metric_header(out, name.c_str(), "counter", obs::counter_unit(c));
+    append_sample(out, name.c_str(), "",
+                  static_cast<double>(snap.counter(c)));
+  }
+
+  append_metric_header(out, "udbscan_uptime_seconds", "gauge",
+                       "seconds since server start");
+  append_sample(out, "udbscan_uptime_seconds", "",
+                static_cast<double>(t.uptime_us) / 1e6);
+  append_metric_header(out, "udbscan_inflight_requests", "gauge",
+                       "requests currently admitted");
+  append_sample(out, "udbscan_inflight_requests", "",
+                static_cast<double>(t.inflight));
+
+  // Rolling windows as labeled gauges.
+  append_metric_header(out, "udbscan_window_qps", "gauge",
+                       "rolling requests per second");
+  for (const TelemetryWindow& win : t.windows)
+    append_sample(out, "udbscan_window_qps", window_label(win.window_seconds),
+                  win.qps);
+  struct Quantile {
+    const char* suffix;
+    double TelemetryWindow::*field;
+  };
+  const Quantile quantiles[] = {
+      {"udbscan_window_latency_p50_us", &TelemetryWindow::p50_us},
+      {"udbscan_window_latency_p90_us", &TelemetryWindow::p90_us},
+      {"udbscan_window_latency_p99_us", &TelemetryWindow::p99_us},
+      {"udbscan_window_latency_p999_us", &TelemetryWindow::p999_us},
+  };
+  for (const Quantile& q : quantiles) {
+    append_metric_header(out, q.suffix, "gauge",
+                         "rolling request latency percentile (microseconds)");
+    for (const TelemetryWindow& win : t.windows)
+      append_sample(out, q.suffix, window_label(win.window_seconds),
+                    win.*(q.field));
+  }
+
+  // Cumulative request-latency histogram from the log2 registry histogram.
+  // Registry bucket b >= 1 holds values in [2^(b-1), 2^b), i.e. every value
+  // in it is <= 2^b - 1; bucket 0 holds the exact value 0.
+  const obs::HistSnapshot& h = snap.hist(obs::Hist::kServeRequestUs);
+  append_metric_header(out, "udbscan_serve_request_us", "histogram",
+                       "request wall time (microseconds)");
+  std::size_t top = 0;
+  for (std::size_t b = 0; b < obs::kHistBuckets; ++b)
+    if (h.buckets[b] != 0) top = b;
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b <= top && b < obs::kHistBuckets - 1; ++b) {
+    cum += h.buckets[b];
+    const double le =
+        b == 0 ? 0.0 : static_cast<double>((std::uint64_t{1} << b) - 1);
+    char labels[64];
+    std::snprintf(labels, sizeof labels, "{le=\"%.17g\"}", le);
+    append_sample(out, "udbscan_serve_request_us_bucket", labels,
+                  static_cast<double>(cum));
+  }
+  append_sample(out, "udbscan_serve_request_us_bucket", "{le=\"+Inf\"}",
+                static_cast<double>(h.count));
+  append_sample(out, "udbscan_serve_request_us_sum", "",
+                static_cast<double>(h.sum));
+  append_sample(out, "udbscan_serve_request_us_count", "",
+                static_cast<double>(h.count));
+  return out;
+}
+
+std::string stats_document_json(const StatsDocInputs& in) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("schema_version", kStatsSchemaVersion);
+  w.kv("tool", in.tool);
+  w.kv("protocol_version", 2);
+  if (in.has_model) {
+    w.key("model");
+    w.begin_object();
+    w.kv("n", in.model.n);
+    w.kv("dim", in.model.dim);
+    w.kv("eps", in.model.eps);
+    w.kv("min_pts", in.model.min_pts);
+    w.kv("num_clusters", in.model.num_clusters);
+    w.end_object();
+  }
+  if (in.has_serve_ledger) write_serve_ledger(w, in.telemetry);
+  if (in.has_telemetry) {
+    w.key("telemetry");
+    w.begin_object();
+    write_telemetry_body(w, in.telemetry);
+    w.end_object();
+  }
+  // The full registry catalog, wrapped the same way the bench artifacts wrap
+  // theirs, so consumers address it as metrics.counters.* uniformly.
+  w.key("metrics");
+  w.begin_object();
+  obs::write_metrics_snapshot(w, in.snap, 0);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace udb::serve

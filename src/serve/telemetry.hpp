@@ -1,0 +1,61 @@
+// Live-telemetry rendering (docs/OBSERVABILITY.md, "Live telemetry"): the
+// shared document builders behind the kTelemetry RPC and the serving-tier
+// stats documents. Everything here is pure serialization — the server builds
+// a TelemetryReport from its registry + sliding window and hands it over;
+// these functions turn it into the structured JSON report schema or the
+// Prometheus text exposition.
+//
+// The stats document (schema_version 2) unifies what used to be per-tool
+// hand-rolled JSON: QueryServer::stats_json() and
+// RetryingClient::client_stats_json() both render through
+// stats_document_json(), so the key set is pinned in one place (golden-key
+// test in tests/serve/test_telemetry.cpp) and every document carries the
+// same metrics embed.
+
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/window.hpp"
+#include "serve/protocol.hpp"
+
+namespace udb::serve {
+
+// The serving stats document schema. Version history:
+//   1  (PR 5) hand-rolled server stats: model + serve_ledger + metrics embed
+//   2  (this PR) unified builder: adds "telemetry" (uptime/inflight/windows)
+//      and is shared by the server and the retrying client documents.
+inline constexpr int kStatsSchemaVersion = 2;
+
+// Converts one merged sliding-window view into the wire/report form.
+[[nodiscard]] TelemetryWindow telemetry_window_from(const obs::WindowStats& w);
+
+// Standalone telemetry document (what `udbscan_query --telemetry` prints):
+// totals, the classify ledger with its invariant evaluated, and the rolling
+// windows.
+[[nodiscard]] std::string telemetry_json(const TelemetryReport& t);
+
+// Prometheus text exposition (version 0.0.4): cumulative counters as
+// udbscan_<name>_total, uptime/inflight gauges, per-window gauges labeled
+// {window="1s"|"10s"|"60s"}, and the serve_request_us histogram re-based to
+// Prometheus cumulative le-buckets. Name mapping documented in
+// docs/OBSERVABILITY.md.
+[[nodiscard]] std::string telemetry_prometheus(
+    const TelemetryReport& t, const obs::MetricsSnapshot& snap);
+
+// Inputs for the unified stats document. `tool` names the producer; the
+// model and telemetry sections are emitted only when their flags are set.
+struct StatsDocInputs {
+  const char* tool = "udbscan_serve";
+  bool has_model = false;
+  ModelInfo model;
+  bool has_serve_ledger = false;  // server documents only
+  bool has_telemetry = false;
+  TelemetryReport telemetry;
+  obs::MetricsSnapshot snap;
+};
+
+[[nodiscard]] std::string stats_document_json(const StatsDocInputs& in);
+
+}  // namespace udb::serve

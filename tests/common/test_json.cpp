@@ -1,0 +1,161 @@
+// The repo's JSON consumer (common/json.*). It parses artifacts the repo
+// itself writes — BENCH_*.json, stats documents — but is hardened like the
+// wire decoders: these tests pin the acceptance grammar (strict numbers,
+// full escape handling, ordered objects with last-wins duplicates) and the
+// rejection paths (depth bombs, trailing garbage, lone surrogates).
+
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace udb {
+namespace {
+
+json::Value parse_ok(const std::string& text) {
+  json::Value v;
+  Status st = json::parse(text, v);
+  EXPECT_TRUE(st.ok()) << st.to_string() << " for: " << text;
+  return v;
+}
+
+void expect_rejected(const std::string& text) {
+  json::Value v;
+  Status st = json::parse(text, v);
+  EXPECT_FALSE(st.ok()) << "accepted: " << text;
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << text;
+}
+
+TEST(JsonParseTest, ScalarsRoundtrip) {
+  EXPECT_TRUE(parse_ok("null").is_null());
+  EXPECT_TRUE(parse_ok("true").boolean);
+  EXPECT_FALSE(parse_ok("false").boolean);
+  EXPECT_EQ(parse_ok("0").number, 0.0);
+  EXPECT_EQ(parse_ok("-17").number, -17.0);
+  EXPECT_DOUBLE_EQ(parse_ok("3.5e2").number, 350.0);
+  EXPECT_DOUBLE_EQ(parse_ok("1.25E-2").number, 0.0125);
+  EXPECT_EQ(parse_ok("\"hi\"").string, "hi");
+  EXPECT_EQ(parse_ok("  \t\n 42 \r ").number, 42.0);
+}
+
+TEST(JsonParseTest, NumbersArePreservedExactlyForWriterOutput) {
+  // The writers emit via %.17g / integer formatting; the reader must give
+  // back the identical double.
+  EXPECT_EQ(parse_ok("9007199254740993").number, 9007199254740993.0);
+  EXPECT_EQ(parse_ok("0.1").number, 0.1);
+  EXPECT_EQ(parse_ok("2.2250738585072014e-308").number,
+            2.2250738585072014e-308);
+}
+
+TEST(JsonParseTest, StrictNumberGrammar) {
+  // One documented leniency: leading zeros are folded into the digit run
+  // (our own writers never emit them, and "01" is unambiguous).
+  EXPECT_EQ(parse_ok("01").number, 1.0);
+  expect_rejected("1.");        // digits required after the point
+  expect_rejected(".5");        // digits required before it too
+  expect_rejected("1e");        // empty exponent
+  expect_rejected("+1");        // no leading plus
+  expect_rejected("NaN");       // non-finite literals are not JSON
+  expect_rejected("Infinity");
+  expect_rejected("1e400000");  // overflows to inf -> rejected as non-finite
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(parse_ok(R"("a\"b\\c\/d\b\f\n\r\t")").string,
+            "a\"b\\c/d\b\f\n\r\t");
+  // \u escapes re-encode as UTF-8: 2-byte (U+00E9), 3-byte (U+20AC), and a
+  // surrogate pair for the astral plane (U+1F600 -> 4 bytes).
+  EXPECT_EQ(parse_ok(R"("\u00e9\u20ac")").string, "\xC3\xA9\xE2\x82\xAC");
+  EXPECT_EQ(parse_ok(R"("\ud83d\ude00")").string, "\xF0\x9F\x98\x80");
+  // Raw UTF-8 bytes in a string pass through untouched.
+  EXPECT_EQ(parse_ok("\"\xC3\xA9\"").string, "\xC3\xA9");
+  expect_rejected(R"("\ud83d")");        // lone high surrogate
+  expect_rejected(R"("\ude00")");        // lone low surrogate
+  expect_rejected(R"("\ud83dA")");  // high followed by a non-surrogate
+  expect_rejected(R"("\uZZZZ")");        // bad hex
+  expect_rejected(R"("\q")");            // unknown escape
+  expect_rejected("\"raw\ncontrol\"");   // unescaped control character
+  expect_rejected("\"unterminated");
+}
+
+TEST(JsonParseTest, ObjectsPreserveOrderAndLastDuplicateWins) {
+  const json::Value v = parse_ok(R"({"b": 1, "a": 2, "b": 3})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.object.size(), 3u);  // order preserved, nothing collapsed
+  EXPECT_EQ(v.object[0].first, "b");
+  EXPECT_EQ(v.object[1].first, "a");
+  EXPECT_EQ(v.find("b")->number, 3.0);  // ... but lookup takes the last
+  EXPECT_EQ(v.find("a")->number, 2.0);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, FindPathWalksNestedObjects) {
+  const json::Value v = parse_ok(
+      R"({"serve_ledger": {"holds": true}, "metrics": {"counters": {"x": 7}}})");
+  ASSERT_NE(v.find_path("serve_ledger.holds"), nullptr);
+  EXPECT_TRUE(v.find_path("serve_ledger.holds")->boolean);
+  EXPECT_EQ(v.find_path("metrics.counters.x")->number, 7.0);
+  EXPECT_EQ(v.find_path("metrics.counters.y"), nullptr);
+  EXPECT_EQ(v.find_path("metrics.counters.x.deeper"), nullptr);
+  // find/find_path on a non-object is nullptr, not UB.
+  EXPECT_EQ(parse_ok("[1,2]").find("x"), nullptr);
+}
+
+TEST(JsonParseTest, ArraysAndEmptyContainers) {
+  const json::Value v = parse_ok(R"([1, "two", [3], {"four": 4}, null])");
+  ASSERT_EQ(v.array.size(), 5u);
+  EXPECT_EQ(v.array[0].number, 1.0);
+  EXPECT_EQ(v.array[1].string, "two");
+  EXPECT_EQ(v.array[2].array[0].number, 3.0);
+  EXPECT_EQ(v.array[3].find("four")->number, 4.0);
+  EXPECT_TRUE(v.array[4].is_null());
+  EXPECT_TRUE(parse_ok("[]").array.empty());
+  EXPECT_TRUE(parse_ok("{}").object.empty());
+}
+
+TEST(JsonParseTest, DepthBombIsRejectedNotOverflowed) {
+  // One past the cap must be an error; exactly at the cap must parse.
+  std::string at_cap, past_cap;
+  for (std::size_t i = 0; i < json::kMaxDepth; ++i) at_cap += '[';
+  at_cap += "1";
+  for (std::size_t i = 0; i < json::kMaxDepth; ++i) at_cap += ']';
+  past_cap = "[" + at_cap + "]";
+  (void)parse_ok(at_cap);
+  expect_rejected(past_cap);
+  // Alternating object/array nesting hits the same cap.
+  std::string mixed;
+  for (std::size_t i = 0; i < json::kMaxDepth; ++i)
+    mixed += (i % 2 == 0) ? std::string("{\"k\":") : std::string("[");
+  mixed += "0";
+  for (std::size_t i = json::kMaxDepth; i-- > 0;)
+    mixed += (i % 2 == 0) ? '}' : ']';
+  expect_rejected("[" + mixed + "]");
+}
+
+TEST(JsonParseTest, MalformedDocumentsFailCleanly) {
+  expect_rejected("");
+  expect_rejected("   ");
+  expect_rejected("{\"a\": 1,}");      // trailing comma
+  expect_rejected("[1, 2,]");
+  expect_rejected("{\"a\" 1}");        // missing colon
+  expect_rejected("{a: 1}");           // unquoted key
+  expect_rejected("{\"a\": 1");        // unterminated object
+  expect_rejected("[1, 2");            // unterminated array
+  expect_rejected("tru");              // truncated literal
+  expect_rejected("1 2");              // trailing garbage
+  expect_rejected("{} {}");
+  expect_rejected("\"ok\" extra");
+}
+
+TEST(JsonParseTest, ReusedOutputValueIsReset) {
+  json::Value v = parse_ok(R"({"a": 1})");
+  ASSERT_TRUE(json::parse("[7]", v).ok());
+  EXPECT_TRUE(v.is_array());
+  EXPECT_TRUE(v.object.empty());  // previous document fully cleared
+  // A failed parse must not leave the old value dangling either.
+  ASSERT_FALSE(json::parse("{bad", v).ok());
+}
+
+}  // namespace
+}  // namespace udb

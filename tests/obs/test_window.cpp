@@ -1,0 +1,267 @@
+// SlidingWindow correctness (src/obs/window.hpp): deterministic bucket
+// rotation at second boundaries (time is an explicit parameter, so the tests
+// drive it), merge across per-thread shards while writers are live (run under
+// TSan in CI), percentile monotonicity and interpolation error bounds on
+// adversarial latency streams, and the log-linear histogram cell geometry.
+
+#include "obs/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+namespace udb {
+namespace {
+
+constexpr std::uint64_t kSec = 1'000'000;  // us
+
+// ---------------------------------------------------------------------------
+// Histogram cell geometry
+// ---------------------------------------------------------------------------
+
+TEST(WindowBucketTest, EveryValueLandsInsideItsCellBounds) {
+  // Exhaustive over the first octaves, then sampled log-spaced above.
+  for (std::uint64_t v = 0; v < 4096; ++v) {
+    const std::size_t cell = obs::window_bucket(v);
+    ASSERT_LT(cell, obs::kWindowHistCells);
+    EXPECT_GE(static_cast<double>(v), obs::window_cell_lo(cell)) << v;
+    EXPECT_LT(static_cast<double>(v), obs::window_cell_hi(cell)) << v;
+  }
+  for (std::uint64_t v = 4096; v < (1ull << 26); v = v * 17 / 16 + 1) {
+    const std::size_t cell = obs::window_bucket(v);
+    EXPECT_GE(static_cast<double>(v), obs::window_cell_lo(cell)) << v;
+    EXPECT_LT(static_cast<double>(v), obs::window_cell_hi(cell)) << v;
+  }
+}
+
+TEST(WindowBucketTest, CellsAreMonotoneAndClampAtTheTop) {
+  for (std::uint64_t v = 1; v < 100000; v += 7)
+    EXPECT_LE(obs::window_bucket(v), obs::window_bucket(v + 1)) << v;
+  EXPECT_EQ(obs::window_bucket(1ull << 26), obs::kWindowHistCells - 1);
+  EXPECT_EQ(obs::window_bucket(UINT64_MAX), obs::kWindowHistCells - 1);
+  EXPECT_EQ(obs::window_bucket(0), 0u);
+}
+
+TEST(WindowBucketTest, SubBucketWidthBoundsQuantizationError) {
+  // Cell width / cell lower bound <= 1/8 for every non-clamp cell above 1:
+  // the basis for the "percentile within 12.5%" resolution claim.
+  for (std::size_t cell = obs::kWindowSubBuckets + 1;
+       cell + 1 < obs::kWindowHistCells; ++cell) {
+    const double lo = obs::window_cell_lo(cell);
+    const double hi = obs::window_cell_hi(cell);
+    EXPECT_LE((hi - lo) / lo, 1.0 / obs::kWindowSubBuckets + 1e-12) << cell;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Counters, windows, rotation
+// ---------------------------------------------------------------------------
+
+TEST(SlidingWindowTest, CountsEventsInsideTheWindowOnly) {
+  obs::SlidingWindow w;
+  w.add(obs::WinCounter::kRequests, 5 * kSec);
+  w.add(obs::WinCounter::kRequests, 6 * kSec);
+  w.add(obs::WinCounter::kErrors, 6 * kSec);
+  w.add(obs::WinCounter::kRequests, 20 * kSec);
+
+  // At t=20s, a 10s window covers seconds 11..20: only the last request.
+  auto s10 = w.snapshot(20 * kSec, 10);
+  EXPECT_EQ(s10.counter(obs::WinCounter::kRequests), 1u);
+  EXPECT_EQ(s10.counter(obs::WinCounter::kErrors), 0u);
+
+  // A 16s window covers 5..20: everything.
+  auto s16 = w.snapshot(20 * kSec, 16);
+  EXPECT_EQ(s16.counter(obs::WinCounter::kRequests), 3u);
+  EXPECT_EQ(s16.counter(obs::WinCounter::kErrors), 1u);
+  EXPECT_DOUBLE_EQ(s16.qps(), 3.0 / 16.0);
+}
+
+TEST(SlidingWindowTest, BoundaryBucketsAreIncludedExactly) {
+  obs::SlidingWindow w;
+  // One event per second at 10..19 (inclusive).
+  for (std::uint64_t sec = 10; sec < 20; ++sec)
+    w.add(obs::WinCounter::kRequests, sec * kSec + 500'000);
+  // At now=19.9s a 10s window covers seconds 10..19: all ten events; a 9s
+  // window covers 11..19: nine.
+  EXPECT_EQ(w.snapshot(19 * kSec + 900'000, 10)
+                .counter(obs::WinCounter::kRequests),
+            10u);
+  EXPECT_EQ(w.snapshot(19 * kSec + 900'000, 9)
+                .counter(obs::WinCounter::kRequests),
+            9u);
+}
+
+TEST(SlidingWindowTest, RingRecyclingDropsTheOldSecond) {
+  obs::SlidingWindow w;
+  // Second 3 and second 3+64 map to the same ring slot; writing the newer
+  // one must evict the older, and a wide window must not resurrect it.
+  w.add(obs::WinCounter::kRequests, 3 * kSec, 100);
+  w.add(obs::WinCounter::kRequests, (3 + obs::kWindowRingSeconds) * kSec, 5);
+  auto s = w.snapshot((3 + obs::kWindowRingSeconds) * kSec, 63);
+  EXPECT_EQ(s.counter(obs::WinCounter::kRequests), 5u);
+}
+
+TEST(SlidingWindowTest, StaleBucketsAreSkippedWithoutRecycling) {
+  obs::SlidingWindow w;
+  w.record_latency(2 * kSec, 500);
+  // Time moves far ahead with no writes: the stale bucket still holds its
+  // stamp, but snapshot must not count it inside any window.
+  auto s = w.snapshot(1000 * kSec, 60);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.percentile(0.99), 0.0);
+}
+
+TEST(SlidingWindowTest, WindowSecondsIsClampedToRingCapacity) {
+  obs::SlidingWindow w;
+  w.add(obs::WinCounter::kRequests, 10 * kSec);
+  // 0 clamps to 1; absurd widths clamp to 63 (ring minus the slot being
+  // recycled) instead of double counting.
+  auto s0 = w.snapshot(10 * kSec, 0);
+  EXPECT_DOUBLE_EQ(s0.window_seconds, 1.0);
+  EXPECT_EQ(s0.counter(obs::WinCounter::kRequests), 1u);
+  auto shuge = w.snapshot(10 * kSec, 100000);
+  EXPECT_DOUBLE_EQ(shuge.window_seconds,
+                   static_cast<double>(obs::kWindowRingSeconds - 1));
+}
+
+TEST(SlidingWindowTest, EarlyWindowUnderflowIsGuarded) {
+  obs::SlidingWindow w;
+  w.add(obs::WinCounter::kRequests, 0);  // second 0
+  // now < window width: lo_sec would underflow; must cover second 0 fine.
+  auto s = w.snapshot(2 * kSec, 60);
+  EXPECT_EQ(s.counter(obs::WinCounter::kRequests), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Latency percentiles
+// ---------------------------------------------------------------------------
+
+TEST(SlidingWindowTest, PercentilesInterpolateWithinResolutionBound) {
+  obs::SlidingWindow w;
+  // Uniform ramp 1..1000 us in one second.
+  for (std::uint64_t v = 1; v <= 1000; ++v) w.record_latency(50 * kSec, v);
+  auto s = w.snapshot(50 * kSec, 10);
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.max_us, 1000u);
+  EXPECT_NEAR(s.mean_us(), 500.5, 1e-9);
+  // True pXX of the ramp is XX0; the log-linear cells bound the error at
+  // 12.5% + interpolation slack.
+  EXPECT_NEAR(s.percentile(0.50), 500.0, 0.13 * 500.0);
+  EXPECT_NEAR(s.percentile(0.90), 900.0, 0.13 * 900.0);
+  EXPECT_NEAR(s.percentile(0.99), 990.0, 0.13 * 990.0);
+  // p0 and p100 pin to the ends of the distribution.
+  EXPECT_LE(s.percentile(1.0), static_cast<double>(s.max_us));
+  EXPECT_GE(s.percentile(0.0), 0.0);
+}
+
+TEST(SlidingWindowTest, PercentilesAreMonotoneOnAdversarialStreams) {
+  // Streams built to stress interpolation: constant, bimodal far apart,
+  // heavy-tailed, zeros mixed with huge clamped values.
+  const std::vector<std::vector<std::uint64_t>> streams = {
+      std::vector<std::uint64_t>(500, 77),
+      [] {
+        std::vector<std::uint64_t> v(400, 2);
+        v.insert(v.end(), 7, 40'000'000);  // beyond the clamp octave
+        return v;
+      }(),
+      [] {
+        std::vector<std::uint64_t> v;
+        std::mt19937_64 rng(11);
+        for (int i = 0; i < 2000; ++i) {
+          const int oct = static_cast<int>(rng() % 25);
+          v.push_back((1ull << oct) + rng() % (1ull << oct));
+        }
+        return v;
+      }(),
+      {0, 0, 0, 1, UINT64_MAX},
+  };
+  for (std::size_t si = 0; si < streams.size(); ++si) {
+    obs::SlidingWindow w;
+    for (std::uint64_t v : streams[si]) w.record_latency(9 * kSec, v);
+    auto s = w.snapshot(9 * kSec, 5);
+    double prev = 0.0;
+    for (double q : {0.0, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0}) {
+      const double p = s.percentile(q);
+      EXPECT_GE(p, prev) << "stream " << si << " q " << q;
+      EXPECT_LE(p, static_cast<double>(s.max_us)) << "stream " << si;
+      prev = p;
+    }
+  }
+}
+
+TEST(SlidingWindowTest, LatencyWindowExpiresWithTime) {
+  obs::SlidingWindow w;
+  w.record_latency(5 * kSec, 100);
+  w.record_latency(30 * kSec, 9000);
+  auto s10 = w.snapshot(30 * kSec, 10);  // covers 21..30: only the 9000
+  EXPECT_EQ(s10.count, 1u);
+  EXPECT_NEAR(s10.percentile(0.5), 9000.0, 0.13 * 9000.0);
+  auto s60 = w.snapshot(30 * kSec, 40);  // covers both
+  EXPECT_EQ(s60.count, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard merge under concurrency (TSan-checked in CI)
+// ---------------------------------------------------------------------------
+
+TEST(SlidingWindowTest, MergesShardsAcrossThreads) {
+  obs::SlidingWindow w;
+  constexpr int kThreads = 4, kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&w, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        w.add(obs::WinCounter::kRequests, 42 * kSec);
+        w.record_latency(42 * kSec, static_cast<std::uint64_t>(t * 100 + 1));
+      }
+    });
+  for (auto& th : threads) th.join();
+  auto s = w.snapshot(42 * kSec, 10);
+  EXPECT_EQ(s.counter(obs::WinCounter::kRequests),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(SlidingWindowTest, SnapshotIsSafeWhileWritersAreLive) {
+  // Writers spin across second boundaries (forcing recycles) while a reader
+  // snapshots concurrently; TSan must stay quiet and counts must never
+  // exceed what was written.
+  obs::SlidingWindow w;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> written{0};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t)
+    writers.emplace_back([&] {
+      std::uint64_t now = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        w.add(obs::WinCounter::kRequests, now);
+        w.record_latency(now, now % 1000);
+        written.fetch_add(1, std::memory_order_relaxed);
+        now += 250'000;  // four writes per simulated second
+      }
+    });
+  for (int i = 0; i < 200; ++i) {
+    auto s = w.snapshot(i * 500'000ull, 30);
+    EXPECT_LE(s.counter(obs::WinCounter::kRequests),
+              written.load(std::memory_order_relaxed) + 3);
+  }
+  stop.store(true);
+  for (auto& th : writers) th.join();
+}
+
+TEST(SlidingWindowTest, NAddsCountNTimes) {
+  obs::SlidingWindow w;
+  w.add(obs::WinCounter::kRetries, 7 * kSec, 5);
+  w.add(obs::WinCounter::kFailovers, 7 * kSec, 2);
+  auto s = w.snapshot(7 * kSec, 5);
+  EXPECT_EQ(s.counter(obs::WinCounter::kRetries), 5u);
+  EXPECT_EQ(s.counter(obs::WinCounter::kFailovers), 2u);
+  EXPECT_DOUBLE_EQ(s.rate(obs::WinCounter::kRetries), 1.0);
+}
+
+}  // namespace
+}  // namespace udb

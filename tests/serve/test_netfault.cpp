@@ -135,6 +135,72 @@ TEST(ProtocolV2Test, TruncatedEnvelopeIsDataLoss) {
 }
 
 // ---------------------------------------------------------------------------
+// Traced (0xB3) envelope extension
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolV2TracedTest, RoundtripPreservesTraceContext) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4};
+  const auto framed =
+      serve::frame_v2(11, payload, 0xFEEDFACE12345678ull, 3);
+  ASSERT_EQ(framed.size(), serve::kFrameV2TracedHeaderBytes + payload.size());
+  EXPECT_EQ(framed[0], serve::kProtocolV2TracedMarker);
+
+  serve::FrameV2 env;
+  ASSERT_TRUE(serve::parse_frame_v2(framed, env).ok());
+  EXPECT_EQ(env.request_id, 11u);
+  EXPECT_EQ(env.trace_id, 0xFEEDFACE12345678ull);
+  EXPECT_EQ(env.parent_span_id, 3u);
+  ASSERT_EQ(env.payload.size(), payload.size());
+  EXPECT_EQ(std::memcmp(env.payload.data(), payload.data(), payload.size()),
+            0);
+}
+
+TEST(ProtocolV2TracedTest, ZeroTraceContextIsByteIdenticalToUntraced) {
+  // A traced-capable sender with tracing off must produce exactly the legacy
+  // 0xB2 frame — old servers never see an unknown marker.
+  const std::vector<std::uint8_t> payload = {5, 6, 7};
+  EXPECT_EQ(serve::frame_v2(21, payload, 0, 0), serve::frame_v2(21, payload));
+}
+
+TEST(ProtocolV2TracedTest, UntracedFrameParsesWithZeroTraceContext) {
+  const std::vector<std::uint8_t> payload = {9};
+  const auto framed = serve::frame_v2(4, payload);
+  serve::FrameV2 env;
+  ASSERT_TRUE(serve::parse_frame_v2(framed, env).ok());
+  EXPECT_EQ(env.trace_id, 0u);
+  EXPECT_EQ(env.parent_span_id, 0u);
+}
+
+TEST(ProtocolV2TracedTest, EveryBitFlipInTracedFrameIsRejected) {
+  // The CRC must cover the trace extension too: a flipped trace id may not
+  // slip through and mis-correlate spans.
+  serve::Request req;
+  req.type = serve::MsgType::kPing;
+  auto framed = serve::frame_v2(5, serve::encode_request(req),
+                                0xA5A5A5A5A5A5A5A5ull, 2);
+  for (std::size_t byte = 0; byte < framed.size(); ++byte) {
+    framed[byte] ^= 0x40;
+    serve::FrameV2 env;
+    EXPECT_FALSE(serve::parse_frame_v2(framed, env).ok()) << "byte " << byte;
+    framed[byte] ^= 0x40;
+  }
+  serve::FrameV2 env;
+  EXPECT_TRUE(serve::parse_frame_v2(framed, env).ok());
+}
+
+TEST(ProtocolV2TracedTest, TruncatedTracedEnvelopeIsDataLoss) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3};
+  const auto framed = serve::frame_v2(9, payload, 77, 1);
+  for (std::size_t len = 1; len < serve::kFrameV2TracedHeaderBytes; ++len) {
+    serve::FrameV2 env;
+    auto st = serve::parse_frame_v2(
+        std::span<const std::uint8_t>(framed.data(), len), env);
+    ASSERT_FALSE(st.ok()) << len;
+    EXPECT_EQ(st.code(), StatusCode::kDataLoss) << len;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // NetFaultPlan bookkeeping
 // ---------------------------------------------------------------------------
 

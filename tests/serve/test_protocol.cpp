@@ -257,5 +257,127 @@ TEST(ProtocolResponseTest, GarbageResponseBodiesAreRejectedCleanly) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// TELEMETRY admin message
+// ---------------------------------------------------------------------------
+
+serve::TelemetryReport sample_report() {
+  serve::TelemetryReport t;
+  t.uptime_us = 12'345'678;
+  t.inflight = 3;
+  t.requests_total = 1000;
+  t.errors_total = 7;
+  t.shed_load_total = 5;
+  t.shed_connections_total = 2;
+  t.corrupt_frames_total = 1;
+  t.idle_disconnects_total = 4;
+  t.classify_points = 900;
+  t.classify_performed = 400;
+  t.classify_avoided_exact = 500;
+  const double spans[] = {1.0, 10.0, 60.0};
+  for (std::size_t i = 0; i < serve::kTelemetryWindows; ++i) {
+    serve::TelemetryWindow& w = t.windows[i];
+    w.window_seconds = spans[i];
+    w.requests = 100 * (i + 1);
+    w.errors = i;
+    w.shed = 2 * i;
+    w.qps = 100.5 * static_cast<double>(i + 1);
+    w.p50_us = 80.0 + static_cast<double>(i);
+    w.p90_us = 150.0;
+    w.p99_us = 240.0;
+    w.p999_us = 900.0;
+    w.max_us = 40900.0;
+  }
+  return t;
+}
+
+TEST(ProtocolTelemetryTest, RequestRoundtripsEveryFormat) {
+  for (auto fmt : {serve::TelemetryFormat::kBinary,
+                   serve::TelemetryFormat::kJson,
+                   serve::TelemetryFormat::kPrometheus}) {
+    serve::Request req;
+    req.type = serve::MsgType::kTelemetry;
+    req.telemetry_format = fmt;
+    const auto back = decode_req_ok(serve::encode_request(req));
+    EXPECT_EQ(back.type, serve::MsgType::kTelemetry);
+    EXPECT_EQ(back.telemetry_format, fmt);
+  }
+  // Unknown format byte is the caller's mistake, not corruption.
+  serve::Request out;
+  const std::vector<std::uint8_t> bad = {7, 9};
+  EXPECT_EQ(serve::decode_request(bad, out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolTelemetryTest, BinaryResponseRoundtripsExactly) {
+  serve::Response resp;
+  resp.type = serve::MsgType::kTelemetry;
+  resp.telemetry_format = serve::TelemetryFormat::kBinary;
+  resp.telemetry = sample_report();
+  const auto back = decode_resp_ok(serve::encode_response(resp));
+  EXPECT_EQ(back.telemetry_format, serve::TelemetryFormat::kBinary);
+  const serve::TelemetryReport& a = resp.telemetry;
+  const serve::TelemetryReport& b = back.telemetry;
+  EXPECT_EQ(a.uptime_us, b.uptime_us);
+  EXPECT_EQ(a.inflight, b.inflight);
+  EXPECT_EQ(a.requests_total, b.requests_total);
+  EXPECT_EQ(a.errors_total, b.errors_total);
+  EXPECT_EQ(a.shed_load_total, b.shed_load_total);
+  EXPECT_EQ(a.shed_connections_total, b.shed_connections_total);
+  EXPECT_EQ(a.corrupt_frames_total, b.corrupt_frames_total);
+  EXPECT_EQ(a.idle_disconnects_total, b.idle_disconnects_total);
+  EXPECT_EQ(a.classify_points, b.classify_points);
+  EXPECT_EQ(a.classify_performed, b.classify_performed);
+  EXPECT_EQ(a.classify_avoided_exact, b.classify_avoided_exact);
+  for (std::size_t i = 0; i < serve::kTelemetryWindows; ++i) {
+    EXPECT_EQ(a.windows[i].window_seconds, b.windows[i].window_seconds) << i;
+    EXPECT_EQ(a.windows[i].requests, b.windows[i].requests) << i;
+    EXPECT_EQ(a.windows[i].errors, b.windows[i].errors) << i;
+    EXPECT_EQ(a.windows[i].shed, b.windows[i].shed) << i;
+    EXPECT_EQ(a.windows[i].qps, b.windows[i].qps) << i;
+    EXPECT_EQ(a.windows[i].p50_us, b.windows[i].p50_us) << i;
+    EXPECT_EQ(a.windows[i].p90_us, b.windows[i].p90_us) << i;
+    EXPECT_EQ(a.windows[i].p99_us, b.windows[i].p99_us) << i;
+    EXPECT_EQ(a.windows[i].p999_us, b.windows[i].p999_us) << i;
+    EXPECT_EQ(a.windows[i].max_us, b.windows[i].max_us) << i;
+  }
+}
+
+TEST(ProtocolTelemetryTest, TextResponseRoundtrips) {
+  serve::Response resp;
+  resp.type = serve::MsgType::kTelemetry;
+  resp.telemetry_format = serve::TelemetryFormat::kPrometheus;
+  resp.json = "udbscan_serve_requests_total 9\n";
+  const auto back = decode_resp_ok(serve::encode_response(resp));
+  EXPECT_EQ(back.telemetry_format, serve::TelemetryFormat::kPrometheus);
+  EXPECT_EQ(back.json, resp.json);
+}
+
+TEST(ProtocolTelemetryTest, NonFinitePercentileIsRejected) {
+  serve::Response resp;
+  resp.type = serve::MsgType::kTelemetry;
+  resp.telemetry_format = serve::TelemetryFormat::kBinary;
+  resp.telemetry = sample_report();
+  resp.telemetry.windows[1].p99_us =
+      std::numeric_limits<double>::infinity();
+  serve::Response out;
+  EXPECT_EQ(serve::decode_response(serve::encode_response(resp), out).code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(ProtocolTelemetryTest, TruncatedBinaryResponseFailsCleanly) {
+  serve::Response resp;
+  resp.type = serve::MsgType::kTelemetry;
+  resp.telemetry_format = serve::TelemetryFormat::kBinary;
+  resp.telemetry = sample_report();
+  const auto full = serve::encode_response(resp);
+  serve::Response out;
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::vector<std::uint8_t> part(full.begin(),
+                                   full.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(serve::decode_response(part, out).ok()) << "cut " << cut;
+  }
+}
+
 }  // namespace
 }  // namespace udb

@@ -1,0 +1,293 @@
+// Live telemetry end to end (serve/telemetry.* + the kTelemetry RPC): the
+// unified stats document schema (golden key set — breaking changes must bump
+// kStatsSchemaVersion), the JSON and Prometheus expositions rendered from a
+// known report, and the admin RPC served over real sockets with the rolling
+// windows fed by real traffic. The documents are validated by parsing them
+// with the repo's own JSON parser, not by substring poking.
+
+#include "serve/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "core/mudbscan.hpp"
+#include "data/generators.hpp"
+#include "serve/client.hpp"
+#include "serve/retry.hpp"
+#include "serve/server.hpp"
+
+namespace udb {
+namespace {
+
+std::shared_ptr<const serve::ClusterModel> fitted_model(std::size_t n,
+                                                        std::uint64_t seed) {
+  serve::ModelSnapshot snap;
+  snap.data = gen_blobs(n, 2, 5, 25.0, 1.0, 0.1, seed);
+  snap.params = {1.2, 5};
+  snap.result = mu_dbscan(snap.data, snap.params);
+  auto m = serve::ClusterModel::build(std::move(snap));
+  EXPECT_TRUE(m.ok()) << m.status().to_string();
+  return *m;
+}
+
+serve::TelemetryReport sample_report() {
+  serve::TelemetryReport t;
+  t.uptime_us = 2'500'000;
+  t.inflight = 1;
+  t.requests_total = 50;
+  t.errors_total = 2;
+  t.shed_load_total = 3;
+  t.shed_connections_total = 1;
+  t.corrupt_frames_total = 4;
+  t.idle_disconnects_total = 0;
+  t.classify_points = 40;
+  t.classify_performed = 15;
+  t.classify_avoided_exact = 25;
+  const double spans[] = {1.0, 10.0, 60.0};
+  for (std::size_t i = 0; i < serve::kTelemetryWindows; ++i) {
+    t.windows[i].window_seconds = spans[i];
+    t.windows[i].requests = 10 * (i + 1);
+    t.windows[i].qps = 10.0 * static_cast<double>(i + 1) / spans[i];
+    t.windows[i].p50_us = 100.0;
+    t.windows[i].p90_us = 200.0;
+    t.windows[i].p99_us = 400.0;
+    t.windows[i].p999_us = 800.0;
+    t.windows[i].max_us = 1000.0;
+  }
+  return t;
+}
+
+json::Value parse_ok(const std::string& text) {
+  json::Value doc;
+  Status st = json::parse(text, doc);
+  EXPECT_TRUE(st.ok()) << st.to_string() << "\n" << text;
+  return doc;
+}
+
+// ---------------------------------------------------------------------------
+// Document builders
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryJsonTest, GoldenKeysAndLedgerInvariant) {
+  const json::Value doc = parse_ok(serve::telemetry_json(sample_report()));
+  EXPECT_EQ(doc.find("schema_version")->number, serve::kStatsSchemaVersion);
+  EXPECT_EQ(doc.find("tool")->string, "udbscan_serve");
+  EXPECT_EQ(doc.find("kind")->string, "telemetry");
+  EXPECT_NEAR(doc.find("uptime_seconds")->number, 2.5, 1e-9);
+  EXPECT_EQ(doc.find_path("totals.requests")->number, 50.0);
+  EXPECT_EQ(doc.find_path("totals.corrupt_frames")->number, 4.0);
+  // 15 performed + 25 avoided == 40 points -> the invariant holds.
+  EXPECT_TRUE(doc.find_path("serve_ledger.holds")->boolean);
+  const json::Value* windows = doc.find("windows");
+  ASSERT_NE(windows, nullptr);
+  ASSERT_EQ(windows->array.size(), serve::kTelemetryWindows);
+  EXPECT_EQ(windows->array[0].find("window_seconds")->number, 1.0);
+  EXPECT_EQ(windows->array[2].find("window_seconds")->number, 60.0);
+  EXPECT_EQ(windows->array[1].find("p99_us")->number, 400.0);
+}
+
+TEST(TelemetryJsonTest, BrokenLedgerIsReportedNotHidden) {
+  serve::TelemetryReport t = sample_report();
+  t.classify_performed += 1;  // invariant now violated
+  const json::Value doc = parse_ok(serve::telemetry_json(t));
+  EXPECT_FALSE(doc.find_path("serve_ledger.holds")->boolean);
+}
+
+TEST(TelemetryPrometheusTest, ExpositionCarriesCountersWindowsAndHistogram) {
+  obs::MetricsRegistry reg;
+  reg.add(obs::Counter::kServeRequests, 7);
+  reg.observe(obs::Hist::kServeRequestUs, 0);
+  reg.observe(obs::Hist::kServeRequestUs, 3);
+  reg.observe(obs::Hist::kServeRequestUs, 100);
+  const std::string text =
+      serve::telemetry_prometheus(sample_report(), reg.snapshot());
+
+  // Counter family with HELP/TYPE and the mechanical name mapping.
+  EXPECT_NE(text.find("# TYPE udbscan_serve_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("udbscan_serve_requests_total 7"), std::string::npos);
+  // Gauges.
+  EXPECT_NE(text.find("udbscan_uptime_seconds 2.5"), std::string::npos);
+  EXPECT_NE(text.find("udbscan_inflight_requests 1"), std::string::npos);
+  // Labeled windows: all three spans present for qps and percentiles.
+  for (const char* label : {"{window=\"1s\"}", "{window=\"10s\"}",
+                            "{window=\"60s\"}"}) {
+    EXPECT_NE(text.find(std::string("udbscan_window_qps") + label),
+              std::string::npos)
+        << label;
+    EXPECT_NE(text.find(std::string("udbscan_window_latency_p99_us") + label),
+              std::string::npos)
+        << label;
+  }
+  // Histogram: cumulative buckets ending in +Inf == count, plus sum/count.
+  EXPECT_NE(text.find("# TYPE udbscan_serve_request_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("udbscan_serve_request_us_bucket{le=\"0\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("udbscan_serve_request_us_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("udbscan_serve_request_us_count 3"), std::string::npos);
+  EXPECT_NE(text.find("udbscan_serve_request_us_sum 103"), std::string::npos);
+}
+
+TEST(StatsDocumentTest, ServerShapeGoldenKeys) {
+  serve::StatsDocInputs in;
+  in.tool = "udbscan_serve";
+  in.has_model = true;
+  in.model.n = 600;
+  in.model.dim = 2;
+  in.model.eps = 1.2;
+  in.model.min_pts = 5;
+  in.model.num_clusters = 4;
+  in.has_serve_ledger = true;
+  in.has_telemetry = true;
+  in.telemetry = sample_report();
+  const json::Value doc = parse_ok(serve::stats_document_json(in));
+  // Golden key set for schema_version 2. Removing or renaming any of these
+  // is a breaking change: bump kStatsSchemaVersion and update this list.
+  for (const char* key : {"schema_version", "tool", "protocol_version",
+                          "model", "serve_ledger", "telemetry", "metrics"})
+    EXPECT_NE(doc.find(key), nullptr) << key;
+  EXPECT_EQ(doc.find("schema_version")->number, 2.0);
+  EXPECT_EQ(doc.find_path("model.n")->number, 600.0);
+  EXPECT_NE(doc.find_path("telemetry.windows"), nullptr);
+  EXPECT_NE(doc.find_path("metrics.counters"), nullptr);
+}
+
+TEST(StatsDocumentTest, ClientShapeOmitsModelAndLedger) {
+  serve::StatsDocInputs in;
+  in.tool = "udbscan_client";
+  in.has_telemetry = true;
+  in.telemetry = sample_report();
+  const json::Value doc = parse_ok(serve::stats_document_json(in));
+  EXPECT_EQ(doc.find("tool")->string, "udbscan_client");
+  EXPECT_EQ(doc.find("model"), nullptr);
+  EXPECT_EQ(doc.find("serve_ledger"), nullptr);
+  EXPECT_NE(doc.find("telemetry"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// The kTelemetry RPC over real sockets
+// ---------------------------------------------------------------------------
+
+class TelemetryRpcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    model_ = fitted_model(600, 5);
+    server_ = std::make_unique<serve::QueryServer>(model_, serve::ServerConfig{});
+    ASSERT_TRUE(server_->start().ok());
+  }
+
+  serve::Client client() {
+    auto c = serve::Client::connect(server_->port());
+    EXPECT_TRUE(c.ok()) << c.status().to_string();
+    return std::move(*c);
+  }
+
+  std::shared_ptr<const serve::ClusterModel> model_;
+  std::unique_ptr<serve::QueryServer> server_;
+};
+
+TEST_F(TelemetryRpcTest, BinaryReportReflectsTraffic) {
+  auto c = client();
+  const std::vector<double> q = {1.0, 2.0};
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(c.classify(q, 2).ok());
+
+  auto tel = c.telemetry();
+  ASSERT_TRUE(tel.ok()) << tel.status().to_string();
+  // Totals come from the same registry the server reports everywhere else.
+  const auto snap = server_->metrics().snapshot();
+  EXPECT_EQ(tel->requests_total,
+            snap.counter(obs::Counter::kServeRequests));
+  EXPECT_GE(tel->requests_total, 5u);
+  EXPECT_EQ(tel->classify_points, 5u);
+  EXPECT_EQ(tel->classify_performed + tel->classify_avoided_exact,
+            tel->classify_points);
+  // Window spans are fixed {1, 10, 60} and the traffic just happened, so
+  // every window saw it (wire-path only: the telemetry request itself may
+  // add one more by the time the report is built).
+  EXPECT_EQ(tel->windows[0].window_seconds, 1.0);
+  EXPECT_EQ(tel->windows[1].window_seconds, 10.0);
+  EXPECT_EQ(tel->windows[2].window_seconds, 60.0);
+  EXPECT_GE(tel->windows[1].requests, 5u);
+  EXPECT_GT(tel->windows[1].qps, 0.0);
+  // Percentile ordering on the live distribution.
+  EXPECT_LE(tel->windows[1].p50_us, tel->windows[1].p99_us);
+  EXPECT_LE(tel->windows[1].p99_us, tel->windows[1].p999_us);
+  EXPECT_LE(tel->windows[1].p999_us, tel->windows[1].max_us + 1e-9);
+}
+
+TEST_F(TelemetryRpcTest, JsonAndPrometheusTextFormats) {
+  auto c = client();
+  const std::vector<double> q = {1.0, 2.0};
+  ASSERT_TRUE(c.classify(q, 2).ok());
+
+  auto jtext = c.telemetry_text(serve::TelemetryFormat::kJson);
+  ASSERT_TRUE(jtext.ok()) << jtext.status().to_string();
+  const json::Value doc = parse_ok(*jtext);
+  EXPECT_EQ(doc.find("kind")->string, "telemetry");
+  EXPECT_TRUE(doc.find_path("serve_ledger.holds")->boolean);
+  EXPECT_GE(doc.find_path("totals.requests")->number, 1.0);
+
+  auto ptext = c.telemetry_text(serve::TelemetryFormat::kPrometheus);
+  ASSERT_TRUE(ptext.ok()) << ptext.status().to_string();
+  EXPECT_NE(ptext->find("udbscan_serve_requests_total"), std::string::npos);
+  EXPECT_NE(ptext->find("udbscan_window_qps{window=\"1s\"}"),
+            std::string::npos);
+}
+
+TEST_F(TelemetryRpcTest, UnknownFormatByteIsInvalidArgumentNotCorruption) {
+  auto c = client();
+  // A well-framed telemetry request with format byte 9: the frame and type
+  // are fine, the argument is not — the caller gets INVALID_ARGUMENT and the
+  // connection survives.
+  const std::vector<std::uint8_t> body = {7, 9};
+  auto resp = c.raw_roundtrip(serve::frame_v2(1, body));
+  ASSERT_TRUE(resp.ok()) << resp.status().to_string();
+  EXPECT_EQ(resp->code, StatusCode::kInvalidArgument);
+  EXPECT_TRUE(c.ping().ok());
+}
+
+TEST_F(TelemetryRpcTest, ServerStatsDocumentIsSchema2WithTelemetry) {
+  auto c = client();
+  auto stats = c.stats_json();
+  ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+  const json::Value doc = parse_ok(*stats);
+  EXPECT_EQ(doc.find("schema_version")->number, 2.0);
+  EXPECT_EQ(doc.find("tool")->string, "udbscan_serve");
+  EXPECT_NE(doc.find_path("telemetry.windows"), nullptr);
+  EXPECT_NE(doc.find_path("serve_ledger.holds"), nullptr);
+}
+
+TEST_F(TelemetryRpcTest, RetryingClientTelemetryAndClientDocument) {
+  serve::RetryPolicy policy;
+  policy.jitter_seed = 3;
+  obs::MetricsRegistry metrics;
+  serve::RetryingClient rc({server_->port()}, policy, &metrics);
+  const std::vector<double> q = {1.0, 2.0};
+  ASSERT_TRUE(rc.classify(q, 2).ok());
+  ASSERT_TRUE(rc.ping().ok());
+
+  auto tel = rc.telemetry();
+  ASSERT_TRUE(tel.ok()) << tel.status().to_string();
+  EXPECT_GE(tel->requests_total, 2u);
+
+  const json::Value doc = parse_ok(rc.client_stats_json());
+  EXPECT_EQ(doc.find("schema_version")->number, 2.0);
+  EXPECT_EQ(doc.find("tool")->string, "udbscan_client");
+  // 3 logical requests issued (classify, ping, telemetry), no failures.
+  EXPECT_EQ(doc.find_path("telemetry.totals.requests")->number, 3.0);
+  EXPECT_EQ(doc.find_path("telemetry.totals.errors")->number, 0.0);
+  const json::Value* windows = doc.find_path("telemetry.windows");
+  ASSERT_NE(windows, nullptr);
+  ASSERT_EQ(windows->array.size(), serve::kTelemetryWindows);
+  // The client's own rolling window saw the three requests.
+  EXPECT_GE(windows->array[2].find("requests")->number, 3.0);
+}
+
+}  // namespace
+}  // namespace udb

@@ -11,21 +11,34 @@
 //   * truncate          — short writes the sender believes succeeded
 //   * mixed             — all of the above plus injected delays
 //   * kill-replica      — replica 0 stopped mid-batch; failover must lose
-//                         nothing (zero failed requests)
+//                         nothing (zero failed requests). Runs traced: the
+//                         client and both replicas record spans into one
+//                         tracer (replicas as trace pids 1/2), and the
+//                         harness asserts a retried request's client.attempt
+//                         spans and the server's phase spans share one trace
+//                         id across the failover. --trace-out writes the
+//                         merged Chrome trace for chrome://tracing.
 //   * overload          — in-flight budget 1 under concurrent clients; sheds
 //                         are retried until every request succeeds
+//
+// Scenarios also scrape the TELEMETRY admin RPC mid-run and cross-check the
+// live counters against the injected fault plan: corrupt asserts the server
+// counted corrupted frames (and no more than were injected), overload
+// asserts the scraped shed counter matches the server's registry.
 //
 // The invariant checked everywhere: a request either returns the exact
 // offline answer or fails with a clean retryable status after exhausting its
 // attempts. A single wrong answer — or a hang, bounded by per-attempt socket
 // timeouts — fails the harness. Exit 0 iff every scenario holds.
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <exception>
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -33,6 +46,7 @@
 #include "core/mudbscan.hpp"
 #include "data/generators.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/model.hpp"
 #include "serve/netfault.hpp"
 #include "serve/retry.hpp"
@@ -136,6 +150,7 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(cli.get_int_at_least("queries", 40, 1));
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
     const bool quick = cli.get_bool("quick", false);
+    const std::string trace_out = cli.get_string("trace-out", "");
     cli.check_unused();
 
     const Fixture fx = build_fixture(n, q, seed);
@@ -180,6 +195,32 @@ int main(int argc, char** argv) {
       ScenarioRow row;
       row.name = sc.name;
       drive(fx, client, row);
+      // Mid-scenario telemetry cross-check, scraped through the same faulty
+      // wire (the retry loop absorbs a corrupted scrape): the server must
+      // have counted corrupted frames, and no more than the plan injected.
+      if (std::string(sc.name) == "corrupt") {
+        auto tel = client.telemetry();
+        const auto injected = serve::net_fault_counts().corrupted;
+        if (!tel.ok()) {
+          std::printf("corrupt: telemetry scrape failed: %s\n",
+                      tel.status().to_string().c_str());
+          row.wrong += 1;  // counts as a scenario failure
+        } else if (tel->corrupt_frames_total == 0 ||
+                   tel->corrupt_frames_total > injected) {
+          std::printf("corrupt: telemetry corrupt_frames_total %llu outside "
+                      "(0, injected %llu]\n",
+                      static_cast<unsigned long long>(
+                          tel->corrupt_frames_total),
+                      static_cast<unsigned long long>(injected));
+          row.wrong += 1;
+        } else {
+          std::printf("corrupt: telemetry counted %llu corrupt frames of "
+                      "%llu injected\n",
+                      static_cast<unsigned long long>(
+                          tel->corrupt_frames_total),
+                      static_cast<unsigned long long>(injected));
+        }
+      }
       serve::install_net_fault_plan(nullptr);
       finish(row, metrics);
       if (std::string(sc.name) == "baseline" && row.failed != 0) row.ok = false;
@@ -188,13 +229,24 @@ int main(int argc, char** argv) {
     }
 
     // ---- kill-replica-mid-batch: failover must lose nothing ---------------
+    // Runs traced end to end: one tracer shared by the client (trace pid 0)
+    // and both replicas (pids 1 and 2), so the merged Chrome trace shows a
+    // single classify request's client.attempt spans and the server-side
+    // phase spans under one trace id even as the request hops replicas.
     {
-      serve::QueryServer a(fx.model, {});
-      serve::QueryServer b(fx.model, {});
+      obs::Tracer tracer;
+      serve::ServerConfig cfg_a, cfg_b;
+      cfg_a.tracer = &tracer;
+      cfg_a.trace_pid = 1;
+      cfg_b.tracer = &tracer;
+      cfg_b.trace_pid = 2;
+      serve::QueryServer a(fx.model, cfg_a);
+      serve::QueryServer b(fx.model, cfg_b);
       if (!a.start().ok() || !b.start().ok())
         throw std::runtime_error("replica start failed");
       obs::MetricsRegistry metrics;
-      serve::RetryingClient client({a.port(), b.port()}, policy, &metrics);
+      serve::RetryingClient client({a.port(), b.port()}, policy, &metrics,
+                                   &tracer);
       serve::reset_net_fault_state();
 
       ScenarioRow row;
@@ -205,6 +257,49 @@ int main(int argc, char** argv) {
       finish(row, metrics);
       if (row.failed != 0) row.ok = false;  // zero lost requests, not just
       b.stop();                             // zero wrong answers
+
+      // Trace correlation asserts (server threads quiesced by stop()):
+      //  (a) some request's client.attempt span shares its trace id with a
+      //      serve.* span recorded by a replica thread (pid 1 or 2), and
+      //  (b) the request that straddled the kill shows the retry/failover:
+      //      >= 2 client.attempt spans AND a server-side span on replica b,
+      //      all under one trace id.
+      const std::vector<obs::TraceEvent> events = tracer.events();
+      bool correlated = false, failover_traced = false;
+      for (const obs::TraceEvent& e : events) {
+        if (e.trace_id == 0 ||
+            std::string_view(e.name) != "client.attempt")
+          continue;
+        std::size_t attempts = 0;
+        bool on_server = false, on_b = false;
+        for (const obs::TraceEvent& o : events) {
+          if (o.trace_id != e.trace_id) continue;
+          if (std::string_view(o.name) == "client.attempt") ++attempts;
+          if (o.pid == 1 || o.pid == 2) {
+            on_server = true;
+            if (o.pid == 2) on_b = true;
+          }
+        }
+        correlated = correlated || on_server;
+        failover_traced = failover_traced || (attempts >= 2 && on_b);
+      }
+      if (!correlated || !failover_traced) {
+        std::printf("kill-replica: trace correlation failed (correlated=%d "
+                    "failover_traced=%d, %zu events)\n",
+                    correlated ? 1 : 0, failover_traced ? 1 : 0,
+                    events.size());
+        row.ok = false;
+      } else {
+        std::printf("kill-replica: merged trace correlates client and "
+                    "replica spans across failover (%zu events)\n",
+                    events.size());
+      }
+      if (!trace_out.empty()) {
+        if (Status st = tracer.write_chrome_trace(trace_out); !st.ok())
+          throw std::runtime_error(st.to_string());
+        std::printf("kill-replica: merged Chrome trace written to %s\n",
+                    trace_out.c_str());
+      }
       rows.push_back(row);
     }
 
@@ -221,8 +316,15 @@ int main(int argc, char** argv) {
       ScenarioRow row;
       row.name = "overload";
       // Tile the fixture batch so one classify request takes long enough for
-      // concurrent in-flight windows to actually collide with the budget.
-      const std::size_t tiles = quick ? 8 : 25;
+      // concurrent in-flight windows to actually collide with the budget —
+      // independent of how small --queries is, target a fixed per-request
+      // point count (the telemetry cross-check below requires at least one
+      // real shed, so a too-cheap batch would make the scenario vacuous).
+      const std::size_t target_points = quick ? 4000 : 20000;
+      const std::size_t per_batch = fx.queries.size() / 2;
+      const std::size_t tiles =
+          std::max<std::size_t>(quick ? 8 : 25,
+                                (target_points + per_batch - 1) / per_batch);
       std::vector<double> big;
       std::vector<serve::Classify> big_oracle;
       for (std::size_t rep = 0; rep < tiles; ++rep) {
@@ -273,6 +375,26 @@ int main(int argc, char** argv) {
           server.metrics().snapshot().counter(obs::Counter::kServeShedLoad);
       std::printf("overload: server shed %llu requests\n",
                   static_cast<unsigned long long>(shed));
+      // Telemetry cross-check over the wire: the scraped shed counter must
+      // be live (nonzero — budget 1 under 4 clients must shed) and agree
+      // with the server's own registry now that traffic has drained.
+      {
+        serve::RetryingClient scraper({server.port()}, policy, nullptr);
+        auto tel = scraper.telemetry();
+        if (!tel.ok() || tel->shed_load_total == 0 ||
+            tel->shed_load_total != shed) {
+          std::printf("overload: telemetry shed_load_total %llu does not "
+                      "match registry %llu (or scrape failed)\n",
+                      tel.ok() ? static_cast<unsigned long long>(
+                                     tel->shed_load_total)
+                               : 0ull,
+                      static_cast<unsigned long long>(shed));
+          row.ok = false;
+        } else {
+          std::printf("overload: telemetry matches registry (%llu sheds)\n",
+                      static_cast<unsigned long long>(shed));
+        }
+      }
       server.stop();
       rows.push_back(row);
     }

@@ -6,6 +6,8 @@
 //   $ udbscan_query --port 41233 --neighbors 1.5,2.0 --radius 2.5
 //   $ udbscan_query --port 41233 --point-info 17
 //   $ udbscan_query --port 41233 --stats --out stats.json
+//   $ udbscan_query --port 41233 --telemetry        # live rolling stats, JSON
+//   $ udbscan_query --port 41233 --prometheus       # Prometheus exposition
 //   $ udbscan_query --port 41233 --garbage 5        # protocol abuse probe
 //
 // Classify answers are printed/written in the canonical classify CSV format
@@ -100,6 +102,8 @@ int main(int argc, char** argv) {
     const bool ping = cli.get_bool("ping", false);
     const bool model_info = cli.get_bool("model-info", false);
     const bool stats = cli.get_bool("stats", false);
+    const bool telemetry = cli.get_bool("telemetry", false);
+    const bool prometheus = cli.get_bool("prometheus", false);
     const std::string classify_path = cli.get_string("classify", "");
     const std::int64_t point_info_id = cli.get_int("point-info", -1);
     const std::string neighbors_csv = cli.get_string("neighbors", "");
@@ -111,7 +115,8 @@ int main(int argc, char** argv) {
     if (port == 0) {
       std::fprintf(stderr,
                    "usage: udbscan_query --port P [--ping] [--model-info] "
-                   "[--stats] [--classify queries.csv] [--point-info ID] "
+                   "[--stats] [--telemetry] [--prometheus] "
+                   "[--classify queries.csv] [--point-info ID] "
                    "[--neighbors x,y,... --radius R] [--garbage N] "
                    "[--timeout-s S] [--out file]\n");
       return 2;
@@ -220,6 +225,27 @@ int main(int argc, char** argv) {
         std::printf("stats written to %s\n", out_path.c_str());
       } else {
         std::printf("%s\n", json->c_str());
+      }
+    }
+
+    // Live telemetry scrapes: the server renders the text, the tool just
+    // ships it — so what CI validates is exactly what Prometheus would see.
+    if (telemetry || prometheus) {
+      const serve::TelemetryFormat fmt = prometheus
+                                             ? serve::TelemetryFormat::kPrometheus
+                                             : serve::TelemetryFormat::kJson;
+      auto text = client->telemetry_text(fmt);
+      if (!text.ok()) {
+        std::fprintf(stderr, "udbscan_query: error: %s\n",
+                     text.status().to_string().c_str());
+        return 1;
+      }
+      if (!out_path.empty()) {
+        const Status ws = vfs::write_text_file(out_path, *text + "\n");
+        if (!ws.ok()) throw std::runtime_error(ws.to_string());
+        std::printf("telemetry written to %s\n", out_path.c_str());
+      } else {
+        std::printf("%s\n", text->c_str());
       }
     }
 

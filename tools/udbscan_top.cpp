@@ -1,0 +1,125 @@
+// udbscan_top — `top` for udbscan_serve replicas: scrapes the TELEMETRY
+// admin RPC from one or more servers and renders a refreshing terminal view
+// of the rolling request rate, latency percentiles, and failure counters
+// (docs/OBSERVABILITY.md, "Live telemetry").
+//
+//   $ udbscan_top --ports 41233,41234
+//   $ udbscan_top --ports 41233 --interval-ms 500
+//   $ udbscan_top --ports 41233 --iterations 3 --no-clear   # CI-friendly
+//
+// Each refresh opens a fresh connection per replica (a scrape is one
+// roundtrip; holding a connection would pin an idle-disconnect slot and
+// skew the very numbers being watched). An unreachable replica renders as
+// "down" and keeps being polled — watching a replica come back is the point.
+//
+// Exit codes: 0 after --iterations refreshes (or on EOF/signal for the
+// interactive default), 2 for bad arguments.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+
+using namespace udb;
+
+namespace {
+
+std::vector<std::uint16_t> parse_ports(const std::string& csv) {
+  std::vector<std::uint16_t> out;
+  std::stringstream ss(csv);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) {
+    const int p = std::stoi(cell);
+    if (p <= 0 || p > 65535)
+      throw std::invalid_argument("udbscan_top: bad port: " + cell);
+    out.push_back(static_cast<std::uint16_t>(p));
+  }
+  return out;
+}
+
+// One scrape = one connection, one TELEMETRY roundtrip.
+bool scrape(std::uint16_t port, double timeout, serve::TelemetryReport& out) {
+  auto client = serve::Client::connect(port, timeout);
+  if (!client.ok()) return false;
+  auto t = client->telemetry();
+  if (!t.ok()) return false;
+  out = *t;
+  return true;
+}
+
+void render(const std::vector<std::uint16_t>& ports,
+            const std::vector<serve::TelemetryReport>& reports,
+            const std::vector<bool>& up) {
+  std::printf("%-7s %9s %8s %9s %9s %9s %9s %9s %7s %7s\n", "port", "uptime",
+              "inflight", "qps(1s)", "qps(60s)", "p50(10s)", "p99(10s)",
+              "p999", "shed", "errors");
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    if (!up[i]) {
+      std::printf("%-7u %9s\n", ports[i], "down");
+      continue;
+    }
+    const serve::TelemetryReport& t = reports[i];
+    // windows[] is ordered {1s, 10s, 60s} by the server.
+    const serve::TelemetryWindow& w1 = t.windows[0];
+    const serve::TelemetryWindow& w10 = t.windows[1];
+    const serve::TelemetryWindow& w60 = t.windows[2];
+    std::printf(
+        "%-7u %8.0fs %8llu %9.1f %9.1f %8.0fu %8.0fu %8.0fu %7llu %7llu\n",
+        ports[i], static_cast<double>(t.uptime_us) / 1e6,
+        static_cast<unsigned long long>(t.inflight), w1.qps, w60.qps,
+        w10.p50_us, w10.p99_us, w10.p999_us,
+        static_cast<unsigned long long>(t.shed_load_total +
+                                        t.shed_connections_total),
+        static_cast<unsigned long long>(t.errors_total));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Cli cli(argc, argv);
+    const std::string ports_csv = cli.get_string("ports", "");
+    const std::int64_t interval_ms =
+        cli.get_int_at_least("interval-ms", 1000, 10);
+    const std::int64_t iterations = cli.get_int_at_least("iterations", 0, 0);
+    const bool no_clear = cli.get_bool("no-clear", false);
+    const double timeout = cli.get_positive_double("timeout-s", 2.0);
+    cli.check_unused();
+
+    if (ports_csv.empty()) {
+      std::fprintf(stderr,
+                   "usage: udbscan_top --ports P1,P2,... [--interval-ms 1000] "
+                   "[--iterations N] [--no-clear] [--timeout-s S]\n");
+      return 2;
+    }
+    const std::vector<std::uint16_t> ports = parse_ports(ports_csv);
+
+    for (std::int64_t iter = 0; iterations == 0 || iter < iterations; ++iter) {
+      std::vector<serve::TelemetryReport> reports(ports.size());
+      std::vector<bool> up(ports.size(), false);
+      for (std::size_t i = 0; i < ports.size(); ++i)
+        up[i] = scrape(ports[i], timeout, reports[i]);
+      if (!no_clear) std::printf("\x1b[2J\x1b[H");  // clear + home
+      render(ports, reports, up);
+      std::fflush(stdout);
+      const bool last = iterations != 0 && iter + 1 == iterations;
+      if (!last)
+        std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    return 0;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "udbscan_top: error: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "udbscan_top: error: %s\n", e.what());
+    return 1;
+  }
+}
