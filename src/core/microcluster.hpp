@@ -26,6 +26,17 @@ constexpr McId kInvalidMc = static_cast<McId>(-1);
 
 enum class McKind : std::uint8_t { Sparse, Core, Dense };
 
+// Candidate-MC radius for a ball query: every member lies strictly within
+// eps of its MC centre, so any member within `radius` of a query position
+// belongs to an MC whose centre is within radius + eps (non-strict: the
+// triangle-inequality bound is attained at the boundary). Shared by the
+// µR-tree's arbitrary-position queries and the incremental engine's
+// micro-cluster-accelerated neighborhood scans.
+[[nodiscard]] constexpr double mc_candidate_radius(double radius,
+                                                   double eps) noexcept {
+  return radius + eps;
+}
+
 struct MicroCluster {
   PointId center = kInvalidPoint;
   std::vector<PointId> members;  // includes the centre

@@ -210,7 +210,8 @@ void MuRTree::query_neighborhood(
   // Candidate MCs: centres within radius + eps (<=, so a member exactly at
   // `radius` whose centre sits at the bound is never missed).
   std::vector<PointId> centers;
-  level1_.query_ball(q, radius + eps_, centers, /*strict=*/false);
+  level1_.query_ball(q, mc_candidate_radius(radius, eps_), centers,
+                     /*strict=*/false);
   for (PointId r : centers) {
     if (!aux_[r].root_mbr().overlaps_ball(q, radius)) continue;
     aux_searched_.fetch_add(1, std::memory_order_relaxed);

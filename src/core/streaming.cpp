@@ -1,115 +1,67 @@
 #include "core/streaming.hpp"
 
-#include <cstring>
-#include <stdexcept>
-
-#include "common/distance.hpp"
-
 namespace udb {
+
+namespace {
+
+IncrementalMuDbscan::Config resolve_inc_cfg(const MuDbscanConfig& cfg,
+                                            IncrementalMuDbscan::Config inc) {
+  if (!inc.metrics) inc.metrics = cfg.metrics;
+  return inc;
+}
+
+}  // namespace
 
 StreamingMuDbscan::StreamingMuDbscan(std::size_t dim,
                                      const DbscanParams& params,
-                                     MuDbscanConfig cfg)
-    : dim_(dim), params_(params), cfg_(cfg), centers_(dim) {
-  if (dim_ == 0)
-    throw std::invalid_argument("StreamingMuDbscan: dim must be > 0");
-  if (!(params_.eps > 0.0))
-    throw std::invalid_argument("StreamingMuDbscan: eps must be > 0");
-  if (params_.min_pts == 0)
-    throw std::invalid_argument("StreamingMuDbscan: MinPts must be >= 1");
-}
-
-const double* StreamingMuDbscan::stored_ptr(PointId id) const noexcept {
-  return chunks_[id / kChunkPoints].get() +
-         static_cast<std::size_t>(id % kChunkPoints) * dim_;
-}
+                                     MuDbscanConfig cfg,
+                                     IncrementalMuDbscan::Config inc_cfg)
+    : cfg_(cfg), engine_(dim, params, resolve_inc_cfg(cfg, inc_cfg)) {}
 
 PointId StreamingMuDbscan::insert(std::span<const double> pt) {
-  if (pt.size() != dim_)
-    throw std::invalid_argument("StreamingMuDbscan::insert: wrong dimension");
-
-  // Store coordinates (chunked: existing pointers never move).
-  if (count_ % kChunkPoints == 0)
-    chunks_.push_back(std::make_unique<double[]>(kChunkPoints * dim_));
-  const PointId id = static_cast<PointId>(count_++);
-  double* dst = const_cast<double*>(stored_ptr(id));
-  std::memcpy(dst, pt.data(), dim_ * sizeof(double));
-
-  // Online MC assignment: first centre strictly within eps wins; otherwise
-  // this point founds a new MC. (The batch 2*eps deferral needs a second
-  // pass over deferred points, which a stream cannot replay — documented
-  // deviation; exactness does not depend on the MC partition.)
-  const PointId hit = centers_.first_within({dst, dim_}, params_.eps);
-  if (hit != kInvalidPoint) {
-    const std::size_t mc = hit;
-    ++mc_sizes_[mc];
-    const double d2 =
-        sq_dist(dst, stored_ptr(mc_center_[mc]), dim_);
-    const double half = params_.eps / 2.0;
-    if (d2 < half * half) ++mc_ic_[mc];
-  } else {
-    const auto mc = static_cast<PointId>(mc_sizes_.size());
-    mc_sizes_.push_back(1);
-    mc_ic_.push_back(0);
-    mc_center_.push_back(id);
-    centers_.insert(dst, mc);
-  }
-
-  cached_.reset();  // offline cache invalidated
-  return id;
+  cached_.reset();
+  return engine_.insert(pt);
 }
 
 void StreamingMuDbscan::insert_batch(const Dataset& ds) {
-  if (ds.dim() != dim_)
+  if (ds.dim() != engine_.dim())
     throw std::invalid_argument("StreamingMuDbscan: batch dimension mismatch");
+  cached_.reset();  // batch-granular: one invalidation for the whole batch
   for (std::size_t i = 0; i < ds.size(); ++i)
-    (void)insert(ds.point(static_cast<PointId>(i)));
+    (void)engine_.insert(ds.point(static_cast<PointId>(i)));
 }
 
-std::size_t StreamingMuDbscan::guaranteed_core_lower_bound() const noexcept {
-  std::size_t cores = 0;
-  for (std::size_t mc = 0; mc < mc_sizes_.size(); ++mc) {
-    if (mc_ic_[mc] >= params_.min_pts) {
-      // Dense MC: every inner-circle member is core, and so is the centre.
-      cores += mc_ic_[mc] + 1;
-    } else if (mc_sizes_[mc] >= params_.min_pts) {
-      cores += 1;  // core MC: the centre is core
-    }
-  }
-  return cores;
+bool StreamingMuDbscan::erase(PointId id) {
+  if (!engine_.erase(id)) return false;
+  cached_.reset();
+  return true;
 }
 
-void StreamingMuDbscan::materialize() {
-  if (!materialized_) materialized_.emplace(Dataset::empty(dim_));
-  if (materialized_count_ == count_) return;
-  // Append only the points ingested since the previous materialization,
-  // chunk-contiguous run by run (the prefix already in the buffer is
-  // immutable: chunks are append-only and insertion order never changes).
-  materialized_->reserve(count_);
-  std::size_t i = materialized_count_;
-  while (i < count_) {
-    const std::size_t run_end =
-        std::min(count_, (i / kChunkPoints + 1) * kChunkPoints);
-    materialized_->append_raw(
-        {stored_ptr(static_cast<PointId>(i)), (run_end - i) * dim_});
-    i = run_end;
-  }
-  materialized_count_ = count_;
+PointId StreamingMuDbscan::erase_equal(std::span<const double> pt) {
+  const PointId id = engine_.erase_equal(pt);
+  if (id != kInvalidPoint) cached_.reset();
+  return id;
 }
 
 const Dataset& StreamingMuDbscan::dataset() {
-  materialize();
+  const std::uint64_t deletes = engine_.stats().deletes;
+  if (!materialized_ || deletes != materialized_deletes_) {
+    materialized_.emplace(engine_.survivors());
+  } else if (materialized_total_ < engine_.total()) {
+    // Insert-only growth since the last materialization: the cached prefix
+    // is untouched (ids are append-only and none were erased), so only the
+    // new ids need appending.
+    materialized_->reserve(engine_.size());
+    for (std::size_t id = materialized_total_; id < engine_.total(); ++id)
+      materialized_->push_back(engine_.point(static_cast<PointId>(id)));
+  }
+  materialized_total_ = engine_.total();
+  materialized_deletes_ = deletes;
   return *materialized_;
 }
 
 const ClusteringResult& StreamingMuDbscan::result() {
-  if (!cached_) {
-    // Bring the contiguous view up to date and run the exact batch algorithm
-    // (offline phase). Reusing the online MC partition here would be
-    // possible but buys little: phases 2-4 dominate.
-    materialize();
-    cached_.emplace(mu_dbscan(*materialized_, params_, &stats_, cfg_));
-  }
+  if (!cached_) cached_.emplace(engine_.result());
   return *cached_;
 }
 

@@ -3,94 +3,107 @@
 // realized with the classic online/offline split of the stream-clustering
 // literature the paper's micro-cluster notion descends from (CluStream):
 //
-//   * ONLINE: every arriving point is absorbed into the micro-cluster
-//     structure in O(log m) — join the first MC whose centre is strictly
-//     within eps, else found a new MC. Running DMC/CMC classification gives
-//     instant *guaranteed* core-point counts (Lemmas 1 & 2 hold online: a
-//     point provably core now stays core as more points arrive, because
-//     core status is monotone in the point set).
-//   * OFFLINE: result() produces the exact DBSCAN clustering of everything
-//     ingested so far (identical to batch µDBSCAN over the same points),
-//     recomputed lazily and cached until the next insertion.
+//   * ONLINE: every arriving point (or tombstone) is absorbed by the
+//     incremental engine (core/incremental.hpp): micro-cluster assignment,
+//     exact neighbor-count maintenance, and a scoped cluster-graph repair.
+//     Core counts are exact at every instant — no lower-bound slack.
+//   * OFFLINE: result() is the exact DBSCAN clustering of everything alive
+//     (identical, after canonicalization, to batch µDBSCAN over the same
+//     points) — extracted from the maintained state in O(survivors) with
+//     zero neighborhood queries, cached until the next mutation.
 //
-// Coordinates live in chunked storage so pointers handed to the level-1
-// R-tree stay stable across insertions.
+// This class is the serving-facing adapter: it owns the offline caches
+// (result + contiguous dataset view) and batch-granular invalidation, and
+// delegates all clustering state to IncrementalMuDbscan.
 
 #pragma once
 
-#include <memory>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "common/dataset.hpp"
+#include "core/incremental.hpp"
 #include "core/mudbscan.hpp"
-#include "index/rtree.hpp"
 
 namespace udb {
 
 class StreamingMuDbscan {
  public:
+  // `cfg` carries the shared engine knobs (metrics registry); `inc_cfg`
+  // the incremental-specific ones (blast-radius cap). When inc_cfg has no
+  // registry of its own, cfg.metrics is used, so callers that already wire
+  // a registry through MuDbscanConfig get the inc_* counters for free.
   StreamingMuDbscan(std::size_t dim, const DbscanParams& params,
-                    MuDbscanConfig cfg = {});
+                    MuDbscanConfig cfg = {},
+                    IncrementalMuDbscan::Config inc_cfg = {});
 
-  // Online ingestion: O(log m) micro-cluster assignment.
+  // Online ingestion: one incremental engine update per point.
   PointId insert(std::span<const double> pt);
+  // Whole-batch ingestion with batch-granular cache invalidation: the
+  // offline caches are dropped once up front, never per point.
   void insert_batch(const Dataset& ds);
 
-  [[nodiscard]] std::size_t size() const noexcept { return count_; }
-  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
-  [[nodiscard]] const DbscanParams& params() const noexcept { return params_; }
+  // Online removal (docs/INCREMENTAL.md). erase() by the id insert()
+  // returned; erase_equal() by bitwise-equal coordinates (the WAL-tombstone
+  // replay primitive). Both repair the clustering before returning.
+  bool erase(PointId id);
+  PointId erase_equal(std::span<const double> pt);
+
+  [[nodiscard]] std::size_t size() const noexcept { return engine_.size(); }
+  [[nodiscard]] std::size_t dim() const noexcept { return engine_.dim(); }
+  [[nodiscard]] const DbscanParams& params() const noexcept {
+    return engine_.params();
+  }
   [[nodiscard]] const MuDbscanConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] std::size_t num_mcs() const noexcept {
-    return mc_sizes_.size();
+    return engine_.num_mcs();
   }
 
-  // Lower bound on the number of core points among everything ingested,
-  // maintained online with zero neighborhood queries: inner-circle members
-  // of dense MCs plus centres of core MCs (Lemmas 1 & 2). The exact count
-  // (from result()) is always >= this.
-  [[nodiscard]] std::size_t guaranteed_core_lower_bound() const noexcept;
+  // Historically a query-free Lemma 1/2 lower bound; the incremental engine
+  // maintains the exact core count query-free, so the tightest possible
+  // lower bound is the count itself. Kept under the old name for callers
+  // that only rely on soundness (bound <= exact).
+  [[nodiscard]] std::size_t guaranteed_core_lower_bound() const noexcept {
+    return engine_.num_core();
+  }
 
-  // Exact DBSCAN clustering of all points ingested so far — identical to
-  // mu_dbscan() over the same points in insertion order. Cached; recomputed
-  // only after new insertions. Also exposes the batch stats of the last
-  // recomputation.
+  // Incremental-maintenance telemetry (blast radius, repairs, fallbacks).
+  [[nodiscard]] const IncrementalMuDbscan::Stats& update_stats()
+      const noexcept {
+    return engine_.stats();
+  }
+
+  // Direct engine access (read-only): point lookup by id, invariant audits.
+  [[nodiscard]] const IncrementalMuDbscan& engine() const noexcept {
+    return engine_;
+  }
+
+  // Exact canonical DBSCAN clustering of all alive points in insertion
+  // order — equals canonicalize_clustering(dataset(), params, mu_dbscan())
+  // after any interleaved insert/erase sequence. Cached until the next
+  // mutation; extraction is O(survivors) with zero neighborhood queries.
   const ClusteringResult& result();
-  [[nodiscard]] const MuDbscanStats& last_stats() const { return stats_; }
 
-  // The ingested points as one contiguous Dataset in insertion order —
-  // the point set result() clustered. Materializes (incrementally: only
-  // points ingested since the previous materialization are appended to the
-  // cached buffer) but does not trigger the offline clustering.
+  // The alive points as one contiguous Dataset in insertion order — the
+  // point set result() is aligned with. Insert-only growth appends to the
+  // cached buffer; an erase since the last call forces a rebuild.
   const Dataset& dataset();
 
  private:
-  [[nodiscard]] const double* stored_ptr(PointId id) const noexcept;
-  void materialize();
-
-  std::size_t dim_;
-  DbscanParams params_;
   MuDbscanConfig cfg_;
+  IncrementalMuDbscan engine_;
 
-  // Chunked coordinate storage: pointer-stable across growth.
-  static constexpr std::size_t kChunkPoints = 4096;
-  std::vector<std::unique_ptr<double[]>> chunks_;
-  std::size_t count_ = 0;
-
-  // Online micro-cluster summary.
-  RTree centers_;                        // level-1 tree over MC centres
-  std::vector<std::uint32_t> mc_sizes_;  // members per MC (centre included)
-  std::vector<std::uint32_t> mc_ic_;     // strict inner-circle counts
-  std::vector<PointId> mc_center_;       // centre point id per MC
-
-  // Offline cache. materialized_ holds the first materialized_count_ ingested
-  // points and only ever grows — a recompute appends the chunks added since
-  // the previous materialization instead of rebuilding the whole buffer.
+  // Offline caches, dropped on any mutation (once per batch for
+  // insert_batch). materialized_ tracks the engine ids it covers plus the
+  // erase counter at build time: with no new erases the cached prefix is
+  // still exactly the alive ids below materialized_total_, so growth is an
+  // append; any erase invalidates the prefix wholesale.
   std::optional<ClusteringResult> cached_;
   std::optional<Dataset> materialized_;
-  std::size_t materialized_count_ = 0;
-  MuDbscanStats stats_;
+  std::size_t materialized_total_ = 0;
+  std::uint64_t materialized_deletes_ = 0;
 };
 
 }  // namespace udb

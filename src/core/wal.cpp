@@ -13,19 +13,24 @@ namespace udb {
 
 namespace {
 
-std::vector<std::uint8_t> encode_wal_header(std::size_t dim) {
+std::vector<std::uint8_t> encode_wal_header(std::size_t dim,
+                                            std::uint64_t epoch) {
   serve::ByteWriter w;
   w.raw(kWalMagic, sizeof kWalMagic);
   w.u32(kWalVersion);
   w.u64(dim);
+  w.u64(epoch);
   return w.take();
 }
 
 struct WalScan {
   std::size_t dim = 0;
+  std::uint32_t version = 0;
+  std::uint64_t epoch = 0;
   std::vector<double> coords;
   std::vector<std::uint64_t> starts;
   std::vector<std::uint64_t> counts;
+  std::vector<std::uint8_t> types;
   std::uint64_t records = 0;
   std::size_t committed_bytes = 0;  // header + every committed record
   std::uint64_t torn_bytes = 0;
@@ -37,20 +42,28 @@ struct WalScan {
 StatusOr<WalScan> scan_wal(std::span<const std::uint8_t> bytes,
                            std::size_t expected_dim,
                            const std::string& origin) {
-  if (bytes.size() < kWalHeaderBytes)
+  if (bytes.size() < kWalV1HeaderBytes)
     return DataLossError("wal: " + origin + " too small to hold a header (" +
                          std::to_string(bytes.size()) + " bytes)");
-  serve::ByteReader h(bytes.subspan(0, kWalHeaderBytes));
+  serve::ByteReader h(bytes.subspan(0, kWalV1HeaderBytes));
   char magic[4];
   std::uint32_t version = 0;
   std::uint64_t dim = 0;
   if (!h.raw(magic, sizeof magic) || !h.u32(version) || !h.u64(dim) ||
       std::memcmp(magic, kWalMagic, sizeof magic) != 0)
     return DataLossError("wal: " + origin + " has no WAL header (bad magic)");
-  if (version != kWalVersion)
+  if (version != 1 && version != kWalVersion)
     return DataLossError("wal: " + origin + " is version " +
-                         std::to_string(version) + ", this build reads " +
+                         std::to_string(version) + ", this build reads 1.." +
                          std::to_string(kWalVersion));
+  std::uint64_t epoch = 0;
+  const std::size_t header_bytes =
+      version == 1 ? kWalV1HeaderBytes : kWalHeaderBytes;
+  if (version >= 2) {
+    if (bytes.size() < kWalHeaderBytes)
+      return DataLossError("wal: " + origin + " truncated inside the header");
+    std::memcpy(&epoch, bytes.data() + kWalV1HeaderBytes, 8);
+  }
   if (dim == 0 || dim > std::numeric_limits<std::size_t>::max() / sizeof(double))
     return DataLossError("wal: " + origin + " header has absurd dim " +
                          std::to_string(dim));
@@ -61,28 +74,37 @@ StatusOr<WalScan> scan_wal(std::span<const std::uint8_t> bytes,
 
   WalScan out;
   out.dim = static_cast<std::size_t>(dim);
-  std::size_t off = kWalHeaderBytes;
+  out.version = version;
+  out.epoch = epoch;
+  // v2 payloads carry a leading type byte; v1 payloads start at the index.
+  const std::size_t fixed = version == 1 ? 16 : 17;
+  std::size_t off = header_bytes;
   while (bytes.size() - off >= 8) {
     std::uint32_t len = 0, stored_crc = 0;
     std::memcpy(&len, bytes.data() + off, 4);
     std::memcpy(&stored_crc, bytes.data() + off + 4, 4);
-    if (len < 16 || len > bytes.size() - off - 8) break;  // torn frame
+    if (len < fixed || len > bytes.size() - off - 8) break;  // torn frame
     const std::uint8_t* payload = bytes.data() + off + 8;
     if (serve::crc32(payload, len) != stored_crc) break;  // torn / rotted
+    std::uint8_t type = static_cast<std::uint8_t>(WalRecordType::kInsert);
+    std::size_t at = 0;
+    if (version >= 2) type = payload[at++];
     std::uint64_t start = 0, count = 0;
-    std::memcpy(&start, payload, 8);
-    std::memcpy(&count, payload + 8, 8);
+    std::memcpy(&start, payload + at, 8);
+    std::memcpy(&count, payload + at + 8, 8);
     // CRC-valid but inconsistent framing still ends the prefix: it cannot
     // have come from WalWriter, so nothing after it is trustworthy either.
-    if (count == 0 || count > (len - 16) / (out.dim * sizeof(double)) ||
-        16 + count * out.dim * sizeof(double) != len)
+    if (type > static_cast<std::uint8_t>(WalRecordType::kTombstone) ||
+        count == 0 || count > (len - fixed) / (out.dim * sizeof(double)) ||
+        fixed + count * out.dim * sizeof(double) != len)
       break;
     const std::size_t prev = out.coords.size();
     out.coords.resize(prev + static_cast<std::size_t>(count) * out.dim);
-    std::memcpy(out.coords.data() + prev, payload + 16,
+    std::memcpy(out.coords.data() + prev, payload + fixed,
                 static_cast<std::size_t>(count) * out.dim * sizeof(double));
     out.starts.push_back(start);
     out.counts.push_back(count);
+    out.types.push_back(type);
     ++out.records;
     off += 8 + len;
   }
@@ -106,6 +128,7 @@ WalWriter::WalWriter(WalWriter&& o) noexcept
       records_(o.records_),
       bytes_(o.bytes_),
       next_start_(o.next_start_),
+      epoch_(o.epoch_),
       charged_bytes_(o.charged_bytes_),
       open_(o.open_) {
   o.charged_bytes_ = 0;
@@ -123,6 +146,7 @@ WalWriter& WalWriter::operator=(WalWriter&& o) noexcept {
     records_ = o.records_;
     bytes_ = o.bytes_;
     next_start_ = o.next_start_;
+    epoch_ = o.epoch_;
     charged_bytes_ = o.charged_bytes_;
     open_ = o.open_;
     o.charged_bytes_ = 0;
@@ -150,6 +174,11 @@ StatusOr<WalWriter> WalWriter::open(const std::string& path, std::size_t dim,
   if (bytes.ok()) {
     auto scan = scan_wal(std::span<const std::uint8_t>(*bytes), dim, path);
     if (!scan.ok()) return scan.status();
+    if (scan->version != kWalVersion)
+      return DataLossError(
+          "wal: " + path + " is version " + std::to_string(scan->version) +
+          "; this build appends version " + std::to_string(kWalVersion) +
+          " records only — recover the old log, then reset() or remove it");
     if (scan->torn_bytes != 0) {
       // Cut the torn tail back to the committed prefix with an atomic
       // rewrite, so fresh appends always extend valid records.
@@ -159,10 +188,21 @@ StatusOr<WalWriter> WalWriter::open(const std::string& path, std::size_t dim,
     }
     w.records_ = scan->records;
     w.bytes_ = scan->committed_bytes;
-    if (scan->records != 0)
-      w.next_start_ = scan->starts.back() + scan->counts.back();
+    w.epoch_ = scan->epoch;
+    // Contiguity resumes from the last committed *insert* record; tombstones
+    // sit outside the insert chain.
+    for (std::size_t r = scan->records; r-- > 0;) {
+      if (scan->types[r] ==
+          static_cast<std::uint8_t>(WalRecordType::kInsert)) {
+        w.next_start_ = scan->starts[r] + scan->counts[r];
+        break;
+      }
+    }
+    for (const std::uint8_t t : scan->types)
+      if (t == static_cast<std::uint8_t>(WalRecordType::kInsert))
+        ++w.insert_records_;
   } else if (bytes.status().code() == StatusCode::kNotFound) {
-    const std::vector<std::uint8_t> header = encode_wal_header(dim);
+    const std::vector<std::uint8_t> header = encode_wal_header(dim, 0);
     Status s = vfs::write_file_atomic(path, header.data(), header.size());
     if (!s.ok()) return s;
     w.bytes_ = header.size();
@@ -193,7 +233,7 @@ Status WalWriter::append(std::uint64_t start_index,
     return InvalidArgumentError(
         "wal: append of " + std::to_string(coords.size()) +
         " values is not a non-zero multiple of dim " + std::to_string(dim_));
-  if (records_ != 0 && start_index != next_start_)
+  if (insert_records_ != 0 && start_index != next_start_)
     return InvalidArgumentError(
         "wal: append at stream index " + std::to_string(start_index) +
         " breaks contiguity (log ends at " + std::to_string(next_start_) +
@@ -201,8 +241,25 @@ Status WalWriter::append(std::uint64_t start_index,
   for (double v : coords)
     if (!std::isfinite(v))
       return InvalidArgumentError("wal: non-finite coordinate in append");
+  return emit_record(WalRecordType::kInsert, start_index, coords);
+}
 
+Status WalWriter::append_delete(std::span<const double> coords) {
+  if (!open_)
+    return InternalError("wal: append_delete on a closed or failed writer " +
+                         path_);
+  if (coords.empty() || coords.size() % dim_ != 0)
+    return InvalidArgumentError(
+        "wal: append_delete of " + std::to_string(coords.size()) +
+        " values is not a non-zero multiple of dim " + std::to_string(dim_));
+  // No finiteness check: a tombstone names bytes already in the stream.
+  return emit_record(WalRecordType::kTombstone, 0, coords);
+}
+
+Status WalWriter::emit_record(WalRecordType type, std::uint64_t start_index,
+                              std::span<const double> coords) {
   serve::ByteWriter payload;
+  payload.u8(static_cast<std::uint8_t>(type));
   payload.u64(start_index);
   payload.u64(coords.size() / dim_);
   payload.raw(coords.data(), coords.size() * sizeof(double));
@@ -230,7 +287,10 @@ Status WalWriter::append(std::uint64_t start_index,
   }
   charged_bytes_ += frame.size();
   bytes_ += frame.size();
-  next_start_ = start_index + coords.size() / dim_;
+  if (type == WalRecordType::kInsert) {
+    next_start_ = start_index + coords.size() / dim_;
+    ++insert_records_;
+  }
   ++records_;
   return Status::Ok();
 }
@@ -242,7 +302,7 @@ Status WalWriter::sync() {
   return file_.sync();
 }
 
-Status WalWriter::reset() {
+Status WalWriter::reset(std::uint64_t epoch) {
   if (!open_)
     return InternalError("wal: reset on a closed or failed writer for " +
                          path_);
@@ -250,7 +310,7 @@ Status WalWriter::reset() {
   open_ = false;
   if (!s.ok()) return s;
 
-  const std::vector<std::uint8_t> header = encode_wal_header(dim_);
+  const std::vector<std::uint8_t> header = encode_wal_header(dim_, epoch);
   s = vfs::write_file_atomic(path_, header.data(), header.size());
   if (!s.ok()) return s;
 
@@ -259,8 +319,10 @@ Status WalWriter::reset() {
   file_ = std::move(*f);
   open_ = true;
   records_ = 0;
+  insert_records_ = 0;
   bytes_ = header.size();
   next_start_ = 0;
+  epoch_ = epoch;
   if (cfg_.guard != nullptr && charged_bytes_ > header.size()) {
     cfg_.guard->release(charged_bytes_ - header.size());
     charged_bytes_ = header.size();
@@ -288,6 +350,8 @@ StatusOr<WalReplay> replay_wal(const std::string& path,
   out.coords = std::move(scan->coords);
   out.starts = std::move(scan->starts);
   out.counts = std::move(scan->counts);
+  out.types = std::move(scan->types);
+  out.epoch = scan->epoch;
   out.records = scan->records;
   out.torn_bytes = scan->torn_bytes;
   return out;

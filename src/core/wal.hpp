@@ -12,11 +12,23 @@
 // Format (little-endian, all through common/vfs.* so fault injection and
 // crash points cover every byte):
 //
-//   header   magic "UDBW" | u32 version | u64 dim          (16 bytes)
+//   header   magic "UDBW" | u32 version | u64 dim | u64 epoch   (24 bytes)
 //   record   u32 payload_len | u32 crc32(payload) | payload
-//   payload  u64 start_index | u64 count | count*dim f64 coords
+//   payload  u8 type | u64 start_index | u64 count | count*dim f64 coords
 //
-// start_index is the stream insertion index of the record's first point.
+// Record types: 0 = insert (count ingested points starting at start_index),
+// 1 = tombstone (count deleted points, matched during replay by bitwise
+// coordinate equality — see IncrementalMuDbscan::erase_equal; start_index is
+// written as 0 and ignored). The header epoch ties a log to the snapshot
+// generation it extends: reset(generation) stamps it, and recovery replays
+// tombstone-bearing logs only when the epoch matches the loaded generation
+// (docs/ROBUSTNESS.md §Deletes). Version-1 logs (16-byte header, no type
+// byte, no epoch) are still replayed — as insert-only, epoch 0 — but the
+// writer refuses to append to them: mixing typed records into an untyped log
+// would make old readers mis-parse it.
+//
+// start_index is the stream insertion index of an insert record's first
+// point.
 // It makes recovery self-aligning across the publish/reset race: a crash
 // after the snapshot generation publishes but before reset() leaves records
 // the snapshot already covers — replay skips any point below the snapshot's
@@ -44,8 +56,12 @@
 namespace udb {
 
 inline constexpr char kWalMagic[4] = {'U', 'D', 'B', 'W'};
-inline constexpr std::uint32_t kWalVersion = 1;
-inline constexpr std::size_t kWalHeaderBytes = 4 + 4 + 8;
+inline constexpr std::uint32_t kWalVersion = 2;
+inline constexpr std::size_t kWalHeaderBytes = 4 + 4 + 8 + 8;
+// Version-1 logs (read-compat only): no epoch field, no record type byte.
+inline constexpr std::size_t kWalV1HeaderBytes = 4 + 4 + 8;
+
+enum class WalRecordType : std::uint8_t { kInsert = 0, kTombstone = 1 };
 
 struct WalConfig {
   bool sync_each_append = true;  // fsync per record: the durability floor
@@ -78,12 +94,20 @@ class WalWriter {
   [[nodiscard]] Status append(std::uint64_t start_index,
                               std::span<const double> coords);
 
+  // Appends one tombstone record of coords.size()/dim deleted points
+  // (bitwise coordinates of the points to erase on replay; non-finite values
+  // allowed — a tombstone must be able to name whatever was ingested).
+  // Tombstones sit outside the insert contiguity chain: next_start() does
+  // not advance.
+  [[nodiscard]] Status append_delete(std::span<const double> coords);
+
   [[nodiscard]] Status sync();
 
   // Truncates the log to header-only (atomic rewrite + fsync) — called right
   // after a snapshot generation publishes, making the snapshot the new
-  // durability floor. Releases the records' budget charge.
-  [[nodiscard]] Status reset();
+  // durability floor — and stamps the header with that generation's epoch.
+  // Releases the records' budget charge.
+  [[nodiscard]] Status reset(std::uint64_t epoch = 0);
 
   [[nodiscard]] Status close();
 
@@ -96,17 +120,24 @@ class WalWriter {
   [[nodiscard]] std::uint64_t next_start() const noexcept {
     return next_start_;
   }
+  // Snapshot generation this log extends (0 until reset() stamps one).
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
 
  private:
   void release_charge() noexcept;
+  [[nodiscard]] Status emit_record(WalRecordType type,
+                                   std::uint64_t start_index,
+                                   std::span<const double> coords);
 
   std::string path_;
   std::size_t dim_ = 0;
   WalConfig cfg_;
   vfs::File file_;  // owned append handle
   std::uint64_t records_ = 0;
+  std::uint64_t insert_records_ = 0;  // records of type kInsert
   std::uint64_t bytes_ = 0;          // total file bytes incl. header
   std::uint64_t next_start_ = 0;     // contiguity check for append
+  std::uint64_t epoch_ = 0;          // header epoch (snapshot generation)
   std::size_t charged_bytes_ = 0;    // currently charged to cfg_.guard
   bool open_ = false;
 };
@@ -116,11 +147,20 @@ struct WalReplay {
   std::vector<double> coords;           // committed points, append order
   std::vector<std::uint64_t> starts;    // per-record stream start index
   std::vector<std::uint64_t> counts;    // per-record point count
+  std::vector<std::uint8_t> types;      // per-record WalRecordType
+  std::uint64_t epoch = 0;              // header epoch (0 for v1 logs)
   std::uint64_t records = 0;            // committed records accepted
   std::uint64_t torn_bytes = 0;  // uncommitted tail dropped (crash artifact)
 
+  // All committed coordinate rows, insert and tombstone records combined.
   [[nodiscard]] std::size_t points() const noexcept {
     return dim == 0 ? 0 : coords.size() / dim;
+  }
+  [[nodiscard]] bool has_tombstones() const noexcept {
+    for (const std::uint8_t t : types)
+      if (t == static_cast<std::uint8_t>(WalRecordType::kTombstone))
+        return true;
+    return false;
   }
 };
 

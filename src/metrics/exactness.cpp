@@ -1,7 +1,10 @@
 #include "metrics/exactness.hpp"
 
 #include <set>
+#include <stdexcept>
 #include <unordered_map>
+
+#include "common/distance.hpp"
 
 namespace udb {
 
@@ -87,6 +90,53 @@ ExactnessReport compare_exact(const ClusteringResult& a,
                  " vs " + std::to_string(b.num_clusters());
   }
   return rep;
+}
+
+ClusteringResult canonicalize_clustering(const Dataset& ds,
+                                         const DbscanParams& prm,
+                                         ClusteringResult res) {
+  const std::size_t n = res.size();
+  if (n != ds.size())
+    throw std::invalid_argument(
+        "canonicalize_clustering: result/dataset size mismatch");
+  const double eps2 = prm.eps * prm.eps;
+
+  std::vector<PointId> cores;
+  for (std::size_t i = 0; i < n; ++i)
+    if (res.is_core[i]) cores.push_back(static_cast<PointId>(i));
+
+  // Border re-attachment: nearest core strictly within eps, ties by
+  // (squared distance, point id). O(borders * cores) — this helper exists
+  // for test oracles and harness verification, not the serving hot path.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (res.is_core[i] || res.label[i] == kNoise) continue;
+    const double* p = ds.ptr(static_cast<PointId>(i));
+    PointId best = kInvalidPoint;
+    double best_d2 = 0.0;
+    for (PointId c : cores) {
+      const double d2 = sq_dist(p, ds.ptr(c), ds.dim());
+      if (d2 >= eps2) continue;
+      if (best == kInvalidPoint || d2 < best_d2 ||
+          (d2 == best_d2 && c < best)) {
+        best = c;
+        best_d2 = d2;
+      }
+    }
+    // A border point by definition has a core neighbor; defensively demote
+    // to noise if the input was inconsistent.
+    res.label[i] = best == kInvalidPoint ? kNoise : res.label[best];
+  }
+
+  // Renumber cluster ids by first occurrence in point order.
+  std::unordered_map<std::int64_t, std::int64_t> renum;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (res.label[i] == kNoise) continue;
+    res.label[i] = renum
+                       .try_emplace(res.label[i],
+                                    static_cast<std::int64_t>(renum.size()))
+                       .first->second;
+  }
+  return res;
 }
 
 }  // namespace udb

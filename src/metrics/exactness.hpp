@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "common/dataset.hpp"
 #include "metrics/clustering.hpp"
 
 namespace udb {
@@ -32,5 +33,25 @@ struct ExactnessReport {
 
 [[nodiscard]] ExactnessReport compare_exact(const ClusteringResult& a,
                                             const ClusteringResult& b);
+
+// Canonical form of a clustering: every legal clustering of the same point
+// set maps to the same canonical labeling, so two canonical clusterings can
+// be compared with plain vector equality (the check the crash harness and
+// the incremental engine's differential suite use — stronger in practice
+// than compare_exact because it also pins border membership to one rule).
+//
+//   1. Border re-attachment: each border point is re-assigned to the cluster
+//      of its *nearest* core strictly within eps, ties broken by lower
+//      squared distance then lower point id. DBSCAN leaves border membership
+//      order-dependent; nearest-core is the one order-free choice.
+//   2. Label renumbering: cluster ids are renumbered by first occurrence in
+//      point order (0, 1, 2, ...).
+//
+// Core flags and the noise set are preserved exactly; only border labels and
+// cluster id names change. `ds` must be the point set `res` was computed
+// over, in the same order.
+[[nodiscard]] ClusteringResult canonicalize_clustering(const Dataset& ds,
+                                                       const DbscanParams& prm,
+                                                       ClusteringResult res);
 
 }  // namespace udb

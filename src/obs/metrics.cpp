@@ -52,6 +52,9 @@ const char* counter_name(Counter c) {
     case Counter::kServeClientRetries: return "serve_client_retries";
     case Counter::kServeClientFailovers: return "serve_client_failovers";
     case Counter::kServeClientGiveUps: return "serve_client_give_ups";
+    case Counter::kIncMcsTouched: return "inc_mcs_touched";
+    case Counter::kIncGraphEdgesRepaired: return "inc_graph_edges_repaired";
+    case Counter::kIncFullFallbacks: return "inc_full_fallbacks";
     case Counter::kNumCounters: break;
   }
   return "unknown";
@@ -106,6 +109,9 @@ const char* counter_unit(Counter c) {
     case Counter::kServeClientRetries:
       return "retries";
     case Counter::kServeClientFailovers: return "failovers";
+    case Counter::kIncMcsTouched: return "micro-clusters";
+    case Counter::kIncGraphEdgesRepaired: return "repairs";
+    case Counter::kIncFullFallbacks: return "updates";
     case Counter::kNumCounters: break;
   }
   return "";
@@ -121,6 +127,7 @@ const char* hist_name(Hist h) {
     case Hist::kServeBatchSize: return "serve_batch_size";
     case Hist::kServeIdleWaitUs: return "serve_idle_wait_us";
     case Hist::kServeAcceptBackoffUs: return "serve_accept_backoff_us";
+    case Hist::kIncBlastRadius: return "inc_blast_radius";
     case Hist::kNumHists: break;
   }
   return "unknown";
@@ -136,6 +143,7 @@ const char* hist_unit(Hist h) {
     case Hist::kServeBatchSize: return "points";
     case Hist::kServeIdleWaitUs: return "microseconds";
     case Hist::kServeAcceptBackoffUs: return "microseconds";
+    case Hist::kIncBlastRadius: return "micro-clusters";
     case Hist::kNumHists: break;
   }
   return "";

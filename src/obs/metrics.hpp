@@ -101,6 +101,13 @@ enum class Counter : std::uint32_t {
   kServeClientFailovers,       // client: endpoint switches on failure
   kServeClientGiveUps,         // client: requests failed after all attempts
 
+  // Incremental maintenance (src/core/incremental.*, docs/INCREMENTAL.md).
+  // Every insert/erase runs micro-cluster-accelerated neighborhood scans and
+  // a scoped cluster-graph repair; these counters expose the blast radius.
+  kIncMcsTouched,              // candidate MCs scanned across update queries
+  kIncGraphEdgesRepaired,      // cluster-graph repairs: unions + split relabels
+  kIncFullFallbacks,           // updates that exceeded the blast-radius cap
+
   kNumCounters,
 };
 
@@ -113,6 +120,7 @@ enum class Hist : std::uint32_t {
   kServeBatchSize,     // serving: points per classify batch request
   kServeIdleWaitUs,    // serving: idle microseconds before a timeout disconnect
   kServeAcceptBackoffUs,  // serving: microseconds slept per accept() backoff
+  kIncBlastRadius,     // micro-clusters touched per incremental update
   kNumHists,
 };
 

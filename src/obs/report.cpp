@@ -137,6 +137,17 @@ void write_metrics_snapshot(JsonWriter& w, const MetricsSnapshot& snap,
        snap.counter(Counter::kPostCoreDistanceEvals));
   w.end_object();
 
+  // Online insert/erase maintenance (core/incremental.*): how local the
+  // updates stayed. mcs_touched is summed blast radius; the per-update
+  // distribution is the inc_blast_radius histogram below.
+  w.key("incremental");
+  w.begin_object();
+  w.kv("mcs_touched", snap.counter(Counter::kIncMcsTouched));
+  w.kv("graph_edges_repaired",
+       snap.counter(Counter::kIncGraphEdgesRepaired));
+  w.kv("full_fallbacks", snap.counter(Counter::kIncFullFallbacks));
+  w.end_object();
+
   // Flat catalog: every counter by name (units in docs/OBSERVABILITY.md).
   w.key("counters");
   w.begin_object();
@@ -156,7 +167,7 @@ void write_metrics_snapshot(JsonWriter& w, const MetricsSnapshot& snap,
 std::string run_report_json(const RunReportInputs& in) {
   JsonWriter w;
   w.begin_object();
-  w.kv("schema_version", std::uint64_t{1});
+  w.kv("schema_version", std::uint64_t{2});
 
   w.key("run");
   w.begin_object();

@@ -198,7 +198,7 @@ StatusOr<std::shared_ptr<const ClusterModel>> model_from_stream(
         "serve");
   ModelSnapshot snap;
   try {
-    snap.result = stream.result();  // exact offline recompute (cached)
+    snap.result = stream.result();  // exact incremental labels (canonical)
     snap.data = stream.dataset();
   } catch (const StatusError& e) {
     return e.status();

@@ -222,6 +222,40 @@ StatusOr<RecoveredStream> recover_stream(const SnapshotStore& store,
     Status s = charge.acquire(guard, rep->coords.size() * sizeof(double),
                               "recover_wal");
     if (!s.ok()) return s;
+    if (rep->epoch != 0 || rep->has_tombstones()) {
+      // Epoch-gated replay (docs/ROBUSTNESS.md §Deletes). A tombstone erases
+      // by bitwise coordinates, which is only meaningful against the exact
+      // state it was logged on top of — start-index realignment cannot
+      // reconcile it with a different generation. reset(generation) stamps
+      // the log with the generation it extends; replay everything in record
+      // order when that generation is the one that loaded, drop the log
+      // wholesale otherwise (a mismatch means the manifest's generation was
+      // lost and an older one answered — replaying would corrupt it).
+      if (rep->epoch != out.generation) {
+        out.wal_epoch_mismatch = true;
+        return out;
+      }
+      std::size_t coff = 0;
+      for (std::size_t i = 0; i < rep->starts.size(); ++i) {
+        const std::size_t record_doubles =
+            static_cast<std::size_t>(rep->counts[i]) * dim;
+        const std::span<const double> rows{rep->coords.data() + coff,
+                                           record_doubles};
+        if (rep->types[i] ==
+            static_cast<std::uint8_t>(WalRecordType::kTombstone)) {
+          for (std::size_t r = 0; r < record_doubles; r += dim)
+            if (out.stream->erase_equal(rows.subspan(r, dim)) != kInvalidPoint)
+              ++out.wal_deletes;
+        } else {
+          out.stream->insert_batch(Dataset(
+              dim, std::vector<double>(rows.begin(), rows.end())));
+          out.wal_points += rep->counts[i];
+        }
+        coff += record_doubles;
+        ++out.wal_records;
+      }
+      return out;
+    }
     // Align the committed records against the snapshot via their stream
     // start indices: skip what the snapshot already covers (the
     // publish-before-reset crash window), stop at a gap (older-generation

@@ -94,8 +94,13 @@ struct RecoveredStream {
   std::uint64_t generation = 0;    // 0: no snapshot generation found
   std::size_t snapshot_points = 0; // points seeded from the snapshot
   std::uint64_t wal_records = 0;   // committed WAL records replayed
-  std::size_t wal_points = 0;      // points replayed from the WAL
+  std::size_t wal_points = 0;      // points inserted from the WAL
+  std::size_t wal_deletes = 0;     // points erased by WAL tombstones
   std::uint64_t wal_torn_bytes = 0;  // uncommitted tail dropped by replay
+  // The log's header epoch named a different snapshot generation than the one
+  // that loaded, so its records (which include deletes or an epoch stamp)
+  // could not be aligned and were skipped wholesale.
+  bool wal_epoch_mismatch = false;
 };
 
 // Rebuilds the pre-crash streaming state: newest intact snapshot generation
@@ -103,6 +108,14 @@ struct RecoveredStream {
 // replayed on top. A missing store/WAL is not an error — recovery from
 // nothing is an empty stream. Snapshot params/dim must match `params`/`dim`
 // (INVALID_ARGUMENT otherwise: the WAL and store describe one model).
+//
+// Insert-only epoch-0 logs self-align against the snapshot by stream start
+// index (skip covered records, stop at a gap). Logs carrying tombstones or a
+// non-zero epoch stamp cannot be realigned that way — a delete only makes
+// sense against the exact state it was logged on — so they replay in full,
+// in record order, iff the log's epoch equals the loaded generation, and are
+// skipped wholesale otherwise (wal_epoch_mismatch; see
+// docs/ROBUSTNESS.md §Deletes).
 [[nodiscard]] StatusOr<RecoveredStream> recover_stream(
     const SnapshotStore& store, const std::string& wal_path, std::size_t dim,
     const DbscanParams& params, MuDbscanConfig cfg = {},

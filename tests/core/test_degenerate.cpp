@@ -15,6 +15,7 @@
 #include "baselines/g_dbscan.hpp"
 #include "baselines/grid_dbscan.hpp"
 #include "baselines/r_dbscan.hpp"
+#include "core/incremental.hpp"
 #include "core/mudbscan.hpp"
 #include "dist/mudbscan_d.hpp"
 #include "metrics/exactness.hpp"
@@ -130,6 +131,130 @@ TEST(Degenerate, ZeroVarianceDimensions) {
   Dataset ds(3, std::move(coords));
   expect_all_engines_match_brute(ds, DbscanParams{1.5, 4},
                                  "zero-variance dims");
+}
+
+// The incremental engine gets the same degenerate treatment: feed the points
+// one at a time, then erase them all again, checking the maintained state
+// against the canonicalized batch answer at every boundary that matters.
+void expect_incremental_survives(const Dataset& ds, const DbscanParams& params,
+                                 const std::string& which) {
+  SCOPED_TRACE(which + " via incremental");
+  IncrementalMuDbscan eng(ds.dim(), params);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    ASSERT_NO_THROW(eng.insert(ds.point(i)));
+  }
+  ASSERT_NO_THROW(eng.check_invariants());
+  {
+    const Dataset surv = eng.survivors();
+    const ClusteringResult want =
+        canonicalize_clustering(surv, params, mu_dbscan(surv, params));
+    EXPECT_EQ(eng.result().label, want.label) << which << ": full set";
+  }
+  // Tear the set back down (front-to-back, so duplicates keep colliding)
+  // and re-check exactness at a few intermediate sizes plus empty.
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    ASSERT_TRUE(eng.erase(static_cast<PointId>(i)));
+    const std::size_t left = ds.size() - i - 1;
+    if (left % 17 == 0 || left <= 1) {
+      ASSERT_NO_THROW(eng.check_invariants());
+      const Dataset surv = eng.survivors();
+      const ClusteringResult want =
+          canonicalize_clustering(surv, params, mu_dbscan(surv, params));
+      EXPECT_EQ(eng.result().label, want.label)
+          << which << ": " << left << " survivors";
+    }
+  }
+  EXPECT_EQ(eng.size(), 0u);
+  EXPECT_EQ(eng.num_mcs(), 0u);
+  EXPECT_EQ(eng.num_core(), 0u);
+}
+
+TEST(DegenerateIncremental, EmptyInput) {
+  IncrementalMuDbscan eng(3, DbscanParams{1.0, 5});
+  EXPECT_EQ(eng.size(), 0u);
+  EXPECT_TRUE(eng.result().label.empty());
+  EXPECT_NO_THROW(eng.check_invariants());
+  EXPECT_FALSE(eng.erase(0));  // never-allocated id
+  const double probe[3] = {0.0, 0.0, 0.0};
+  EXPECT_EQ(eng.erase_equal({probe, 3}), kInvalidPoint);
+}
+
+TEST(DegenerateIncremental, SinglePointLifecycle) {
+  // minpts 1: a lone point is core; erase drains the engine back to empty.
+  IncrementalMuDbscan eng(2, DbscanParams{1.0, 1});
+  const double pt[2] = {4.0, 2.0};
+  const PointId id = eng.insert({pt, 2});
+  EXPECT_EQ(eng.result().label, (std::vector<std::int64_t>{0}));
+  EXPECT_EQ(eng.num_core(), 1u);
+  ASSERT_TRUE(eng.erase(id));
+  EXPECT_FALSE(eng.erase(id));  // double erase
+  EXPECT_TRUE(eng.result().label.empty());
+  EXPECT_NO_THROW(eng.check_invariants());
+}
+
+TEST(DegenerateIncremental, AllDuplicates) {
+  std::vector<double> coords;
+  for (int i = 0; i < 64; ++i) {
+    coords.push_back(3.5);
+    coords.push_back(-1.0);
+  }
+  expect_incremental_survives(Dataset(2, std::move(coords)),
+                              DbscanParams{0.5, 4}, "all duplicates");
+}
+
+TEST(DegenerateIncremental, MinPtsLargerThanN) {
+  std::vector<double> coords;
+  for (int i = 0; i < 10; ++i) {
+    coords.push_back(static_cast<double>(i));
+    coords.push_back(0.0);
+  }
+  expect_incremental_survives(Dataset(2, std::move(coords)),
+                              DbscanParams{100.0, 50}, "minpts > n");
+}
+
+TEST(DegenerateIncremental, EpsSpansTheDomain) {
+  std::vector<double> coords;
+  for (int i = 0; i < 40; ++i) {
+    coords.push_back(static_cast<double>(i % 7));
+    coords.push_back(static_cast<double>(i % 5));
+    coords.push_back(static_cast<double>(i % 3));
+  }
+  expect_incremental_survives(Dataset(3, std::move(coords)),
+                              DbscanParams{1e6, 4}, "huge eps");
+}
+
+TEST(DegenerateIncremental, ZeroVarianceDimensions) {
+  std::vector<double> coords;
+  for (int i = 0; i < 120; ++i) {
+    coords.push_back(static_cast<double>(i / 3));
+    coords.push_back(7.0);
+    coords.push_back(-2.5);
+  }
+  expect_incremental_survives(Dataset(3, std::move(coords)),
+                              DbscanParams{1.5, 4}, "zero-variance dims");
+}
+
+TEST(DegenerateIncremental, BlastRadiusCapOfOneStaysExact) {
+  // The tightest possible cap forces the global-relabel fallback on nearly
+  // every update; exactness must not depend on the cap at all.
+  IncrementalMuDbscan::Config cfg;
+  cfg.max_touched_mcs_per_update = 1;
+  const DbscanParams params{1.5, 4};
+  IncrementalMuDbscan eng(2, params, cfg);
+  std::vector<double> coords;
+  for (int i = 0; i < 60; ++i) {
+    coords.push_back(static_cast<double>(i % 12));
+    coords.push_back(static_cast<double>(i % 4));
+  }
+  const Dataset ds(2, std::move(coords));
+  for (std::size_t i = 0; i < ds.size(); ++i) eng.insert(ds.point(i));
+  for (PointId id = 0; id < 30; ++id) ASSERT_TRUE(eng.erase(id));
+  ASSERT_NO_THROW(eng.check_invariants());
+  const Dataset surv = eng.survivors();
+  const ClusteringResult want =
+      canonicalize_clustering(surv, params, mu_dbscan(surv, params));
+  EXPECT_EQ(eng.result().label, want.label);
+  EXPECT_GT(eng.stats().full_fallbacks, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,313 @@
+// Incremental µDBSCAN differential suite: after ANY interleaved insert/erase
+// sequence the engine's canonical result() must equal the batch algorithm
+// fit from scratch on the surviving points (canonicalized the same way), at
+// every oracle thread count — plus the structural invariants the maintenance
+// relies on (counts, core flags, border caches, label partition).
+
+#include "core/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/mudbscan.hpp"
+#include "core/streaming.hpp"
+#include "data/generators.hpp"
+#include "metrics/exactness.hpp"
+#include "obs/metrics.hpp"
+
+namespace udb {
+namespace {
+
+// The headline oracle: fit-from-scratch on the survivors, canonicalized, must
+// equal result() as plain vectors (labels AND core flags).
+void expect_matches_batch(const IncrementalMuDbscan& eng, unsigned threads,
+                          const std::string& ctx) {
+  const Dataset ds = eng.survivors();
+  MuDbscanConfig cfg;
+  cfg.num_threads = threads;
+  const ClusteringResult want = canonicalize_clustering(
+      ds, eng.params(), mu_dbscan(ds, eng.params(), nullptr, cfg));
+  const ClusteringResult got = eng.result();
+  ASSERT_EQ(got.label.size(), want.label.size()) << ctx;
+  EXPECT_EQ(got.label, want.label) << ctx << " (threads=" << threads << ")";
+  EXPECT_EQ(got.is_core, want.is_core) << ctx << " (threads=" << threads << ")";
+  EXPECT_EQ(eng.num_core(), want.num_core()) << ctx;
+}
+
+// Clustered 2-D churn around a few attractors so inserts keep hitting dense
+// regions (promotions, merges) and erasures keep hitting cluster interiors
+// (demotions, splits).
+double attractor_coord(Rng& rng) {
+  static constexpr double kCenters[] = {-4.0, 0.0, 4.0};
+  return kCenters[rng.uniform_index(3)] + rng.normal() * 0.9;
+}
+
+TEST(Incremental, MatchesBatchUnderRandomChurn) {
+  const DbscanParams prm{1.2, 4};
+  const unsigned kThreads[] = {1, 2, 4};
+  for (const std::uint64_t seed : {1ULL, 7ULL, 23ULL}) {
+    Rng rng(seed);
+    IncrementalMuDbscan eng(2, prm);
+    std::vector<PointId> ids;
+    std::size_t tsel = 0;
+    for (int op = 0; op < 420; ++op) {
+      const bool do_erase = !ids.empty() && rng.next_double() < 0.35;
+      if (do_erase) {
+        const std::size_t k = rng.uniform_index(ids.size());
+        ASSERT_TRUE(eng.erase(ids[k]));
+        ids[k] = ids.back();
+        ids.pop_back();
+      } else {
+        const double pt[2] = {attractor_coord(rng), attractor_coord(rng)};
+        ids.push_back(eng.insert(pt));
+      }
+      if (op % 60 == 59) {
+        expect_matches_batch(eng, kThreads[tsel++ % 3],
+                             "seed " + std::to_string(seed) + " op " +
+                                 std::to_string(op));
+      }
+    }
+    ASSERT_NO_THROW(eng.check_invariants()) << "seed " << seed;
+    expect_matches_batch(eng, kThreads[tsel % 3],
+                         "seed " + std::to_string(seed) + " final");
+    EXPECT_EQ(eng.stats().inserts + eng.stats().deletes, 420u);
+  }
+}
+
+TEST(Incremental, MatchesBatchAcrossChunkBoundaryWithErasures) {
+  // More ids than one 4096-point storage chunk, then a heavy erase wave:
+  // pointers into earlier chunks and the id<->survivor-position mapping must
+  // both survive.
+  Dataset ds = gen_blobs(5000, 2, 3, 40.0, 2.0, 0.1, 29);
+  const DbscanParams prm{1.5, 5};
+  IncrementalMuDbscan eng(2, prm);
+  std::vector<PointId> ids;
+  ids.reserve(ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i)
+    ids.push_back(eng.insert(ds.point(static_cast<PointId>(i))));
+  Rng rng(31);
+  for (int k = 0; k < 1200; ++k) {
+    const std::size_t j = rng.uniform_index(ids.size());
+    ASSERT_TRUE(eng.erase(ids[j]));
+    ids[j] = ids.back();
+    ids.pop_back();
+  }
+  EXPECT_EQ(eng.size(), 3800u);
+  EXPECT_EQ(eng.total(), 5000u);
+  expect_matches_batch(eng, 2, "chunk-boundary churn");
+}
+
+TEST(Incremental, DeleteSplitsBridgedCluster) {
+  // A 1-D chain 0,1,2,3,4 with eps=1.1, MinPts=2: one cluster bridged by the
+  // middle point. Erasing it must split the cluster in two — the scoped BFS
+  // has to detect the disconnection, not just demote.
+  const DbscanParams prm{1.1, 2};
+  IncrementalMuDbscan eng(1, prm);
+  std::vector<PointId> ids;
+  for (double x : {0.0, 1.0, 2.0, 3.0, 4.0}) {
+    const double pt[1] = {x};
+    ids.push_back(eng.insert(pt));
+  }
+  EXPECT_EQ(eng.result().num_clusters(), 1u);
+  const std::uint64_t repairs_before = eng.stats().graph_edges_repaired;
+  ASSERT_TRUE(eng.erase(ids[2]));
+  const ClusteringResult got = eng.result();
+  EXPECT_EQ(got.num_clusters(), 2u);
+  const std::vector<std::int64_t> want_labels = {0, 0, 1, 1};
+  EXPECT_EQ(got.label, want_labels);
+  // The split relabeled one surviving component.
+  EXPECT_GT(eng.stats().graph_edges_repaired, repairs_before);
+  expect_matches_batch(eng, 1, "post-split");
+  ASSERT_NO_THROW(eng.check_invariants());
+}
+
+TEST(Incremental, DuplicatesAndSignedZeroEraseByEquality) {
+  const DbscanParams prm{0.5, 3};
+  IncrementalMuDbscan eng(1, prm);
+  const double zero[1] = {0.0};
+  const double neg_zero[1] = {-0.0};
+  const double far[1] = {10.0};
+  for (int i = 0; i < 3; ++i) eng.insert(zero);      // ids 0,1,2
+  for (int i = 0; i < 2; ++i) eng.insert(neg_zero);  // ids 3,4
+  eng.insert(far);                                   // id 5
+  expect_matches_batch(eng, 1, "dup ingest");
+  // erase_equal is bitwise: -0.0 must match only the -0.0 insertions, lowest
+  // alive id first.
+  EXPECT_EQ(eng.erase_equal(neg_zero), PointId{3});
+  EXPECT_EQ(eng.erase_equal(neg_zero), PointId{4});
+  EXPECT_EQ(eng.erase_equal(neg_zero), kInvalidPoint);
+  EXPECT_EQ(eng.erase_equal(zero), PointId{0});
+  const double absent[1] = {5.0};
+  EXPECT_EQ(eng.erase_equal(absent), kInvalidPoint);
+  EXPECT_EQ(eng.size(), 3u);
+  expect_matches_batch(eng, 1, "after bitwise erasures");
+  ASSERT_NO_THROW(eng.check_invariants());
+}
+
+TEST(Incremental, DegenerateAllCoincidentPoints) {
+  // n identical points: all core while n >= MinPts; erasing below the
+  // threshold demotes the whole cluster to noise at once (the failed set is
+  // the entire cluster).
+  const DbscanParams prm{1.0, 5};
+  IncrementalMuDbscan eng(3, prm);
+  const double pt[3] = {2.0, -1.0, 0.5};
+  std::vector<PointId> ids;
+  for (int i = 0; i < 7; ++i) ids.push_back(eng.insert(pt));
+  EXPECT_EQ(eng.num_core(), 7u);
+  EXPECT_EQ(eng.num_mcs(), 1u);
+  ASSERT_TRUE(eng.erase(ids[0]));
+  ASSERT_TRUE(eng.erase(ids[3]));
+  EXPECT_EQ(eng.num_core(), 5u);
+  expect_matches_batch(eng, 2, "coincident at MinPts");
+  ASSERT_TRUE(eng.erase(ids[6]));  // 4 < MinPts: everything demotes
+  EXPECT_EQ(eng.num_core(), 0u);
+  EXPECT_EQ(eng.result().num_noise(), 4u);
+  expect_matches_batch(eng, 1, "coincident below MinPts");
+  ASSERT_NO_THROW(eng.check_invariants());
+}
+
+TEST(Incremental, EraseSemantics) {
+  const DbscanParams prm{1.0, 2};
+  IncrementalMuDbscan eng(1, prm);
+  const double pt[1] = {0.0};
+  const PointId id = eng.insert(pt);
+  EXPECT_FALSE(eng.erase(999));  // never allocated
+  EXPECT_TRUE(eng.erase(id));
+  EXPECT_FALSE(eng.erase(id));  // already erased
+  EXPECT_EQ(eng.size(), 0u);
+  EXPECT_EQ(eng.total(), 1u);
+  EXPECT_FALSE(eng.alive(id));
+  EXPECT_TRUE(eng.result().label.empty());
+  // The structure stays usable after draining to empty.
+  const PointId id2 = eng.insert(pt);
+  EXPECT_TRUE(eng.alive(id2));
+  EXPECT_EQ(eng.size(), 1u);
+}
+
+TEST(Incremental, EmptyEngine) {
+  IncrementalMuDbscan eng(2, {1.0, 5});
+  EXPECT_EQ(eng.size(), 0u);
+  EXPECT_EQ(eng.num_mcs(), 0u);
+  EXPECT_TRUE(eng.result().label.empty());
+  EXPECT_TRUE(eng.survivors().empty_points());
+  ASSERT_NO_THROW(eng.check_invariants());
+}
+
+TEST(Incremental, RejectsBadParametersAndDimensions) {
+  EXPECT_THROW(IncrementalMuDbscan(0, {1.0, 5}), std::invalid_argument);
+  EXPECT_THROW(IncrementalMuDbscan(2, {0.0, 5}), std::invalid_argument);
+  EXPECT_THROW(IncrementalMuDbscan(2, {1.0, 0}), std::invalid_argument);
+  IncrementalMuDbscan eng(2, {1.0, 5});
+  EXPECT_THROW(eng.insert(std::vector<double>{1.0}), std::invalid_argument);
+  EXPECT_THROW(eng.erase_equal(std::vector<double>{1.0, 2.0, 3.0}),
+               std::invalid_argument);
+}
+
+TEST(Incremental, BlastRadiusCapFallsBackAndStaysExact) {
+  // A cap of 1 candidate MC per update is below what any interesting update
+  // needs, so the engine must fall back to the global relabel — and remain
+  // exact while doing so.
+  IncrementalMuDbscan::Config cfg;
+  cfg.max_touched_mcs_per_update = 1;
+  const DbscanParams prm{1.2, 4};
+  IncrementalMuDbscan eng(2, prm, cfg);
+  Rng rng(47);
+  std::vector<PointId> ids;
+  for (int op = 0; op < 160; ++op) {
+    const bool do_erase = !ids.empty() && rng.next_double() < 0.3;
+    if (do_erase) {
+      const std::size_t k = rng.uniform_index(ids.size());
+      ASSERT_TRUE(eng.erase(ids[k]));
+      ids[k] = ids.back();
+      ids.pop_back();
+    } else {
+      const double pt[2] = {attractor_coord(rng), attractor_coord(rng)};
+      ids.push_back(eng.insert(pt));
+    }
+  }
+  EXPECT_GT(eng.stats().full_fallbacks, 0u);
+  expect_matches_batch(eng, 2, "capped churn");
+  ASSERT_NO_THROW(eng.check_invariants());
+}
+
+TEST(Incremental, MetricsFlowToRegistry) {
+  obs::MetricsRegistry reg;
+  IncrementalMuDbscan::Config cfg;
+  cfg.metrics = &reg;
+  const DbscanParams prm{1.0, 3};
+  IncrementalMuDbscan eng(2, prm, cfg);
+  Rng rng(5);
+  std::vector<PointId> ids;
+  for (int i = 0; i < 40; ++i) {
+    const double pt[2] = {rng.normal(), rng.normal()};
+    ids.push_back(eng.insert(pt));
+  }
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(eng.erase(ids.back()));
+    ids.pop_back();
+  }
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter(obs::Counter::kIncMcsTouched),
+            eng.stats().mcs_touched);
+  EXPECT_EQ(snap.counter(obs::Counter::kIncGraphEdgesRepaired),
+            eng.stats().graph_edges_repaired);
+  EXPECT_EQ(snap.counter(obs::Counter::kIncFullFallbacks),
+            eng.stats().full_fallbacks);
+  EXPECT_GT(snap.counter(obs::Counter::kIncMcsTouched), 0u);
+  EXPECT_GT(snap.counter(obs::Counter::kIncGraphEdgesRepaired), 0u);
+  // One blast-radius observation per update.
+  EXPECT_EQ(snap.hist(obs::Hist::kIncBlastRadius).count, 50u);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming adapter: erase flows through, caches invalidate, dataset shrinks.
+// ---------------------------------------------------------------------------
+
+TEST(StreamingIncremental, EraseInvalidatesCaches) {
+  StreamingMuDbscan stream(1, {1.0, 2});
+  const double a[1] = {0.0};
+  const double b[1] = {0.5};
+  const PointId ia = stream.insert(a);
+  (void)stream.insert(b);
+  EXPECT_EQ(stream.result().num_core(), 2u);
+  EXPECT_EQ(stream.dataset().size(), 2u);
+  ASSERT_TRUE(stream.erase(ia));
+  EXPECT_FALSE(stream.erase(ia));
+  EXPECT_EQ(stream.size(), 1u);
+  EXPECT_EQ(stream.result().num_noise(), 1u);
+  ASSERT_EQ(stream.dataset().size(), 1u);
+  EXPECT_EQ(stream.dataset().coord(0, 0), 0.5);
+  EXPECT_EQ(stream.erase_equal(b), PointId{1});
+  EXPECT_EQ(stream.dataset().size(), 0u);
+  EXPECT_TRUE(stream.result().label.empty());
+}
+
+TEST(StreamingIncremental, DatasetAppendsAfterEraseFreeGrowth) {
+  // dataset() must stay correct through the grow -> erase -> grow pattern
+  // (append fast path only when no erase intervened).
+  StreamingMuDbscan stream(2, {1.0, 3});
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    const double pt[2] = {rng.normal(), rng.normal()};
+    (void)stream.insert(pt);
+  }
+  EXPECT_EQ(stream.dataset().size(), 10u);
+  ASSERT_TRUE(stream.erase(0));
+  ASSERT_TRUE(stream.erase(7));
+  EXPECT_EQ(stream.dataset().size(), 8u);
+  for (int i = 0; i < 5; ++i) {
+    const double pt[2] = {rng.normal(), rng.normal()};
+    (void)stream.insert(pt);
+  }
+  const Dataset& ds = stream.dataset();
+  ASSERT_EQ(ds.size(), 13u);
+  // Must equal the engine's own survivor view exactly.
+  EXPECT_EQ(ds.raw(), stream.engine().survivors().raw());
+  EXPECT_EQ(stream.update_stats().inserts, 15u);
+  EXPECT_EQ(stream.update_stats().deletes, 2u);
+}
+
+}  // namespace
+}  // namespace udb

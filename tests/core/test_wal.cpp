@@ -14,6 +14,8 @@
 
 #include "common/runguard.hpp"
 #include "common/vfs.hpp"
+#include "serve/crc32.hpp"
+#include "serve/wire.hpp"
 
 namespace udb {
 namespace {
@@ -291,6 +293,124 @@ TEST_F(WalTest, InjectedFsyncFailureFailsTheWriterHard) {
   EXPECT_EQ(w2->records(), 2u);
   EXPECT_EQ(w2->next_start(), 4u);
   ASSERT_TRUE(w2->close().ok());
+}
+
+TEST_F(WalTest, TombstoneRoundtripAndContiguityExemption) {
+  const std::string p = path("tomb.wal");
+  (void)vfs::remove_file(p);
+  const auto a = points(3, 0.0);
+  const std::vector<double> dead = {0.0, 1.0, 4.0, 5.0};  // two dim-2 points
+  {
+    auto w = WalWriter::open(p, 2);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w->append(0, a).ok());
+    ASSERT_TRUE(w->append_delete(dead).ok());
+    // Tombstones sit outside the insert chain: next_start is unchanged and
+    // the next insert must still be contiguous with the last insert.
+    EXPECT_EQ(w->next_start(), 3u);
+    EXPECT_EQ(w->append(9, points(1, 0.0)).code(),
+              StatusCode::kInvalidArgument);
+    ASSERT_TRUE(w->append(3, points(2, 50.0)).ok());
+    EXPECT_EQ(w->records(), 3u);
+    ASSERT_TRUE(w->close().ok());
+  }
+  auto rep = replay_wal(p, 2);
+  ASSERT_TRUE(rep.ok()) << rep.status().to_string();
+  EXPECT_EQ(rep->records, 3u);
+  EXPECT_TRUE(rep->has_tombstones());
+  EXPECT_EQ(rep->types,
+            (std::vector<std::uint8_t>{
+                static_cast<std::uint8_t>(WalRecordType::kInsert),
+                static_cast<std::uint8_t>(WalRecordType::kTombstone),
+                static_cast<std::uint8_t>(WalRecordType::kInsert)}));
+  EXPECT_EQ(rep->counts, (std::vector<std::uint64_t>{3, 2, 2}));
+  EXPECT_EQ(rep->starts[0], 0u);
+  EXPECT_EQ(rep->starts[2], 3u);
+  // Replay keeps all rows in append order; records 0..2 partition them.
+  ASSERT_EQ(rep->points(), 7u);
+  EXPECT_EQ(std::vector<double>(rep->coords.begin() + 6,
+                                rep->coords.begin() + 10),
+            dead);
+}
+
+TEST_F(WalTest, TombstoneAcceptsNonFiniteCoordinates) {
+  const std::string p = path("tomb_nan.wal");
+  (void)vfs::remove_file(p);
+  auto w = WalWriter::open(p, 2);
+  ASSERT_TRUE(w.ok());
+  const std::vector<double> dead = {
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::infinity()};
+  ASSERT_TRUE(w->append_delete(dead).ok());
+  EXPECT_EQ(w->append_delete({}).code(), StatusCode::kInvalidArgument);
+  // A tombstone-only log never started the insert chain, so the first insert
+  // may begin at any stream index (recovery after a crash mid-stream).
+  ASSERT_TRUE(w->append(42, points(1, 0.0)).ok());
+  EXPECT_EQ(w->next_start(), 43u);
+  ASSERT_TRUE(w->close().ok());
+}
+
+TEST_F(WalTest, ResetStampsEpochAndReopenRestoresIt) {
+  const std::string p = path("epoch.wal");
+  (void)vfs::remove_file(p);
+  {
+    auto w = WalWriter::open(p, 2);
+    ASSERT_TRUE(w.ok());
+    EXPECT_EQ(w->epoch(), 0u);
+    ASSERT_TRUE(w->append(0, points(2, 0.0)).ok());
+    ASSERT_TRUE(w->reset(7).ok());
+    EXPECT_EQ(w->epoch(), 7u);
+    EXPECT_EQ(w->records(), 0u);
+    ASSERT_TRUE(w->append(100, points(1, 5.0)).ok());
+    ASSERT_TRUE(w->append_delete(points(1, 5.0)).ok());
+    ASSERT_TRUE(w->close().ok());
+  }
+  auto w2 = WalWriter::open(p, 2);
+  ASSERT_TRUE(w2.ok()) << w2.status().to_string();
+  EXPECT_EQ(w2->epoch(), 7u);
+  EXPECT_EQ(w2->records(), 2u);
+  EXPECT_EQ(w2->next_start(), 101u);
+  ASSERT_TRUE(w2->close().ok());
+  auto rep = replay_wal(p, 2);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->epoch, 7u);
+  EXPECT_TRUE(rep->has_tombstones());
+}
+
+TEST_F(WalTest, Version1LogReplaysButRejectsNewAppends) {
+  const std::string p = path("v1.wal");
+  (void)vfs::remove_file(p);
+  // Synthesize a version-1 log byte-for-byte: 16-byte header (no epoch) and
+  // untyped records (u64 start | u64 count | coords).
+  serve::ByteWriter file;
+  file.raw(kWalMagic, sizeof kWalMagic);
+  file.u32(1);
+  file.u64(2);  // dim
+  const auto pts = points(2, 7.0);
+  serve::ByteWriter payload;
+  payload.u64(5);  // start_index
+  payload.u64(2);  // count
+  payload.raw(pts.data(), pts.size() * sizeof(double));
+  file.u32(static_cast<std::uint32_t>(payload.size()));
+  file.u32(serve::crc32(payload.data().data(), payload.size()));
+  file.raw(payload.data().data(), payload.size());
+  ASSERT_TRUE(
+      vfs::write_file_atomic(p, file.data().data(), file.size()).ok());
+
+  auto rep = replay_wal(p, 2);
+  ASSERT_TRUE(rep.ok()) << rep.status().to_string();
+  EXPECT_EQ(rep->records, 1u);
+  EXPECT_EQ(rep->epoch, 0u);
+  EXPECT_FALSE(rep->has_tombstones());
+  EXPECT_EQ(rep->starts, (std::vector<std::uint64_t>{5}));
+  EXPECT_EQ(rep->counts, (std::vector<std::uint64_t>{2}));
+  EXPECT_EQ(rep->coords, pts);
+
+  // The writer refuses to extend a v1 log: typed records appended to an
+  // untyped log would be mis-parsed by old readers.
+  auto w = WalWriter::open(p, 2);
+  ASSERT_FALSE(w.ok());
+  EXPECT_EQ(w.status().code(), StatusCode::kDataLoss);
 }
 
 }  // namespace

@@ -408,9 +408,9 @@ TEST(Report, MetricsSnapshotLedgerArithmetic) {
   EXPECT_NE(doc.find("\"query_savings\":0.4"), std::string::npos);
 }
 
-// Golden key set of the run report. This pins schema_version 1: removing or
-// renaming any of these keys is a breaking change and must bump the version
-// (and docs/OBSERVABILITY.md).
+// Golden key set of the run report. This pins schema_version 2 (v1 plus the
+// "incremental" section): removing or renaming any of these keys is a
+// breaking change and must bump the version (and docs/OBSERVABILITY.md).
 TEST(Report, RunReportSchemaGoldenKeys) {
   obs::RunReportInputs in;
   in.algo = "mudbscan";
@@ -442,7 +442,7 @@ TEST(Report, RunReportSchemaGoldenKeys) {
   EXPECT_EQ(doc.substr(doc.size() - 2), "}\n");
 
   const char* keys[] = {
-      "\"schema_version\":1", "\"run\":",
+      "\"schema_version\":2", "\"run\":",
       "\"tool\":",            "\"algo\":",
       "\"n\":",               "\"dim\":",
       "\"eps\":",             "\"min_pts\":",
@@ -462,6 +462,8 @@ TEST(Report, RunReportSchemaGoldenKeys) {
       "\"aux_trees_searched\":", "\"rtree_node_visits\":",
       "\"rtree_distance_evals\":", "\"unionfind\":",
       "\"union_calls\":",     "\"post_core_distance_evals\":",
+      "\"incremental\":",     "\"mcs_touched\":",
+      "\"graph_edges_repaired\":", "\"full_fallbacks\":",
       "\"counters\":",        "\"histograms\":",
       "\"buckets\":",         "\"threadpool\":",
       "\"workers\":",         "\"busy_seconds\":",

@@ -21,7 +21,9 @@
 #include "core/mudbscan.hpp"
 #include "core/streaming.hpp"
 #include "data/generators.hpp"
+#include "metrics/exactness.hpp"
 #include "obs/metrics.hpp"
+#include "serve/classify_csv.hpp"
 #include "serve/snapshot.hpp"
 
 namespace udb {
@@ -306,6 +308,55 @@ TEST(ServedModelTest, RefreshSwapsAtomicallyUnderConcurrentReaders) {
   for (auto& t : readers) t.join();
   EXPECT_FALSE(failed.load());
   EXPECT_EQ(ms.snapshot().counter(obs::Counter::kServeModelRefreshes), 200u);
+}
+
+TEST(ModelFromStreamTest, ClassifyAgreesWithOfflineModelAfterDeletes) {
+  // The end-to-end online-update story: ingest, interleave erases and fresh
+  // inserts through the incremental engine, serve — and every classify
+  // answer (rendered through the shared CSV formatter, so label, kind,
+  // would_be_core, and neighbor count all participate) must be
+  // byte-identical to a model fit offline on the surviving points.
+  const Dataset all = gen_blobs(700, 2, 4, 20.0, 1.0, 0.1, 33);
+  StreamingMuDbscan stream(2, DbscanParams{kEps, kMinPts});
+  stream.insert_batch(all);
+  for (PointId id = 0; id < 700; id += 7) ASSERT_TRUE(stream.erase(id));
+  const Dataset extra = gen_blobs(60, 2, 2, 20.0, 1.0, 0.1, 34);
+  for (std::size_t i = 0; i < extra.size(); ++i)
+    stream.insert(extra.point(static_cast<PointId>(i)));
+
+  auto online = serve::model_from_stream(stream);
+  ASSERT_TRUE(online.ok()) << online.status().to_string();
+
+  serve::ModelSnapshot snap;
+  snap.data = stream.dataset();
+  snap.params = stream.params();
+  snap.result = canonicalize_clustering(snap.data, snap.params,
+                                        mu_dbscan(snap.data, snap.params));
+  auto offline = serve::ClusterModel::build(std::move(snap));
+  ASSERT_TRUE(offline.ok()) << offline.status().to_string();
+  ASSERT_EQ((*online)->size(), (*offline)->size());
+
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> jitter(-0.3, 0.3);
+  for (std::size_t i = 0; i < (*online)->size(); ++i) {
+    const auto q = (*online)->dataset().point(static_cast<PointId>(i));
+    auto a = (*online)->classify(q);
+    auto b = (*offline)->classify(q);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_TRUE(a->exact_match);
+    ASSERT_EQ(serve::classify_csv_row(*a), serve::classify_csv_row(*b))
+        << "survivor " << i;
+    // A jittered novel query must agree too (border-candidate rule over the
+    // same dataset), not just the stored labels.
+    if (i % 17 == 0) {
+      const std::vector<double> nq = {q[0] + jitter(rng), q[1] + jitter(rng)};
+      auto an = (*online)->classify(nq);
+      auto bn = (*offline)->classify(nq);
+      ASSERT_TRUE(an.ok() && bn.ok());
+      ASSERT_EQ(serve::classify_csv_row(*an), serve::classify_csv_row(*bn))
+          << "novel query near survivor " << i;
+    }
+  }
 }
 
 TEST(ModelFromStreamTest, EmptyStreamRefusesToServe) {

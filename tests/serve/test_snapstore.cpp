@@ -23,6 +23,7 @@
 #include "core/streaming.hpp"
 #include "core/wal.hpp"
 #include "data/generators.hpp"
+#include "metrics/exactness.hpp"
 #include "serve/model.hpp"
 
 namespace udb {
@@ -343,6 +344,75 @@ TEST_F(RecoverTest, TornWalTailIsDroppedNotIngested) {
   ASSERT_TRUE(rec.ok()) << rec.status().to_string();
   EXPECT_GT(rec->wal_torn_bytes, 0u);
   expect_exact_prefix(*rec, 60);
+}
+
+TEST_F(RecoverTest, EpochMatchedLogReplaysInsertsAndTombstonesInOrder) {
+  // The online-delete restart path: publish a generation, stamp the WAL with
+  // it, log more ingest plus tombstones, crash. Recovery must replay the log
+  // in record order and land on the exact pre-crash survivor set.
+  const std::string d = dir("rec_tomb");
+  auto store = SnapshotStore::open(d + "/store");
+  ASSERT_TRUE(store.ok());
+  publish(*store, 150);  // generation 1
+  {
+    auto wal = WalWriter::open(d + "/wal", kDim);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->reset(1).ok());
+    ASSERT_TRUE(wal->append(150, coords(150, 200)).ok());
+    ASSERT_TRUE(wal->append_delete(coords(10, 11)).ok());   // snapshot point
+    ASSERT_TRUE(wal->append_delete(coords(170, 171)).ok()); // WAL point
+    ASSERT_TRUE(wal->close().ok());
+  }
+  auto rec = serve::recover_stream(*store, d + "/wal", kDim, params_);
+  ASSERT_TRUE(rec.ok()) << rec.status().to_string();
+  EXPECT_FALSE(rec->wal_epoch_mismatch);
+  EXPECT_EQ(rec->wal_records, 3u);
+  EXPECT_EQ(rec->wal_points, 50u);
+  EXPECT_EQ(rec->wal_deletes, 2u);
+  ASSERT_EQ(rec->stream->size(), 198u);
+
+  std::vector<double> surv;
+  for (std::size_t i = 0; i < 200; ++i) {
+    if (i == 10 || i == 170) continue;
+    surv.insert(surv.end(), script_.raw().begin() + i * kDim,
+                script_.raw().begin() + (i + 1) * kDim);
+  }
+  Dataset survivors(kDim, std::move(surv));
+  EXPECT_EQ(rec->stream->dataset().raw(), survivors.raw());
+  const ClusteringResult fresh = canonicalize_clustering(
+      survivors, params_, mu_dbscan(survivors, params_));
+  EXPECT_EQ(rec->stream->result().label, fresh.label);
+  EXPECT_EQ(rec->stream->result().is_core, fresh.is_core);
+}
+
+TEST_F(RecoverTest, EpochMismatchSkipsTombstoneLogWholesale) {
+  // The log extends generation 1; a second publish landed but its reset never
+  // ran (or the manifest fell back). Tombstones cannot be realigned against a
+  // different state, so the whole log is dropped and the snapshot serves
+  // as-is.
+  const std::string d = dir("rec_epoch_skip");
+  auto store = SnapshotStore::open(d + "/store");
+  ASSERT_TRUE(store.ok());
+  publish(*store, 100);  // generation 1
+  {
+    auto wal = WalWriter::open(d + "/wal", kDim);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->reset(1).ok());
+    ASSERT_TRUE(wal->append(100, coords(100, 140)).ok());
+    ASSERT_TRUE(wal->append_delete(coords(5, 6)).ok());
+    ASSERT_TRUE(wal->close().ok());
+  }
+  publish(*store, 160);  // generation 2: covers the log's ingest, crash
+                         // before reset(2)
+  auto rec = serve::recover_stream(*store, d + "/wal", kDim, params_);
+  ASSERT_TRUE(rec.ok()) << rec.status().to_string();
+  EXPECT_TRUE(rec->wal_epoch_mismatch);
+  EXPECT_EQ(rec->wal_records, 0u);
+  EXPECT_EQ(rec->wal_deletes, 0u);
+  // Served state is exactly generation 2 — no double-ingest, no misapplied
+  // tombstone. (The delete logged against gen 1 is lost; the recovery
+  // contract is an exact op-boundary prefix, and gen 2 is one.)
+  expect_exact_prefix(*rec, 160);
 }
 
 TEST_F(RecoverTest, ParameterMismatchIsRejected) {

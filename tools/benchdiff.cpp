@@ -20,6 +20,13 @@
 //                     query ledger (performed / avoided) must match the
 //                     baseline bit-for-bit — the counts are deterministic, so
 //                     any drift means the algorithm changed.
+//   update_throughput every workload's speedup_vs_refit must be
+//                     >= baseline * (1 - tol), tol --speedup-tolerance, and
+//                     every fresh workload must report exact=true (the
+//                     incremental engine's answer matched the canonicalized
+//                     batch refit). Raw updates/s is reported, not gated —
+//                     the refit-relative speedup is the machine-independent
+//                     number.
 //
 // Exit codes, distinct per failure class so CI can branch without parsing:
 //   0  comparable and within tolerance
@@ -294,6 +301,75 @@ void diff_multicore(const json::Value& base, const json::Value& fresh,
   }
 }
 
+// ---- update_throughput ----------------------------------------------------
+
+void diff_update(const json::Value& base, const json::Value& fresh,
+                 double speedup_tol, Gate& gate) {
+  if (!same_config(base, fresh,
+                   {"n", "dim", "eps", "min_pts", "updates", "quick"})) {
+    std::printf("update: bench configs differ (n/dim/eps/min_pts/updates/"
+                "quick) — not comparable\n");
+    gate.note(Outcome::kIncomparable);
+    return;
+  }
+  const json::Value* bw = base.find("workloads");
+  const json::Value* fw = fresh.find("workloads");
+  if (bw == nullptr || !bw->is_array() || fw == nullptr || !fw->is_array()) {
+    std::printf("update: missing workloads array — not comparable\n");
+    gate.note(Outcome::kIncomparable);
+    return;
+  }
+  for (const json::Value& bwl : bw->array) {
+    const std::string name =
+        bwl.find("name") ? bwl.find("name")->string_or("?") : "?";
+    const json::Value* fwl = nullptr;
+    for (const json::Value& cand : fw->array) {
+      const json::Value* n = cand.find("name");
+      if (n != nullptr && n->is_string() && n->string == name) {
+        fwl = &cand;
+        break;
+      }
+    }
+    if (fwl == nullptr) {
+      std::printf("update: workload %-12s missing from fresh run — not "
+                  "comparable\n",
+                  name.c_str());
+      gate.note(Outcome::kIncomparable);
+      continue;
+    }
+    const json::Value* exact = fwl->find("exact");
+    if (exact == nullptr || !exact->is_bool() || !exact->boolean) {
+      std::printf("update: workload %-12s fresh run not exact vs batch refit"
+                  "  REGRESSION\n",
+                  name.c_str());
+      gate.note(Outcome::kRegression);
+    }
+    bool ok = true;
+    const double bs = num(bwl, "speedup_vs_refit", ok);
+    const double fs = num(*fwl, "speedup_vs_refit", ok);
+    if (!ok) {
+      std::printf("update: workload %-12s missing speedup_vs_refit — not "
+                  "comparable\n",
+                  name.c_str());
+      gate.note(Outcome::kIncomparable);
+      continue;
+    }
+    const bool pass = fs >= bs * (1.0 - speedup_tol);
+    std::printf("update: workload %-12s speedup %8.1fx -> %8.1fx (%+6.1f%%, "
+                "floor -%2.0f%%)  %s\n",
+                name.c_str(), bs, fs, pct(bs, fs), speedup_tol * 100.0,
+                pass ? "ok" : "REGRESSION");
+    if (!pass) gate.note(Outcome::kRegression);
+    bool uok = true;
+    const double bu = num(bwl, "updates_per_sec", uok);
+    const double fu = num(*fwl, "updates_per_sec", uok);
+    if (uok)
+      std::printf("update: workload %-12s updates/s %9.0f -> %9.0f "
+                  "(%+6.1f%%, informational)\n",
+                  name.c_str(), bu, fu, pct(bu, fu));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -334,6 +410,8 @@ int main(int argc, char** argv) {
       diff_kernel(base, fresh, speedup_tol, gate);
     } else if (bkind == "ext_multicore") {
       diff_multicore(base, fresh, gate);
+    } else if (bkind == "update_throughput") {
+      diff_update(base, fresh, speedup_tol, gate);
     } else {
       std::fprintf(stderr, "benchdiff: no comparator for bench '%s'\n",
                    bkind.c_str());

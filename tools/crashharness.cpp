@@ -39,6 +39,7 @@
 #include <cstring>
 #include <exception>
 #include <filesystem>
+#include <functional>
 #include <set>
 #include <span>
 #include <string>
@@ -49,6 +50,7 @@
 #include "common/vfs.hpp"
 #include "core/streaming.hpp"
 #include "core/wal.hpp"
+#include "metrics/exactness.hpp"
 #include "serve/snapstore.hpp"
 
 using namespace udb;
@@ -146,6 +148,14 @@ bool labels_equal(const ClusteringResult& a, const ClusteringResult& b) {
   return a.label == b.label && a.is_core == b.is_core;
 }
 
+// The streaming engine's labels are canonical (border points attached to
+// their nearest core, cluster ids renumbered by first occurrence), so the
+// batch reference must be canonicalized before a bitwise comparison — raw
+// mu_dbscan output leaves border attachment order-dependent.
+ClusteringResult batch_reference(const Dataset& ds, const DbscanParams& prm) {
+  return canonicalize_clustering(ds, prm, mu_dbscan(ds, prm));
+}
+
 // Checks the four durability invariants against whatever the scenario left
 // in `dir`. Runs with no fault plan installed unless the caller says so.
 Verify verify_dir(const Workload& w, const std::string& dir,
@@ -192,7 +202,7 @@ Verify verify_dir(const Workload& w, const std::string& dir,
     std::vector<double> prefix(w.coords.begin(),
                                w.coords.begin() + n_rec * w.dim);
     const ClusteringResult fresh =
-        mu_dbscan(Dataset(w.dim, std::move(prefix)), w.params);
+        batch_reference(Dataset(w.dim, std::move(prefix)), w.params);
     if (!labels_equal(stream.result(), fresh))
       return Verify::fail(
           "recovered clustering differs from fit-from-scratch on " +
@@ -204,7 +214,7 @@ Verify verify_dir(const Workload& w, const std::string& dir,
   for (std::size_t i = n_rec; i < w.total_points(); ++i)
     stream.insert(std::span<const double>(w.coords.data() + i * w.dim, w.dim));
   const ClusteringResult full =
-      mu_dbscan(Dataset(w.dim, std::vector<double>(w.coords)), w.params);
+      batch_reference(Dataset(w.dim, std::vector<double>(w.coords)), w.params);
   if (!labels_equal(stream.result(), full))
     return Verify::fail("post-recovery ingest diverges from a clean run");
 
@@ -214,9 +224,9 @@ Verify verify_dir(const Workload& w, const std::string& dir,
   return v;
 }
 
-// Runs the workload in a forked child that _Exit()s at VFS op `crash_at`.
+// Runs `work` in a forked child that _Exit()s at VFS op `crash_at`.
 // Returns false only if the child died in an unexpected way.
-bool run_crashing_child(const Workload& w, const std::string& dir,
+bool run_crashing_child(const std::function<Status()>& work,
                         std::uint64_t seed, std::int64_t crash_at,
                         std::string* why) {
   const pid_t pid = ::fork();
@@ -232,7 +242,7 @@ bool run_crashing_child(const Workload& w, const std::string& dir,
     plan.crash_at_op = crash_at;
     vfs::reset_io_fault_state();
     vfs::install_io_fault_plan(&plan);
-    const Status s = run_workload(w, dir);
+    const Status s = work();
     vfs::install_io_fault_plan(nullptr);
     std::_Exit(s.ok() ? 0 : 3);
   }
@@ -255,11 +265,11 @@ bool run_crashing_child(const Workload& w, const std::string& dir,
 
 // Measures how many faultable VFS operations one clean workload performs —
 // the sweep space for crash points.
-std::uint64_t measure_ops(const Workload& w, const std::string& dir) {
+std::uint64_t measure_ops(const std::function<Status()>& work) {
   vfs::IoFaultPlan plan;  // all rates zero, no crash point: count only
   vfs::reset_io_fault_state();
   vfs::install_io_fault_plan(&plan);
-  const Status s = run_workload(w, dir);
+  const Status s = work();
   vfs::install_io_fault_plan(nullptr);
   const std::uint64_t ops = vfs::io_fault_next_op();
   vfs::reset_io_fault_state();
@@ -269,6 +279,177 @@ std::uint64_t measure_ops(const Workload& w, const std::string& dir) {
     return 0;
   }
   return ops;
+}
+
+// ---- ingest + delete workload (docs/INCREMENTAL.md, WAL v2 tombstones) ----
+//
+// A scripted stream of record-aligned operations: insert batches interleaved
+// with single-point deletes, every publish stamping the WAL with the new
+// generation's epoch (reset(gen)). The recovery invariant is stronger than
+// "prefix of the insert sequence": the recovered survivor set must equal the
+// state at SOME operation boundary of the script, clustered exactly — a
+// tombstone is never half-applied, replayed against the wrong generation, or
+// reordered against the inserts around it.
+
+struct DeleteOp {
+  bool is_delete = false;
+  std::vector<double> coords;  // one point (delete) or a whole batch (insert)
+  bool publish_after = false;
+};
+
+struct DeleteScript {
+  std::vector<DeleteOp> ops;
+  // Survivor coords after each op boundary: states[k] is the flat survivor
+  // sequence once ops[0..k) have been applied (states[0] is empty).
+  std::vector<std::vector<double>> states;
+};
+
+DeleteScript make_delete_script(const Workload& w, std::uint64_t seed) {
+  DeleteScript sc;
+  Rng rng(seed ^ 0xDE1E7Eull);
+  // Simulated point store: insertion order, erased points flagged dead.
+  std::vector<std::vector<double>> pts;
+  std::vector<std::size_t> alive;  // indices into pts
+  const auto snapshot_state = [&] {
+    std::vector<double> flat;
+    for (const auto& p : pts)
+      if (!p.empty()) flat.insert(flat.end(), p.begin(), p.end());
+    sc.states.push_back(std::move(flat));
+  };
+  snapshot_state();  // boundary 0: empty
+  for (std::size_t b = 0; b < w.batches; ++b) {
+    DeleteOp ins;
+    ins.coords.assign(w.coords.begin() + b * w.batch_points * w.dim,
+                      w.coords.begin() + (b + 1) * w.batch_points * w.dim);
+    sc.ops.push_back(std::move(ins));
+    for (std::size_t i = 0; i < w.batch_points; ++i) {
+      alive.push_back(pts.size());
+      pts.emplace_back(
+          w.coords.begin() + (b * w.batch_points + i) * w.dim,
+          w.coords.begin() + (b * w.batch_points + i + 1) * w.dim);
+    }
+    snapshot_state();
+    const std::size_t deletes = w.batch_points / 5;
+    for (std::size_t d = 0; d < deletes && alive.size() > 1; ++d) {
+      const std::size_t j = rng.uniform_index(alive.size());
+      DeleteOp del;
+      del.is_delete = true;
+      del.coords = pts[alive[j]];
+      pts[alive[j]].clear();
+      alive[j] = alive.back();
+      alive.pop_back();
+      sc.ops.push_back(std::move(del));
+      snapshot_state();
+    }
+    if ((b + 1) % w.publish_every == 0) sc.ops.back().publish_after = true;
+  }
+  return sc;
+}
+
+Status run_delete_workload(const Workload& w, const DeleteScript& sc,
+                           const std::string& dir) {
+  Status s = vfs::make_dirs(dir);
+  if (!s.ok()) return s;
+  auto store = SnapshotStore::open(dir + "/store", SnapshotStoreConfig{});
+  if (!store.ok()) return store.status();
+  auto wal = WalWriter::open(dir + "/wal", w.dim);
+  if (!wal.ok()) return wal.status();
+  StreamingMuDbscan stream(w.dim, w.params);
+  std::uint64_t next_start = 0;
+  for (const DeleteOp& op : sc.ops) {
+    if (op.is_delete) {
+      s = wal->append_delete(op.coords);
+      if (!s.ok()) return s;
+      if (stream.erase_equal(op.coords) == kInvalidPoint)
+        return InternalError("delete workload: scripted erase missed");
+    } else {
+      s = wal->append(next_start, op.coords);
+      if (!s.ok()) return s;
+      next_start += op.coords.size() / w.dim;
+      stream.insert_batch(Dataset(w.dim, std::vector<double>(op.coords)));
+    }
+    if (op.publish_after) {
+      auto gen = store->save(snapshot_of(stream));
+      if (!gen.ok()) return gen.status();
+      s = wal->reset(*gen);  // stamp the log with the generation it extends
+      if (!s.ok()) return s;
+    }
+  }
+  return wal->close();
+}
+
+Verify verify_delete_dir(const Workload& w, const DeleteScript& sc,
+                         const std::string& dir) {
+  auto store = SnapshotStore::open(dir + "/store", SnapshotStoreConfig{});
+  if (!store.ok())
+    return Verify::fail("store open failed: " + store.status().to_string());
+  auto gens = store->generations();
+  if (!gens.ok())
+    return Verify::fail("generation listing failed: " +
+                        gens.status().to_string());
+  for (std::uint64_t g : *gens) {
+    auto bytes = vfs::read_file(store->generation_path(g));
+    if (!bytes.ok())
+      return Verify::fail("generation " + std::to_string(g) +
+                          " unreadable: " + bytes.status().to_string());
+    auto snap = serve::parse_model(std::span<const std::uint8_t>(*bytes),
+                                   store->generation_path(g));
+    if (!snap.ok())
+      return Verify::fail("generation " + std::to_string(g) +
+                          " corrupt after failed/killed save: " +
+                          snap.status().to_string());
+  }
+
+  auto rec = serve::recover_stream(*store, dir + "/wal", w.dim, w.params);
+  if (!rec.ok())
+    return Verify::fail("recover_stream failed: " + rec.status().to_string());
+  StreamingMuDbscan& stream = *rec->stream;
+  const std::size_t n_rec = stream.size();
+
+  // Invariant: the recovered survivors equal SOME op boundary of the script.
+  std::size_t k = sc.states.size();
+  const std::vector<double>& got =
+      stream.size() == 0 ? sc.states[0] : stream.dataset().raw();
+  for (std::size_t i = 0; i < sc.states.size(); ++i) {
+    if (sc.states[i] == got) {
+      k = i;
+      break;
+    }
+  }
+  if (k == sc.states.size())
+    return Verify::fail(
+        "recovered survivors (" + std::to_string(stream.size()) +
+        " pts) match no operation boundary of the delete script");
+  if (stream.size() > 0 &&
+      !labels_equal(stream.result(),
+                    batch_reference(stream.dataset(), w.params)))
+    return Verify::fail("recovered clustering differs from the canonical "
+                        "batch refit at op boundary " + std::to_string(k));
+
+  // Usability: finish the script from that boundary; the final state must be
+  // byte-identical to a run that never crashed.
+  for (std::size_t i = k; i < sc.ops.size(); ++i) {
+    const DeleteOp& op = sc.ops[i];
+    if (op.is_delete) {
+      if (stream.erase_equal(op.coords) == kInvalidPoint)
+        return Verify::fail("post-recovery scripted erase missed at op " +
+                            std::to_string(i));
+    } else {
+      stream.insert_batch(Dataset(w.dim, std::vector<double>(op.coords)));
+    }
+  }
+  if (stream.dataset().raw() != sc.states.back())
+    return Verify::fail("post-recovery replay does not reach the clean-run "
+                        "final state");
+  if (!labels_equal(stream.result(),
+                    batch_reference(stream.dataset(), w.params)))
+    return Verify::fail("post-recovery final clustering diverges from the "
+                        "canonical batch refit");
+
+  Verify v;
+  v.recovered = n_rec;
+  v.generation = rec->generation;
+  return v;
 }
 
 int g_failures = 0;
@@ -313,7 +494,8 @@ int main(int argc, char** argv) {
                 w.total_points(), w.batches, w.publish_every, base.c_str());
 
     // ---- crash-point sweep ------------------------------------------------
-    const std::uint64_t total_ops = measure_ops(w, base + "/baseline");
+    const std::uint64_t total_ops =
+        measure_ops([&] { return run_workload(w, base + "/baseline"); });
     if (total_ops == 0) return 1;
     {
       const Verify v = verify_dir(w, base + "/baseline", false);
@@ -336,14 +518,56 @@ int main(int argc, char** argv) {
     for (const std::uint64_t k : points) {
       const std::string dir = base + "/crash_" + std::to_string(k);
       std::string why;
-      if (!run_crashing_child(w, dir, seed, static_cast<std::int64_t>(k),
-                              &why)) {
+      if (!run_crashing_child([&] { return run_workload(w, dir); }, seed,
+                              static_cast<std::int64_t>(k), &why)) {
         std::printf("  crash@%-26llu FAIL: %s\n",
                     static_cast<unsigned long long>(k), why.c_str());
         ++g_failures;
         continue;
       }
       report("crash@" + std::to_string(k), verify_dir(w, dir, false));
+    }
+
+    // ---- ingest + delete crash sweep (WAL v2 tombstones, epoch gating) ---
+    {
+      const DeleteScript sc = make_delete_script(w, seed);
+      const std::string bdir = base + "/del_baseline";
+      const std::uint64_t del_ops =
+          measure_ops([&] { return run_delete_workload(w, sc, bdir); });
+      if (del_ops == 0) {
+        ++g_failures;
+      } else {
+        const Verify v = verify_delete_dir(w, sc, bdir);
+        report("delete baseline (no faults)", v);
+        if (v.ok && v.recovered * w.dim != sc.states.back().size()) {
+          std::printf("  delete baseline recovered %zu pts, clean run ends "
+                      "with %zu\n",
+                      v.recovered, sc.states.back().size() / w.dim);
+          ++g_failures;
+        }
+        const std::size_t del_crashes =
+            std::max<std::size_t>(8, static_cast<std::size_t>(crashes) / 2);
+        std::printf("delete crash sweep: %zu kill points over %llu VFS ops\n",
+                    del_crashes, static_cast<unsigned long long>(del_ops));
+        std::set<std::uint64_t> del_points = {0, 1, del_ops / 2, del_ops - 1};
+        Rng del_rng(seed ^ 0xDE1ull);
+        while (del_points.size() < del_crashes && del_points.size() < del_ops)
+          del_points.insert(del_rng.uniform_index(del_ops));
+        for (const std::uint64_t k : del_points) {
+          const std::string dir = base + "/del_crash_" + std::to_string(k);
+          std::string why;
+          if (!run_crashing_child(
+                  [&] { return run_delete_workload(w, sc, dir); }, seed,
+                  static_cast<std::int64_t>(k), &why)) {
+            std::printf("  del_crash@%-22llu FAIL: %s\n",
+                        static_cast<unsigned long long>(k), why.c_str());
+            ++g_failures;
+            continue;
+          }
+          report("del_crash@" + std::to_string(k),
+                 verify_delete_dir(w, sc, dir));
+        }
+      }
     }
 
     // ---- injected write-side fault sweeps --------------------------------
